@@ -1,0 +1,20 @@
+PYTHON ?= python
+
+.PHONY: test bench bench-report examples corpus all
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Benchmarks plus the regenerated paper tables/figures on stdout.
+bench-report:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; \
+	done; echo "all examples OK"
+
+all: test bench examples

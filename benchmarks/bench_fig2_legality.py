@@ -1,0 +1,56 @@
+"""Figure 2 — the legality example.
+
+Regenerates the figure's three panels: the loop nest's dependence set
+D = {(1,-1), (+,0)} (recomputed by our analyzer), the *illegal*
+interchange (rev=[F F], perm=[2 1]) producing (-1,1), and the *legal*
+reverse-then-interchange (rev=[F T], perm=[2 1]) producing
+{(1,1), (0,+)}.  Times the unified legality test.
+"""
+
+from repro.core import ReversePermute, Transformation
+from repro.deps import depset, depv
+from repro.deps.analysis import analyze
+from repro.ir import parse_nest
+
+SOURCE = """
+do i = 2, n-1
+  do j = 2, n-1
+    a(i, j) = b(j)
+    if (c(i, j) > 0) b(j) = a(i-1, j+1)
+  enddo
+enddo
+"""
+
+
+def test_fig2a_dependence_set(report, benchmark):
+    nest = parse_nest(SOURCE)
+    deps = benchmark(analyze, nest)
+    report("Figure 2(a): loop nest and dependence vectors",
+           f"{nest.pretty()}\n\nD = {deps}")
+    assert deps == depset((1, -1), ("+", 0))
+
+
+def test_fig2b_illegal_interchange(report, benchmark):
+    nest = parse_nest(SOURCE)
+    deps = analyze(nest)
+    T = Transformation.of(ReversePermute(2, [False, False], [2, 1]))
+    rep = benchmark(T.legality, nest, deps)
+    report("Figure 2(b): illegal transformation",
+           f"ReversePermute(n=2, rev=[F F], perm=[2 1])\n"
+           f"D' = {T.map_dep_set(deps)}\nlegal: {rep.legal}\n"
+           f"reason: {rep.reason}")
+    assert not rep.legal
+    assert depv(-1, 1) in T.map_dep_set(deps)
+
+
+def test_fig2c_legal_reverse_interchange(report, benchmark):
+    nest = parse_nest(SOURCE)
+    deps = analyze(nest)
+    T = Transformation.of(ReversePermute(2, [False, True], [2, 1]))
+    rep = benchmark(T.legality, nest, deps)
+    mapped = T.map_dep_set(deps)
+    report("Figure 2(c): legal transformation",
+           f"ReversePermute(n=2, rev=[F T], perm=[2 1])\n"
+           f"D' = {mapped}\nlegal: {rep.legal}")
+    assert rep.legal
+    assert mapped == depset((1, 1), (0, "+"))

@@ -1,0 +1,86 @@
+"""Figure 3 — the general structure of transformed loop bounds and
+initialization statements.
+
+For every kernel template the generated nest must have the figure's
+shape: loop headers whose bound expressions reference only earlier
+output indices, followed by INIT statements defining the original index
+variables as functions of the new ones, followed by the *unchanged*
+body.  This bench checks that structure over all templates and times
+full-sequence code generation.
+"""
+
+import pytest
+
+from repro.core import (
+    Block,
+    Coalesce,
+    Interleave,
+    Parallelize,
+    ReversePermute,
+    Transformation,
+    Unimodular,
+)
+from repro.deps import depset
+from repro.expr.nodes import free_vars
+from repro.ir import parse_nest
+
+SOURCE = """
+do i = 1, n
+  do j = 1, n
+    a(i, j) = a(i, j) + b(j, i)
+  enddo
+enddo
+"""
+
+TEMPLATES = [
+    ("Unimodular", lambda: Unimodular(2, [[1, 1], [1, 0]])),
+    ("ReversePermute", lambda: ReversePermute(2, [True, False], [2, 1])),
+    ("Parallelize", lambda: Parallelize(2, [False, True])),
+    ("Block", lambda: Block(2, 1, 2, [4, 4])),
+    ("Coalesce", lambda: Coalesce(2, 1, 2)),
+    ("Interleave", lambda: Interleave(2, 1, 2, [2, 2])),
+]
+
+
+def _check_structure(nest, out):
+    # (1) bounds reference only earlier output indices + invariants.
+    seen = set()
+    invariants = out.invariants()
+    for lp in out.loops:
+        for e in (lp.lower, lp.upper, lp.step):
+            assert free_vars(e) <= seen | invariants, (lp.index, str(e))
+        seen.add(lp.index)
+    # (2) INIT statements define old indices from new ones.
+    defined = set(out.indices)
+    for init in out.inits:
+        assert free_vars(init.expr) <= defined | invariants
+        defined.add(init.var)
+    # (3) all original indices used by the body are available.
+    assert set(nest.indices) <= defined
+    # (4) the body is byte-for-byte the original body.
+    assert out.body == nest.body
+
+
+@pytest.mark.parametrize("name,make", TEMPLATES)
+def test_fig3_structure_per_template(report, benchmark, name, make):
+    nest = parse_nest(SOURCE)
+    template = make()
+    T = Transformation.of(template)
+    out = benchmark(T.apply, nest, depset(), check=False)
+    _check_structure(nest, out)
+    report(f"Figure 3 structure: {template.signature()}", out.pretty())
+
+
+def test_fig3_structure_for_long_sequence(report, benchmark):
+    nest = parse_nest(SOURCE)
+    T = Transformation.of(
+        # Rectangularity-preserving Unimodular (reversal + interchange)
+        # so the later Coalesce preconditions hold.
+        Unimodular(2, [[0, -1], [1, 0]]),
+        Block(2, 1, 2, [4, 4]),
+        Parallelize(4, [True, False, False, False]),
+        Coalesce(4, 3, 4),
+    )
+    out = benchmark(T.apply, nest, depset(), check=False)
+    _check_structure(nest, out)
+    report("Figure 3 structure: 4-step sequence", out.pretty())

@@ -1,0 +1,114 @@
+"""Perf-4 — the general framework vs the unimodular-only baseline.
+
+Regenerates the expressiveness comparison (which kernel templates each
+framework can represent — the paper's core argument) and compares costs
+on the common subset: composition (matrix product vs sequence
+concatenation + peephole) and legality testing.
+"""
+
+import pytest
+
+from repro.baselines import CannotExpress, UnimodularFramework
+from repro.core import (
+    Block,
+    Coalesce,
+    Interleave,
+    Parallelize,
+    ReversePermute,
+    Transformation,
+    Unimodular,
+)
+from repro.deps import depset
+
+TEMPLATES = [
+    ("Unimodular", Unimodular(3, [[1, 1, 0], [0, 1, 0], [0, 0, 1]])),
+    ("ReversePermute", ReversePermute(3, [True, False, False], [2, 3, 1])),
+    ("Parallelize", Parallelize(3, [True, False, False])),
+    ("Block", Block(3, 1, 3, [8, 8, 8])),
+    ("Coalesce", Coalesce(3, 1, 3)),
+    ("Interleave", Interleave(3, 1, 3, [4, 4, 4])),
+]
+
+
+def test_expressiveness_table(report, benchmark):
+    lines = [f"{'Template':18} | general framework | unimodular baseline",
+             "-" * 62]
+    expressible = 0
+    for name, template in TEMPLATES:
+        try:
+            UnimodularFramework.from_template(template)
+            baseline = "yes"
+            expressible += 1
+        except CannotExpress:
+            baseline = "NO"
+        lines.append(f"{name:18} | {'yes':17} | {baseline}")
+    report("Perf-4: expressiveness (the paper's core argument)",
+           "\n".join(lines))
+    assert expressible == 2  # only Unimodular and ReversePermute
+
+    def probe():
+        count = 0
+        for _, template in TEMPLATES:
+            try:
+                UnimodularFramework.from_template(template)
+                count += 1
+            except CannotExpress:
+                pass
+        return count
+
+    assert benchmark(probe) == 2
+
+
+def test_composition_cost_baseline(benchmark):
+    a = UnimodularFramework.skew(3, 2, 1)
+    b = UnimodularFramework.interchange(3, 1, 2)
+    c = UnimodularFramework.reversal(3, [3])
+
+    def compose():
+        return a.then(b).then(c)
+
+    result = benchmark(compose)
+    assert result.matrix.is_unimodular()
+
+
+def test_composition_cost_general(benchmark):
+    a = Transformation.of(Unimodular(3, UnimodularFramework.skew(3, 2, 1).matrix))
+    b = Unimodular(3, UnimodularFramework.interchange(3, 1, 2).matrix)
+    c = Unimodular(3, UnimodularFramework.reversal(3, [3]).matrix)
+
+    def compose():
+        return a.then(b).then(c)
+
+    result = benchmark(compose)
+    assert len(result) == 1  # peephole fuses to one step
+
+
+def test_legality_cost_baseline(benchmark):
+    deps = depset((1, 0, 0), (0, 1, -1), ("0+", 2, "-"))
+    t = UnimodularFramework.skew(3, 2, 1).then(
+        UnimodularFramework.interchange(3, 1, 2))
+    assert benchmark(t.is_legal, deps) in (True, False)
+
+
+def test_legality_cost_general_on_common_subset(benchmark):
+    deps = depset((1, 0, 0), (0, 1, -1), ("0+", 2, "-"))
+    t = Transformation.of(
+        Unimodular(3, UnimodularFramework.skew(3, 2, 1).matrix),
+        Unimodular(3, UnimodularFramework.interchange(3, 1, 2).matrix))
+
+    def dep_half():
+        return not t.map_dep_set(deps).can_be_lex_negative()
+
+    assert benchmark(dep_half) in (True, False)
+
+
+def test_reverse_permute_advantage(report, benchmark):
+    """Section 4.2's claim (c): ReversePermute avoids matrix arithmetic
+    on dependence vectors.  Measure the dependence-mapping speed of the
+    same interchange via ReversePermute vs via a matrix."""
+    deps = depset(*[(i % 3, (i * 7) % 5 - 2, 1) for i in range(20)])
+    rp = ReversePermute(3, [False] * 3, [2, 1, 3])
+    benchmark(rp.map_dep_set, deps)
+    report("Perf-4: ReversePermute dependence mapping",
+           "compare against test_mapping_throughput[Unimodular-...] in "
+           "bench_table2 for the matrix path")

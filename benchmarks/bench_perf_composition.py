@@ -1,0 +1,132 @@
+"""Perf-2 — composition strategies (DESIGN.md ablation 1).
+
+The paper argues that a sequence of unimodular steps should be fused
+into a single matrix and applied once, instead of rewriting the loop
+nest after every step.  This bench compares three strategies for a
+chain of k unimodular steps:
+
+* ``fused``      — peephole-reduce to one matrix, generate code once;
+* ``sequence``   — keep k steps, generate code once through the
+                   sequence machinery (bounds flow through each step);
+* ``rewrite``    — paper's strawman: apply step 1, materialize the nest,
+                   re-apply step 2 to the result, and so on.
+
+Expected shape: fused < sequence << rewrite, with the gap growing in k.
+"""
+
+import pytest
+
+from repro.core import Transformation, Unimodular
+from repro.deps import depset
+from repro.ir import parse_nest
+from repro.util.matrices import IntMatrix
+
+
+def chain(k: int):
+    """k alternating skew/interchange steps (all unimodular)."""
+    steps = []
+    for idx in range(k):
+        if idx % 2 == 0:
+            steps.append(Unimodular(2, IntMatrix.skew(2, 1, 0, 1)))
+        else:
+            steps.append(Unimodular(2, IntMatrix.interchange(2, 0, 1)))
+    return steps
+
+
+@pytest.fixture
+def square_nest():
+    return parse_nest("""
+    do i = 0, 30
+      do j = 0, 30
+        a(i, j) = a(i, j) + 1
+      enddo
+    enddo
+    """)
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8])
+def test_fused(report, benchmark, square_nest, k):
+    T = Transformation(chain(k)).reduced()
+    assert len(T) == 1
+    out = benchmark(T.apply, square_nest, depset(), check=False)
+    report(f"Perf-2: fused ({k} steps -> 1 matrix)",
+           f"matrix {T.steps[0].matrix!r}")
+    assert out.depth == 2
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_sequence_unfused(benchmark, square_nest, k):
+    T = Transformation(chain(k))
+    out = benchmark(T.apply, square_nest, depset(), check=False)
+    assert out.depth == 2
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_rewrite_each_step(benchmark, square_nest, k):
+    steps = chain(k)
+
+    def rewrite():
+        nest = square_nest
+        for step in steps:
+            nest = Transformation.of(step).apply(nest, depset(),
+                                                 check=False)
+        return nest
+
+    out = benchmark(rewrite)
+    assert out.depth == 2
+
+
+def test_all_strategies_agree(report, benchmark, square_nest):
+    """The three strategies must generate semantically identical nests."""
+    from repro.runtime import run_nest
+
+    k = 4
+    fused = Transformation(chain(k)).reduced().apply(
+        square_nest, depset(), check=False)
+    unfused = Transformation(chain(k)).apply(
+        square_nest, depset(), check=False)
+    nest = square_nest
+    for step in chain(k):
+        nest = Transformation.of(step).apply(nest, depset(), check=False)
+
+    traces = []
+    for out in (fused, unfused, nest):
+        traces.append(run_nest(out, {}, trace_vars=("i", "j"))
+                      .iteration_trace)
+    assert traces[0] == traces[1] == traces[2]
+    report("Perf-2: strategy agreement",
+           f"all three strategies execute {len(traces[0])} iterations "
+           "in the same order")
+    benchmark(lambda: Transformation(chain(k)).reduced())
+
+
+def test_fusion_is_required_past_depth(report, benchmark, square_nest):
+    """Not just faster: repeatedly materializing unimodular steps breaks
+    down.  Skew coefficients compound, Fourier-Motzkin emits div() bounds,
+    and the *next* step's linearity precondition fails — while the fused
+    single matrix sails through.  (The paper's composition argument,
+    sharpened.)"""
+    from repro.util.errors import PreconditionViolation
+
+    k = 6
+    fused = Transformation(chain(k)).reduced()
+    out = fused.apply(square_nest, depset(), check=False)
+    assert out.depth == 2
+
+    def rewrite_fails():
+        nest = square_nest
+        try:
+            for step in chain(k):
+                nest = Transformation.of(step).apply(nest, depset(),
+                                                     check=False)
+        except PreconditionViolation as exc:
+            return exc
+        return None
+
+    exc = rewrite_fails()
+    assert exc is not None
+    report("Perf-2: fusion is required past depth ~4",
+           f"step-by-step rewriting of a {k}-step unimodular chain fails "
+           f"with:\n  {exc}\nwhile the fused matrix applies cleanly")
+    benchmark(lambda: Transformation(chain(k)).reduced().apply(
+        square_nest, depset(), check=False))

@@ -1,0 +1,112 @@
+"""Perf-1 — legality-test and dependence-mapping throughput.
+
+The framework's pitch is that transformations are cheap to *test*
+(search-and-undo): this bench measures the unified legality test as a
+function of nest depth, dependence-set size and sequence length, and
+reports the series.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Block,
+    Parallelize,
+    ReversePermute,
+    Transformation,
+    Unimodular,
+)
+from repro.deps import DepSet, DepVector, DepEntry
+from repro.expr.nodes import Const, var
+from repro.ir import Loop, LoopNest, parse_nest
+from repro.ir.loopnest import Assign, ArrayRef
+from repro.util.matrices import IntMatrix
+
+
+def rectangular_nest(depth: int) -> LoopNest:
+    loops = [Loop(f"i{k}", Const(1), var("n")) for k in range(depth)]
+    body = [Assign(ArrayRef("a", tuple(var(f"i{k}") for k in range(depth))),
+                   Const(1))]
+    return LoopNest(loops, body)
+
+
+def random_deps(rng: random.Random, depth: int, count: int) -> DepSet:
+    codes = ["0", "1", "2", "+", "0+", "*"]
+    vectors = []
+    while len(vectors) < count:
+        vec = DepVector([DepEntry.of(rng.choice(codes))
+                         for _ in range(depth)])
+        if not vec.can_be_lex_negative():
+            vectors.append(vec)
+    return DepSet(vectors)
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4, 6])
+def test_legality_vs_depth(report, benchmark, depth):
+    rng = random.Random(depth)
+    nest = rectangular_nest(depth)
+    deps = random_deps(rng, depth, 8)
+    perm = list(range(2, depth + 1)) + [1]
+    T = Transformation.of(
+        ReversePermute(depth, [False] * depth, perm),
+        Parallelize(depth, [True] + [False] * (depth - 1)),
+    )
+    result = benchmark(T.legality, nest, deps)
+    report(f"Perf-1: legality at depth {depth}",
+           f"deps={len(deps)} vectors, legal={result.legal}")
+
+
+@pytest.mark.parametrize("nvecs", [4, 16, 64])
+def test_legality_vs_depset_size(report, benchmark, nvecs):
+    rng = random.Random(nvecs)
+    nest = rectangular_nest(3)
+    deps = random_deps(rng, 3, nvecs)
+    T = Transformation.of(Block(3, 1, 3, [8, 8, 8]))
+    result = benchmark(T.legality, nest, deps)
+    mapped = T.map_dep_set(deps)
+    report(f"Perf-1: legality with {nvecs} vectors",
+           f"Block maps {nvecs} -> {len(mapped)} vectors, "
+           f"legal={result.legal}")
+
+
+@pytest.mark.parametrize("length", [1, 3, 6, 10])
+def test_legality_vs_sequence_length(report, benchmark, length):
+    nest = rectangular_nest(3)
+    deps = DepSet([DepVector([DepEntry.of(x) for x in (0, 0, 1)])])
+    steps = []
+    for k in range(length):
+        if k % 2 == 0:
+            steps.append(ReversePermute(3, [False] * 3, [2, 1, 3]))
+        else:
+            steps.append(ReversePermute(3, [False] * 3, [1, 3, 2]))
+    T = Transformation(steps)
+    result = benchmark(T.legality, nest, deps)
+    report(f"Perf-1: legality for a {length}-step sequence",
+           f"legal={result.legal}")
+
+
+def test_search_and_undo_rate(report, benchmark):
+    """Candidate evaluations per second: the number the paper's Section 5
+    flexibility argument rides on."""
+    nest = rectangular_nest(3)
+    deps = DepSet([DepVector([DepEntry.of(x) for x in (1, 0, "0+")])])
+    candidates = []
+    for a in range(3):
+        for b in range(3):
+            if a != b:
+                perm = [1, 2, 3]
+                perm[a], perm[b] = perm[b], perm[a]
+                candidates.append(
+                    Transformation.of(ReversePermute(3, [False] * 3, perm)))
+    candidates.append(Transformation.of(Unimodular(
+        3, IntMatrix.skew(3, 1, 0, 1))))
+    candidates.append(Transformation.of(Block(3, 1, 3, [8, 8, 8])))
+
+    def evaluate_all():
+        return sum(1 for T in candidates if T.legality(nest, deps).legal)
+
+    legal = benchmark(evaluate_all)
+    report("Perf-1: search-and-undo evaluation",
+           f"{legal}/{len(candidates)} candidates legal; nest untouched")
+    assert 0 < legal <= len(candidates)

@@ -1,0 +1,93 @@
+"""Perf-7 — the optimization drivers built on the framework.
+
+End-to-end cost of the "future work" layer the paper envisions: finding
+a hyperplane schedule, the maximal parallelization, a loop order with a
+parallel outermost/innermost loop, a tiling, and a 2-deep beam search.
+All of these are pure legality-query workloads — the framework's
+search-and-undo design is what makes them cheap.
+"""
+
+import pytest
+
+from repro.deps import depset
+from repro.deps.analysis import analyze
+from repro.ir import parse_nest
+from repro.optimize import (
+    auto_tile,
+    hyperplane_method,
+    maximal_parallelize,
+    outermost_parallel,
+    search,
+    vectorize_innermost,
+)
+
+STENCIL = """
+do i = 2, n-1
+  do j = 2, n-1
+    a(i, j) = (a(i-1, j) + a(i, j-1)) / 2
+  enddo
+enddo
+"""
+
+MATMUL = """
+do i = 1, n
+  do j = 1, n
+    do k = 1, n
+      A(i, j) += B(i, k) * C(k, j)
+    enddo
+  enddo
+enddo
+"""
+
+
+def test_hyperplane(report, benchmark):
+    deps = analyze(parse_nest(STENCIL))
+    result = benchmark(hyperplane_method, deps)
+    report("Perf-7: hyperplane method",
+           f"schedule pi = {result.schedule}, "
+           f"T = {result.transformation.signature()}")
+    assert result.schedule == [1, 1]
+
+
+def test_maximal_parallelize(report, benchmark, matmul_nest):
+    deps = depset((0, 0, "+"))
+    t = benchmark(maximal_parallelize, matmul_nest, deps)
+    report("Perf-7: maximal_parallelize", t.signature())
+    assert "parflag=[1 1 0]" in t.signature()
+
+
+def test_outermost_parallel(report, benchmark):
+    nest = parse_nest("""
+    do i = 1, n
+      do j = 2, n
+        a(i, j) = a(i, j-1) + 1
+      enddo
+    enddo
+    """)
+    deps = analyze(nest)
+    t = benchmark(outermost_parallel, nest, deps)
+    report("Perf-7: outermost_parallel", t.signature())
+
+
+def test_vectorize_innermost(report, benchmark, matmul_nest):
+    deps = depset((0, 0, "+"))
+    result = benchmark(vectorize_innermost, matmul_nest, deps)
+    report("Perf-7: vectorize_innermost",
+           f"order {result.order}, parallel suffix "
+           f"{result.parallel_suffix}")
+    assert result.parallel_suffix == 2
+
+
+def test_auto_tile(report, benchmark, matmul_nest):
+    deps = depset((0, 0, "+"))
+    t = benchmark(auto_tile, matmul_nest, deps, 16)
+    report("Perf-7: auto_tile", t.signature())
+
+
+def test_beam_search_depth2(report, benchmark, matmul_nest):
+    deps = depset((0, 0, "+"))
+    result = benchmark(search, matmul_nest, deps)
+    report("Perf-7: beam search (depth 2)",
+           f"explored {result.explored}, legal {result.legal_count}, "
+           f"winner {result.transformation.signature()}")
+    assert result.legal_count > 1

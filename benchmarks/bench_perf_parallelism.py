@@ -1,0 +1,76 @@
+"""Perf-8 — simulated parallel speedups under the makespan cost model.
+
+Quantifies the parallel-execution motivation: what Parallelize,
+the Figure-1 wavefront, and Coalesce actually buy on P simulated
+processors (LPT scheduling of the outermost pardo loop).
+"""
+
+import pytest
+
+from repro.core import Coalesce, Parallelize, Transformation
+from repro.core.derived import skew_and_interchange
+from repro.deps import depset
+from repro.deps.analysis import analyze
+from repro.ir import parse_nest
+from repro.optimize import maximal_parallelize
+from repro.runtime import simulate_makespan
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+def test_matmul_parallel_scaling(report, benchmark, matmul_nest, p):
+    deps = depset((0, 0, "+"))
+    T = maximal_parallelize(matmul_nest, deps)
+    out = T.apply(matmul_nest, deps)
+    n = 16
+    result = benchmark(simulate_makespan, out, p, {"n": n})
+    report(f"Perf-8: matmul on P={p}",
+           f"{result!r}, efficiency {result.efficiency:.2f}")
+    assert result.speedup == pytest.approx(min(p, n), rel=0.01)
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_wavefront_speedup_series(report, benchmark, stencil_nest, n):
+    """Figure 1's payoff across sizes: speedup grows ~ n^2 / (2n) on
+    enough processors (the wavefront length bounds each step)."""
+    deps = analyze(stencil_nest)
+    T = skew_and_interchange().then(Parallelize(2, [False, True]),
+                                    reduce=False)
+    out = T.apply(stencil_nest, deps)
+    p = 64
+    serial = simulate_makespan(stencil_nest, p, {"n": n})
+    wave = benchmark(simulate_makespan, out, p, {"n": n})
+    report(f"Perf-8: stencil wavefront, n={n}, P={p}",
+           f"serial makespan {serial.makespan} -> wavefront "
+           f"{wave.makespan} ({wave.speedup:.1f}x)")
+    assert wave.makespan < serial.makespan
+    # The shape: makespan is Theta(n) (one step per wavefront, with the
+    # short wavefronts adding a logarithmic-ish tail), not Theta(n^2).
+    assert wave.makespan <= 4 * n
+
+
+def test_coalesce_load_balance_sweep(report, benchmark):
+    """The guided-self-scheduling story across processor counts: the
+    coalesced loop's makespan is never worse, and wins whenever the
+    outer trip count does not divide P."""
+    nest = parse_nest("""
+    pardo i = 1, 6
+      pardo j = 1, 5
+        a(i, j) = 1
+      enddo
+    enddo
+    """)
+    T = Transformation.of(Coalesce(2, 1, 2))
+    out = T.apply(nest, depset())
+    lines = [f"{'P':>3} | nested | coalesced"]
+    wins = 0
+    for p in (2, 3, 4, 5, 7, 8, 16):
+        nested = simulate_makespan(nest, p).makespan
+        merged = simulate_makespan(out, p).makespan
+        lines.append(f"{p:>3} | {nested:>6} | {merged}")
+        assert merged <= nested
+        if merged < nested:
+            wins += 1
+    report("Perf-8: coalesce load balance (30 iterations total)",
+           "\n".join(lines))
+    assert wins >= 3
+    benchmark(simulate_makespan, out, 7)

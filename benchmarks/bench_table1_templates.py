@@ -1,0 +1,59 @@
+"""Table 1 — the kernel set of transformation templates.
+
+Regenerates the table's rows (template name, parameters, description)
+from the implemented kernel set and times template instantiation — the
+operation an optimizer performs thousands of times while searching.
+"""
+
+from repro.core import (
+    Block,
+    Coalesce,
+    Interleave,
+    KERNEL_SET,
+    Parallelize,
+    ReversePermute,
+    Unimodular,
+)
+
+ROWS = [
+    ("Unimodular(n, M)",
+     lambda: Unimodular(3, [[1, 0, 0], [1, 1, 0], [0, 0, 1]]),
+     "n x n unimodular matrix M specifying the transformation"),
+    ("ReversePermute(n, rev, perm)",
+     lambda: ReversePermute(3, [True, False, False], [2, 3, 1]),
+     "rev[k]: reverse loop k; perm[k]: its position after reversals"),
+    ("Parallelize(n, parflag)",
+     lambda: Parallelize(3, [True, False, True]),
+     "parflag[k]: loop k becomes a pardo loop"),
+    ("Block(n, i, j, bsize)",
+     lambda: Block(3, 1, 3, [16, 16, 16]),
+     "tile contiguous loops i..j with block sizes bsize[k]"),
+    ("Coalesce(n, i, j)",
+     lambda: Coalesce(3, 1, 3),
+     "collapse contiguous loops i..j into a single loop"),
+    ("Interleave(n, i, j, isize)",
+     lambda: Interleave(3, 1, 3, [4, 4, 4]),
+     "cyclically distribute loops i..j with factors isize[k]"),
+]
+
+
+def test_table1_kernel_set(report, benchmark):
+    lines = [f"{'Template':34} | Description",
+             "-" * 78]
+    for name, make, desc in ROWS:
+        instance = make()
+        lines.append(f"{name:34} | {desc}")
+        lines.append(f"{'':34} |   e.g. {instance.signature()}")
+    report("Table 1: kernel set of transformation templates",
+           "\n".join(lines))
+
+    implemented = {t.kernel_name for t in KERNEL_SET}
+    expected = {"Unimodular", "ReversePermute", "Parallelize", "Block",
+                "Coalesce", "Interleave"}
+    assert implemented == expected
+
+    def instantiate_all():
+        return [make() for _, make, _ in ROWS]
+
+    result = benchmark(instantiate_all)
+    assert len(result) == 6

@@ -1,0 +1,116 @@
+"""Table 2 — dependence-vector mapping rules for the kernel templates.
+
+Regenerates every row of the table by applying each template's rule to a
+canonical battery of entries (all six directions plus representative
+distances), re-verifies the consistency property (Def. 3.4) by
+brute-force sampling, and times the mapping of a realistic dependence
+set through each rule.  Includes the DESIGN.md ablation: conservative
+Table 2 ``blockmap``/``imap`` vs the precise constant-case enumeration.
+"""
+
+import pytest
+
+from repro.core import Block, Coalesce, Interleave, Parallelize, ReversePermute, Unimodular
+from repro.deps import (
+    DepEntry,
+    blockmap,
+    blockmap_precise,
+    depset,
+    depv,
+    imap,
+    imap_precise,
+    mergedirs,
+    parmap,
+    reverse,
+)
+
+BATTERY = ["3", "-2", "1", "-1", "0", "+", "-", "0+", "0-", "!0", "*"]
+
+
+def _fmt_pairs(pairs):
+    return "{" + ", ".join(f"({a}, {b})" for a, b in pairs) + "}"
+
+
+def test_table2_rows(report, benchmark):
+    lines = [f"{'d_k':>4} | {'reverse':>8} | {'parmap':>6} | "
+             f"{'blockmap':28} | imap"]
+    lines.append("-" * 96)
+    for code in BATTERY:
+        e = DepEntry.of(code)
+        row = (f"{code:>4} | {reverse(e).code:>8} | {parmap(e).code:>6} | "
+               f"{_fmt_pairs([(a.code, b.code) for a, b in blockmap(e)]):28}"
+               f" | {_fmt_pairs([(a.code, b.code) for a, b in imap(e)])}")
+        lines.append(row)
+    lines.append("")
+    lines.append("mergedirs(+,-) = " +
+                 mergedirs([DepEntry.of('+'), DepEntry.of('-')]).code)
+    lines.append("mergedirs(0+,-) = " +
+                 mergedirs([DepEntry.of('0+'), DepEntry.of('-')]).code)
+    report("Table 2: dependence vector mapping rules", "\n".join(lines))
+
+    battery = [DepEntry.of(c) for c in BATTERY]
+    benchmark(lambda: [(reverse(e), parmap(e), blockmap(e), imap(e))
+                       for e in battery])
+
+    # Spot-check the table's distinctive entries.
+    assert [(a.code, b.code) for a, b in blockmap(DepEntry.of(1))] == \
+        [("0", "1"), ("+", "*")]
+    assert parmap(DepEntry.of("0-")).code == "*"
+
+
+def test_consistency_property(report, benchmark):
+    """Theorem 3.5 re-verified by sampling (the proof the paper omits)."""
+    checked = 0
+    for code in BATTERY:
+        e = DepEntry.of(code)
+        for y in e.sample(3):
+            # blockmap consistency over a concrete blocked space, b = 3.
+            for m1 in range(12):
+                m2 = m1 + y
+                if not 0 <= m2 < 12:
+                    continue
+                dq, de = m2 // 3 - m1 // 3, m2 % 3 - m1 % 3
+                assert any(dq in p[0].tuples() and de in p[1].tuples()
+                           for p in blockmap(e))
+                dr, ds = m2 % 3 - m1 % 3, m2 // 3 - m1 // 3
+                assert any(dr in p[0].tuples() and ds in p[1].tuples()
+                           for p in imap(e))
+                checked += 1
+    report("Table 2: consistency (Def. 3.4) sampling",
+           f"verified {checked} concrete (pair, rule) combinations")
+    benchmark(lambda: [blockmap(DepEntry.of(c)) for c in BATTERY])
+
+
+@pytest.mark.parametrize("rule_name,template", [
+    ("Unimodular", Unimodular(3, [[1, 1, 0], [0, 1, 0], [0, 0, 1]])),
+    ("ReversePermute", ReversePermute(3, [True, False, False], [3, 1, 2])),
+    ("Parallelize", Parallelize(3, [True, False, True])),
+    ("Block", Block(3, 1, 3, [16, 16, 16])),
+    ("Coalesce", Coalesce(3, 1, 3)),
+    ("Interleave", Interleave(3, 1, 3, [4, 4, 4])),
+])
+def test_mapping_throughput(benchmark, rule_name, template):
+    deps = depset((1, 0, 0), (0, 1, -1), ("0+", "-", 2), ("+", "*", "0-"),
+                  (2, -3, "!0"))
+    mapped = benchmark(template.map_dep_set, deps)
+    assert len(mapped) >= len(deps) or rule_name == "Coalesce"
+
+
+def test_ablation_precise_blockmap(report, benchmark):
+    """DESIGN.md ablation 2: the precise constant-case mapping denotes a
+    strict subset of the conservative rule's tuples."""
+    lines = []
+    for y in (1, 2, 5, -3):
+        cons = blockmap(DepEntry.of(y))
+        prec = blockmap_precise(DepEntry.of(y), 4)
+        lines.append(f"distance {y:>2}, b=4: conservative "
+                     f"{_fmt_pairs([(a.code, b.code) for a, b in cons])} "
+                     f"-> precise "
+                     f"{_fmt_pairs([(a.code, b.code) for a, b in prec])}")
+        for pa, pb in prec:
+            assert any(pa.tuples().issubset(ca.tuples()) and
+                       pb.tuples().issubset(cb.tuples())
+                       for ca, cb in cons)
+    report("Ablation: blockmap conservative vs precise", "\n".join(lines))
+    benchmark(lambda: [blockmap_precise(DepEntry.of(y), 4)
+                       for y in (1, 2, 5, -3)])

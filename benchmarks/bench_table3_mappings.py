@@ -1,0 +1,95 @@
+"""Table 3 — loop nest mapping rules: Unimodular, ReversePermute,
+Parallelize, Coalesce, Interleave.
+
+Regenerates each row's output form by applying the template to a
+reference nest and printing the generated code (bounds mapping + INIT
+statements), and times each template's ``map_loops``.
+"""
+
+import pytest
+
+from repro.core import (
+    Coalesce,
+    Interleave,
+    Parallelize,
+    ReversePermute,
+    Transformation,
+    Unimodular,
+)
+from repro.core.codegen import collect_taken
+from repro.deps import depset
+from repro.ir import parse_nest
+
+REFERENCE = """
+do i = 1, n
+  do j = 2, m, 3
+    a(i, j) = a(i, j) + b(j, i)
+  enddo
+enddo
+"""
+
+
+def _apply(template, nest):
+    return Transformation.of(template).apply(nest, depset(), check=False)
+
+
+CASES = [
+    ("Unimodular", lambda: Unimodular(2, [[1, 1], [1, 0]]),
+     """
+do i = 1, n
+  do j = 1, m
+    a(i, j) = a(i, j) + 1
+  enddo
+enddo
+"""),
+    ("ReversePermute", lambda: ReversePermute(2, [False, True], [2, 1]),
+     REFERENCE),
+    ("Parallelize", lambda: Parallelize(2, [True, False]), REFERENCE),
+    ("Coalesce", lambda: Coalesce(2, 1, 2), REFERENCE),
+    ("Interleave", lambda: Interleave(2, 1, 2, [2, 4]), REFERENCE),
+]
+
+
+@pytest.mark.parametrize("name,make,source", CASES)
+def test_table3_row(report, benchmark, name, make, source):
+    nest = parse_nest(source)
+    template = make()
+    out = _apply(template, nest)
+    report(f"Table 3 row: {template.signature()}",
+           f"input:\n{nest.pretty()}\n\noutput:\n{out.pretty()}")
+
+    loops = nest.loops
+
+    def run():
+        return template.map_loops(loops, collect_taken(nest))
+
+    new_loops, inits = benchmark(run)
+    assert len(new_loops) == template.output_depth
+
+
+def test_table3_reverse_permute_strided_reversal(report, benchmark):
+    """The table's u_r = u - sgn(s)*mod(abs(u-l), abs(s)) formula with a
+    symbolic stride — the case Unimodular cannot handle at all."""
+    nest = parse_nest("""
+    do i = lo, hi, s
+      a(i) = a(i) + 1
+    enddo
+    """)
+    template = ReversePermute(1, [True], [1])
+    out = _apply(template, nest)
+    report("Table 3: ReversePermute with unknown stride", out.pretty())
+    lp = out.loops[0]
+    assert "sgn(s)" in str(lp.lower)
+    assert str(lp.step) == "-s"
+    benchmark(lambda: template.map_loops(nest.loops, collect_taken(nest)))
+
+
+def test_table3_coalesce_init_statements(report, benchmark):
+    """Coalesce's f_k reconstruction: x_k = l_k + s_k * (div/mod digits)."""
+    nest = parse_nest(REFERENCE)
+    template = Coalesce(2, 1, 2)
+    out = _apply(template, nest)
+    inits = "\n".join(str(s) for s in out.inits)
+    report("Table 3: Coalesce INIT statements", inits)
+    assert "mod(" in inits and "div(" in inits
+    benchmark(lambda: template.map_loops(nest.loops, collect_taken(nest)))

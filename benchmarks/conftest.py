@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+(printed to stdout — run with ``pytest benchmarks/ --benchmark-only -s``
+to see the reproduced artifact) and times the operation that produces
+it with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ir import parse_nest
+from repro.runtime import Array
+
+
+def _banner(title: str) -> str:
+    bar = "=" * max(30, len(title) + 4)
+    return f"\n{bar}\n  {title}\n{bar}"
+
+
+@pytest.fixture
+def report():
+    """Print a titled block that survives pytest's capture when run with
+    ``-s`` (and is cheap otherwise)."""
+
+    def emit(title: str, body: str) -> None:
+        print(_banner(title))
+        print(body)
+
+    return emit
+
+
+@pytest.fixture
+def stencil_nest():
+    return parse_nest("""
+    do i = 2, n-1
+      do j = 2, n-1
+        a(i, j) = (a(i, j) + a(i-1, j) + a(i, j-1) + a(i+1, j) + a(i, j+1)) / 5
+      enddo
+    enddo
+    """)
+
+
+@pytest.fixture
+def matmul_nest():
+    return parse_nest("""
+    do i = 1, n
+      do j = 1, n
+        do k = 1, n
+          A(i, j) += B(i, k) * C(k, j)
+        enddo
+      enddo
+    enddo
+    """)
+
+
+@pytest.fixture
+def triangular_nest():
+    return parse_nest("""
+    do i = 1, n
+      do j = i, n
+        a(i, j) = i + j
+      enddo
+    enddo
+    """)
+
+
+def random_square(rng: random.Random, lo: int, hi: int, name: str) -> Array:
+    arr = Array(0, name)
+    for i in range(lo, hi + 1):
+        for j in range(lo, hi + 1):
+            arr[(i, j)] = rng.randrange(100)
+    return arr

@@ -1,0 +1,85 @@
+"""The appendix example (Figures 6-7): matrix multiply through a
+five-instantiation sequence — permute, tile, parallelize, permute the
+block loops, coalesce the two parallel block loops into one long pardo
+loop (e.g. for guided self-scheduling).
+
+Prints the dependence vectors and loop headers after every stage, the
+final generated code, and verifies the pipeline end to end.
+
+Run:  python examples/matmul_pipeline.py
+"""
+
+import random
+
+from repro import (
+    Block,
+    Coalesce,
+    Parallelize,
+    ReversePermute,
+    Transformation,
+    analyze,
+    parse_nest,
+)
+from repro.runtime import Array, Schedule, check_equivalence, run_nest
+
+nest = parse_nest("""
+do i = 1, n
+  do j = 1, n
+    do k = 1, n
+      A(i, j) += B(i, k) * C(k, j)
+    enddo
+  enddo
+enddo
+""")
+
+deps = analyze(nest)
+print(f"matrix multiply dependence vectors: {deps}\n")
+
+pipeline = Transformation.of(
+    ReversePermute(3, [False, False, False], [3, 1, 2]),  # j, k, i
+    Block(3, 1, 3, ["bj", "bk", "bi"]),                   # tile all three
+    Parallelize(6, [True, False, True, False, False, False]),
+    ReversePermute(6, [False] * 6, [1, 3, 2, 4, 5, 6]),   # jj, ii adjacent
+    Coalesce(6, 1, 2),                                    # one pardo loop
+)
+
+print(f"pipeline: {pipeline.signature()}")
+print(f"legal: {pipeline.legality(nest, deps).legal}\n")
+
+print("Figure 7 stage table:")
+dep_trace = pipeline.dep_set_trace(deps)
+loop_trace = pipeline.loop_trace(nest)
+names = ["START"] + [s.kernel_name for s in pipeline.steps]
+for name, d, loops in zip(names, dep_trace, loop_trace):
+    print(f"  {name:16} D = {d}")
+    for lp in loops:
+        print(f"  {'':16} {lp.header()}")
+    print()
+
+out = pipeline.apply(nest, deps)
+print("final code (symbolic block sizes):")
+print(out.pretty())
+
+# Concrete verification with block sizes 3, 2, 4 under shuffled pardo
+# schedules -- the coalesced parallel loop really is parallel.
+concrete = Transformation.of(
+    ReversePermute(3, [False, False, False], [3, 1, 2]),
+    Block(3, 1, 3, [3, 2, 4]),
+    Parallelize(6, [True, False, True, False, False, False]),
+    ReversePermute(6, [False] * 6, [1, 3, 2, 4, 5, 6]),
+    Coalesce(6, 1, 2),
+)
+out_c = concrete.apply(nest, deps)
+rng = random.Random(1)
+n = 9
+B, C = Array(0, "B"), Array(0, "C")
+for i in range(1, n + 1):
+    for j in range(1, n + 1):
+        B[(i, j)] = rng.randrange(10)
+        C[(i, j)] = rng.randrange(10)
+check_equivalence(nest, out_c, {"A": Array(0, "A"), "B": B, "C": C},
+                  symbols={"n": n})
+result = run_nest(out_c, {"A": Array(0, "A"), "B": B, "C": C},
+                  symbols={"n": n}, schedule=Schedule("shuffle", seed=7))
+print(f"\nverified: {result.body_count} iterations, correct under a "
+      "shuffled parallel schedule")

@@ -1,0 +1,75 @@
+"""Figure 4(c): dense-times-sparse matrix multiply with nonlinear,
+runtime-dependent loop bounds (CSC column pointers).
+
+The ``k`` loop runs over ``colstr(j) .. colstr(j+1)-1``: a unimodular
+framework cannot legally touch this nest at all (the bounds are
+nonlinear), but the general framework's ReversePermute needs only
+invariance for the reordered pairs, so moving the dense ``i`` loop
+innermost — a locality/vectorization enabler — is legal.
+
+Run:  python examples/sparse_matrix.py
+"""
+
+import random
+
+from repro import ReversePermute, Transformation, Unimodular, parse_nest
+from repro.deps import depset
+from repro.runtime import Array, check_equivalence, run_nest
+from repro.util.errors import PreconditionViolation
+
+# a(i, j) += b(i, rowidx(k)) * c(k): a = b * sparse(c), CSC layout.
+nest = parse_nest("""
+do i = 1, n
+  do j = 1, n
+    do k = colstr(j), colstr(j+1)-1
+      a(i, j) += b(i, rowidx(k)) * c(k)
+    enddo
+  enddo
+enddo
+""")
+print(nest.pretty())
+
+# No two (i, j) iterations write the same a element and the sparse
+# inputs are read-only: no cross-iteration dependences.
+deps = depset()
+
+# The unimodular route is rejected by the preconditions...
+uni = Unimodular(3, [[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+try:
+    uni.check_preconditions(nest.loops)
+except PreconditionViolation as exc:
+    print(f"\nUnimodular rejected: {exc}")
+
+# ... but ReversePermute moves i innermost.
+T = Transformation.of(ReversePermute(3, [False, False, False], [3, 1, 2]))
+print(f"\n{T.signature()} legal: {T.legality(nest, deps).legal}")
+out = T.apply(nest, deps)
+print("\ntransformed (i innermost, unit-stride across the dense rows):")
+print(out.pretty())
+
+# Build a concrete 4x4 sparse matrix in CSC form and verify.
+#   column j's nonzeros are rows rowidx(colstr(j)..colstr(j+1)-1).
+n = 4
+colstr = [None, 1, 3, 4, 6, 7]          # 1-based columns, 6 nonzeros
+rowidx = [None, 1, 3, 2, 1, 4, 2]
+values = [None, 5, -2, 7, 1, 3, 9]
+funcs = {"colstr": lambda j: colstr[j], "rowidx": lambda k: rowidx[k]}
+
+rng = random.Random(0)
+b = Array(0, "b")
+for i in range(1, n + 1):
+    for j in range(1, n + 1):
+        b[(i, j)] = rng.randrange(10)
+c = Array(0, "c")
+for k in range(1, 7):
+    c[(k,)] = values[k]
+
+check_equivalence(nest, out, {"a": Array(0, "a"), "b": b, "c": c},
+                  symbols={"n": n}, funcs=funcs)
+result = run_nest(out, {"a": Array(0, "a"), "b": b, "c": c},
+                  symbols={"n": n}, funcs=funcs)
+print("a = b * sparse:")
+for i in range(1, n + 1):
+    print("  " + " ".join(f"{result.arrays['a'][(i, j)]:>5}"
+                          for j in range(1, n + 1)))
+print("\nverified against the original loop order")

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+``pip install -e .`` on modern pip requires the ``wheel`` package for the
+editable build; on fully offline machines without ``wheel`` installed, use
+
+    python setup.py develop
+
+which this shim enables, or add ``src/`` to a ``.pth`` file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — a reproduction of Sarkar & Thekkath,
+"A General Framework for Iteration-Reordering Loop Transformations"
+(PLDI 1992).
+
+Quickstart::
+
+    from repro import parse_nest, analyze, Transformation
+    from repro.core.derived import skew_and_interchange
+
+    nest = parse_nest('''
+    do i = 2, n-1
+      do j = 2, n-1
+        a(i, j) = (a(i, j) + a(i-1, j) + a(i, j-1)
+                   + a(i+1, j) + a(i, j+1)) / 5
+      enddo
+    enddo
+    ''')
+    deps = analyze(nest)                       # {(1, 0), (0, 1)}
+    T = skew_and_interchange(names=["jj", "ii"])
+    print(T.legality(nest, deps).legal)        # True
+    print(T.apply(nest, deps).pretty())        # Figure 1(b)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.expr` — symbolic bounds expressions & the type lattice
+* :mod:`repro.ir` — perfect loop nests, parser, printer
+* :mod:`repro.deps` — dependence vectors, Table 2 rules, analysis
+* :mod:`repro.core` — templates, sequences, legality, code generation
+* :mod:`repro.runtime` — interpreter and semantic oracles
+* :mod:`repro.cache` — cache simulator for the locality benches
+* :mod:`repro.baselines` — the unimodular-only comparator
+* :mod:`repro.optimize` — hyperplane/parallelize/tile/search drivers
+"""
+
+from repro.core import (
+    Block,
+    BoundsMatrix,
+    Coalesce,
+    Interleave,
+    KERNEL_SET,
+    LegalityReport,
+    Parallelize,
+    ReversePermute,
+    Template,
+    Transformation,
+    Unimodular,
+    derived,
+)
+from repro.deps import DepEntry, DepSet, DepVector, depset, depv
+from repro.deps.analysis import DependenceAnalyzer, analyze
+from repro.expr import BoundType, Expr, parse_expr
+from repro.ir import (
+    Loop,
+    LoopNest,
+    parse_imperfect,
+    parse_nest,
+    pretty_with_temps,
+    sink,
+)
+from repro.runtime import (
+    Array,
+    Schedule,
+    check_dependence_order,
+    check_equivalence,
+    run_nest,
+    simulate_makespan,
+)
+from repro.util import IllegalTransformationError, PreconditionViolation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block", "BoundsMatrix", "Coalesce", "Interleave", "KERNEL_SET",
+    "LegalityReport", "Parallelize", "ReversePermute", "Template",
+    "Transformation", "Unimodular", "derived",
+    "DepEntry", "DepSet", "DepVector", "depset", "depv",
+    "DependenceAnalyzer", "analyze",
+    "BoundType", "Expr", "parse_expr",
+    "Loop", "LoopNest", "parse_nest", "parse_imperfect", "sink",
+    "pretty_with_temps",
+    "Array", "Schedule", "check_dependence_order", "check_equivalence",
+    "run_nest", "simulate_makespan",
+    "IllegalTransformationError", "PreconditionViolation",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Baseline frameworks the paper compares against."""
+
+from repro.baselines.unimodular_only import CannotExpress, UnimodularFramework
+
+__all__ = ["CannotExpress", "UnimodularFramework"]

@@ -1,0 +1,127 @@
+"""Baseline: the pure unimodular framework (Banerjee; Wolf & Lam).
+
+The comparator the paper argues against.  A transformation here *is* an
+``n x n`` unimodular matrix; composition is matrix multiplication; the
+legality test demands every transformed dependence vector be
+lexicographically positive.  Its two documented limitations, which the
+expressiveness bench (`bench_perf_baseline`) demonstrates:
+
+* it cannot represent Parallelize, Block, Coalesce or Interleave at all
+  (:meth:`UnimodularFramework.from_template` raises
+  :class:`CannotExpress` for them — "none of parallelization, blocking,
+  coalescing, interleaving can be represented by a transformation
+  matrix");
+* it requires linear bounds and constant steps even for plain
+  interchange/reversal, where the general framework's ReversePermute
+  template needs only invariance (Section 4.2's sparse-matrix example,
+  Figure 4(c)).
+
+Code generation honestly reuses the general framework's Unimodular
+template (the algorithms coincide on this common subset).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.template import Template
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.core.templates.unimodular import Unimodular
+from repro.deps.rules import unimodular_map
+from repro.deps.vector import DepSet, DepVector
+from repro.ir.loopnest import LoopNest
+from repro.util.errors import IllegalTransformationError, ReproError
+from repro.util.matrices import IntMatrix
+
+
+class CannotExpress(ReproError):
+    """The unimodular framework cannot represent this transformation."""
+
+
+class UnimodularFramework:
+    """A transformation in the matrix-only world."""
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: Union[IntMatrix, Sequence[Sequence[int]]]):
+        m = matrix if isinstance(matrix, IntMatrix) else IntMatrix(matrix)
+        if not m.is_unimodular():
+            raise ValueError("matrix is not unimodular")
+        self.matrix = m
+
+    @property
+    def n(self) -> int:
+        return self.matrix.nrows
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def identity(n: int) -> "UnimodularFramework":
+        return UnimodularFramework(IntMatrix.identity(n))
+
+    @staticmethod
+    def interchange(n: int, a: int, b: int) -> "UnimodularFramework":
+        return UnimodularFramework(IntMatrix.interchange(n, a - 1, b - 1))
+
+    @staticmethod
+    def reversal(n: int, which: Sequence[int]) -> "UnimodularFramework":
+        return UnimodularFramework(
+            IntMatrix.reversal(n, [k - 1 for k in which]))
+
+    @staticmethod
+    def skew(n: int, target: int, source: int,
+             factor: int = 1) -> "UnimodularFramework":
+        return UnimodularFramework(
+            IntMatrix.skew(n, target - 1, source - 1, factor))
+
+    @staticmethod
+    def from_template(step: Template) -> "UnimodularFramework":
+        """Embed a kernel template instantiation, when possible.
+
+        Raises :class:`CannotExpress` for Parallelize, Block, Coalesce
+        and Interleave — the paper's headline limitation of this
+        framework.
+        """
+        if isinstance(step, Unimodular):
+            return UnimodularFramework(step.matrix)
+        if isinstance(step, ReversePermute):
+            n = step.n
+            rows = [[0] * n for _ in range(n)]
+            for k in range(n):
+                rows[step.perm[k] - 1][k] = -1 if step.rev[k] else 1
+            return UnimodularFramework(IntMatrix(rows))
+        raise CannotExpress(
+            f"{step.signature()} has no unimodular matrix representation")
+
+    # -- composition ------------------------------------------------------------
+
+    def then(self, other: "UnimodularFramework") -> "UnimodularFramework":
+        """Apply *self* first, then *other*: combined matrix is
+        ``other.matrix @ self.matrix``."""
+        return UnimodularFramework(other.matrix @ self.matrix)
+
+    # -- legality ------------------------------------------------------------------
+
+    def map_dep_set(self, deps: DepSet) -> DepSet:
+        return DepSet([unimodular_map(self.matrix, v) for v in deps])
+
+    def is_legal(self, deps: DepSet) -> bool:
+        """Wolf & Lam's test: every transformed vector must be
+        lexicographically positive."""
+        return all(v.is_lex_positive() for v in self.map_dep_set(deps))
+
+    # -- code generation ------------------------------------------------------------
+
+    def apply(self, nest: LoopNest, deps: DepSet,
+              names: Optional[Sequence[str]] = None) -> LoopNest:
+        if not self.is_legal(deps):
+            raise IllegalTransformationError(
+                "unimodular transformation rejected: a transformed "
+                "dependence vector is not lexicographically positive")
+        template = Unimodular(self.n, self.matrix, names=names)
+        template.check_preconditions(nest.loops)
+        from repro.core.sequence import Transformation
+        return Transformation.of(template).apply(nest, deps, check=False)
+
+    def __repr__(self):
+        return f"UnimodularFramework({self.matrix!r})"

@@ -1,0 +1,11 @@
+"""Cache simulation substrate for the data-locality benchmarks."""
+
+from repro.cache.simulator import (
+    Cache,
+    CacheConfig,
+    CacheStats,
+    Layout,
+    simulate_trace,
+)
+
+__all__ = ["Cache", "CacheConfig", "CacheStats", "Layout", "simulate_trace"]

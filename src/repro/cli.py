@@ -1,0 +1,353 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``show FILE``
+    Parse and pretty-print a loop nest; ``--deps`` adds the analyzed
+    dependence vectors, ``--bounds`` the LB/UB/STEP matrices.
+
+``analyze FILE [--level gcd|banerjee|fm]``
+    Print the dependence-vector set at the chosen test-ladder tier.
+
+``legality FILE --steps SPEC``
+    Run the unified legality test for a transformation sequence.
+
+``transform FILE --steps SPEC [--force] [--emit loop|c|python] [--trace]``
+    Generate code for the sequence (``--force`` skips the dependence
+    half of the legality test); ``--trace`` prints the Figure-7-style
+    per-stage dependence/loop tables.
+
+The ``SPEC`` mini-language is a semicolon-separated list of step
+builders, evaluated left to right against the current nest depth::
+
+    interchange(1,2); block(1,3,16); parallelize(1)
+    skew(2,1); interchange(1,2)
+    permute(3,1,2); coalesce(1,2)
+    unimodular([[1,1],[1,0]])
+    reverse(2); interleave(1,2,4,4); wavefront()
+
+Loop numbers are 1-based, outermost first, as in the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import (
+    Block,
+    BoundsMatrix,
+    Coalesce,
+    Interleave,
+    Parallelize,
+    ReversePermute,
+    Transformation,
+    Unimodular,
+)
+from repro.core.bounds_matrix import LB, STEP, UB
+from repro.core.derived import wavefront as _wavefront
+from repro.deps.analysis import analyze
+from repro.expr.parser import parse_expr
+from repro.ir import parse_nest
+from repro.ir.emit import emit_c, emit_python
+from repro.util.errors import ReproError
+from repro.util.matrices import IntMatrix
+
+
+class SpecError(ReproError):
+    """A malformed --steps specification."""
+
+
+def _split_calls(spec: str) -> List[str]:
+    calls = [part.strip() for part in spec.split(";")]
+    return [c for c in calls if c]
+
+
+def _parse_call(text: str):
+    """``name(arg, ...)`` -> (name, [args]); args via literal_eval with
+    bare identifiers allowed (block sizes may be symbolic)."""
+    open_paren = text.find("(")
+    if open_paren < 0 or not text.endswith(")"):
+        raise SpecError(f"malformed step {text!r}; expected name(args)")
+    name = text[:open_paren].strip().lower()
+    body = text[open_paren + 1:-1].strip()
+    if not body:
+        return name, []
+    args = []
+    depth = 0
+    current = ""
+    for ch in body + ",":
+        if ch == "," and depth == 0:
+            args.append(current.strip())
+            current = ""
+            continue
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        current += ch
+    parsed = []
+    for a in args:
+        try:
+            parsed.append(ast.literal_eval(a))
+        except (ValueError, SyntaxError):
+            parsed.append(a)  # symbolic size / identifier
+    return name, parsed
+
+
+def _ints(args, count: Optional[int] = None, what: str = "argument"):
+    for a in args:
+        if not isinstance(a, int):
+            raise SpecError(f"expected integer {what}s, got {a!r}")
+    if count is not None and len(args) != count:
+        raise SpecError(f"expected {count} {what}(s), got {len(args)}")
+    return list(args)
+
+
+def build_step(name: str, args: List, n: int):
+    """Instantiate one kernel template for a nest of current depth *n*."""
+    if name == "interchange":
+        a, b = _ints(args, 2, "loop number")
+        perm = list(range(1, n + 1))
+        perm[a - 1], perm[b - 1] = perm[b - 1], perm[a - 1]
+        return ReversePermute(n, [False] * n, perm)
+    if name == "permute":
+        order = _ints(args, n, "loop number")
+        perm = [0] * n
+        for position, loop in enumerate(order, start=1):
+            perm[loop - 1] = position
+        return ReversePermute(n, [False] * n, perm)
+    if name == "reverse":
+        which = _ints(args, None, "loop number")
+        rev = [k + 1 in which for k in range(n)]
+        return ReversePermute(n, rev, list(range(1, n + 1)))
+    if name == "revpermute":
+        if (len(args) != 2 or not isinstance(args[0], list) or
+                not isinstance(args[1], list)):
+            raise SpecError("revpermute takes ([rev 0/1 flags], [perm]), "
+                            "e.g. revpermute([0,1], [2,1])")
+        rev = [bool(r) for r in args[0]]
+        return ReversePermute(n, rev, args[1])
+    if name == "skew":
+        if len(args) == 2:
+            target, source, factor = args[0], args[1], 1
+        else:
+            target, source, factor = _ints(args, 3, "skew parameter")
+        return Unimodular(n, IntMatrix.skew(n, target - 1, source - 1,
+                                            factor))
+    if name == "unimodular":
+        if len(args) != 1 or not isinstance(args[0], list):
+            raise SpecError("unimodular takes one matrix, e.g. "
+                            "unimodular([[1,1],[1,0]])")
+        return Unimodular(n, args[0])
+    if name == "wavefront":
+        factors = _ints(args, None, "factor") if args else None
+        return _wavefront(n, factors).steps[0]
+    if name == "parallelize":
+        which = _ints(args, None, "loop number")
+        return Parallelize(n, [k + 1 in which for k in range(n)])
+    if name in ("block", "tile"):
+        if len(args) < 3:
+            raise SpecError(f"{name} needs (i, j, size...)")
+        i, j = _ints(args[:2], 2, "range bound")
+        sizes = args[2:]
+        precise = False
+        if sizes and sizes[-1] == "precise":
+            precise = True
+            sizes = sizes[:-1]
+        width = j - i + 1
+        if len(sizes) == 1:
+            sizes = sizes * width
+        return Block(n, i, j, [_coerce_size(s) for s in sizes],
+                     precise=precise)
+    if name in ("stripmine", "strip_mine"):
+        if len(args) != 2:
+            raise SpecError("stripmine needs (loop, size)")
+        k = _ints(args[:1], 1, "loop number")[0]
+        return Block(n, k, k, [_coerce_size(args[1])])
+    if name == "coalesce":
+        i, j = _ints(args, 2, "range bound")
+        return Coalesce(n, i, j)
+    if name == "interleave":
+        if len(args) < 3:
+            raise SpecError("interleave needs (i, j, size...)")
+        i, j = _ints(args[:2], 2, "range bound")
+        sizes = args[2:]
+        precise = False
+        if sizes and sizes[-1] == "precise":
+            precise = True
+            sizes = sizes[:-1]
+        width = j - i + 1
+        if len(sizes) == 1:
+            sizes = sizes * width
+        return Interleave(n, i, j, [_coerce_size(s) for s in sizes],
+                          precise=precise)
+    raise SpecError(f"unknown step {name!r}")
+
+
+def _coerce_size(s):
+    if isinstance(s, int):
+        return s
+    if isinstance(s, str):
+        return parse_expr(s)
+    raise SpecError(f"bad size {s!r}")
+
+
+def parse_steps(spec: str, depth: int) -> Transformation:
+    """Build a Transformation from a SPEC string for a *depth*-deep nest.
+
+    The sequence is peephole-reduced, so ``skew(2,1); interchange(1,2)``
+    becomes the single fused Unimodular step of Figure 1.
+    """
+    steps = []
+    n = depth
+    for call in _split_calls(spec):
+        name, args = _parse_call(call)
+        step = build_step(name, args, n)
+        steps.append(step)
+        n = step.output_depth
+    return Transformation(steps, n=depth).reduced()
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+def _read_nest(path: str, sink_imperfect: bool = False):
+    text = sys.stdin.read() if path == "-" else open(path).read()
+    if sink_imperfect:
+        from repro.ir import parse_imperfect, sink
+        return sink(parse_imperfect(text))
+    return parse_nest(text)
+
+
+def cmd_show(args) -> int:
+    nest = _read_nest(args.file, args.sink)
+    print(nest.pretty())
+    if args.deps:
+        print(f"\ndependence vectors: {analyze(nest, level=args.level)}")
+    if args.bounds:
+        bm = BoundsMatrix.of_nest(nest)
+        for which in (LB, UB, STEP):
+            print(f"\n{which} =")
+            print(bm.pretty(which))
+        print()
+        print(bm.pretty_types())
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    nest = _read_nest(args.file, args.sink)
+    print(analyze(nest, level=args.level))
+    return 0
+
+
+def cmd_legality(args) -> int:
+    nest = _read_nest(args.file, args.sink)
+    T = parse_steps(args.steps, nest.depth)
+    deps = analyze(nest, level=args.level)
+    report = T.legality(nest, deps)
+    print(f"sequence: {T.signature()}")
+    print(f"dependence vectors: {deps}")
+    print(f"legal: {report.legal}")
+    if not report.legal:
+        print(f"reason: {report.reason}")
+    return 0 if report.legal else 1
+
+
+def cmd_transform(args) -> int:
+    nest = _read_nest(args.file, args.sink)
+    T = parse_steps(args.steps, nest.depth)
+    deps = analyze(nest, level=args.level)
+    if args.trace:
+        dep_trace = T.dep_set_trace(deps)
+        loop_trace = T.loop_trace(nest)
+        names = ["START"] + [s.kernel_name for s in T.steps]
+        for name, d, loops in zip(names, dep_trace, loop_trace):
+            print(f"-- {name}: D = {d}")
+            for lp in loops:
+                print(f"     {lp.header()}")
+        print()
+    if args.force:
+        out = T.apply(nest, check=False)
+    else:
+        report = T.legality(nest, deps)
+        if not report.legal:
+            print(f"ILLEGAL: {report.reason}", file=sys.stderr)
+            return 1
+        out = T.apply(nest, deps)
+    if args.emit == "c":
+        print(emit_c(out))
+    elif args.emit == "python":
+        from repro.deps.analysis.references import inferred_array_names
+        print(emit_python(out, sorted(inferred_array_names(out))))
+    elif args.emit == "pretty":
+        from repro.ir.pretty_temps import pretty_with_temps
+        print(pretty_with_temps(out))
+    else:
+        print(out.pretty())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Iteration-reordering loop transformations "
+                    "(Sarkar & Thekkath, PLDI 1992)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="loop nest file ('-' for stdin)")
+        p.add_argument("--level", choices=["gcd", "banerjee", "fm"],
+                       default="fm", help="dependence test ladder depth")
+        p.add_argument("--sink", action="store_true",
+                       help="accept an imperfect nest and sink it into a "
+                            "guarded perfect nest first")
+
+    p_show = sub.add_parser("show", help="parse and pretty-print a nest")
+    add_common(p_show)
+    p_show.add_argument("--deps", action="store_true",
+                        help="also print analyzed dependence vectors")
+    p_show.add_argument("--bounds", action="store_true",
+                        help="also print the LB/UB/STEP matrices")
+    p_show.set_defaults(func=cmd_show)
+
+    p_an = sub.add_parser("analyze", help="print the dependence set")
+    add_common(p_an)
+    p_an.set_defaults(func=cmd_analyze)
+
+    p_leg = sub.add_parser("legality", help="test a sequence's legality")
+    add_common(p_leg)
+    p_leg.add_argument("--steps", required=True, help="step specification")
+    p_leg.set_defaults(func=cmd_legality)
+
+    p_tr = sub.add_parser("transform", help="generate transformed code")
+    add_common(p_tr)
+    p_tr.add_argument("--steps", required=True, help="step specification")
+    p_tr.add_argument("--force", action="store_true",
+                      help="skip the dependence-vector legality test")
+    p_tr.add_argument("--emit", choices=["loop", "c", "python", "pretty"],
+                      default="loop",
+                      help="output language ('pretty' extracts Figure-7 "
+                           "style tmp* scalars)")
+    p_tr.add_argument("--trace", action="store_true",
+                      help="print per-stage dependence/loop tables")
+    p_tr.set_defaults(func=cmd_transform)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The paper's primary contribution: templates, sequences, legality, codegen."""
+
+from repro.core.bounds_matrix import BoundsMatrix
+from repro.core.sequence import LegalityReport, Transformation
+from repro.core.template import Template, TransformedLoops, fresh_name
+from repro.core.templates import (
+    KERNEL_SET,
+    Block,
+    Coalesce,
+    Interleave,
+    Parallelize,
+    ReversePermute,
+    Unimodular,
+)
+from repro.core import derived
+
+__all__ = [
+    "BoundsMatrix", "LegalityReport", "Transformation", "Template",
+    "TransformedLoops", "fresh_name", "KERNEL_SET",
+    "Block", "Coalesce", "Interleave", "Parallelize", "ReversePermute",
+    "Unimodular", "derived",
+]

@@ -1,0 +1,66 @@
+"""Code-generation helpers shared by the sequence driver.
+
+The actual bounds mapping lives in each template's ``map_loops``; this
+module handles the bookkeeping around it: collecting the identifier
+names a transformed nest must not collide with, and assembling the final
+:class:`~repro.ir.loopnest.LoopNest` with its initialization statements
+in the order the paper prescribes (``INIT_k, ..., INIT_1``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.expr.nodes import Call, Expr, children, free_vars
+from repro.ir.loopnest import Assign, If, InitStmt, LoopNest, Statement
+
+
+def _call_names(e: Expr, out: Set[str]) -> None:
+    if isinstance(e, Call):
+        out.add(e.func)
+    for c in children(e):
+        _call_names(c, out)
+
+
+def collect_taken(nest: LoopNest) -> Set[str]:
+    """Every identifier in use in *nest*: loop indices, bound invariants,
+    array/function names and body variables.  Fresh names generated during
+    code generation must avoid all of them."""
+    taken: Set[str] = set(nest.indices)
+    taken |= nest.invariants()
+    for lp in nest.loops:
+        for e in (lp.lower, lp.upper, lp.step):
+            _call_names(e, taken)
+
+    def visit(stmt: Statement) -> None:
+        if isinstance(stmt, Assign):
+            taken.add(stmt.target.name)
+            for s in stmt.target.subscripts:
+                taken.update(free_vars(s))
+                _call_names(s, taken)
+            taken.update(free_vars(stmt.expr))
+            _call_names(stmt.expr, taken)
+        elif isinstance(stmt, If):
+            taken.update(free_vars(stmt.cond))
+            _call_names(stmt.cond, taken)
+            visit(stmt.then)
+        elif isinstance(stmt, InitStmt):
+            taken.add(stmt.var)
+            taken.update(free_vars(stmt.expr))
+            _call_names(stmt.expr, taken)
+
+    for stmt in nest.body:
+        visit(stmt)
+    for init in nest.inits:
+        visit(init)
+    return taken
+
+
+def assemble_nest(nest: LoopNest, final_loops: Sequence,
+                  per_step_inits: Sequence[Tuple[InitStmt, ...]]) -> LoopNest:
+    """Build the output nest: init statements of later template
+    instantiations execute first (paper Section 2, item 4(b))."""
+    inits: List[InitStmt] = []
+    for step_inits in reversed(list(per_step_inits)):
+        inits.extend(step_inits)
+    return LoopNest(final_loops, nest.body, tuple(inits) + nest.inits)

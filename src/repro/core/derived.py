@@ -1,0 +1,133 @@
+"""Derived transformations: the classic loop transformations of the
+paper's introduction (interchange, reversal, permutation, skewing,
+strip-mining, blocking, coalescing, interleaving, parallelization,
+wavefront) expressed as sequences of kernel template instantiations.
+
+These are conveniences only — everything here returns a plain
+:class:`~repro.core.sequence.Transformation` built from the kernel set,
+demonstrating the framework's extensibility claim: new transformations
+are defined by *composing templates*, not by adding bespoke legality
+tests or code generators.
+
+All loop numbers are 1-based, outermost first, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.sequence import Transformation
+from repro.core.templates.block import Block, SizeLike
+from repro.core.templates.coalesce import Coalesce
+from repro.core.templates.interleave import Interleave
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.core.templates.unimodular import Unimodular
+from repro.util.matrices import IntMatrix
+
+
+def interchange(n: int, a: int, b: int) -> Transformation:
+    """Swap loops *a* and *b* via ReversePermute (the cheap path that
+    reuses index names and avoids matrix arithmetic; Section 4.2)."""
+    perm = list(range(1, n + 1))
+    perm[a - 1], perm[b - 1] = perm[b - 1], perm[a - 1]
+    return Transformation.of(ReversePermute(n, [False] * n, perm))
+
+
+def permutation(n: int, order: Sequence[int]) -> Transformation:
+    """Reorder loops so that output position *p* holds input loop
+    ``order[p-1]`` — e.g. ``order=[2, 3, 1]`` makes old loop 2 outermost."""
+    if sorted(order) != list(range(1, n + 1)):
+        raise ValueError(f"order must be a permutation of 1..{n}")
+    perm = [0] * n
+    for position, loop_number in enumerate(order, start=1):
+        perm[loop_number - 1] = position
+    return Transformation.of(ReversePermute(n, [False] * n, perm))
+
+
+def reversal(n: int, which: Sequence[int]) -> Transformation:
+    """Reverse the listed loops in place."""
+    rev = [False] * n
+    for k in which:
+        rev[k - 1] = True
+    return Transformation.of(
+        ReversePermute(n, rev, list(range(1, n + 1))))
+
+
+def skew(n: int, target: int, source: int, factor: int = 1,
+         names: Optional[Sequence[str]] = None) -> Transformation:
+    """Skew loop *target* by *factor* times loop *source* (Unimodular)."""
+    matrix = IntMatrix.skew(n, target - 1, source - 1, factor)
+    return Transformation.of(Unimodular(n, matrix, names=names))
+
+
+def unimodular(n: int, matrix, names: Optional[Sequence[str]] = None
+               ) -> Transformation:
+    """An arbitrary unimodular transformation as a one-step sequence."""
+    return Transformation.of(Unimodular(n, matrix, names=names))
+
+
+def parallelize(n: int, which: Sequence[int]) -> Transformation:
+    """Turn the listed loops into ``pardo`` loops."""
+    flags = [False] * n
+    for k in which:
+        flags[k - 1] = True
+    return Transformation.of(Parallelize(n, flags))
+
+
+def strip_mine(n: int, k: int, size: SizeLike) -> Transformation:
+    """Split loop *k* into a block loop and an element loop (Block over a
+    single-loop range — strip-mining is the degenerate tiling)."""
+    return Transformation.of(Block(n, k, k, [size]))
+
+
+def tile(n: int, i: int, j: int, sizes: Sequence[SizeLike],
+         precise: bool = False) -> Transformation:
+    """Tile the contiguous loops ``i..j`` (Block)."""
+    return Transformation.of(Block(n, i, j, sizes, precise=precise))
+
+
+def coalesce(n: int, i: int, j: int) -> Transformation:
+    """Collapse the contiguous loops ``i..j`` into one loop."""
+    return Transformation.of(Coalesce(n, i, j))
+
+
+def interleave(n: int, i: int, j: int, sizes: Sequence[SizeLike],
+               precise: bool = False) -> Transformation:
+    """Cyclically distribute the contiguous loops ``i..j``."""
+    return Transformation.of(Interleave(n, i, j, sizes, precise=precise))
+
+
+def wavefront(n: int, factors: Optional[Sequence[int]] = None,
+              names: Optional[Sequence[str]] = None) -> Transformation:
+    """Lamport's hyperplane schedule as a unimodular step.
+
+    The outer output loop enumerates hyperplanes
+    ``sum(factors[k] * x_k)`` (all factors 1 by default — the classic
+    ``i + j + ...`` wavefront); the remaining output loops copy input
+    loops 2..n, so the matrix is unimodular whenever ``factors[0] == 1``.
+    Follow with :func:`parallelize` of the inner loops once legality of
+    their parallel execution is established.
+    """
+    factors = list(factors) if factors is not None else [1] * n
+    if len(factors) != n:
+        raise ValueError(f"need {n} wavefront factors")
+    if factors[0] != 1:
+        raise ValueError("wavefront requires factors[0] == 1 to stay "
+                         "unimodular with this row layout")
+    rows: List[List[int]] = [list(factors)]
+    for k in range(1, n):
+        rows.append([1 if m == k else 0 for m in range(n)])
+    return Transformation.of(Unimodular(n, IntMatrix(rows), names=names))
+
+
+def skew_and_interchange(n: int = 2,
+                         names: Optional[Sequence[str]] = None
+                         ) -> Transformation:
+    """Figure 1's transformation: skew loop 2 by loop 1, then interchange
+    — as a single fused Unimodular step."""
+    if n != 2:
+        raise ValueError("the Figure 1 transformation is 2-deep")
+    skew_m = IntMatrix.skew(2, 1, 0, 1)
+    swap_m = IntMatrix.interchange(2, 0, 1)
+    return Transformation.of(Unimodular(2, swap_m @ skew_m, names=names))

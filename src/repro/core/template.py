@@ -1,0 +1,149 @@
+"""The transformation-template protocol (Section 2).
+
+A *transformation template* has parameters; supplying values creates a
+*template instantiation* (here: an instance of a :class:`Template`
+subclass).  Every template defines:
+
+* ``map_dep_vector`` — the Table 2 dependence-vector mapping rule (one
+  input vector may map to several output vectors, e.g. for Block);
+* ``check_preconditions`` — the Table 3/4 loop-bounds preconditions,
+  evaluated on the :class:`~repro.core.bounds_matrix.BoundsMatrix` of the
+  *current* loops (never on generated code);
+* ``map_loops`` — the Table 3/4 loop-bounds mapping rules plus the
+  initialization-statement rules; returns the new loop headers and the
+  ``INIT`` statements that define this template's input index variables
+  as functions of its output index variables.
+
+Templates are value objects, independent of any loop nest: they can be
+created, composed into sequences, tested for legality against many nests
+and discarded, without ever mutating a nest (Section 5's
+"search and undo" property).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, NamedTuple, Sequence, Set, Tuple
+
+from repro.core.bounds_matrix import BoundsMatrix
+from repro.deps.vector import DepSet, DepVector
+from repro.ir.loopnest import InitStmt, Loop
+
+
+class TransformedLoops(NamedTuple):
+    """Result of one template's loop mapping."""
+
+    loops: Tuple[Loop, ...]
+    inits: Tuple[InitStmt, ...]
+
+
+class Template(abc.ABC):
+    """Base class for kernel transformation templates.
+
+    Instances are immutable once constructed.  ``n`` is the input loop
+    nest size; ``output_depth`` the output nest size (they differ for
+    Block, Coalesce and Interleave).
+    """
+
+    #: Template name as it appears in the paper's kernel set (Table 1).
+    kernel_name: str = "?"
+
+    def __init__(self, n: int):
+        if not isinstance(n, int) or n < 1:
+            raise ValueError(f"loop nest size must be a positive int, got {n!r}")
+        self.n = n
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def output_depth(self) -> int:
+        """Size of the output loop nest (defaults to ``n``)."""
+        return self.n
+
+    @abc.abstractmethod
+    def params(self) -> str:
+        """Human-readable parameter rendering, e.g. ``perm=[3 1 2]``."""
+
+    def signature(self) -> str:
+        return f"{self.kernel_name}({self.params()})"
+
+    def to_spec(self) -> str:
+        """Rendering in the CLI step mini-language; kernel templates all
+        implement this so sequences serialize via
+        :meth:`Transformation.to_spec`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no step-language spelling")
+
+    def __repr__(self):
+        return self.signature()
+
+    # -- dependence vectors (Table 2) -----------------------------------------
+
+    @abc.abstractmethod
+    def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
+        """Apply this template's Table 2 rule to one dependence vector."""
+
+    def map_dep_set(self, deps: DepSet) -> DepSet:
+        """Apply the rule to a whole dependence set."""
+        if deps.is_empty():
+            return deps
+        if deps.depth != self.n:
+            raise ValueError(
+                f"{self.signature()}: dependence vectors have "
+                f"{deps.depth} entries, expected {self.n}")
+        out: List[DepVector] = []
+        for vec in deps:
+            out.extend(self.map_dep_vector(vec))
+        return DepSet(out)
+
+    # -- loop bounds (Tables 3 and 4) -------------------------------------------
+
+    def check_preconditions(self, loops: Sequence[Loop]) -> None:
+        """Raise :class:`PreconditionViolation` when the loop-bounds
+        preconditions are not met.  Default: no preconditions."""
+        self._require_depth(loops)
+
+    @abc.abstractmethod
+    def map_loops(self, loops: Sequence[Loop],
+                  taken: Set[str]) -> TransformedLoops:
+        """Produce the transformed loop headers and INIT statements.
+
+        *taken* is the set of identifier names already in use (loop
+        indices, invariants, array names); fresh names must avoid it.
+        Implementations must not mutate *taken* except through
+        :func:`fresh_name`, which records the names it hands out.
+        """
+
+    # -- helpers -------------------------------------------------------------
+
+    def _require_depth(self, loops: Sequence[Loop]) -> None:
+        if len(loops) != self.n:
+            raise ValueError(
+                f"{self.signature()}: expected a nest of {self.n} loops, "
+                f"got {len(loops)}")
+
+    def _bounds_matrix(self, loops: Sequence[Loop]) -> BoundsMatrix:
+        return BoundsMatrix(loops)
+
+
+def fresh_name(base: str, taken: Set[str]) -> str:
+    """A deterministic fresh identifier: the doubled base name (``i`` ->
+    ``ii``, matching the paper's examples), then numbered fallbacks.
+
+    The chosen name is added to *taken*.
+    """
+    candidates = [base, base * 2 if len(base) == 1 else base + base[-1]]
+    candidates += [f"{base}{k}" for k in range(2, 100)]
+    for cand in candidates:
+        if cand not in taken:
+            taken.add(cand)
+            return cand
+    raise RuntimeError(f"could not find a fresh name for {base!r}")
+
+
+def check_contiguous_range(name: str, n: int, i: int, j: int) -> None:
+    """Validate a template's 1-based contiguous loop range ``i..j``."""
+    if not (1 <= i <= j <= n):
+        raise ValueError(
+            f"{name}: range i..j must satisfy 1 <= i <= j <= n, "
+            f"got i={i}, j={j}, n={n}")

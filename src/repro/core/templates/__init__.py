@@ -1,0 +1,16 @@
+"""The kernel set K of transformation templates (Table 1)."""
+
+from repro.core.templates.block import Block
+from repro.core.templates.coalesce import Coalesce
+from repro.core.templates.interleave import Interleave
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.core.templates.unimodular import Unimodular
+
+#: The kernel set as shipped; the framework is extensible — any
+#: :class:`~repro.core.template.Template` subclass slots in.
+KERNEL_SET = (Unimodular, ReversePermute, Parallelize, Block, Coalesce,
+              Interleave)
+
+__all__ = ["Block", "Coalesce", "Interleave", "Parallelize",
+           "ReversePermute", "Unimodular", "KERNEL_SET"]

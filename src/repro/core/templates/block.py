@@ -1,0 +1,292 @@
+"""The Block (tiling) kernel template.
+
+``Block(n, i, j, bsize)`` tiles the contiguous loops ``i..j``: for each
+loop *k* in the range a *block loop* (index ``x'_k``, stepping
+``s_k * bsize[k]``) iterates between tiles, and an *element loop* (the
+original index ``x_k``, original step, bounds clamped to the tile)
+iterates inside the tile.  Output loop order::
+
+    1 .. i-1,  x'_i .. x'_j,  x_i .. x_j,  j+1 .. n
+
+Blocking is strip-mining plus interchange [Wolfe]; it cannot be a matrix
+transformation because one dependence vector maps to up to
+``2^(j-i+1)`` vectors (Table 2)::
+
+    blockmap(0)      = {(0, 0)}
+    blockmap(*)      = {(*, *)}
+    blockmap(+-1)    = {(0, d), (d, *)}
+    blockmap(other)  = {(0, d), (dir(d), *)}
+
+Bounds mapping (Table 4): the block loop bounds substitute each inner
+range variable ``x_h`` (``i <= h < k``) in ``l_k``/``u_k`` by the tile
+endpoint that extremizes the bound — ``x'_h`` or
+``x'_h + s_h*(bsize[h]-1)`` depending on the sign of the coefficient and
+of ``s_h`` — *per max/min term*, so that (for monotone bounds) only tiles
+containing work are visited.  This is the paper's improvement over the
+rectangular bounding box of Wolf & Lam, which can create many empty
+tiles; the ablation bench ``bench_table4_block`` counts the difference.
+
+Element loop bounds (for ``s_k > 0``)::
+
+    max(x'_k, l_k)  <=  x_k  <=  min(x'_k + s_k*(bsize[k]-1), u_k)
+
+(with max/min swapped for ``s_k < 0``).  Element loops reuse the original
+index names, so Block emits no initialization statements.
+
+Preconditions (Table 4): for ``i <= k < m <= j`` the bounds of loop *m*
+must be at most linear in ``x_k`` and steps in the range must be
+compile-time constants (we require this of every loop in the range, a
+slight strengthening documented in DESIGN.md — the endpoint choice needs
+every ``sgn(s_k)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.bounds_matrix import BoundsMatrix
+from repro.core.template import (
+    Template,
+    TransformedLoops,
+    check_contiguous_range,
+    fresh_name,
+)
+from repro.deps.entry import DepEntry
+from repro.deps.rules import blockmap, blockmap_precise
+from repro.deps.vector import DepVector
+from repro.expr.linear import BoundType, affine_form
+from repro.expr.nodes import (
+    Const,
+    Expr,
+    Max,
+    Min,
+    add,
+    mul,
+    substitute,
+    var,
+    vmax,
+    vmin,
+)
+from repro.expr.parser import parse_expr
+from repro.ir.loopnest import InitStmt, Loop
+from repro.util.errors import PreconditionViolation
+
+SizeLike = Union[int, str, Expr]
+
+
+def _coerce_size(s: SizeLike) -> Expr:
+    if isinstance(s, Expr):
+        return s
+    if isinstance(s, int) and not isinstance(s, bool):
+        if s < 1:
+            raise ValueError(f"block size must be >= 1, got {s}")
+        return Const(s)
+    if isinstance(s, str):
+        return parse_expr(s)
+    raise TypeError(f"cannot use {s!r} as a block size")
+
+
+class Block(Template):
+    """Instantiation of the Block (tiling) template."""
+
+    kernel_name = "Block"
+
+    def __init__(self, n: int, i: int, j: int, bsize: Sequence[SizeLike],
+                 precise: bool = False):
+        """*bsize* gives the block size of each loop in ``i..j`` (length
+        ``j - i + 1``), as ints, expression strings or Exprs.
+
+        ``precise=True`` enables the exact dependence mapping for constant
+        distances and constant block sizes (DESIGN.md ablation 2).
+        """
+        super().__init__(n)
+        check_contiguous_range("Block", n, i, j)
+        self.i = i
+        self.j = j
+        self.bsize = tuple(_coerce_size(s) for s in bsize)
+        if len(self.bsize) != j - i + 1:
+            raise ValueError(
+                f"bsize must have {j - i + 1} entries for loops {i}..{j}, "
+                f"got {len(self.bsize)}")
+        self.precise = bool(precise)
+
+    @property
+    def output_depth(self) -> int:
+        return self.n + (self.j - self.i + 1)
+
+    def params(self) -> str:
+        sizes = "[" + " ".join(str(b) for b in self.bsize) + "]"
+        return f"n={self.n}, i={self.i}, j={self.j}, bsize={sizes}"
+
+    def to_spec(self) -> str:
+        """CLI step-language rendering (parse_steps round-trips it)."""
+        sizes = ", ".join(str(b) for b in self.bsize)
+        suffix = ", precise" if self.precise else ""
+        return f"block({self.i}, {self.j}, {sizes}{suffix})"
+
+    def _bsize_of(self, k: int) -> Expr:
+        """Block size of 1-based loop *k* in the range."""
+        return self.bsize[k - self.i]
+
+    # -- dependence vectors -----------------------------------------------------
+
+    def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
+        pair_options: List[List[Tuple[DepEntry, DepEntry]]] = []
+        for k in range(self.i, self.j + 1):
+            entry = vec.entry(k)
+            size = self._bsize_of(k)
+            if (self.precise and entry.is_distance and
+                    isinstance(size, Const)):
+                pair_options.append(blockmap_precise(entry, size.value))
+            else:
+                pair_options.append(blockmap(entry))
+        out: List[DepVector] = []
+        for combo in _product(pair_options):
+            blocks = [p[0] for p in combo]
+            elems = [p[1] for p in combo]
+            out.append(DepVector(
+                list(vec.entries[:self.i - 1]) + blocks + elems +
+                list(vec.entries[self.j:])))
+        return out
+
+    # -- loop bounds -----------------------------------------------------------------
+
+    def check_preconditions(self, loops: Sequence[Loop]) -> None:
+        self._require_depth(loops)
+        bm = self._bounds_matrix(loops)
+        for k in range(self.i, self.j + 1):
+            step = bm.step_value(k)
+            if step is None:
+                raise PreconditionViolation(
+                    self.signature(),
+                    f"step of loop {loops[k - 1].index} must be a "
+                    f"compile-time constant to block the range",
+                    loop=k, required=BoundType.CONST)
+            if abs(step) != 1:
+                # Alignment soundness: a strided loop's iteration values
+                # sit on the lattice {l_k + m*s_k}; if l_k varies with a
+                # loop inside the tiled range, that lattice's phase
+                # drifts against the fixed tile origins and boundary
+                # iterations fall between tiles.  Require invariance.
+                for h in range(self.i, k):
+                    t = bm.type_of("LB", k, h)
+                    if not t.leq(BoundType.INVAR):
+                        raise PreconditionViolation(
+                            self.signature(),
+                            f"lower bound of strided loop "
+                            f"{loops[k - 1].index} (step {step}) must be "
+                            f"invariant in {loops[h - 1].index} inside the "
+                            f"tiled range (type is {t})",
+                            loop=k, var=loops[h - 1].index,
+                            required=BoundType.INVAR, actual=t)
+            for m in range(k + 1, self.j + 1):
+                for which, tag, bound in (("LB", "lower", BoundType.LINEAR),
+                                          ("UB", "upper", BoundType.LINEAR)):
+                    t = bm.type_of(which, m, k)
+                    if not t.leq(bound):
+                        raise PreconditionViolation(
+                            self.signature(),
+                            f"{tag} bound of loop {loops[m - 1].index} must "
+                            f"be at most linear in {loops[k - 1].index} "
+                            f"(type is {t})",
+                            loop=m, var=loops[k - 1].index,
+                            required=bound, actual=t)
+
+    def map_loops(self, loops: Sequence[Loop],
+                  taken: Set[str]) -> TransformedLoops:
+        self._require_depth(loops)
+        rng = list(range(self.i, self.j + 1))
+        steps: Dict[int, int] = {}
+        for k in rng:
+            step = loops[k - 1].step
+            assert isinstance(step, Const), "precondition guarantees const step"
+            steps[k] = step.value
+
+        block_names = {k: fresh_name(loops[k - 1].index, taken) for k in rng}
+        index_of = {k: loops[k - 1].index for k in rng}
+
+        block_loops: List[Loop] = []
+        for k in rng:
+            lp = loops[k - 1]
+            size = self._bsize_of(k)
+            lo = self._tile_bound(lp.lower, "start", k, block_names, steps,
+                                  index_of)
+            hi = self._tile_bound(lp.upper, "end", k, block_names, steps,
+                                  index_of)
+            block_loops.append(Loop(block_names[k], lo, hi,
+                                    mul(lp.step, size), lp.kind))
+
+        elem_loops: List[Loop] = []
+        for k in rng:
+            lp = loops[k - 1]
+            origin = var(block_names[k])
+            far = add(origin, mul(lp.step, add(self._bsize_of(k), Const(-1))))
+            if steps[k] > 0:
+                lo, hi = vmax(origin, lp.lower), vmin(far, lp.upper)
+            else:
+                lo, hi = vmin(origin, lp.lower), vmax(far, lp.upper)
+            elem_loops.append(Loop(lp.index, lo, hi, lp.step, lp.kind))
+
+        out = (tuple(loops[:self.i - 1]) + tuple(block_loops) +
+               tuple(elem_loops) + tuple(loops[self.j:]))
+        return TransformedLoops(out, ())
+
+    def _tile_bound(self, expr: Expr, side: str, k: int,
+                    block_names: Dict[int, str],
+                    steps: Dict[int, int],
+                    index_of: Dict[int, str]) -> Expr:
+        """Rewrite a bound of loop *k* for its block loop: substitute each
+        range variable ``x_h`` (``i <= h < k``) by the tile endpoint that
+        extremizes the bound, per max/min term (Table 4's
+        ``x_min``/``x_max``)."""
+        s_k = steps[k]
+        # Which way do we extremize?  The loop *starts* at the lower bound
+        # for s>0 (minimize it) and the "lower" slot still holds the start
+        # for s<0 (maximize it); dually for the end side.
+        minimizing = (side == "start") == (s_k > 0)
+
+        if isinstance(expr, (Max, Min)):
+            rebuilt = [self._tile_term(a, minimizing, k, block_names, steps,
+                                       index_of)
+                       for a in expr.args]
+            return (vmax if isinstance(expr, Max) else vmin)(*rebuilt)
+        return self._tile_term(expr, minimizing, k, block_names, steps,
+                               index_of)
+
+    def _tile_term(self, term: Expr, minimizing: bool, k: int,
+                   block_names: Dict[int, str],
+                   steps: Dict[int, int],
+                   index_of: Dict[int, str]) -> Expr:
+        inner = [h for h in range(self.i, k)]
+        # Bound expressions mention the *original* element index names.
+        names = [index_of[h] for h in inner]
+        form = affine_form(term, names)
+        assert form is not None, "precondition guarantees linearity"
+        mapping: Dict[str, Expr] = {}
+        for h, name in zip(inner, names):
+            c = form.coefficient(name)
+            if c == 0:
+                continue
+            origin = var(block_names[h])
+            far = add(origin,
+                      mul(Const(steps[h]),
+                          add(self._bsize_of(h), Const(-1))))
+            # The tile's minimum x_h value is `origin` when s_h > 0, else
+            # `far`; pick the endpoint that extremizes c * x_h as needed.
+            if steps[h] > 0:
+                tile_min, tile_max = origin, far
+            else:
+                tile_min, tile_max = far, origin
+            want_min_of_term = minimizing
+            if (c > 0) == want_min_of_term:
+                mapping[name] = tile_min
+            else:
+                mapping[name] = tile_max
+        return substitute(term, mapping) if mapping else term
+
+
+def _product(options: List[List]) -> List[Tuple]:
+    result: List[Tuple] = [()]
+    for opts in options:
+        result = [prev + (o,) for prev in result for o in opts]
+    return result

@@ -1,0 +1,178 @@
+"""The Coalesce kernel template.
+
+``Coalesce(n, i, j)`` collapses the contiguous loops ``i..j`` into a
+single loop [Polychronopoulos & Kuck], e.g. to create one long parallel
+loop for guided self-scheduling.  The transformation normalizes the
+coalesced loop to ``1 .. N_i * ... * N_j`` step 1, where ``N_k`` is loop
+*k*'s trip count.
+
+Dependence rule (Table 2)::
+
+    d' = (d_1, ..., d_{i-1}, mergedirs(dir(d_i), ..., dir(d_j)),
+          d_{j+1}, ..., d_n)
+
+``mergedirs`` folds pairwise: the coalesced loop enumerates the
+sub-iteration space lexicographically, so the merged sign is the outer
+entry's nonzero signs, plus the merge of the rest when the outer entry
+can be zero (e.g. ``mergedirs(+, -) = +``).
+
+Bounds precondition (Table 3): for ``i <= k < m <= j``, loop *m*'s
+lower/upper/step must be invariant in ``x_k`` (the coalesced range must
+be rectangular *within itself*; bounds may still use loops outside the
+range).
+
+Bounds mapping & INIT statements (Table 3)::
+
+    x_c  = 1, N_i*...*N_j, 1        with N_k = 1 + div(u_k - l_k, s_k)
+    x_k  = l_k + s_k * mod(div(x_c - 1, N_{k+1}*...*N_j), N_k)
+
+The output loop is ``pardo`` only when *every* coalesced loop is
+``pardo``.  Deviation from the paper (documented in DESIGN.md): trip
+counts are clamped as ``max(0, .)`` so that coalescing a nest containing
+an empty loop yields an empty loop instead of executing garbage
+iterations (two negative "trip counts" would multiply into a positive
+one); the clamp folds away for constant bounds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.core.template import (
+    Template,
+    TransformedLoops,
+    check_contiguous_range,
+    fresh_name,
+)
+from repro.deps.rules import mergedirs
+from repro.deps.vector import DepVector
+from repro.expr.linear import BoundType
+from repro.expr.nodes import (
+    Const,
+    Expr,
+    add,
+    floordiv,
+    mod,
+    mul,
+    sub,
+    substitute,
+    var,
+    vmax,
+)
+from repro.ir.loopnest import DO, InitStmt, Loop, PARDO
+from repro.util.errors import PreconditionViolation
+
+
+def trip_count_expr(lp: Loop, clamp: bool = True) -> Expr:
+    """Symbolic trip count ``1 + div(u - l, s)`` of a loop, optionally
+    clamped at zero."""
+    count = add(Const(1), floordiv(sub(lp.upper, lp.lower), lp.step))
+    if clamp and not (isinstance(count, Const) and count.value >= 0):
+        return vmax(Const(0), count)
+    if isinstance(count, Const) and count.value < 0:
+        return Const(0)
+    return count
+
+
+class Coalesce(Template):
+    """Instantiation of the Coalesce template."""
+
+    kernel_name = "Coalesce"
+
+    def __init__(self, n: int, i: int, j: int):
+        super().__init__(n)
+        check_contiguous_range("Coalesce", n, i, j)
+        if i == j:
+            raise ValueError("Coalesce of a single loop is the identity; "
+                             "use a range of at least two loops")
+        self.i = i
+        self.j = j
+
+    @property
+    def output_depth(self) -> int:
+        return self.n - (self.j - self.i)
+
+    def params(self) -> str:
+        return f"n={self.n}, i={self.i}, j={self.j}"
+
+    def to_spec(self) -> str:
+        """CLI step-language rendering (parse_steps round-trips it)."""
+        return f"coalesce({self.i}, {self.j})"
+
+    # -- dependence vectors ---------------------------------------------------
+
+    def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
+        merged = mergedirs([vec[k] for k in range(self.i - 1, self.j)])
+        out = (list(vec.entries[:self.i - 1]) + [merged] +
+               list(vec.entries[self.j:]))
+        return [DepVector(out)]
+
+    # -- loop bounds ---------------------------------------------------------------
+
+    def check_preconditions(self, loops: Sequence[Loop]) -> None:
+        self._require_depth(loops)
+        bm = self._bounds_matrix(loops)
+        for k in range(self.i, self.j):
+            for m in range(k + 1, self.j + 1):
+                for which, tag in (("LB", "lower"), ("UB", "upper"),
+                                   ("STEP", "step")):
+                    t = bm.type_of(which, m, k)
+                    if not t.leq(BoundType.INVAR):
+                        raise PreconditionViolation(
+                            self.signature(),
+                            f"{tag} bound of loop {loops[m - 1].index} must "
+                            f"be invariant in {loops[k - 1].index} "
+                            f"(type is {t})",
+                            loop=m, var=loops[k - 1].index,
+                            required=BoundType.INVAR, actual=t)
+
+    def map_loops(self, loops: Sequence[Loop],
+                  taken: Set[str]) -> TransformedLoops:
+        self._require_depth(loops)
+        rng = loops[self.i - 1:self.j]
+        trips = [trip_count_expr(lp) for lp in rng]
+
+        total = mul(*trips) if len(trips) > 1 else trips[0]
+        base = "".join(lp.index[0] for lp in rng) + "c"
+        name = base if base not in taken else fresh_name(base, taken)
+        taken.add(name)
+        kind = PARDO if all(lp.kind == PARDO for lp in rng) else DO
+        coalesced = Loop(name, Const(1), total, Const(1), kind)
+
+        # INIT statements: reconstruct each original index from x_c.
+        inits: List[InitStmt] = []
+        reconstruct = {}
+        xc = var(name)
+        zero_based = sub(xc, Const(1))
+        for offset, lp in enumerate(rng):
+            inner = trips[offset + 1:]
+            stride = mul(*inner) if len(inner) > 1 else (
+                inner[0] if inner else Const(1))
+            if (isinstance(stride, Const) and stride.value == 0) or (
+                    isinstance(trips[offset], Const) and
+                    trips[offset].value == 0):
+                # Some loop in the range is statically empty: the
+                # coalesced loop never runs, so the reconstruction value
+                # is arbitrary (avoid folding a division by zero).
+                digit = Const(0)
+            else:
+                digit = mod(floordiv(zero_based, stride), trips[offset])
+            value = add(lp.lower, mul(lp.step, digit))
+            inits.append(InitStmt(lp.index, value))
+            reconstruct[lp.index] = value
+
+        # Loops inside the coalesced range may reference the eliminated
+        # index variables in their bounds; inline the reconstruction
+        # expressions there (the paper's Figure 7 does the same via its
+        # `tmpj`/`tmpi` scalars) — the INIT statements only cover uses in
+        # the loop *body*.
+        tail = []
+        for lp in loops[self.j:]:
+            tail.append(Loop(lp.index,
+                             substitute(lp.lower, reconstruct),
+                             substitute(lp.upper, reconstruct),
+                             substitute(lp.step, reconstruct),
+                             lp.kind))
+
+        out = (tuple(loops[:self.i - 1]) + (coalesced,) + tuple(tail))
+        return TransformedLoops(out, tuple(inits))

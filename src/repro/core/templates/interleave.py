@@ -1,0 +1,153 @@
+"""The Interleave kernel template.
+
+``Interleave(n, i, j, isize)`` is Block's cyclic cousin: the contiguous
+loops ``i..j`` are split so that the outer loop iterates between blocks
+and the inner loop between a block's elements — but here a "block" is the
+set of *non-contiguous* iterations sharing a residue modulo the
+interleave factor (Table 1).  Output loop order::
+
+    1 .. i-1,  offset_i .. offset_j,  x_i .. x_j,  j+1 .. n
+
+Bounds mapping (Table 3)::
+
+    offset_k :  0, isize[k] - 1, 1
+    x_k      :  l_k + offset_k * s_k,  u_k,  isize[k] * s_k
+
+The element loops reuse the original index names, so no initialization
+statements are created.
+
+Dependence rule (Table 2)'s ``imap`` produces (offset, stride) pairs::
+
+    imap(0)   = {(0, 0)}
+    imap(*)   = {(*, *)}
+    imap(+)   = {(+, 0+), (0-, +)}
+    imap(-)   = {(-, 0-), (0+, -)}
+
+(a positive distance either stays within the residue class — offset 0,
+strided-loop distance positive — or crosses residue classes in either
+direction).  Summary directions take the union of their cases, so like
+Block, Interleave can map one vector to up to ``2^(j-i+1)`` vectors.
+
+Preconditions (Table 3): for ``i <= k < m <= j`` the bounds of loop *m*
+are at most linear in ``x_k`` and its step is a compile-time constant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.template import (
+    Template,
+    TransformedLoops,
+    check_contiguous_range,
+    fresh_name,
+)
+from repro.core.templates.block import SizeLike, _coerce_size, _product
+from repro.deps.entry import DepEntry
+from repro.deps.rules import imap, imap_precise
+from repro.deps.vector import DepVector
+from repro.expr.linear import BoundType
+from repro.expr.nodes import Const, add, mul, var
+from repro.ir.loopnest import Loop
+from repro.util.errors import PreconditionViolation
+
+
+class Interleave(Template):
+    """Instantiation of the Interleave template."""
+
+    kernel_name = "Interleave"
+
+    def __init__(self, n: int, i: int, j: int, isize: Sequence[SizeLike],
+                 precise: bool = False):
+        super().__init__(n)
+        check_contiguous_range("Interleave", n, i, j)
+        self.i = i
+        self.j = j
+        self.isize = tuple(_coerce_size(s) for s in isize)
+        if len(self.isize) != j - i + 1:
+            raise ValueError(
+                f"isize must have {j - i + 1} entries for loops {i}..{j}, "
+                f"got {len(self.isize)}")
+        self.precise = bool(precise)
+
+    @property
+    def output_depth(self) -> int:
+        return self.n + (self.j - self.i + 1)
+
+    def params(self) -> str:
+        sizes = "[" + " ".join(str(b) for b in self.isize) + "]"
+        return f"n={self.n}, i={self.i}, j={self.j}, isize={sizes}"
+
+    def to_spec(self) -> str:
+        """CLI step-language rendering (parse_steps round-trips it)."""
+        sizes = ", ".join(str(b) for b in self.isize)
+        suffix = ", precise" if self.precise else ""
+        return f"interleave({self.i}, {self.j}, {sizes}{suffix})"
+
+    def _isize_of(self, k: int):
+        return self.isize[k - self.i]
+
+    # -- dependence vectors ------------------------------------------------------
+
+    def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
+        pair_options: List[List[Tuple[DepEntry, DepEntry]]] = []
+        for k in range(self.i, self.j + 1):
+            entry = vec.entry(k)
+            size = self._isize_of(k)
+            if (self.precise and entry.is_distance and
+                    isinstance(size, Const)):
+                pair_options.append(imap_precise(entry, size.value))
+            else:
+                pair_options.append(imap(entry))
+        out: List[DepVector] = []
+        for combo in _product(pair_options):
+            offsets = [p[0] for p in combo]
+            strided = [p[1] for p in combo]
+            out.append(DepVector(
+                list(vec.entries[:self.i - 1]) + offsets + strided +
+                list(vec.entries[self.j:])))
+        return out
+
+    # -- loop bounds --------------------------------------------------------------------
+
+    def check_preconditions(self, loops: Sequence[Loop]) -> None:
+        self._require_depth(loops)
+        bm = self._bounds_matrix(loops)
+        for k in range(self.i, self.j):
+            for m in range(k + 1, self.j + 1):
+                for which, tag, bound in (("LB", "lower", BoundType.LINEAR),
+                                          ("UB", "upper", BoundType.LINEAR),
+                                          ("STEP", "step", BoundType.CONST)):
+                    t = bm.type_of(which, m, k)
+                    if not t.leq(bound):
+                        raise PreconditionViolation(
+                            self.signature(),
+                            f"{tag} bound of loop {loops[m - 1].index} must "
+                            f"be at most {bound} in {loops[k - 1].index} "
+                            f"(type is {t})",
+                            loop=m, var=loops[k - 1].index,
+                            required=bound, actual=t)
+
+    def map_loops(self, loops: Sequence[Loop],
+                  taken: Set[str]) -> TransformedLoops:
+        self._require_depth(loops)
+        rng = list(range(self.i, self.j + 1))
+        offset_names = {k: fresh_name(loops[k - 1].index, taken) for k in rng}
+
+        offset_loops = [
+            Loop(offset_names[k], Const(0),
+                 add(self._isize_of(k), Const(-1)), Const(1),
+                 loops[k - 1].kind)
+            for k in rng
+        ]
+        elem_loops = [
+            Loop(lp.index,
+                 add(lp.lower, mul(var(offset_names[k]), lp.step)),
+                 lp.upper,
+                 mul(self._isize_of(k), lp.step),
+                 lp.kind)
+            for k, lp in ((k, loops[k - 1]) for k in rng)
+        ]
+        out = (tuple(loops[:self.i - 1]) + tuple(offset_loops) +
+               tuple(elem_loops) + tuple(loops[self.j:]))
+        return TransformedLoops(out, ())

@@ -1,0 +1,76 @@
+"""The Parallelize kernel template.
+
+``Parallelize(n, parflag)``: ``parflag[k] = True`` turns loop *k* into a
+``pardo`` loop (Table 1).  Parallelization is "just another
+iteration-reordering transformation" in this framework: its dependence
+rule feeds the same uniform lexicographic legality test as every other
+template, instead of needing a bespoke "no carried dependence" check.
+
+Dependence rule (Table 2)::
+
+    d'_k = parmap(d_k)   if parflag[k]   else   d_k
+
+where ``parmap`` maps 0 to 0 and anything that can be nonzero to ``*``:
+iterations of a parallel loop may execute in any relative order, so a
+carried dependence can flow backwards — which surfaces as a
+lexicographically negative tuple exactly when loop *k* is the outermost
+position at which the dependence can be carried.
+
+Bounds preconditions: none.  The mapping leaves every bound unchanged and
+creates no initialization statements; only the loop kinds change.
+
+Note the framework also *transforms* parallel loops (a ``pardo`` input
+loop keeps its kind through ReversePermute, Block, ...), which the
+unimodular frameworks cannot express (Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.core.template import Template, TransformedLoops
+from repro.deps.rules import parmap
+from repro.deps.vector import DepVector
+from repro.ir.loopnest import DO, Loop, PARDO
+
+
+class Parallelize(Template):
+    """Instantiation of the Parallelize template."""
+
+    kernel_name = "Parallelize"
+
+    def __init__(self, n: int, parflag: Sequence[bool]):
+        super().__init__(n)
+        self.parflag = tuple(bool(p) for p in parflag)
+        if len(self.parflag) != n:
+            raise ValueError(
+                f"parflag must have {n} entries, got {len(self.parflag)}")
+
+    def params(self) -> str:
+        flags = "[" + " ".join("1" if p else "0" for p in self.parflag) + "]"
+        return f"n={self.n}, parflag={flags}"
+
+    def to_spec(self) -> str:
+        """CLI step-language rendering (parse_steps round-trips it)."""
+        which = [str(k + 1) for k, p in enumerate(self.parflag) if p]
+        return f"parallelize({', '.join(which)})"
+
+    def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
+        out = [parmap(e) if self.parflag[k] else e
+               for k, e in enumerate(vec)]
+        return [DepVector(out)]
+
+    def map_loops(self, loops: Sequence[Loop],
+                  taken: Set[str]) -> TransformedLoops:
+        self._require_depth(loops)
+        out = tuple(
+            lp.with_kind(PARDO) if self.parflag[k] else lp
+            for k, lp in enumerate(loops))
+        return TransformedLoops(out, ())
+
+
+def parallelize_loop(n: int, k: int) -> Parallelize:
+    """Convenience: parallelize just loop *k* (1-based)."""
+    flags = [False] * n
+    flags[k - 1] = True
+    return Parallelize(n, flags)

@@ -1,0 +1,146 @@
+"""The ReversePermute kernel template.
+
+``ReversePermute(n, rev, perm)``: ``rev[k] = True`` means loop *k* is
+reversed; ``perm`` is a permutation map indicating that loop *k* moves to
+position ``perm[k]`` *after* all reversals have been done (Table 1).
+
+The template partially overlaps with Unimodular but is preferable when
+both apply (Section 4.2): (a) step expressions are not normalized to +1
+— strides may even be unknown at compile time, (b) index variable names
+are reused so no initialization statements are created, and (c) no matrix
+computations are performed on dependence vectors.
+
+Dependence rule (Table 2)::
+
+    d'_{perm[k]} = reverse(d_k)  if rev[k]  else  d_k
+
+Bounds precondition (Table 3): for every pair ``i < j`` whose relative
+order changes (``perm[i] > perm[j]``), loop *j*'s lower/upper/step must be
+invariant in ``x_i``.
+
+Bounds mapping (Table 3): the loop at output position ``perm[k]`` is loop
+*k*; when reversed, its header becomes ``u_r, l_k, -s_k`` with::
+
+    u_r = u_k - sgn(s_k) * mod(abs(u_k - l_k), abs(s_k))
+
+(the last iterate of the forward loop), so the reversed loop visits the
+exact same index values backwards even for non-unit, non-dividing steps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.core.template import Template, TransformedLoops
+from repro.deps.rules import reverse
+from repro.deps.vector import DepVector
+from repro.expr.linear import BoundType
+from repro.expr.nodes import Const, abs_, mod, mul, sgn, sub
+from repro.ir.loopnest import Loop
+from repro.util.errors import PreconditionViolation
+
+
+class ReversePermute(Template):
+    """Instantiation of the ReversePermute template."""
+
+    kernel_name = "ReversePermute"
+
+    def __init__(self, n: int, rev: Sequence[bool], perm: Sequence[int]):
+        """*rev* has ``n`` booleans; *perm* is 1-based: loop ``k`` (1-based)
+        moves to position ``perm[k-1]``."""
+        super().__init__(n)
+        self.rev = tuple(bool(r) for r in rev)
+        self.perm = tuple(int(p) for p in perm)
+        if len(self.rev) != n:
+            raise ValueError(f"rev must have {n} entries, got {len(self.rev)}")
+        if sorted(self.perm) != list(range(1, n + 1)):
+            raise ValueError(
+                f"perm must be a permutation of 1..{n}, got {self.perm}")
+
+    def params(self) -> str:
+        rev = "[" + " ".join("T" if r else "F" for r in self.rev) + "]"
+        perm = "[" + " ".join(str(p) for p in self.perm) + "]"
+        return f"n={self.n}, rev={rev}, perm={perm}"
+
+    def to_spec(self) -> str:
+        """CLI step-language rendering (parse_steps round-trips it)."""
+        rev = "[" + ",".join("1" if r else "0" for r in self.rev) + "]"
+        perm = "[" + ",".join(str(p) for p in self.perm) + "]"
+        return f"revpermute({rev}, {perm})"
+
+    # -- dependence vectors -------------------------------------------------
+
+    def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
+        out = [None] * self.n
+        for k in range(self.n):
+            entry = vec[k]
+            if self.rev[k]:
+                entry = reverse(entry)
+            out[self.perm[k] - 1] = entry
+        return [DepVector(out)]
+
+    # -- loop bounds ------------------------------------------------------------
+
+    def check_preconditions(self, loops: Sequence[Loop]) -> None:
+        self._require_depth(loops)
+        bm = self._bounds_matrix(loops)
+        for i in range(1, self.n + 1):
+            for j in range(i + 1, self.n + 1):
+                if self.perm[i - 1] <= self.perm[j - 1]:
+                    continue  # relative order preserved; no requirement
+                for which, tag in (("LB", "lower"), ("UB", "upper"),
+                                   ("STEP", "step")):
+                    t = bm.type_of(which, j, i)
+                    if not t.leq(BoundType.INVAR):
+                        raise PreconditionViolation(
+                            self.signature(),
+                            f"{tag} bound of loop {loops[j - 1].index} must "
+                            f"be invariant in {loops[i - 1].index} to move "
+                            f"it past (type is {t})",
+                            loop=j, var=loops[i - 1].index,
+                            required=BoundType.INVAR, actual=t)
+
+    def map_loops(self, loops: Sequence[Loop],
+                  taken: Set[str]) -> TransformedLoops:
+        self._require_depth(loops)
+        out: List[Loop] = [None] * self.n
+        for k in range(self.n):
+            lp = loops[k]
+            if self.rev[k]:
+                lp = _reverse_loop(lp)
+            out[self.perm[k] - 1] = lp
+        return TransformedLoops(tuple(out), ())
+
+
+def _reverse_loop(lp: Loop) -> Loop:
+    """Reverse one loop's traversal, visiting the same index values."""
+    l, u, s = lp.lower, lp.upper, lp.step
+    if isinstance(s, Const):
+        # Constant step: fold sgn/abs at construction time.
+        sv = s.value
+        span = sub(u, l) if sv > 0 else sub(l, u)
+        u_r = sub(u, mul(Const(1 if sv > 0 else -1),
+                         mod(abs_(span) if not _nonneg(span) else span,
+                             Const(abs(sv)))))
+        return Loop(lp.index, u_r, l, Const(-sv), lp.kind)
+    u_r = sub(u, mul(sgn(s), mod(abs_(sub(u, l)), abs_(s))))
+    return Loop(lp.index, u_r, l, mul(Const(-1), s), lp.kind)
+
+
+def _nonneg(e) -> bool:
+    return isinstance(e, Const) and e.value >= 0
+
+
+def interchange(n: int, a: int, b: int) -> ReversePermute:
+    """Convenience: swap loops *a* and *b* (1-based)."""
+    perm = list(range(1, n + 1))
+    perm[a - 1], perm[b - 1] = perm[b - 1], perm[a - 1]
+    return ReversePermute(n, [False] * n, perm)
+
+
+def reversal(n: int, which: Sequence[int]) -> ReversePermute:
+    """Convenience: reverse the listed loops (1-based), keep the order."""
+    rev = [False] * n
+    for k in which:
+        rev[k - 1] = True
+    return ReversePermute(n, rev, list(range(1, n + 1)))

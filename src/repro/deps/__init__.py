@@ -1,0 +1,24 @@
+"""Dependence vectors: entries, vectors, Table 2 rules, and analysis."""
+
+from repro.deps.entry import DepEntry, DIRECTION_CODES
+from repro.deps.intervals import IntervalSet
+from repro.deps.vector import DepSet, DepVector, depset, depv
+from repro.deps.graph import ANTI, DepEdge, DependenceGraph, FLOW, OUTPUT
+from repro.deps.rules import (
+    blockmap,
+    blockmap_precise,
+    imap,
+    imap_precise,
+    mergedirs,
+    parmap,
+    reverse,
+    unimodular_map,
+)
+
+__all__ = [
+    "DepEntry", "DIRECTION_CODES", "IntervalSet",
+    "ANTI", "DepEdge", "DependenceGraph", "FLOW", "OUTPUT",
+    "DepSet", "DepVector", "depset", "depv",
+    "blockmap", "blockmap_precise", "imap", "imap_precise",
+    "mergedirs", "parmap", "reverse", "unimodular_map",
+]

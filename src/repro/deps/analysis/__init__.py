@@ -1,0 +1,19 @@
+"""Dependence analysis: ZIV/GCD/Banerjee/Fourier–Motzkin over affine nests."""
+
+from repro.deps.analysis.driver import DependenceAnalyzer, analyze, LEVELS
+from repro.deps.analysis.linear_system import LinConstraint, LinearSystem
+from repro.deps.analysis.references import (
+    ArrayAccess,
+    collect_accesses,
+    dependence_candidate_pairs,
+    inferred_array_names,
+)
+from repro.deps.analysis.tests import Equality, banerjee_test, gcd_test
+
+__all__ = [
+    "DependenceAnalyzer", "analyze", "LEVELS",
+    "LinConstraint", "LinearSystem",
+    "ArrayAccess", "collect_accesses", "dependence_candidate_pairs",
+    "inferred_array_names",
+    "Equality", "banerjee_test", "gcd_test",
+]

@@ -1,0 +1,398 @@
+"""The dependence analyzer: from a loop nest to a dependence-vector set.
+
+Pipeline (standard practice per the paper's references [4, 15, 10, 6, 12]):
+
+1. normalize constant non-unit steps to iteration counters (dependence
+   entries are iteration-number differences, Def. 3.3);
+2. collect array accesses and form candidate pairs (same array, at least
+   one write);
+3. per pair, build the affine subscript equalities and loop-bound
+   constraints over the 2n iteration variables (plus symbolic
+   invariants as free unknowns);
+4. enumerate direction vectors hierarchically (Burke–Cytron style),
+   pruning each partial assignment with a test ladder — GCD, then
+   Banerjee intervals, then (``level='fm'``) exact rational
+   Fourier–Motzkin;
+5. refine surviving leaves to distances where the system forces a
+   constant difference, and emit the paper-domain dependence vectors.
+
+Only *cross-iteration* dependences are reported (the all-zero vector
+never constrains iteration reordering of a single-body perfect nest).
+Anything the analyzer cannot model — non-affine subscripts in every
+dimension, symbolic steps — degrades to the conservative
+lexicographically-positive cover ``(+, *, ..), (0, +, *, ..), ...``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.deps.analysis.linear_system import LinearSystem
+from repro.deps.analysis.references import (
+    ArrayAccess,
+    collect_accesses,
+    dependence_candidate_pairs,
+)
+from repro.deps.analysis.tests import (
+    DIRECTION_INTERVALS,
+    Equality,
+    banerjee_test,
+    gcd_test,
+)
+from repro.deps.vector import DepEntry, DepSet, DepVector
+from repro.expr.linear import affine_form
+from repro.expr.nodes import Const, Expr, Max, Min, add, mul, substitute, var
+from repro.ir.loopnest import LoopNest
+
+LEVELS = ("gcd", "banerjee", "fm")
+
+Coeffs = Dict[str, Fraction]
+
+
+def _affine_dict(expr: Expr, index_names: Sequence[str], suffix: str,
+                 invariants: Sequence[str]
+                 ) -> Optional[Tuple[Coeffs, Fraction]]:
+    """Express *expr* as coefficients over suffixed iteration variables
+    and plain invariant symbols, plus a rational constant."""
+    form = affine_form(expr, index_names)
+    if form is None:
+        return None
+    coeffs: Coeffs = {f"{v}{suffix}": Fraction(c)
+                      for v, c in form.coeffs.items()}
+    inv_form = affine_form(form.rest, invariants)
+    if inv_form is None or not isinstance(inv_form.rest, Const):
+        return None
+    for v, c in inv_form.coeffs.items():
+        coeffs[v] = coeffs.get(v, Fraction(0)) + Fraction(c)
+    return coeffs, Fraction(inv_form.rest.value)
+
+
+class _PairProblem:
+    """The constraint system for one ordered access pair."""
+
+    def __init__(self, equalities: List[Equality], base: LinearSystem,
+                 index_names: Sequence[str],
+                 var_ranges: Dict[str, Tuple],
+                 opaque_levels: Set[int]):
+        self.equalities = equalities
+        self.base = base
+        self.index_names = list(index_names)
+        self.var_ranges = var_ranges
+        self.opaque_levels = opaque_levels
+
+    def with_directions(self, directions: Dict[str, str]) -> LinearSystem:
+        system = self.base.copy()
+        for name, code in directions.items():
+            lo, hi = DIRECTION_INTERVALS[code]
+            # delta = x$2 - x$1
+            coeffs = {f"{name}$2": Fraction(1), f"{name}$1": Fraction(-1)}
+            if lo is not None:
+                system.add_ge(dict(coeffs), -lo)
+            if hi is not None:
+                system.add_le(dict(coeffs), -hi)
+        return system
+
+
+class DependenceAnalyzer:
+    """Configurable analyzer; see the module docstring.
+
+    *level* selects the deepest refutation tier: ``'gcd'``,
+    ``'banerjee'`` or ``'fm'`` (default, most precise).
+    """
+
+    def __init__(self, nest: LoopNest,
+                 arrays: Optional[Iterable[str]] = None,
+                 level: str = "fm"):
+        if level not in LEVELS:
+            raise ValueError(f"level must be one of {LEVELS}, got {level!r}")
+        self.nest = nest
+        self.level = level
+        self.arrays = set(arrays) if arrays else None
+        self.n = nest.depth
+        self._prepare()
+
+    # -- setup -----------------------------------------------------------------
+
+    def _prepare(self) -> None:
+        nest = self.nest
+        self.index_names = list(nest.indices)
+        self.invariants = sorted(nest.invariants())
+        # Normalize constant non-unit steps: x = l + s*t.
+        self.rewrite: Dict[str, Expr] = {}
+        self.opaque_levels: Set[int] = set()  # 0-based
+        self.norm_names: List[str] = []
+        bounds: List[Optional[Tuple[Expr, Expr]]] = []
+        for k, lp in enumerate(nest.loops):
+            lower = substitute(lp.lower, self.rewrite)
+            upper = substitute(lp.upper, self.rewrite)
+            from repro.expr.nodes import free_vars as _fv
+            lower_uses_indices = bool(_fv(lower) & set(self.index_names))
+            if isinstance(lp.step, Const) and lp.step.value == 1:
+                self.norm_names.append(lp.index)
+                bounds.append((lower, upper))
+            elif isinstance(lp.step, Const) and not lower_uses_indices:
+                t = lp.index + "$t"
+                self.norm_names.append(t)
+                self.rewrite[lp.index] = add(lower,
+                                             mul(lp.step, var(t)))
+                # t >= 0 and l + s*t within the travel span; encoded later
+                # via the span trick in _bound_constraints.
+                bounds.append((lower, upper))
+            else:
+                # Symbolic step: iteration counting is opaque.  Rewrite
+                # the index to a non-affine marker so every subscript or
+                # bound mentioning it degrades conservatively.
+                t = lp.index + "$t"
+                self.norm_names.append(t)
+                from repro.expr.nodes import call as _call
+                self.rewrite[lp.index] = _call("opaque$step", var(t))
+                self.opaque_levels.add(k)
+                bounds.append(None)
+        self._bounds = bounds
+
+    def _bound_constraints(self, system: LinearSystem, suffix: str) -> None:
+        for k, lp in enumerate(self.nest.loops):
+            if k in self.opaque_levels:
+                continue
+            lower, upper = self._bounds[k]
+            name = f"{self.norm_names[k]}{suffix}"
+            step = lp.step.value  # const by construction here
+            if step == 1:
+                self._add_bound(system, lower, name, suffix, is_lower=True)
+                self._add_bound(system, upper, name, suffix, is_lower=False)
+            else:
+                # t >= 0 ; span - |s| t >= 0.
+                system.add_ge({name: Fraction(1)}, 0)
+                if step > 0:
+                    span = add(upper, mul(Const(-1), lower))
+                else:
+                    span = add(lower, mul(Const(-1), upper))
+                parsed = _affine_dict(span, self.norm_names, "",
+                                      self.invariants)
+                if parsed is None:
+                    continue
+                coeffs, const = parsed
+                coeffs = {self._suffix_var(v, suffix): c
+                          for v, c in coeffs.items()}
+                coeffs[name] = coeffs.get(name, Fraction(0)) - abs(step)
+                system.add_ge(coeffs, const)
+
+    def _suffix_var(self, v: str, suffix: str) -> str:
+        # _affine_dict with empty suffix leaves iteration vars bare;
+        # re-suffix them, leaving invariants alone.
+        if v in self.index_names or v in [n for n in self.norm_names]:
+            return f"{v}{suffix}"
+        return v
+
+    def _add_bound(self, system: LinearSystem, expr: Expr, name: str,
+                   suffix: str, is_lower: bool) -> None:
+        terms: Tuple[Expr, ...]
+        if is_lower and isinstance(expr, Max):
+            terms = expr.args
+        elif not is_lower and isinstance(expr, Min):
+            terms = expr.args
+        elif isinstance(expr, (Max, Min)):
+            return  # wrong-direction minmax: skip (conservative)
+        else:
+            terms = (expr,)
+        for term in terms:
+            rewritten = substitute(term, self.rewrite)
+            parsed = _affine_dict(rewritten, self.norm_names, "",
+                                  self.invariants)
+            if parsed is None:
+                continue  # non-affine bound: skip (conservative)
+            term_coeffs, const = parsed
+            term_coeffs = {self._suffix_var(v, suffix): c
+                           for v, c in term_coeffs.items()}
+            if is_lower:
+                # x - term >= 0
+                coeffs = {v: -c for v, c in term_coeffs.items()}
+                coeffs[name] = coeffs.get(name, Fraction(0)) + 1
+                system.add_ge(coeffs, -const)
+            else:
+                # term - x >= 0
+                coeffs = dict(term_coeffs)
+                coeffs[name] = coeffs.get(name, Fraction(0)) - 1
+                system.add_ge(coeffs, const)
+
+    # -- ranges for the Banerjee tier --------------------------------------------
+
+    def _const_ranges(self) -> Dict[str, Tuple]:
+        out: Dict[str, Tuple] = {}
+        for k, lp in enumerate(self.nest.loops):
+            if k in self.opaque_levels:
+                out[self.norm_names[k]] = (None, None)
+                continue
+            lower, upper = self._bounds[k]
+            step = lp.step.value
+            if step == 1:
+                lo = Fraction(lower.value) if isinstance(lower, Const) else None
+                hi = Fraction(upper.value) if isinstance(upper, Const) else None
+            else:
+                lo = Fraction(0)
+                hi = None
+                if isinstance(lower, Const) and isinstance(upper, Const):
+                    span = (upper.value - lower.value if step > 0
+                            else lower.value - upper.value)
+                    hi = Fraction(span // abs(step))
+            out[self.norm_names[k]] = (lo, hi)
+        return out
+
+    # -- per-pair problem construction ------------------------------------------------
+
+    def _build_problem(self, src: ArrayAccess,
+                       dst: ArrayAccess) -> Optional[_PairProblem]:
+        equalities: List[Equality] = []
+        for f, g in zip(src.subscripts, dst.subscripts):
+            fa = _affine_dict(substitute(f, self.rewrite), self.norm_names,
+                              "", self.invariants)
+            ga = _affine_dict(substitute(g, self.rewrite), self.norm_names,
+                              "", self.invariants)
+            if fa is None or ga is None:
+                continue  # non-affine dimension contributes no constraint
+            coeffs: Coeffs = {}
+            for v, c in fa[0].items():
+                coeffs[self._suffix_var(v, "$1")] = (
+                    coeffs.get(self._suffix_var(v, "$1"), Fraction(0)) + c)
+            for v, c in ga[0].items():
+                key = self._suffix_var(v, "$2")
+                coeffs[key] = coeffs.get(key, Fraction(0)) - c
+            equalities.append(Equality(coeffs, fa[1] - ga[1]))
+
+        system = LinearSystem()
+        for eq in equalities:
+            system.add_eq(dict(eq.coeffs), eq.const)
+        self._bound_constraints(system, "$1")
+        self._bound_constraints(system, "$2")
+        return _PairProblem(equalities, system, self.norm_names,
+                            self._const_ranges(), self.opaque_levels)
+
+    # -- the direction-vector hierarchy -------------------------------------------------
+
+    def _feasible(self, problem: _PairProblem,
+                  directions: Dict[str, str]) -> bool:
+        for eq in problem.equalities:
+            if not gcd_test(eq):
+                return False
+        if self.level == "gcd":
+            return True
+        for eq in problem.equalities:
+            if not banerjee_test(eq, problem.var_ranges, directions):
+                return False
+        if self.level == "banerjee":
+            return True
+        return problem.with_directions(directions).is_feasible()
+
+    def _refine_entry(self, problem: _PairProblem,
+                      directions: Dict[str, str], name: str) -> DepEntry:
+        code = directions[name]
+        base = {"+": DepEntry.direction("+"),
+                "-": DepEntry.direction("-"),
+                "*": DepEntry.direction("*"),
+                "0": DepEntry.distance(0)}[code]
+        if code == "*":
+            return base
+        if self.level != "fm" or code == "0":
+            return base
+        system = problem.with_directions(directions)
+        dname = f"{name}$d"
+        system.add_eq({dname: Fraction(1), f"{name}$2": Fraction(-1),
+                       f"{name}$1": Fraction(1)}, 0)
+        lo, hi = system.bounds_of(dname)
+        if lo is not None and hi is not None and lo == hi and lo.denominator == 1:
+            return DepEntry.distance(int(lo))
+        return base
+
+    def _enumerate(self, problem: _PairProblem) -> List[DepVector]:
+        out: List[DepVector] = []
+        names = problem.index_names
+
+        def descend(level: int, directions: Dict[str, str],
+                    zero_prefix: bool) -> None:
+            if level == self.n:
+                if zero_prefix:
+                    return  # all-zero: loop-independent, not reported
+                entries = [self._refine_entry(problem, directions, nm)
+                           for nm in names]
+                out.append(DepVector(entries))
+                return
+            name = names[level]
+            if level in problem.opaque_levels:
+                # No constraints exist on an opaque level: emit the
+                # lex-nonnegative cover for it directly.
+                choices = ["0", "+"] if zero_prefix else ["*"]
+            else:
+                choices = (["0", "+"] if zero_prefix else ["0", "+", "-"])
+            for code in choices:
+                directions[name] = code
+                if self._feasible(problem, directions):
+                    still_zero = zero_prefix and code == "0"
+                    descend(level + 1, directions, still_zero)
+            del directions[name]
+
+        descend(0, {}, True)
+        return out
+
+    # -- public API ----------------------------------------------------------------------
+
+    def analyze(self) -> DepSet:
+        vectors: List[DepVector] = []
+        for pair in self.explain():
+            vectors.extend(pair.vectors)
+        return DepSet([v.coarsen() for v in vectors])
+
+    def explain(self) -> List["PairReport"]:
+        """Per-access-pair breakdown of the analysis (what `analyze`
+        aggregates): the references involved, how many affine subscript
+        equalities constrained the pair, whether the conservative
+        lex-positive cover had to be used, and the resulting vectors."""
+        accesses = collect_accesses(self.nest, self.arrays)
+        reports: List[PairReport] = []
+        for src, dst in dependence_candidate_pairs(accesses):
+            problem = self._build_problem(src, dst)
+            if problem is None or not problem.equalities:
+                reports.append(PairReport(
+                    src, dst, 0, True, _conservative_cover(self.n)))
+                continue
+            vectors = self._enumerate(problem)
+            reports.append(PairReport(
+                src, dst, len(problem.equalities), False, vectors))
+        return reports
+
+
+class PairReport:
+    """One access pair's analysis outcome (see
+    :meth:`DependenceAnalyzer.explain`)."""
+
+    __slots__ = ("src", "dst", "equalities", "conservative", "vectors")
+
+    def __init__(self, src, dst, equalities: int, conservative: bool,
+                 vectors: List[DepVector]):
+        self.src = src
+        self.dst = dst
+        self.equalities = equalities
+        self.conservative = conservative
+        self.vectors = vectors
+
+    def __repr__(self):
+        tag = "conservative" if self.conservative else \
+            f"{self.equalities} equalities"
+        vecs = ", ".join(str(v) for v in self.vectors) or "none"
+        return f"PairReport({self.src} -> {self.dst}; {tag}; {vecs})"
+
+
+def _conservative_cover(n: int) -> List[DepVector]:
+    """The lex-positive cover: (+,*,..), (0,+,*,..), ..., (0,..,0,+)."""
+    out = []
+    for p in range(n):
+        entries = ([DepEntry.distance(0)] * p + [DepEntry.direction("+")] +
+                   [DepEntry.direction("*")] * (n - p - 1))
+        out.append(DepVector(entries))
+    return out
+
+
+def analyze(nest: LoopNest, arrays: Optional[Iterable[str]] = None,
+            level: str = "fm") -> DepSet:
+    """Analyze *nest* and return its dependence-vector set."""
+    return DependenceAnalyzer(nest, arrays=arrays, level=level).analyze()

@@ -1,0 +1,186 @@
+"""Exact rational linear systems with Fourier–Motzkin feasibility.
+
+The dependence analyzer reduces "can iteration ``x1`` of one reference
+and iteration ``x2`` of another touch the same array element (under a
+direction constraint)?" to the feasibility of a system of linear
+equalities and inequalities over the 2n iteration variables plus any
+symbolic nest invariants (treated as existential unknowns — sound, since
+a dependence that exists for *some* ``n`` must be assumed).
+
+Feasibility is decided over the rationals by Fourier–Motzkin
+elimination (conservative for integers: rationally infeasible implies
+integer infeasible; the integer-only refutations come from the GCD test
+in :mod:`repro.deps.analysis.tests`).  The same machinery computes exact
+variable bounds, which the driver uses to refine direction entries to
+distances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+INF = Fraction(10**30)  # sentinel; compared only against real bounds
+
+#: Safety valve against FM blowup; beyond this we give up and report
+#: "feasible" (conservative for dependence testing).
+MAX_CONSTRAINTS = 4000
+
+
+class LinConstraint:
+    """``sum(coeffs[v] * v) + const >= 0`` (or ``== 0`` for equalities)."""
+
+    __slots__ = ("coeffs", "const", "equality")
+
+    def __init__(self, coeffs: Dict[str, Fraction], const: Fraction,
+                 equality: bool = False):
+        self.coeffs = {v: Fraction(c) for v, c in coeffs.items() if c != 0}
+        self.const = Fraction(const)
+        self.equality = equality
+
+    def key(self):
+        return (tuple(sorted(self.coeffs.items())), self.const, self.equality)
+
+    def __repr__(self):
+        terms = " + ".join(f"{c}*{v}" for v, c in sorted(self.coeffs.items()))
+        op = "==" if self.equality else ">="
+        return f"LinConstraint({terms} + {self.const} {op} 0)"
+
+
+class LinearSystem:
+    """A mutable collection of constraints over named rational variables."""
+
+    def __init__(self):
+        self.constraints: List[LinConstraint] = []
+
+    def copy(self) -> "LinearSystem":
+        out = LinearSystem()
+        out.constraints = list(self.constraints)
+        return out
+
+    # -- building ----------------------------------------------------------
+
+    def add(self, coeffs: Dict[str, Fraction], const, *,
+            equality: bool = False) -> None:
+        self.constraints.append(LinConstraint(coeffs, const, equality))
+
+    def add_ge(self, coeffs, const) -> None:
+        """``sum(coeffs) + const >= 0``."""
+        self.add(coeffs, const)
+
+    def add_le(self, coeffs, const) -> None:
+        """``sum(coeffs) + const <= 0``."""
+        self.add({v: -c for v, c in coeffs.items()}, -Fraction(const))
+
+    def add_eq(self, coeffs, const) -> None:
+        self.add(coeffs, const, equality=True)
+
+    def variables(self) -> List[str]:
+        seen: List[str] = []
+        for c in self.constraints:
+            for v in c.coeffs:
+                if v not in seen:
+                    seen.append(v)
+        return seen
+
+    # -- solving ---------------------------------------------------------------
+
+    def _as_inequalities(self) -> List[LinConstraint]:
+        out = []
+        for c in self.constraints:
+            if c.equality:
+                out.append(LinConstraint(c.coeffs, c.const))
+                out.append(LinConstraint(
+                    {v: -x for v, x in c.coeffs.items()}, -c.const))
+            else:
+                out.append(c)
+        return out
+
+    def is_feasible(self) -> bool:
+        """Rational feasibility via Fourier–Motzkin; conservative ``True``
+        when the elimination grows past :data:`MAX_CONSTRAINTS`."""
+        ineqs = _dedupe(self._as_inequalities())
+        order = self.variables()
+        for v in order:
+            ineqs = _eliminate(ineqs, v)
+            if ineqs is None:
+                return True  # gave up: assume feasible
+            for c in ineqs:
+                if not c.coeffs and c.const < 0:
+                    return False
+            ineqs = [c for c in ineqs if c.coeffs]
+        return True
+
+    def bounds_of(self, name: str) -> Tuple[Optional[Fraction],
+                                            Optional[Fraction]]:
+        """(min, max) of variable *name* over the solution set.
+
+        ``None`` means unbounded in that direction (or the system gave
+        up).  An infeasible system returns ``(None, None)``; callers
+        should check :meth:`is_feasible` first when it matters.
+        """
+        ineqs = _dedupe(self._as_inequalities())
+        for v in self.variables():
+            if v == name:
+                continue
+            ineqs = _eliminate(ineqs, v)
+            if ineqs is None:
+                return None, None
+            for c in ineqs:
+                if not c.coeffs and c.const < 0:
+                    return None, None
+            ineqs = [c for c in ineqs if c.coeffs]
+        lo: Optional[Fraction] = None
+        hi: Optional[Fraction] = None
+        for c in ineqs:
+            a = c.coeffs.get(name, Fraction(0))
+            if a == 0:
+                continue
+            bound = -c.const / a
+            if a > 0:  # name >= bound
+                lo = bound if lo is None else max(lo, bound)
+            else:      # name <= bound
+                hi = bound if hi is None else min(hi, bound)
+        return lo, hi
+
+
+def _dedupe(ineqs: List[LinConstraint]) -> List[LinConstraint]:
+    seen = set()
+    out = []
+    for c in ineqs:
+        k = c.key()
+        if k not in seen:
+            seen.add(k)
+            out.append(c)
+    return out
+
+
+def _eliminate(ineqs: List[LinConstraint],
+               name: str) -> Optional[List[LinConstraint]]:
+    """One FM step; None signals a blowup give-up."""
+    kept, pos, neg = [], [], []
+    for c in ineqs:
+        a = c.coeffs.get(name, Fraction(0))
+        if a == 0:
+            kept.append(c)
+        elif a > 0:
+            pos.append(c)
+        else:
+            neg.append(c)
+    if len(pos) * len(neg) + len(kept) > MAX_CONSTRAINTS:
+        return None
+    for p in pos:
+        ap = p.coeffs[name]
+        for q in neg:
+            aq = -q.coeffs[name]
+            coeffs: Dict[str, Fraction] = {}
+            for v, c in p.coeffs.items():
+                if v != name:
+                    coeffs[v] = coeffs.get(v, Fraction(0)) + c / ap
+            for v, c in q.coeffs.items():
+                if v != name:
+                    coeffs[v] = coeffs.get(v, Fraction(0)) + c / aq
+            const = p.const / ap + q.const / aq
+            combined = LinConstraint(coeffs, const)
+            kept.append(combined)
+    return _dedupe(kept)

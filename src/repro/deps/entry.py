@@ -1,0 +1,207 @@
+"""Dependence entries: distance values and the six direction values.
+
+Definition 3.1 of the paper: a dependence vector entry ``d_k`` is either a
+*distance* (an exact integer) or a *direction* — one of ``+`` (positive),
+``-`` (negative), ``0+`` (non-negative), ``0-`` (non-positive), ``!0``
+(non-zero) or ``*`` (any).  An ``=`` direction is equivalent to a zero
+distance and is canonicalized as such.
+
+Internally an entry wraps an :class:`~repro.deps.intervals.IntervalSet`
+(its ``S(d_k)``).  Entries resulting from interval arithmetic may denote
+sets finer than the paper's seven shapes (e.g. ``[2, +inf]``); they print
+as the tightest covering paper value and can be coarsened explicitly with
+:meth:`DepEntry.coarsen`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.deps import intervals as iv
+from repro.deps.intervals import IntervalSet
+
+# Canonical direction spellings accepted/produced everywhere.
+DIRECTION_CODES = ("+", "-", "0+", "0-", "!0", "*")
+
+_CODE_TO_SET = {
+    "+": iv.POSITIVE,
+    "-": iv.NEGATIVE,
+    "0+": iv.NON_NEGATIVE,
+    "0-": iv.NON_POSITIVE,
+    "!0": iv.NON_ZERO,
+    "*": iv.ANY,
+    "=": iv.ZERO,
+    "<": iv.POSITIVE,     # relational aliases (Wolfe's notation): a "<"
+    ">": iv.NEGATIVE,     # direction means the source iteration precedes
+    "<=": iv.NON_NEGATIVE,
+    ">=": iv.NON_POSITIVE,
+}
+
+
+class DepEntry:
+    """One component of a dependence vector.  Immutable."""
+
+    __slots__ = ("iset",)
+
+    def __init__(self, iset: IntervalSet):
+        if iset.is_empty():
+            raise ValueError("a dependence entry cannot denote the empty set")
+        object.__setattr__(self, "iset", iset)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("DepEntry is immutable")
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def distance(value: int) -> "DepEntry":
+        """An exact integer distance entry."""
+        return DepEntry(IntervalSet.point(value))
+
+    @staticmethod
+    def direction(code: str) -> "DepEntry":
+        """A direction entry from its paper spelling (``'+'``, ``'0-'``...)."""
+        try:
+            return DepEntry(_CODE_TO_SET[code])
+        except KeyError:
+            raise ValueError(f"unknown direction value {code!r}; "
+                             f"expected one of {DIRECTION_CODES}") from None
+
+    @staticmethod
+    def of(value: Union[int, str, "DepEntry"]) -> "DepEntry":
+        """Coerce an int (distance), str (direction) or entry."""
+        if isinstance(value, DepEntry):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("bool is not a dependence entry")
+        if isinstance(value, int):
+            return DepEntry.distance(value)
+        if isinstance(value, str):
+            stripped = value.strip()
+            try:
+                return DepEntry.distance(int(stripped))
+            except ValueError:
+                return DepEntry.direction(stripped)
+        raise TypeError(f"cannot interpret {value!r} as a dependence entry")
+
+    # -- classification --------------------------------------------------------
+
+    @property
+    def is_distance(self) -> bool:
+        return self.iset.is_point()
+
+    @property
+    def value(self) -> int:
+        """The integer value of a distance entry."""
+        return self.iset.point_value()
+
+    def is_zero(self) -> bool:
+        return self.iset.is_zero()
+
+    def can_be_zero(self) -> bool:
+        return self.iset.can_be_zero()
+
+    def can_be_negative(self) -> bool:
+        return self.iset.can_be_negative()
+
+    def can_be_positive(self) -> bool:
+        return self.iset.can_be_positive()
+
+    def definitely_positive(self) -> bool:
+        return self.iset.definitely_positive()
+
+    def definitely_negative(self) -> bool:
+        return self.iset.definitely_negative()
+
+    @property
+    def code(self) -> str:
+        """The tightest paper spelling covering this entry.
+
+        Exact distances print as their integer; everything else as one of
+        the six directions.
+        """
+        if self.is_distance:
+            return str(self.value)
+        neg = self.can_be_negative()
+        zero = self.can_be_zero()
+        pos = self.can_be_positive()
+        if neg and zero and pos:
+            return "*"
+        if neg and pos:
+            return "!0"
+        if zero and pos:
+            return "0+"
+        if neg and zero:
+            return "0-"
+        if pos:
+            return "+"
+        return "-"
+
+    def coarsen(self) -> "DepEntry":
+        """Round to the paper's exact domain (distance or six directions)."""
+        if self.is_distance:
+            return self
+        return DepEntry.direction(self.code)
+
+    def direction_of(self) -> "DepEntry":
+        """Table 2's ``dir(d_k)``: directions and zero stay; a positive
+        distance becomes ``+``; a negative distance becomes ``-``."""
+        if self.is_distance:
+            if self.value == 0:
+                return self
+            return DepEntry.direction("+" if self.value > 0 else "-")
+        return self.coarsen()
+
+    # -- arithmetic (used by the Unimodular mapping rule) ----------------------
+
+    def negate(self) -> "DepEntry":
+        return DepEntry(self.iset.negate())
+
+    def add(self, other: "DepEntry") -> "DepEntry":
+        return DepEntry(self.iset.add(other.iset))
+
+    def scale(self, k: int) -> "DepEntry":
+        if k == 0:
+            return DepEntry.distance(0)
+        return DepEntry(self.iset.scale(k))
+
+    # -- semantics --------------------------------------------------------------
+
+    def tuples(self) -> IntervalSet:
+        """``S(d_k)`` — the set of integers this entry denotes."""
+        return self.iset
+
+    def sample(self, bound: int = 3):
+        """A small, deterministic sample of members (for property tests)."""
+        lo = self.iset.min()
+        hi = self.iset.max()
+        lo_c = lo if isinstance(lo, int) else -bound
+        hi_c = hi if isinstance(hi, int) else bound
+        clipped = self.iset.intersect(IntervalSet.range(min(lo_c, hi_c),
+                                                        max(lo_c, hi_c)))
+        if clipped.is_empty():
+            # Entry lives entirely beyond the clip window (e.g. distance 7).
+            return [self.iset.min() if isinstance(self.iset.min(), int)
+                    else self.iset.max()]
+        return clipped.enumerate(limit=2 * bound + 1 + 4)
+
+    # -- protocol -----------------------------------------------------------------
+
+    def __eq__(self, other):
+        return isinstance(other, DepEntry) and self.iset == other.iset
+
+    def __hash__(self):
+        return hash(self.iset)
+
+    def __repr__(self):
+        return f"DepEntry({self.code!r})"
+
+    def __str__(self):
+        return self.code
+
+
+# Frequently used constants.
+D_ZERO = DepEntry.distance(0)
+D_POS = DepEntry.direction("+")
+D_NEG = DepEntry.direction("-")
+D_ANY = DepEntry.direction("*")

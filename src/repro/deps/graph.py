@@ -1,0 +1,134 @@
+"""Statement-level dependence graphs and loop-carried levels.
+
+Section 5 credits Allen & Kennedy with the notions of *loop-carried*
+and *loop-independent* dependence and legality tests built on the
+*level* of a carried dependence; Wolfe's framework hangs transformations
+off a dependence graph.  This module provides that classic artifact on
+top of our analyzer: a graph whose nodes are body statements and whose
+edges carry the dependence kind (flow/anti/output), the vector, and the
+carried level — plus the standard queries (which loops carry
+dependences, which are parallel).
+
+The paper's own framework deliberately avoids needing this (its uniform
+legality test works on the vector set alone); the graph exists here for
+interoperability and for cross-checking: ``parallel_levels`` must agree
+with the framework's Parallelize legality, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.deps.analysis.driver import DependenceAnalyzer
+from repro.deps.vector import DepSet, DepVector
+from repro.ir.loopnest import LoopNest
+
+FLOW = "flow"
+ANTI = "anti"
+OUTPUT = "output"
+
+
+def _kind(src_is_write: bool, dst_is_write: bool) -> str:
+    if src_is_write and dst_is_write:
+        return OUTPUT
+    if src_is_write:
+        return FLOW
+    return ANTI
+
+
+class DepEdge:
+    """One dependence edge: source statement -> sink statement."""
+
+    __slots__ = ("src_stmt", "dst_stmt", "array", "kind", "vector")
+
+    def __init__(self, src_stmt: int, dst_stmt: int, array: str,
+                 kind: str, vector: DepVector):
+        self.src_stmt = src_stmt
+        self.dst_stmt = dst_stmt
+        self.array = array
+        self.kind = kind
+        self.vector = vector
+
+    @property
+    def level(self) -> int:
+        """The carried level: the outermost loop that must carry this
+        dependence (1-based), or 0 when no single level is forced
+        (a summary vector like ``(0+, +)``)."""
+        return self.vector.carried_at()
+
+    def __repr__(self):
+        lvl = self.level or "?"
+        return (f"DepEdge(S{self.src_stmt} -> S{self.dst_stmt} on "
+                f"{self.array}, {self.kind}, {self.vector}, level {lvl})")
+
+
+class DependenceGraph:
+    """Statement-level dependence graph of one perfect loop nest."""
+
+    def __init__(self, nest: LoopNest, edges: Sequence[DepEdge]):
+        self.nest = nest
+        self.edges = list(edges)
+
+    @classmethod
+    def from_nest(cls, nest: LoopNest, level: str = "fm"
+                  ) -> "DependenceGraph":
+        analyzer = DependenceAnalyzer(nest, level=level)
+        edges: List[DepEdge] = []
+        for pair in analyzer.explain():
+            kind = _kind(pair.src.is_write, pair.dst.is_write)
+            for vec in pair.vectors:
+                edges.append(DepEdge(pair.src.stmt_index,
+                                     pair.dst.stmt_index,
+                                     pair.src.array, kind, vec.coarsen()))
+        return cls(nest, edges)
+
+    # -- queries ------------------------------------------------------------
+
+    def vectors(self) -> DepSet:
+        """The flat dependence-vector set the framework consumes."""
+        if not self.edges:
+            return DepSet([])
+        return DepSet([e.vector for e in self.edges])
+
+    def edges_of_kind(self, kind: str) -> List[DepEdge]:
+        return [e for e in self.edges if e.kind == kind]
+
+    def carried_at(self, level: int) -> List[DepEdge]:
+        """Edges whose dependence is (or may be) carried by loop *level*."""
+        return [e for e in self.edges
+                if e.vector.could_be_carried_at(level)]
+
+    def carrying_levels(self) -> Set[int]:
+        """Every 1-based loop level that may carry some dependence."""
+        out: Set[int] = set()
+        for level in range(1, self.nest.depth + 1):
+            if self.carried_at(level):
+                out.add(level)
+        return out
+
+    def parallel_levels(self) -> List[int]:
+        """Loops that carry no dependence — individually parallelizable
+        (Allen & Kennedy's criterion; agrees with the framework's
+        Parallelize legality, see the tests)."""
+        return [level for level in range(1, self.nest.depth + 1)
+                if not self.carried_at(level)]
+
+    def statement_pairs(self) -> Set[Tuple[int, int]]:
+        return {(e.src_stmt, e.dst_stmt) for e in self.edges}
+
+    def pretty(self) -> str:
+        """Wolfe-style listing: one line per edge, grouped by kind."""
+        if not self.edges:
+            return "(no cross-iteration dependences)"
+        lines = []
+        for kind in (FLOW, ANTI, OUTPUT):
+            for e in self.edges_of_kind(kind):
+                lvl = e.level or "none forced"
+                lines.append(
+                    f"S{e.src_stmt} -> S{e.dst_stmt}  {kind:6} on "
+                    f"{e.array:8} {str(e.vector):14} carried: {lvl}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"DependenceGraph({len(self.edges)} edges, "
+                f"{len(self.statement_pairs())} statement pairs)")

@@ -1,0 +1,251 @@
+"""Integer interval unions — the value sets behind dependence entries.
+
+Section 3.1 of the paper assigns every dependence entry ``d_k`` a set of
+integers ``S(d_k)``: a singleton for a distance, or one of six sign-shaped
+sets for a direction value.  We represent those sets as unions of closed
+integer intervals with optionally infinite endpoints:
+
+====================  =======================
+paper value           interval set
+====================  =======================
+distance ``y``        ``[y, y]``
+``+``  (positive)     ``[1, +inf]``
+``-``  (negative)     ``[-inf, -1]``
+``0+`` (non-negative) ``[0, +inf]``
+``0-`` (non-positive) ``[-inf, 0]``
+``!0`` (non-zero)     ``[-inf, -1] U [1, +inf]``
+``*``  (any)          ``[-inf, +inf]``
+====================  =======================
+
+Interval arithmetic makes the unimodular mapping rule (``d' = M x d``
+"appropriately extended for direction values") both simple and at least
+as precise as pure sign algebra.  Scalar multiplication by ``|k| > 1``
+over-approximates (it keeps the hull, losing divisibility), which only
+ever *adds* tuples — preserving the consistency property of Def. 3.4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+Endpoint = Union[int, float]
+
+
+def _is_finite(x: Endpoint) -> bool:
+    return isinstance(x, int)
+
+
+class IntervalSet:
+    """A normalized union of disjoint, non-adjacent closed integer intervals.
+
+    Immutable.  Construct via :meth:`point`, :meth:`range`,
+    :meth:`from_intervals` or the module-level direction constants.
+    """
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Sequence[Tuple[Endpoint, Endpoint]]):
+        self._ivs = _normalize(intervals)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "IntervalSet":
+        return IntervalSet([])
+
+    @staticmethod
+    def point(value: int) -> "IntervalSet":
+        return IntervalSet([(value, value)])
+
+    @staticmethod
+    def range(lo: Endpoint, hi: Endpoint) -> "IntervalSet":
+        return IntervalSet([(lo, hi)])
+
+    @staticmethod
+    def all() -> "IntervalSet":
+        return IntervalSet([(NEG_INF, POS_INF)])
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[Tuple[Endpoint, Endpoint], ...]:
+        return self._ivs
+
+    def is_empty(self) -> bool:
+        return not self._ivs
+
+    def is_point(self) -> bool:
+        return (len(self._ivs) == 1 and _is_finite(self._ivs[0][0]) and
+                self._ivs[0][0] == self._ivs[0][1])
+
+    def point_value(self) -> int:
+        if not self.is_point():
+            raise ValueError(f"{self!r} is not a single point")
+        return self._ivs[0][0]
+
+    def min(self) -> Endpoint:
+        if not self._ivs:
+            raise ValueError("empty interval set has no minimum")
+        return self._ivs[0][0]
+
+    def max(self) -> Endpoint:
+        if not self._ivs:
+            raise ValueError("empty interval set has no maximum")
+        return self._ivs[-1][1]
+
+    def __contains__(self, value: int) -> bool:
+        return any(lo <= value <= hi for lo, hi in self._ivs)
+
+    def can_be_negative(self) -> bool:
+        return bool(self._ivs) and self._ivs[0][0] < 0
+
+    def can_be_positive(self) -> bool:
+        return bool(self._ivs) and self._ivs[-1][1] > 0
+
+    def can_be_zero(self) -> bool:
+        return 0 in self
+
+    def is_zero(self) -> bool:
+        return self.is_point() and self._ivs[0][0] == 0
+
+    def definitely_positive(self) -> bool:
+        return bool(self._ivs) and self._ivs[0][0] >= 1
+
+    def definitely_negative(self) -> bool:
+        return bool(self._ivs) and self._ivs[-1][1] <= -1
+
+    def definitely_nonnegative(self) -> bool:
+        return bool(self._ivs) and self._ivs[0][0] >= 0
+
+    def definitely_nonpositive(self) -> bool:
+        return bool(self._ivs) and self._ivs[-1][1] <= 0
+
+    def is_finite(self) -> bool:
+        return all(_is_finite(lo) and _is_finite(hi) for lo, hi in self._ivs)
+
+    def enumerate(self, limit: int = 1_000_000) -> List[int]:
+        """All members of a finite set (raises when infinite or too big)."""
+        if not self.is_finite():
+            raise ValueError("cannot enumerate an infinite interval set")
+        values: List[int] = []
+        for lo, hi in self._ivs:
+            if hi - lo + 1 > limit - len(values):
+                raise ValueError("interval set too large to enumerate")
+            values.extend(range(lo, hi + 1))
+        return values
+
+    # -- set operations ------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self._ivs + other._ivs)
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        out = []
+        for a_lo, a_hi in self._ivs:
+            for b_lo, b_hi in other._ivs:
+                lo, hi = max(a_lo, b_lo), min(a_hi, b_hi)
+                if lo <= hi:
+                    out.append((lo, hi))
+        return IntervalSet(out)
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        return self.intersect(other)._ivs == self._ivs
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def negate(self) -> "IntervalSet":
+        return IntervalSet([(-hi, -lo) for lo, hi in self._ivs])
+
+    def add(self, other: "IntervalSet") -> "IntervalSet":
+        """Minkowski sum; exact (interval sums over Z have no holes)."""
+        if self.is_empty() or other.is_empty():
+            return IntervalSet.empty()
+        out = []
+        for a_lo, a_hi in self._ivs:
+            for b_lo, b_hi in other._ivs:
+                out.append((_add_ep(a_lo, b_lo), _add_ep(a_hi, b_hi)))
+        return IntervalSet(out)
+
+    def scale(self, k: int) -> "IntervalSet":
+        """``{k*v : v in self}`` approximated by its interval hull.
+
+        Exact for ``k`` in {-1, 0, 1} and for point sets; otherwise the
+        hull over-approximates (it ignores divisibility by ``k``), which
+        is safe for dependence mapping.
+        """
+        if k == 0:
+            return IntervalSet.empty() if self.is_empty() else IntervalSet.point(0)
+        ivs = []
+        for lo, hi in self._ivs:
+            a, b = _mul_ep(lo, k), _mul_ep(hi, k)
+            ivs.append((min(a, b), max(a, b)))
+        return IntervalSet(ivs)
+
+    # -- protocol -----------------------------------------------------------
+
+    def __eq__(self, other):
+        return isinstance(other, IntervalSet) and self._ivs == other._ivs
+
+    def __hash__(self):
+        return hash(self._ivs)
+
+    def __repr__(self):
+        def ep(x):
+            if x == NEG_INF:
+                return "-inf"
+            if x == POS_INF:
+                return "+inf"
+            return str(x)
+        body = " U ".join(f"[{ep(lo)},{ep(hi)}]" for lo, hi in self._ivs)
+        return f"IntervalSet({body or 'empty'})"
+
+
+def _add_ep(a: Endpoint, b: Endpoint) -> Endpoint:
+    if _is_finite(a) and _is_finite(b):
+        return a + b
+    # inf + finite or matching infinities; mixed opposite infinities can
+    # not arise from interval endpoints of the same side.
+    total = a + b
+    return total
+
+
+def _mul_ep(a: Endpoint, k: int) -> Endpoint:
+    if _is_finite(a):
+        return a * k
+    return a * k  # sign-correct float infinity
+
+
+def _normalize(intervals: Iterable[Tuple[Endpoint, Endpoint]]):
+    cleaned = []
+    for lo, hi in intervals:
+        for ep in (lo, hi):
+            if not isinstance(ep, int) and ep not in (NEG_INF, POS_INF):
+                raise TypeError(
+                    f"endpoints must be ints or +-inf, got {ep!r}")
+        if lo > hi:
+            continue
+        cleaned.append((lo, hi))
+    cleaned.sort(key=lambda iv: (iv[0], iv[1]))
+    merged: List[Tuple[Endpoint, Endpoint]] = []
+    for lo, hi in cleaned:
+        if merged:
+            plo, phi = merged[-1]
+            # Merge overlapping or adjacent integer intervals ([1,2],[3,4]).
+            if lo <= phi or (_is_finite(phi) and _is_finite(lo) and lo == phi + 1):
+                merged[-1] = (plo, max(phi, hi))
+                continue
+        merged.append((lo, hi))
+    return tuple(merged)
+
+
+# The six direction values of the paper (Section 3.1), as interval sets.
+POSITIVE = IntervalSet.range(1, POS_INF)
+NEGATIVE = IntervalSet.range(NEG_INF, -1)
+NON_NEGATIVE = IntervalSet.range(0, POS_INF)
+NON_POSITIVE = IntervalSet.range(NEG_INF, 0)
+NON_ZERO = IntervalSet([(NEG_INF, -1), (1, POS_INF)])
+ANY = IntervalSet.all()
+ZERO = IntervalSet.point(0)

@@ -1,0 +1,222 @@
+"""Table 2: dependence-vector mapping rule helpers.
+
+Each kernel template's dependence-vector mapping (Section 3.2, Table 2)
+is built from the per-entry functions defined here:
+
+* ``reverse``     — for ReversePermute's reversal mask;
+* ``parmap``      — for Parallelize;
+* ``mergedirs``   — for Coalesce;
+* ``blockmap``    — for Block (pairs of block/element entries);
+* ``imap``        — for Interleave (pairs of offset/stride entries);
+* ``unimodular_map`` — ``d' = M x d`` extended to direction values via
+  interval arithmetic.
+
+``blockmap`` and ``imap`` map one entry to *up to two* pairs, which is why
+Block and Interleave can turn one dependence vector into as many as
+``2^(j-i+1)`` vectors — and why they cannot be represented by a matrix
+(Section 3.2).
+
+The ``precise`` variants are an extension (flagged in DESIGN.md): when the
+entry is an exact distance and the block size / interleave factor is a
+known constant, the exact set of (block, element) pairs is enumerated
+instead of the paper's conservative rule.  Both satisfy the consistency
+property (Def. 3.4); the precise form denotes a subset of the
+conservative one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.deps.entry import DepEntry
+from repro.deps.vector import DepVector
+from repro.util.intmath import ceil_div, floor_div
+from repro.util.matrices import IntMatrix
+
+
+def reverse(entry: DepEntry) -> DepEntry:
+    """Table 2's ``reverse(d_k)``: negate the entry.
+
+    ``+ <-> -``, ``0+ <-> 0-``, ``!0`` and ``*`` are fixed, a distance
+    ``y`` becomes ``-y``.
+    """
+    return entry.negate()
+
+
+def parmap(entry: DepEntry) -> DepEntry:
+    """Table 2's ``parmap(d_k)`` for Parallelize.
+
+    Iterations of a ``pardo`` loop may execute in any relative order, so a
+    dependence entry that can be nonzero becomes ``*`` (the dependence may
+    flow "backwards" in the parallel schedule, which the uniform
+    lexicographic test then flags when that loop is outermost-carried).
+    An exactly-zero entry stays zero.
+    """
+    if entry.is_zero():
+        return entry
+    return DepEntry.direction("*")
+
+
+def mergedirs(entries: Sequence[DepEntry]) -> DepEntry:
+    """Table 2's ``mergedirs`` for Coalesce: fold entries outer-to-inner.
+
+    The coalesced loop enumerates the sub-iteration space in lexicographic
+    order, so the merged entry's sign set is: the nonzero signs of the
+    outer entry, plus — only when the outer entry can be zero — the signs
+    of the merge of the remaining entries.  E.g. ``mergedirs(+, -) = +``
+    and ``mergedirs(0+, -) = 0- U + = !0``... folded pairwise::
+
+        mergedirs(a, b, c) = merge2(a, merge2(b, c))
+    """
+    if not entries:
+        raise ValueError("mergedirs of no entries")
+    result = entries[-1].direction_of()
+    for outer in reversed(entries[:-1]):
+        result = _merge2(outer.direction_of(), result)
+    return result
+
+
+def _merge2(outer: DepEntry, inner: DepEntry) -> DepEntry:
+    neg = outer.can_be_negative()
+    pos = outer.can_be_positive()
+    zero = False
+    if outer.can_be_zero():
+        neg = neg or inner.can_be_negative()
+        pos = pos or inner.can_be_positive()
+        zero = inner.can_be_zero()
+    return _from_signs(neg, zero, pos)
+
+
+def _from_signs(neg: bool, zero: bool, pos: bool) -> DepEntry:
+    if not (neg or zero or pos):
+        raise ValueError("empty sign set")
+    if not neg and not pos:
+        return DepEntry.distance(0)
+    code = {(True, True, True): "*",
+            (True, False, True): "!0",
+            (False, True, True): "0+",
+            (True, True, False): "0-",
+            (False, False, True): "+",
+            (True, False, False): "-"}[(neg, zero, pos)]
+    return DepEntry.direction(code)
+
+
+BlockPair = Tuple[DepEntry, DepEntry]
+
+
+def blockmap(entry: DepEntry) -> List[BlockPair]:
+    """Table 2's ``blockmap(d_k)`` for Block: (block entry, element entry).
+
+    ::
+
+        d_k = 0        -> {(0, 0)}
+        d_k = *        -> {(*, *)}
+        d_k = 1 or -1  -> {(0, d_k), (d_k, *)}
+        otherwise      -> {(0, d_k), (dir(d_k), *)}
+
+    The element loop keeps the original index variable but its iteration
+    numbering restarts inside every block, so once the block entries
+    differ the element entry is unconstrained (``*``).
+    """
+    zero = DepEntry.distance(0)
+    if entry.is_zero():
+        return [(zero, zero)]
+    star = DepEntry.direction("*")
+    if not entry.is_distance and entry.code == "*":
+        return [(star, star)]
+    return [(zero, entry), (entry.direction_of(), star)]
+
+
+def blockmap_precise(entry: DepEntry, bsize: int) -> List[BlockPair]:
+    """Exact (block, element) pairs for a constant distance and block size.
+
+    With 0-based in-block offsets ``r`` and block indices ``q`` (so the
+    normalized iteration number is ``m = q*bsize + r``), a distance ``y``
+    yields ``delta_q`` in ``[ceil((y-(bsize-1))/bsize), floor((y+(bsize-1))/bsize)]``
+    and for each the element offset difference is ``y - bsize*delta_q``.
+    """
+    if bsize <= 0:
+        raise ValueError("block size must be positive")
+    if not entry.is_distance:
+        return blockmap(entry)
+    y = entry.value
+    lo = ceil_div(y - (bsize - 1), bsize)
+    hi = floor_div(y + (bsize - 1), bsize)
+    pairs = []
+    for dq in range(lo, hi + 1):
+        pairs.append((DepEntry.distance(dq), DepEntry.distance(y - bsize * dq)))
+    return pairs
+
+
+def imap(entry: DepEntry) -> List[BlockPair]:
+    """Table 2's ``imap(d_k)`` for Interleave: (offset entry, stride entry).
+
+    The output pairs are (difference of the outer offset loop 0..isize-1,
+    difference of the inner strided loop's iteration number)::
+
+        d_k = 0   -> {(0, 0)}
+        d_k = *   -> {(*, *)}
+        d_k > 0   -> {(+, 0+), (0-, +)}
+        d_k < 0   -> {(-, 0-), (0+, -)}
+
+    Summary directions take the union of their cases.
+    """
+    results: List[BlockPair] = []
+    if entry.can_be_zero():
+        results.append((DepEntry.distance(0), DepEntry.distance(0)))
+    if not entry.is_distance and entry.code == "*":
+        return [(DepEntry.direction("*"), DepEntry.direction("*"))]
+    if entry.can_be_positive():
+        results.append((DepEntry.direction("+"), DepEntry.direction("0+")))
+        results.append((DepEntry.direction("0-"), DepEntry.direction("+")))
+    if entry.can_be_negative():
+        results.append((DepEntry.direction("-"), DepEntry.direction("0-")))
+        results.append((DepEntry.direction("0+"), DepEntry.direction("-")))
+    return results
+
+
+def imap_precise(entry: DepEntry, isize: int) -> List[BlockPair]:
+    """Exact (offset, stride) pairs for a constant distance and factor.
+
+    A distance ``y`` splits as ``y = delta_r + isize*delta_q`` with
+    ``delta_r`` in ``(-isize, isize)``; the two candidates are
+    ``y mod isize`` and ``y mod isize - isize``.
+    """
+    if isize <= 0:
+        raise ValueError("interleave factor must be positive")
+    if not entry.is_distance:
+        return imap(entry)
+    y = entry.value
+    r = y - isize * floor_div(y, isize)   # y mod isize, in [0, isize)
+    pairs: List[BlockPair] = []
+    if r == 0:
+        pairs.append((DepEntry.distance(0), DepEntry.distance(y // isize)))
+    else:
+        pairs.append((DepEntry.distance(r),
+                      DepEntry.distance(floor_div(y, isize))))
+        pairs.append((DepEntry.distance(r - isize),
+                      DepEntry.distance(floor_div(y, isize) + 1)))
+    return pairs
+
+
+def unimodular_map(matrix: IntMatrix, vector: DepVector) -> DepVector:
+    """``d' = M x d`` extended for direction values ([9, 14]).
+
+    Every output entry is an integer linear combination of input entries;
+    the combination is evaluated with interval arithmetic on the entries'
+    value sets, then used directly (it may be finer than the paper's
+    seven canonical shapes — callers may :meth:`DepVector.coarsen`).
+    """
+    if matrix.ncols != len(vector):
+        raise ValueError(
+            f"matrix is {matrix.nrows}x{matrix.ncols} but vector has "
+            f"{len(vector)} entries")
+    out = []
+    for i in range(matrix.nrows):
+        acc = DepEntry.distance(0)
+        for k in range(matrix.ncols):
+            coeff = matrix[i, k]
+            if coeff != 0:
+                acc = acc.add(vector[k].scale(coeff))
+        out.append(acc)
+    return DepVector(out)

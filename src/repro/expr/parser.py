@@ -1,0 +1,210 @@
+"""A small recursive-descent parser for bound/subscript expressions.
+
+Accepts the paper's surface syntax, e.g.::
+
+    max(n, 3)            min(2, i + 512)
+    colstr(j + 1) - 1    sqrt(i) / 2
+    2*j                  n + n - 2
+
+``/`` parses as exact floor division (loop bounds are integral), ``%`` as
+floored modulus.  ``min``, ``max``, ``mod``, ``div``, ``ceil``, ``abs``
+and ``sgn`` are recognized builders; any other identifier followed by a
+parenthesis becomes an opaque :class:`~repro.expr.nodes.Call`.
+
+The tokenizer is shared with the loop-nest parser in :mod:`repro.ir`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.expr.nodes import (
+    Expr,
+    abs_,
+    add,
+    call,
+    ceildiv,
+    const,
+    floordiv,
+    mod,
+    mul,
+    neg,
+    sgn,
+    sub,
+    var,
+    vmax,
+    vmin,
+)
+from repro.util.errors import ParseError
+
+
+class Token(NamedTuple):
+    kind: str          # "int" | "ident" | "op" | "newline" | "eof"
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>[!#][^\n]*)
+  | (?P<newline>\n)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\+=|==|<=|>=|<|>|=|\+|-|\*|/|%|\(|\)|,|:)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split *text* into tokens; ``!`` and ``#`` start line comments."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}",
+                             line=line, column=pos - line_start + 1)
+        kind = m.lastgroup
+        value = m.group()
+        column = pos - line_start + 1
+        pos = m.end()
+        if kind == "ws" or kind == "comment":
+            continue
+        if kind == "newline":
+            tokens.append(Token("newline", "\n", line, column))
+            line += 1
+            line_start = pos
+            continue
+        tokens.append(Token(kind, value, line, column))
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with one-token lookahead helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            actual = self.peek()
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {actual.text or actual.kind!r}",
+                line=actual.line, column=actual.column)
+        return tok
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind == "newline":
+            self.next()
+
+
+_BUILDERS = {
+    "min": vmin,
+    "max": vmax,
+    "mod": mod,
+    "div": floordiv,
+    "ceil": ceildiv,
+    "abs": abs_,
+    "sgn": sgn,
+}
+
+
+def parse_expression(stream: TokenStream) -> Expr:
+    """Parse an expression from *stream* (stops at the first non-expression
+    token, which the caller consumes)."""
+    return _parse_additive(stream)
+
+
+def _parse_additive(stream: TokenStream) -> Expr:
+    result = _parse_multiplicative(stream)
+    while True:
+        if stream.accept("op", "+"):
+            result = add(result, _parse_multiplicative(stream))
+        elif stream.accept("op", "-"):
+            result = sub(result, _parse_multiplicative(stream))
+        else:
+            return result
+
+
+def _parse_multiplicative(stream: TokenStream) -> Expr:
+    result = _parse_unary(stream)
+    while True:
+        if stream.accept("op", "*"):
+            result = mul(result, _parse_unary(stream))
+        elif stream.accept("op", "/"):
+            result = floordiv(result, _parse_unary(stream))
+        elif stream.accept("op", "%"):
+            result = mod(result, _parse_unary(stream))
+        else:
+            return result
+
+
+def _parse_unary(stream: TokenStream) -> Expr:
+    if stream.accept("op", "-"):
+        return neg(_parse_unary(stream))
+    if stream.accept("op", "+"):
+        return _parse_unary(stream)
+    return _parse_atom(stream)
+
+
+def _parse_atom(stream: TokenStream) -> Expr:
+    tok = stream.peek()
+    if tok.kind == "int":
+        stream.next()
+        return const(int(tok.text))
+    if tok.kind == "ident":
+        stream.next()
+        if stream.accept("op", "("):
+            args = [parse_expression(stream)]
+            while stream.accept("op", ","):
+                args.append(parse_expression(stream))
+            stream.expect("op", ")")
+            builder = _BUILDERS.get(tok.text)
+            if builder is not None:
+                return builder(*args)
+            return call(tok.text, *args)
+        return var(tok.text)
+    if stream.accept("op", "("):
+        inner = parse_expression(stream)
+        stream.expect("op", ")")
+        return inner
+    raise ParseError(f"expected expression, found {tok.text or tok.kind!r}",
+                     line=tok.line, column=tok.column)
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a standalone expression string."""
+    stream = TokenStream(tokenize(text))
+    stream.skip_newlines()
+    result = parse_expression(stream)
+    stream.skip_newlines()
+    tok = stream.peek()
+    if tok.kind != "eof":
+        raise ParseError(f"trailing input {tok.text!r}",
+                         line=tok.line, column=tok.column)
+    return result

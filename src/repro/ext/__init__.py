@@ -1,0 +1,15 @@
+"""Extensions beyond the paper's core framework.
+
+* :mod:`repro.ext.unroll` — innermost-loop unrolling, the paper's
+  "future work" example of a transformation that reorders statements as
+  well as iterations (and therefore lives outside the kernel set);
+* :mod:`repro.ext.derive` — empirical derivation of dependence-vector
+  mapping rules from a template's iteration mapping, operationalizing
+  the paper's closing "future theoretical work" as a validator for
+  declared Table 2 rules.
+"""
+
+from repro.ext.derive import derive_dep_map, validate_rule
+from repro.ext.unroll import unroll_innermost
+
+__all__ = ["derive_dep_map", "validate_rule", "unroll_innermost"]

@@ -1,0 +1,192 @@
+"""Empirical derivation of dependence-vector mapping rules.
+
+The paper closes with: "An interesting area of future theoretical work
+would be to explore the possibility of deriving the dependence vector
+and loop bounds mapping rules automatically from a given iteration
+mapping function."  This module does the empirical half: given any
+template instantiation, it derives — by running the template's *code
+generator* on a concrete rectangular space and tracing the execution —
+the exact set of output-space difference tuples that an input distance
+vector maps to, and validates the template's declared Table 2 rule
+against that ground truth.
+
+The derived set is exact for the sampled space; the declared rule is
+*consistent* (Def. 3.4) iff it covers the derived set for every space,
+so a covering failure on any sample is a genuine rule bug.  The tests
+run every kernel template through this validator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.sequence import Transformation
+from repro.core.template import Template
+from repro.expr.nodes import Const, var
+from repro.ir.loopnest import ArrayRef, Assign, Loop, LoopNest
+from repro.runtime.interpreter import run_nest
+
+Space = Sequence[Tuple[int, int]]
+
+
+def _probe_nest(space: Space) -> LoopNest:
+    """A rectangular nest whose body records nothing but is traceable."""
+    loops = [Loop(f"x{k}", Const(lo), Const(hi))
+             for k, (lo, hi) in enumerate(space)]
+    body = [Assign(ArrayRef("probe",
+                            tuple(var(f"x{k}") for k in range(len(space)))),
+                   Const(1))]
+    return LoopNest(loops, body)
+
+
+def iteration_mapping(template: Template,
+                      space: Space) -> Dict[Tuple[int, ...], Tuple[int, ...]]:
+    """Map each input iteration to its output *iteration-number* tuple.
+
+    Definition 3.3 counts iteration numbers per loop (0-based here, and
+    restarting whenever an enclosing loop advances — which is what makes
+    Block's element entries behave as in-tile offsets).  The mapping is
+    obtained by generating code for the template over the concrete
+    *space*, executing it with per-level iteration counters, and pairing
+    those counters with the reconstructed input indices at every body
+    execution.
+    """
+    from repro.runtime.interpreter import Interpreter
+    from repro.util.intmath import sign as _sign
+
+    nest = _probe_nest(space)
+    out = Transformation.of(template).apply(nest, None, check=False)
+    in_vars = nest.indices
+    mapping: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+
+    class Recorder(Interpreter):
+        def run(self, arrays):
+            self._counters = [0] * len(out.loops)
+            return super().run(arrays)
+
+        def _run_level(self, depth, env, state, itrace, atrace, counter):
+            if depth == len(self.nest.loops):
+                super()._run_level(depth, env, state, itrace, atrace,
+                                   counter)
+                return
+            lp = self.nest.loops[depth]
+            lo = self._eval(lp.lower, env, state, atrace)
+            hi = self._eval(lp.upper, env, state, atrace)
+            step = self._eval(lp.step, env, state, atrace)
+            for pos, v in enumerate(range(lo, hi + _sign(step), step)):
+                env[lp.index] = v
+                self._counters[depth] = pos
+                self._run_level(depth + 1, env, state, itrace, atrace,
+                                counter)
+            env.pop(lp.index, None)
+
+        def _run_body(self, env, state, itrace, atrace, counter):
+            super()._run_body(env, state, itrace, atrace, counter)
+            in_coord = tuple(env[v] for v in in_vars)
+            if in_coord in mapping:
+                raise AssertionError(
+                    f"input iteration {in_coord} executed twice — the "
+                    f"template's code generation is broken")
+            mapping[in_coord] = tuple(self._counters)
+
+    Recorder(out).run({})
+    return mapping
+
+
+def derive_dep_map(template: Template, distance: Sequence[int],
+                   space: Space) -> Set[Tuple[int, ...]]:
+    """The exact output difference set for an input *distance* vector.
+
+    Every pair of input iterations (p, p + distance) inside *space*
+    contributes the difference of their output coordinates.
+    """
+    if len(distance) != len(space):
+        raise ValueError("distance arity must match the space rank")
+    mapping = iteration_mapping(template, space)
+    derived: Set[Tuple[int, ...]] = set()
+    for in_coord, out_coord in mapping.items():
+        successor = tuple(a + d for a, d in zip(in_coord, distance))
+        target = mapping.get(successor)
+        if target is not None:
+            derived.add(tuple(b - a for a, b in zip(out_coord, target)))
+    return derived
+
+
+class RuleValidation:
+    """Outcome of :func:`validate_rule`."""
+
+    __slots__ = ("ok", "derived", "uncovered", "declared", "criterion")
+
+    def __init__(self, ok: bool, derived: Set[Tuple[int, ...]],
+                 uncovered: Set[Tuple[int, ...]], declared, criterion: str):
+        self.ok = ok
+        self.derived = derived
+        self.uncovered = uncovered
+        self.declared = declared
+        self.criterion = criterion
+
+    def __bool__(self):
+        return self.ok
+
+    def __repr__(self):
+        status = "consistent" if self.ok else f"UNCOVERED {self.uncovered}"
+        return (f"RuleValidation({status}; {len(self.derived)} derived "
+                f"tuples, criterion={self.criterion!r})")
+
+
+def _order_covered(t: Tuple[int, ...], declared) -> bool:
+    """Can the declared set produce a tuple ordering like *t*?
+
+    The legality test only consumes lexicographic *order*: what must be
+    covered is the position of t's first nonzero and its sign (entries
+    below the first divergence never influence legality).  This is the
+    right criterion for value-space rules like Unimodular's ``M x d``,
+    whose below-divergence components legitimately differ from
+    iteration-number space on trapezoidal outputs.
+    """
+    first = next((k for k, x in enumerate(t) if x != 0), None)
+    for vec in declared:
+        if first is None:
+            if all(e.can_be_zero() for e in vec):
+                return True
+            continue
+        if not all(vec[k].can_be_zero() for k in range(first)):
+            continue
+        entry = vec[first]
+        if t[first] > 0 and entry.can_be_positive():
+            return True
+        if t[first] < 0 and entry.can_be_negative():
+            return True
+    return False
+
+
+def validate_rule(template: Template, distance: Sequence[int],
+                  space: Space, criterion: str = "order") -> RuleValidation:
+    """Check the template's declared Table 2 rule against ground truth.
+
+    *criterion*:
+
+    * ``"order"`` (default) — every derived iteration-number difference
+      must be *order-covered*: the declared set admits a tuple with the
+      same first-nonzero position and sign.  This is exactly what the
+      lexicographic legality test consumes, and is the property all the
+      paper's rules satisfy.
+    * ``"strict"`` — full tuple membership, ``t in Tuples(D')``.  Holds
+      for the counter-space rules (ReversePermute, Parallelize, Block,
+      Coalesce, Interleave) but is too strong for Unimodular on
+      trapezoidal outputs, where iteration numbering diverges from
+      index values below the first divergence.
+    """
+    from repro.deps.vector import DepVector
+
+    if criterion not in ("order", "strict"):
+        raise ValueError(f"unknown criterion {criterion!r}")
+    derived = derive_dep_map(template, distance, space)
+    declared = template.map_dep_vector(DepVector(list(distance)))
+    if criterion == "strict":
+        uncovered = {t for t in derived
+                     if not any(v.contains_tuple(t) for v in declared)}
+    else:
+        uncovered = {t for t in derived if not _order_covered(t, declared)}
+    return RuleValidation(not uncovered, derived, uncovered, declared,
+                          criterion)

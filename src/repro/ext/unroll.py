@@ -1,0 +1,95 @@
+"""Innermost-loop unrolling.
+
+The paper's conclusion lists loop unrolling (with loop distribution) as
+future work because it "reorders both iterations and statements" — it
+cannot be a kernel template (the body changes).  It is provided here as
+a post-pass over the framework's output: a classic back-end step after
+iteration reordering has set up the loop structure.
+
+Only the innermost loop can be unrolled while keeping the perfect-nest
+representation, and the trip count must be divisible by the factor
+(checked statically for constant bounds; otherwise the caller must
+guarantee it — e.g. after strip-mining by the same factor, every full
+tile qualifies).  Subscripts and guards are rewritten by substituting
+``x -> x + m*s`` for the m-th replica.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.expr.nodes import Const, Expr, add, mul, substitute, var
+from repro.ir.loopnest import Assign, If, InitStmt, Loop, LoopNest, Statement
+from repro.util.errors import CodegenError
+from repro.util.intmath import trip_count
+
+
+def _shift_statement(stmt: Statement, index: str, offset: Expr) -> Statement:
+    mapping = {index: add(var(index), offset)}
+    if isinstance(stmt, Assign):
+        target = stmt.target
+        new_target = type(target)(
+            target.name,
+            tuple(substitute(s, mapping) for s in target.subscripts))
+        return Assign(new_target, substitute(stmt.expr, mapping),
+                      stmt.accumulate)
+    if isinstance(stmt, If):
+        return If(substitute(stmt.cond, mapping),
+                  _shift_statement(stmt.then, index, offset))
+    if isinstance(stmt, InitStmt):
+        # Init statements define *other* variables from the indices; the
+        # replica must not redefine them differently, so unrolling a nest
+        # whose inits use the unrolled index is rejected upstream.
+        return InitStmt(stmt.var, substitute(stmt.expr, mapping))
+    raise CodegenError(f"cannot unroll statement {stmt!r}")
+
+
+def unroll_innermost(nest: LoopNest, factor: int) -> LoopNest:
+    """Unroll the innermost loop by *factor*.
+
+    Requirements:
+
+    * ``factor >= 1`` (1 is the identity);
+    * the innermost step is a compile-time constant;
+    * for constant bounds, the trip count must be divisible by *factor*
+      (checked); for symbolic bounds the caller guarantees divisibility
+      — strip-mine by *factor* first to make it so;
+    * no init statement may reference the unrolled index (replicas would
+      disagree on its value).
+    """
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    if factor == 1:
+        return nest
+    inner = nest.loops[-1]
+    if not isinstance(inner.step, Const):
+        raise CodegenError(
+            f"cannot unroll loop {inner.index}: step is not a compile-time "
+            "constant")
+    from repro.expr.nodes import free_vars
+
+    for init in nest.inits:
+        if inner.index in free_vars(init.expr):
+            raise CodegenError(
+                f"cannot unroll loop {inner.index}: init statement "
+                f"{init} references it")
+
+    step = inner.step.value
+    if isinstance(inner.lower, Const) and isinstance(inner.upper, Const):
+        trips = trip_count(inner.lower.value, inner.upper.value, step)
+        if trips % factor != 0:
+            raise CodegenError(
+                f"trip count {trips} of loop {inner.index} is not "
+                f"divisible by unroll factor {factor}; strip-mine first")
+
+    new_inner = Loop(inner.index, inner.lower, inner.upper,
+                     Const(step * factor), inner.kind)
+    body: List[Statement] = []
+    for m in range(factor):
+        offset = Const(m * step)
+        for stmt in nest.body:
+            if m == 0:
+                body.append(stmt)
+            else:
+                body.append(_shift_statement(stmt, inner.index, offset))
+    return LoopNest(tuple(nest.loops[:-1]) + (new_inner,), body, nest.inits)

@@ -1,0 +1,23 @@
+"""Loop-nest IR: loops, statements, perfect nests, parser and printer."""
+
+from repro.ir.loopnest import (
+    ArrayRef,
+    Assign,
+    DO,
+    If,
+    InitStmt,
+    Loop,
+    LoopNest,
+    PARDO,
+    Statement,
+    validate_nest,
+)
+from repro.ir.parser import parse_imperfect, parse_nest
+from repro.ir.pretty_temps import pretty_with_temps
+from repro.ir.sinking import ImperfectNest, sink
+
+__all__ = [
+    "ArrayRef", "Assign", "DO", "If", "InitStmt", "Loop", "LoopNest",
+    "PARDO", "Statement", "validate_nest", "parse_nest",
+    "parse_imperfect", "sink", "ImperfectNest", "pretty_with_temps",
+]

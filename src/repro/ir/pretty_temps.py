@@ -1,0 +1,170 @@
+"""Figure-7-style pretty printing with extracted temporaries.
+
+The paper presents the coalesced matrix-multiply with named scalars::
+
+    tmpj = 1 + [jic/|(n-1+bi)/bi|] ... * bj
+    do j = tmpj, min(n, tmpj + bj - 1)
+
+while the framework's actual output inlines those reconstruction
+expressions into the bounds (they must be evaluated before the loop
+header runs, and a perfect nest has nowhere to put a scalar statement).
+This module provides the *display-side* equivalent: it finds large
+subexpressions that occur repeatedly in bounds/init statements, names
+them ``tmp<loop>`` and prints them at the deepest loop level where all
+their inputs are available — pseudo-code for humans, not IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.expr.nodes import (
+    Add,
+    Call,
+    CeilDiv,
+    Const,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    children,
+    free_vars,
+    to_str,
+    var,
+)
+from repro.ir.loopnest import Loop, LoopNest
+
+
+def _size(e: Expr) -> int:
+    return 1 + sum(_size(c) for c in children(e))
+
+
+def _subexprs(e: Expr, min_size: int, out: Dict[Expr, int]) -> None:
+    if _size(e) >= min_size and not isinstance(e, (Const, Var)):
+        out[e] = out.get(e, 0) + 1
+    for c in children(e):
+        _subexprs(c, min_size, out)
+
+
+def _replace(e: Expr, target: Expr, replacement: Expr) -> Expr:
+    """Replace occurrences of *target* inside *e* — exact matches, and
+    sums differing from *target* by an invariant offset (so the paper's
+    ``min(tmpj + bj - 1, n)`` shape appears)."""
+    if e == target:
+        return replacement
+    if isinstance(e, (Const, Var)):
+        return e
+    if isinstance(e, Add) and isinstance(target, Add):
+        from repro.expr.nodes import add, mul, sub
+        diff = sub(e, target)
+        # A small leftover (constant or one product term) means e is
+        # target plus an offset; rewriting is semantically exact.
+        if _size(diff) <= 4 and _size(diff) < _size(target):
+            return add(replacement, diff)
+    new_children = [_replace(c, target, replacement) for c in children(e)]
+    if isinstance(e, Add):
+        from repro.expr.nodes import add
+        return add(*new_children)
+    if isinstance(e, Mul):
+        from repro.expr.nodes import mul
+        return mul(*new_children)
+    if isinstance(e, FloorDiv):
+        from repro.expr.nodes import floordiv
+        return floordiv(*new_children)
+    if isinstance(e, CeilDiv):
+        from repro.expr.nodes import ceildiv
+        return ceildiv(*new_children)
+    if isinstance(e, Mod):
+        from repro.expr.nodes import mod
+        return mod(*new_children)
+    if isinstance(e, Min):
+        from repro.expr.nodes import vmin
+        return vmin(*new_children)
+    if isinstance(e, Max):
+        from repro.expr.nodes import vmax
+        return vmax(*new_children)
+    if isinstance(e, Call):
+        from repro.expr.nodes import call
+        return call(e.func, *new_children)
+    raise TypeError(f"unknown node {e!r}")
+
+
+def pretty_with_temps(nest: LoopNest, min_size: int = 7,
+                      min_occurrences: int = 2, indent: str = "  ") -> str:
+    """Render *nest* with repeated large bound subexpressions hoisted
+    into ``tmp*`` pseudo-scalars, the way the paper's Figure 7 reads."""
+    # 1. Count candidate subexpressions across bounds and inits.
+    counts: Dict[Expr, int] = {}
+    for lp in nest.loops:
+        for e in (lp.lower, lp.upper, lp.step):
+            _subexprs(e, min_size, counts)
+    for init in nest.inits:
+        _subexprs(init.expr, min_size, counts)
+
+    # 2. Keep maximal repeated candidates (drop one nested in another
+    # kept candidate with the same count — prefer the bigger).
+    kept = [e for e, c in counts.items() if c >= min_occurrences]
+    kept.sort(key=_size, reverse=True)
+    chosen: List[Expr] = []
+    for e in kept:
+        if not any(_contains(big, e) for big in chosen):
+            chosen.append(e)
+
+    # 3. Name them after the innermost loop whose bounds use them.
+    names: Dict[Expr, str] = {}
+    used = set(nest.indices) | {s.var for s in nest.inits}
+    for e in chosen:
+        hint = None
+        for lp in nest.loops:
+            if any(_contains(b, e) for b in (lp.lower, lp.upper, lp.step)):
+                hint = lp.index
+                break
+        base = f"tmp{hint or ''}" or "tmp"
+        name = base
+        counter = 2
+        while name in used:
+            name = f"{base}{counter}"
+            counter += 1
+        used.add(name)
+        names[e] = name
+
+    # 4. Placement level: after the last loop any of its variables needs.
+    position = {lp.index: k for k, lp in enumerate(nest.loops)}
+    temp_at: Dict[int, List[Tuple[str, Expr]]] = {}
+    for e, name in names.items():
+        level = max((position[v] + 1 for v in free_vars(e) if v in position),
+                    default=0)
+        temp_at.setdefault(level, []).append((name, e))
+
+    # 5. Rewrite bounds/inits and render.
+    def rewrite(e: Expr) -> Expr:
+        for target, name in names.items():
+            e = _replace(e, target, var(name))
+        return e
+
+    lines: List[str] = []
+    for depth, lp in enumerate(nest.loops):
+        for name, e in temp_at.get(depth, []):
+            lines.append(indent * depth + f"{name} = {to_str(e)}")
+        header = Loop(lp.index, rewrite(lp.lower), rewrite(lp.upper),
+                      rewrite(lp.step), lp.kind).header()
+        lines.append(indent * depth + header)
+    inner = indent * nest.depth
+    for name, e in temp_at.get(nest.depth, []):
+        lines.append(inner + f"{name} = {to_str(e)}")
+    for init in nest.inits:
+        lines.append(inner + f"{init.var} = {to_str(rewrite(init.expr))}")
+    for stmt in nest.body:
+        lines.append(inner + str(stmt))
+    for depth in range(nest.depth - 1, -1, -1):
+        lines.append(indent * depth + "enddo")
+    return "\n".join(lines)
+
+
+def _contains(e: Expr, target: Expr) -> bool:
+    if e == target:
+        return True
+    return any(_contains(c, target) for c in children(e))

@@ -1,0 +1,130 @@
+"""Code sinking: canonicalize an imperfect nest into a perfect one.
+
+The framework (like the paper) operates on *perfect* loop nests, but
+real code often has statements between loop headers::
+
+    do i = 1, n
+      s(i) = 0                 <- before the inner loop
+      do j = 1, n
+        s(i) = s(i) + a(i, j)
+      enddo
+      b(i) = s(i) / n          <- after the inner loop
+    enddo
+
+Sinking pushes such statements *into* the inner loop under first/last
+iteration guards — the classic enabling transformation::
+
+    do i = 1, n
+      do j = 1, n
+        if (j == 1) s(i) = 0
+        s(i) = s(i) + a(i, j)
+        if (j == n) b(i) = s(i) / n
+      enddo
+    enddo
+
+after which every iteration-reordering template applies.  The guarded
+form is equivalent **provided the inner loop is non-empty** (at least
+one iteration for every outer iteration); :func:`sink` cannot check
+that for symbolic bounds, so callers must guarantee it (for constant
+bounds it is checked).
+
+The "last iteration" guard uses the exact last iterate
+``u - sgn(s) * mod(abs(u - l), abs(s))``, so non-unit and negative
+steps work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.expr.nodes import Const, Expr, abs_, call, mod, mul, sgn, sub, var
+from repro.ir.loopnest import Assign, If, InitStmt, Loop, LoopNest, Statement
+from repro.util.errors import ReproError
+from repro.util.intmath import trip_count
+
+
+class ImperfectNest:
+    """Parse-tree node for a loop with mixed children (statements and at
+    most one inner loop)."""
+
+    __slots__ = ("loop", "pre", "inner", "post")
+
+    def __init__(self, loop: Loop, pre: Sequence[Statement],
+                 inner: Union["ImperfectNest", None],
+                 post: Sequence[Statement],
+                 body: Sequence[Statement] = ()):
+        self.loop = loop
+        self.pre = list(pre)
+        self.inner = inner
+        self.post = list(post)
+        if inner is None:
+            # Leaf level: `pre` holds the body, post must be empty.
+            self.pre = list(pre)
+            self.post = list(post)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.inner is None
+
+
+def first_iterate_expr(lp: Loop) -> Expr:
+    """The first index value of a loop (its lower bound)."""
+    return lp.lower
+
+
+def last_iterate_expr(lp: Loop) -> Expr:
+    """The exact last index value taken by ``do x = l, u, s``."""
+    l, u, s = lp.lower, lp.upper, lp.step
+    if isinstance(s, Const):
+        if s.value == 1:
+            return u
+        sign = 1 if s.value > 0 else -1
+        span = sub(u, l) if s.value > 0 else sub(l, u)
+        return sub(u, mul(Const(sign), mod(abs_(span), Const(abs(s.value)))))
+    return sub(u, mul(sgn(s), mod(abs_(sub(u, l)), abs_(s))))
+
+
+def _guard(index: str, value: Expr, stmt: Statement) -> Statement:
+    return If(call("eq", var(index), value), stmt)
+
+
+def _check_nonempty_if_constant(lp: Loop) -> None:
+    if (isinstance(lp.lower, Const) and isinstance(lp.upper, Const) and
+            isinstance(lp.step, Const)):
+        if trip_count(lp.lower.value, lp.upper.value, lp.step.value) == 0:
+            raise ReproError(
+                f"cannot sink into statically empty loop {lp.index}")
+
+
+def sink(tree: ImperfectNest) -> LoopNest:
+    """Flatten an :class:`ImperfectNest` into a guarded perfect nest."""
+    return _sink_rec(tree)
+
+
+def _sink_rec(node: ImperfectNest) -> LoopNest:
+    if node.is_leaf:
+        return LoopNest([node.loop], node.pre)
+    inner_nest = _sink_rec(node.inner)
+    inner_loops = inner_nest.loops
+    _check_nonempty_if_constant(inner_loops[0])
+
+    def guard_all(stmt: Statement, at_first: bool) -> Statement:
+        # Guard on every inner level: the statement runs exactly once
+        # per iteration of this node's loop.
+        for lp in inner_loops:
+            _check_nonempty_if_constant(lp)
+            value = (first_iterate_expr(lp) if at_first
+                     else last_iterate_expr(lp))
+            stmt = _guard(lp.index, value, stmt)
+        return stmt
+
+    body: List[Statement] = []
+    body.extend(guard_all(s, at_first=True) for s in node.pre)
+    body.extend(inner_nest.body)
+    body.extend(guard_all(s, at_first=False) for s in node.post)
+    return LoopNest((node.loop,) + inner_loops, body, inner_nest.inits)
+
+
+def sink_nest(tree: ImperfectNest) -> LoopNest:
+    """Public entry point (alias with the documented name)."""
+    return _sink_rec(tree)

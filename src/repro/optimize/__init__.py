@@ -1,0 +1,44 @@
+"""Optimization drivers: hyperplane, parallelization, tiling, search."""
+
+from repro.optimize.hyperplane import (
+    HyperplaneResult,
+    complete_to_unimodular,
+    find_schedule,
+    hyperplane_method,
+    schedule_dot,
+)
+from repro.optimize.parallelizer import (
+    maximal_parallelize,
+    outermost_parallel,
+    parallelizable_loops,
+)
+from repro.optimize.search import (
+    SearchResult,
+    default_candidates,
+    make_locality_score,
+    parallelism_score,
+    search,
+)
+from repro.optimize.locality_model import (
+    best_loop_order,
+    loop_cost,
+    rank_loop_orders,
+    reference_cost,
+)
+from repro.optimize.tiler import auto_tile, tilable_ranges
+from repro.optimize.vectorizer import (
+    VectorizationResult,
+    cheapest_permutation,
+    vectorize_innermost,
+)
+
+__all__ = [
+    "VectorizationResult", "cheapest_permutation", "vectorize_innermost",
+    "best_loop_order", "loop_cost", "rank_loop_orders", "reference_cost",
+    "HyperplaneResult", "complete_to_unimodular", "find_schedule",
+    "hyperplane_method", "schedule_dot",
+    "maximal_parallelize", "outermost_parallel", "parallelizable_loops",
+    "SearchResult", "default_candidates", "make_locality_score",
+    "parallelism_score", "search",
+    "auto_tile", "tilable_ranges",
+]

@@ -1,0 +1,143 @@
+"""Lamport's hyperplane method on top of the framework.
+
+The paper cites Lamport [9] as the origin of dependence-vector-based
+iteration reordering; here the hyperplane method is *derived* inside the
+framework: find a schedule vector ``pi`` with ``pi . d >= 1`` for every
+dependence vector ``d``, complete it to a unimodular matrix ``M`` whose
+first row is ``pi``, and emit the sequence
+
+    < Unimodular(n, M), Parallelize(n, [F, T, T, ...]) >
+
+— after ``M``, every dependence is carried by the outermost loop, so all
+inner loops are parallel, and the framework's uniform legality test
+confirms it (no bespoke proof needed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.sequence import Transformation
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.unimodular import Unimodular
+from repro.deps.entry import DepEntry
+from repro.deps.vector import DepSet
+from repro.util.errors import ReproError
+from repro.util.intmath import extended_gcd, gcd_many
+from repro.util.matrices import IntMatrix
+
+
+def schedule_dot(pi: Sequence[int], vec) -> DepEntry:
+    """``pi . d`` with interval arithmetic over the entries."""
+    acc = DepEntry.distance(0)
+    for c, e in zip(pi, vec):
+        if c != 0:
+            acc = acc.add(e.scale(c))
+    return acc
+
+
+def find_schedule(deps: DepSet, max_coeff: int = 3) -> Optional[List[int]]:
+    """Smallest schedule vector (by max-coefficient, then L1 norm) with
+    ``pi . d`` definitely positive for every dependence vector.
+
+    Coefficients are searched in ``[0, max_coeff]`` — nonnegative
+    schedules suffice for lexicographically positive dependence sets.
+    Returns None when no schedule exists within the budget.
+    """
+    n = deps.depth
+    if n == 0:
+        return None
+    best: Optional[List[int]] = None
+
+    def cost(pi):
+        return (max(pi), sum(pi))
+
+    for pi in itertools.product(range(max_coeff + 1), repeat=n):
+        if all(c == 0 for c in pi):
+            continue
+        if all(schedule_dot(pi, v).definitely_positive() for v in deps):
+            cand = list(pi)
+            if best is None or cost(cand) < cost(best):
+                best = cand
+    return best
+
+
+def complete_to_unimodular(pi: Sequence[int]) -> IntMatrix:
+    """A unimodular matrix whose first row is *pi* (requires gcd 1).
+
+    Construction: reduce *pi* to ``e_1`` by elementary unimodular column
+    operations (pairwise extended gcd); the inverse of the accumulated
+    column-operation matrix has *pi* as its first row.
+    """
+    pi = [int(c) for c in pi]
+    n = len(pi)
+    if gcd_many(pi) != 1:
+        raise ReproError(
+            f"schedule {pi} has gcd {gcd_many(pi)} != 1; cannot complete "
+            "to a unimodular matrix")
+    # V accumulates column operations such that pi @ V == e_1.
+    v = [[1 if r == c else 0 for c in range(n)] for r in range(n)]
+    current = list(pi)
+    for j in range(1, n):
+        a, b = current[0], current[j]
+        if b == 0:
+            continue
+        g, x, y = extended_gcd(a, b)
+        # New col0 = x*col0 + y*colj ; new colj = -(b/g)*col0 + (a/g)*colj.
+        for r in range(n):
+            c0, cj = v[r][0], v[r][j]
+            v[r][0] = x * c0 + y * cj
+            v[r][j] = -(b // g) * c0 + (a // g) * cj
+        current[0], current[j] = g, 0
+    if current[0] == -1:
+        for r in range(n):
+            v[r][0] = -v[r][0]
+        current[0] = 1
+    assert current[0] == 1 and all(c == 0 for c in current[1:])
+    vm = IntMatrix(v)
+    m = vm.inverse_unimodular()
+    assert list(m.row(0)) == list(pi)
+    return m
+
+
+class HyperplaneResult:
+    """Outcome of :func:`hyperplane_method`."""
+
+    __slots__ = ("schedule", "matrix", "transformation")
+
+    def __init__(self, schedule: List[int], matrix: IntMatrix,
+                 transformation: Transformation):
+        self.schedule = schedule
+        self.matrix = matrix
+        self.transformation = transformation
+
+    def __repr__(self):
+        return (f"HyperplaneResult(schedule={self.schedule}, "
+                f"T={self.transformation.signature()})")
+
+
+def hyperplane_method(deps: DepSet, n: Optional[int] = None,
+                      max_coeff: int = 3,
+                      names: Optional[Sequence[str]] = None
+                      ) -> Optional[HyperplaneResult]:
+    """Find a wavefront transformation making loops 2..n parallel.
+
+    Returns None when no schedule exists within the coefficient budget
+    (e.g. the dependence set admits no strictly positive schedule).
+    """
+    depth = deps.depth if not deps.is_empty() else n
+    if depth is None:
+        raise ValueError("need the nest size for an empty dependence set")
+    if deps.is_empty():
+        pi: Optional[List[int]] = [1] + [0] * (depth - 1)
+    else:
+        pi = find_schedule(deps, max_coeff=max_coeff)
+    if pi is None:
+        return None
+    matrix = complete_to_unimodular(pi)
+    flags = [False] + [True] * (depth - 1)
+    transformation = Transformation.of(
+        Unimodular(depth, matrix, names=names),
+        Parallelize(depth, flags))
+    return HyperplaneResult(pi, matrix, transformation)

@@ -1,0 +1,97 @@
+"""Loop parallelization drivers built on the uniform legality test.
+
+Because Parallelize is "just another template", deciding which loops may
+run in parallel is a legality query, not a bespoke analysis: loop *k* is
+parallelizable iff ``Parallelize(n, e_k)`` passes the dependence-vector
+test (equivalently: no dependence can be carried at level *k*).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.sequence import Transformation
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.deps.vector import DepSet
+from repro.ir.loopnest import LoopNest
+
+
+def parallelizable_loops(deps: DepSet, n: int) -> List[int]:
+    """1-based loop numbers that may individually become ``pardo``."""
+    out = []
+    for k in range(1, n + 1):
+        flags = [False] * n
+        flags[k - 1] = True
+        mapped = Parallelize(n, flags).map_dep_set(deps)
+        if not mapped.can_be_lex_negative():
+            out.append(k)
+    return out
+
+
+def maximal_parallelize(nest: LoopNest, deps: DepSet) -> Transformation:
+    """The largest jointly-legal Parallelize instantiation.
+
+    Starts from the individually-legal set and drops loops innermost
+    first until the joint mapping passes (joint legality can be stricter
+    because parallelizing an outer loop erases the positive entries that
+    justified parallelizing an inner one).
+    """
+    n = nest.depth
+    candidates = parallelizable_loops(deps, n)
+    flags = [k in candidates for k in range(1, n + 1)]
+    while any(flags):
+        mapped = Parallelize(n, flags).map_dep_set(deps)
+        if not mapped.can_be_lex_negative():
+            break
+        # Drop the innermost flagged loop and retry.
+        for k in range(n - 1, -1, -1):
+            if flags[k]:
+                flags[k] = False
+                break
+    transformation = Transformation.of(Parallelize(n, flags)).reduced()
+    return transformation
+
+
+def outermost_parallel(nest: LoopNest, deps: DepSet
+                       ) -> Optional[Transformation]:
+    """Find a permutation placing a parallelizable loop outermost.
+
+    Searches all loop orders (ReversePermute only — cheap, reuses index
+    names), preferring (a) more parallel loops in outer positions and
+    (b) the identity-most permutation; returns None when no order makes
+    any loop parallel.  Demonstrates the paper's "search and undo": the
+    nest is never modified while alternatives are evaluated.
+    """
+    n = nest.depth
+    best: Optional[Tuple[Tuple[int, ...], int, Transformation]] = None
+    for order in itertools.permutations(range(1, n + 1)):
+        perm = [0] * n
+        for position, loop_number in enumerate(order, start=1):
+            perm[loop_number - 1] = position
+        rp = ReversePermute(n, [False] * n, perm)
+        base = Transformation.of(rp)
+        mapped = base.map_dep_set(deps)
+        if mapped.can_be_lex_negative():
+            continue
+        # How many outermost loops can be parallel in this order?
+        score = 0
+        flags = [False] * n
+        for k in range(1, n + 1):
+            flags[k - 1] = True
+            joint = Parallelize(n, flags).map_dep_set(mapped)
+            if joint.can_be_lex_negative():
+                flags[k - 1] = False
+                break
+            score += 1
+        if score == 0:
+            continue
+        candidate = base.then(Parallelize(n, flags), reduce=False)
+        if not candidate.legality(nest, deps).legal:
+            continue
+        key = (order, )
+        if best is None or score > best[1] or (
+                score == best[1] and order < best[0]):
+            best = (order, score, candidate)
+    return best[2] if best else None

@@ -1,0 +1,142 @@
+"""Transformation search with undo — Section 5's headline advantage.
+
+Because a :class:`~repro.core.sequence.Transformation` is a value
+independent of any loop nest, an optimizer can enumerate arbitrarily
+many candidate sequences, test each for legality and score the good
+ones, all without touching the nest; code is generated once, for the
+winner.  This module provides a small beam search over a candidate menu
+plus two ready-made scoring functions (static parallelism, simulated
+cache locality).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cache.simulator import CacheConfig, Layout, simulate_trace
+from repro.core.sequence import Transformation
+from repro.core.template import Template
+from repro.core.templates.block import Block
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.deps.vector import DepSet
+from repro.ir.loopnest import LoopNest, PARDO
+from repro.runtime.interpreter import run_nest
+
+Score = Callable[[Transformation, LoopNest, DepSet], float]
+
+
+def default_candidates(n: int, tile_size: int = 16) -> List[Template]:
+    """A menu of single-step candidates for nests of size *n*: all
+    adjacent interchanges, single-loop reversals, single-loop
+    parallelizations, and full-range tiling."""
+    menu: List[Template] = []
+    for a in range(1, n):
+        perm = list(range(1, n + 1))
+        perm[a - 1], perm[a] = perm[a], perm[a - 1]
+        menu.append(ReversePermute(n, [False] * n, perm))
+    for k in range(1, n + 1):
+        rev = [False] * n
+        rev[k - 1] = True
+        menu.append(ReversePermute(n, rev, list(range(1, n + 1))))
+        flags = [False] * n
+        flags[k - 1] = True
+        menu.append(Parallelize(n, flags))
+    if n >= 2:
+        menu.append(Block(n, 1, n, [tile_size] * n))
+    return menu
+
+
+def parallelism_score(transformation: Transformation, nest: LoopNest,
+                      deps: DepSet) -> float:
+    """Static score: pardo loops weighted by how far out they sit."""
+    try:
+        loops = transformation.loop_trace(nest)[-1]
+    except Exception:
+        return float("-inf")
+    total = 0.0
+    depth = len(loops)
+    for position, lp in enumerate(loops):
+        if lp.kind == PARDO:
+            total += depth - position
+    return total
+
+
+def make_locality_score(arrays, symbols, layout: Layout,
+                        config: Optional[CacheConfig] = None,
+                        trace_source: Optional[LoopNest] = None) -> Score:
+    """A scoring function that *runs* the transformed nest through the
+    interpreter and cache simulator; higher is better (negated misses)."""
+
+    def score(transformation: Transformation, nest: LoopNest,
+              deps: DepSet) -> float:
+        try:
+            out = transformation.apply(nest, deps)
+            result = run_nest(out, arrays, symbols=symbols,
+                              trace_addresses=True)
+            stats = simulate_trace(result.address_trace, layout, config)
+            return -float(stats.misses)
+        except Exception:
+            return float("-inf")
+
+    return score
+
+
+class SearchResult:
+    __slots__ = ("transformation", "score", "explored", "legal_count")
+
+    def __init__(self, transformation: Optional[Transformation],
+                 score: float, explored: int, legal_count: int):
+        self.transformation = transformation
+        self.score = score
+        self.explored = explored
+        self.legal_count = legal_count
+
+    def __repr__(self):
+        sig = self.transformation.signature() if self.transformation else None
+        return (f"SearchResult({sig}, score={self.score}, "
+                f"explored={self.explored}, legal={self.legal_count})")
+
+
+def search(nest: LoopNest, deps: DepSet,
+           candidates: Optional[Sequence[Template]] = None,
+           score: Score = parallelism_score,
+           depth: int = 2, beam: int = 8) -> SearchResult:
+    """Beam search over sequences of up to *depth* menu steps.
+
+    Every candidate sequence is legality-tested and scored against the
+    *unmodified* nest; ties keep the shorter sequence.  The identity
+    transformation seeds the beam, so "do nothing" wins when nothing
+    scores better.
+    """
+    n = nest.depth
+    menu = list(candidates) if candidates is not None else default_candidates(n)
+    identity = Transformation.identity(n)
+    frontier: List[Tuple[float, Transformation]] = [
+        (score(identity, nest, deps), identity)]
+    best_score, best = frontier[0]
+    explored = 1
+    legal_count = 1
+    for _level in range(depth):
+        nxt: List[Tuple[float, Transformation]] = []
+        for _, base in frontier:
+            for step in menu:
+                if step.n != base.output_depth:
+                    continue
+                candidate = base.then(step, reduce=False)
+                explored += 1
+                report = candidate.legality(nest, deps)
+                if not report.legal:
+                    continue
+                legal_count += 1
+                s = score(candidate, nest, deps)
+                nxt.append((s, candidate))
+                if s > best_score or (s == best_score and
+                                      len(candidate) < len(best)):
+                    best_score, best = s, candidate
+        nxt.sort(key=lambda p: -p[0])
+        frontier = nxt[:beam]
+        if not frontier:
+            break
+    return SearchResult(best, best_score, explored, legal_count)

@@ -1,0 +1,73 @@
+"""Automatic tiling for data locality.
+
+Finds the largest contiguous loop range whose Block preconditions hold
+and whose tiling passes the uniform legality test, then instantiates
+Block with the requested (or default) tile sizes.  The cache benchmarks
+use this driver to show the locality win the paper motivates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.sequence import Transformation
+from repro.core.templates.block import Block, SizeLike
+from repro.deps.vector import DepSet
+from repro.ir.loopnest import LoopNest
+from repro.util.errors import PreconditionViolation
+
+
+def tilable_ranges(nest: LoopNest, deps: DepSet,
+                   probe_size: int = 2) -> List[Tuple[int, int]]:
+    """All contiguous 1-based ranges ``(i, j)`` that Block accepts,
+    widest first.  *probe_size* is the dummy block size used for the
+    legality probe (legality does not depend on the size)."""
+    n = nest.depth
+    out: List[Tuple[int, int]] = []
+    for width in range(n, 0, -1):
+        for i in range(1, n - width + 2):
+            j = i + width - 1
+            block = Block(n, i, j, [probe_size] * width)
+            try:
+                block.check_preconditions(nest.loops)
+            except PreconditionViolation:
+                continue
+            mapped = block.map_dep_set(deps)
+            if mapped.can_be_lex_negative():
+                continue
+            out.append((i, j))
+    return out
+
+
+def auto_tile(nest: LoopNest, deps: DepSet,
+              sizes: Union[int, Sequence[SizeLike]] = 16,
+              prefer: Optional[Tuple[int, int]] = None
+              ) -> Optional[Transformation]:
+    """Tile the widest legal range (or *prefer*, when given and legal).
+
+    *sizes* is either one size for every loop in the range or an explicit
+    per-loop list matching the chosen range's width.  Returns None when
+    no range can be tiled.
+    """
+    ranges = tilable_ranges(nest, deps)
+    if not ranges:
+        return None
+    if prefer is not None:
+        if prefer not in ranges:
+            return None
+        i, j = prefer
+    else:
+        i, j = ranges[0]
+    width = j - i + 1
+    if isinstance(sizes, int):
+        bsize: Sequence[SizeLike] = [sizes] * width
+    else:
+        if len(sizes) != width:
+            raise ValueError(
+                f"need {width} sizes for range {i}..{j}, got {len(sizes)}")
+        bsize = sizes
+    transformation = Transformation.of(Block(nest.depth, i, j, bsize))
+    report = transformation.legality(nest, deps)
+    if not report.legal:
+        return None
+    return transformation

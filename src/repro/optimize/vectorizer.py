@@ -1,0 +1,117 @@
+"""Vectorization driver: make the *innermost* loop parallel.
+
+Vector execution was the paper's first motivation ("used extensively by
+restructuring compilers for optimizing vector execution...").  A loop is
+vectorizable when its iterations are independent — i.e. Parallelize of
+the innermost loop passes the uniform legality test.  This driver
+searches loop orders (cheap ReversePermute first, Unimodular when the
+bounds require it) for one whose innermost loop is parallel, preferring
+orders that also keep longer parallel suffixes (more inner loops to
+vectorize/unroll).
+
+Also exports :func:`cheapest_permutation`, the embodiment of
+Section 4.2's guidance: "for cases in which ReversePermute and
+Unimodular can achieve the same result, it is preferable to use
+ReversePermute" — it tries the cheap template's preconditions first and
+falls back to the permutation matrix.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.sequence import Transformation
+from repro.core.template import Template
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.core.templates.unimodular import Unimodular
+from repro.deps.vector import DepSet
+from repro.ir.loopnest import Loop, LoopNest
+from repro.util.errors import PreconditionViolation
+from repro.util.matrices import IntMatrix
+
+
+def cheapest_permutation(loops: Sequence[Loop],
+                         order: Sequence[int]) -> Template:
+    """Loop permutation as ReversePermute when legal, else Unimodular.
+
+    *order* lists 1-based input loop numbers outermost-first for the
+    output.  Raises :class:`PreconditionViolation` when neither template
+    accepts the bounds.
+    """
+    n = len(loops)
+    if sorted(order) != list(range(1, n + 1)):
+        raise ValueError(f"order must be a permutation of 1..{n}")
+    perm = [0] * n
+    for position, loop_number in enumerate(order, start=1):
+        perm[loop_number - 1] = position
+    rp = ReversePermute(n, [False] * n, perm)
+    try:
+        rp.check_preconditions(loops)
+        return rp
+    except PreconditionViolation:
+        pass
+    uni = Unimodular(n, IntMatrix.permutation([p - 1 for p in perm]))
+    uni.check_preconditions(loops)  # may raise; caller decides
+    return uni
+
+
+class VectorizationResult:
+    """Outcome of :func:`vectorize_innermost`."""
+
+    __slots__ = ("transformation", "order", "parallel_suffix")
+
+    def __init__(self, transformation: Transformation,
+                 order: Tuple[int, ...], parallel_suffix: int):
+        self.transformation = transformation
+        self.order = order
+        self.parallel_suffix = parallel_suffix
+
+    def __repr__(self):
+        return (f"VectorizationResult(order={self.order}, "
+                f"suffix={self.parallel_suffix}, "
+                f"T={self.transformation.signature()})")
+
+
+def vectorize_innermost(nest: LoopNest,
+                        deps: DepSet) -> Optional[VectorizationResult]:
+    """Find a loop order whose innermost loop(s) are parallel.
+
+    Prefers (a) the longest parallel suffix, (b) identity-closest
+    orders, (c) the cheap ReversePermute template.  Returns None when no
+    order yields a parallel innermost loop.
+    """
+    n = nest.depth
+    best: Optional[Tuple[int, Tuple[int, ...], Transformation]] = None
+    for order in itertools.permutations(range(1, n + 1)):
+        try:
+            permute = cheapest_permutation(nest.loops, order)
+        except PreconditionViolation:
+            continue
+        base = Transformation.of(permute)
+        mapped = base.map_dep_set(deps)
+        if mapped.can_be_lex_negative():
+            continue
+        # Longest parallel suffix: flag innermost loops until illegal.
+        flags = [False] * n
+        suffix = 0
+        for k in range(n, 0, -1):
+            flags[k - 1] = True
+            joint = Parallelize(n, flags).map_dep_set(mapped)
+            if joint.can_be_lex_negative():
+                flags[k - 1] = False
+                break
+            suffix += 1
+        if suffix == 0:
+            continue
+        candidate = base.then(Parallelize(n, flags), reduce=False)
+        if not candidate.legality(nest, deps).legal:
+            continue
+        key = (suffix, tuple(-abs(o - p - 1) for p, o in enumerate(order)))
+        if best is None or suffix > best[0] or (
+                suffix == best[0] and order < best[1]):
+            best = (suffix, tuple(order), candidate)
+    if best is None:
+        return None
+    return VectorizationResult(best[2], best[1], best[0])

@@ -1,0 +1,24 @@
+"""Loop-nest interpreter, traces, and semantic oracles."""
+
+from repro.runtime.arrays import Array
+from repro.runtime.interpreter import (
+    ExecutionResult,
+    Interpreter,
+    Schedule,
+    run_nest,
+)
+from repro.runtime.oracle import (
+    OracleFailure,
+    check_dependence_order,
+    check_equivalence,
+    dependence_order_holds,
+    same_iteration_multiset,
+)
+from repro.runtime.parallel_sim import CostResult, simulate_makespan
+
+__all__ = [
+    "Array", "ExecutionResult", "Interpreter", "Schedule", "run_nest",
+    "OracleFailure", "check_dependence_order", "check_equivalence",
+    "dependence_order_holds", "same_iteration_multiset",
+    "CostResult", "simulate_makespan",
+]

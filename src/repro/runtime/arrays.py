@@ -1,0 +1,95 @@
+"""Dictionary-backed arrays for the loop-nest interpreter.
+
+Fortran-style arrays with arbitrary (possibly negative) integer indices
+and a default value for unwritten elements.  Dict backing keeps the
+interpreter simple and exact; helpers convert to/from dense nested lists
+for tests that prefer literals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+Index = Tuple[int, ...]
+Number = Union[int, float]
+
+
+class Array:
+    """A sparse, default-valued array of numbers."""
+
+    __slots__ = ("data", "default", "name")
+
+    def __init__(self, default: Number = 0, name: str = "",
+                 data: Optional[Mapping[Index, Number]] = None):
+        self.default = default
+        self.name = name
+        self.data: Dict[Index, Number] = dict(data) if data else {}
+
+    # -- element access -----------------------------------------------------
+
+    @staticmethod
+    def _key(index) -> Index:
+        if isinstance(index, tuple):
+            return index
+        return (index,)
+
+    def __getitem__(self, index) -> Number:
+        return self.data.get(self._key(index), self.default)
+
+    def __setitem__(self, index, value: Number) -> None:
+        self.data[self._key(index)] = value
+
+    def __contains__(self, index) -> bool:
+        return self._key(index) in self.data
+
+    def __len__(self):
+        return len(self.data)
+
+    # -- whole-array operations -------------------------------------------------
+
+    def copy(self) -> "Array":
+        return Array(self.default, self.name, self.data)
+
+    def __eq__(self, other):
+        if not isinstance(other, Array):
+            return NotImplemented
+        keys = set(self.data) | set(other.data)
+        return all(self[k] == other[k] for k in keys)
+
+    def __hash__(self):
+        raise TypeError("Array is mutable and unhashable")
+
+    def max_abs_difference(self, other: "Array") -> Number:
+        keys = set(self.data) | set(other.data)
+        return max((abs(self[k] - other[k]) for k in keys), default=0)
+
+    def __repr__(self):
+        label = self.name or "Array"
+        return f"{label}(<{len(self.data)} elements, default {self.default}>)"
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def from_rows(rows: Iterable[Iterable[Number]], base: int = 1,
+                  name: str = "") -> "Array":
+        """Dense 2-D initializer; ``base`` is the first index (1 for the
+        paper's Fortran-style examples)."""
+        arr = Array(0, name)
+        for i, row in enumerate(rows, start=base):
+            for j, v in enumerate(row, start=base):
+                arr[(i, j)] = v
+        return arr
+
+    @staticmethod
+    def from_values(values: Iterable[Number], base: int = 1,
+                    name: str = "") -> "Array":
+        """Dense 1-D initializer."""
+        arr = Array(0, name)
+        for i, v in enumerate(values, start=base):
+            arr[(i,)] = v
+        return arr
+
+    def to_rows(self, lo: int, hi: int) -> list:
+        """Dense 2-D extraction over ``[lo, hi] x [lo, hi]``."""
+        return [[self[(i, j)] for j in range(lo, hi + 1)]
+                for i in range(lo, hi + 1)]

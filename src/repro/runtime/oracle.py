@@ -1,0 +1,127 @@
+"""Semantic oracles: equivalence and dependence-order checking.
+
+These functions turn the interpreter into the test suite's ground truth:
+
+* :func:`check_equivalence` — run an original and a transformed nest on
+  the same inputs (under several ``pardo`` schedules) and compare every
+  array;
+* :func:`check_dependence_order` — given the iteration trace of a
+  transformed nest (in *original* index coordinates) and a dependence
+  set, verify the partial order of Section 3.1: whenever the difference
+  of two instances lies in ``Tuples(D)``, the later one executes later;
+* :func:`same_iteration_multiset` — a reordering must execute exactly
+  the original iterations, no more, no fewer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.deps.vector import DepSet
+from repro.ir.loopnest import LoopNest
+from repro.runtime.arrays import Array
+from repro.runtime.interpreter import ExecutionResult, Schedule, run_nest
+
+
+class OracleFailure(AssertionError):
+    """Raised when a semantic check fails; message explains the witness."""
+
+
+def check_equivalence(original: LoopNest, transformed: LoopNest,
+                      arrays: Mapping[str, Array],
+                      symbols: Optional[Mapping[str, int]] = None,
+                      funcs: Optional[Mapping[str, Callable[..., int]]] = None,
+                      schedules: Sequence[Schedule] = (
+                          Schedule("seq"),
+                          Schedule("reverse"),
+                          Schedule("shuffle", seed=1),
+                          Schedule("shuffle", seed=2),
+                      )) -> None:
+    """Assert the transformed nest computes what the original computes.
+
+    The original runs sequentially (its ``pardo`` loops, if any, with the
+    forward schedule); the transformed nest runs once per schedule in
+    *schedules* and every run must reproduce the original's arrays.
+    """
+    base = run_nest(original, arrays, symbols=symbols, funcs=funcs,
+                    schedule=Schedule("seq"))
+    for schedule in schedules:
+        result = run_nest(transformed, arrays, symbols=symbols, funcs=funcs,
+                          schedule=schedule)
+        _compare_arrays(base, result, schedule)
+
+
+def _compare_arrays(base: ExecutionResult, result: ExecutionResult,
+                    schedule: Schedule) -> None:
+    names = set(base.arrays) | set(result.arrays)
+    for name in sorted(names):
+        a = base.arrays.get(name, Array(0, name))
+        b = result.arrays.get(name, Array(0, name))
+        if a != b:
+            diff = a.max_abs_difference(b)
+            raise OracleFailure(
+                f"array {name!r} differs after transformation under "
+                f"pardo schedule {schedule.policy!r} (seed {schedule.seed}); "
+                f"max abs difference {diff}")
+
+
+def same_iteration_multiset(original: LoopNest, transformed: LoopNest,
+                            arrays: Mapping[str, Array],
+                            symbols: Optional[Mapping[str, int]] = None,
+                            funcs=None) -> None:
+    """Assert both nests execute exactly the same iterations (as
+    multisets of original index tuples)."""
+    vars_ = original.indices
+    base = run_nest(original, arrays, symbols=symbols, funcs=funcs,
+                    trace_vars=vars_)
+    new = run_nest(transformed, arrays, symbols=symbols, funcs=funcs,
+                   trace_vars=vars_)
+    a = Counter(base.iteration_trace)
+    b = Counter(new.iteration_trace)
+    if a != b:
+        missing = list((a - b).keys())[:5]
+        extra = list((b - a).keys())[:5]
+        raise OracleFailure(
+            "iteration multisets differ: "
+            f"missing {missing!r}..., extra {extra!r}... "
+            f"({sum(a.values())} vs {sum(b.values())} iterations)")
+
+
+def check_dependence_order(trace: Sequence[Tuple[int, ...]],
+                           deps: DepSet,
+                           limit_pairs: int = 2_000_000) -> None:
+    """Assert the executed order respects the dependence partial order.
+
+    For execution positions ``p < q``, the instance at *p* ran first; a
+    violation is ``trace[p] - trace[q] in Tuples(D)`` (then *p*'s
+    instance depends on *q*'s and must run after it).
+    """
+    n = len(trace)
+    if deps.is_empty():
+        return
+    if n * (n - 1) // 2 > limit_pairs:
+        raise ValueError(
+            f"trace of {n} iterations needs too many pair checks; "
+            "reduce the problem size")
+    for q in range(n):
+        tq = trace[q]
+        for p in range(q):
+            tp = trace[p]
+            diff = tuple(a - b for a, b in zip(tp, tq))
+            for vec in deps:
+                if vec.contains_tuple(diff):
+                    raise OracleFailure(
+                        f"dependence violated: iteration {tp} (position {p}) "
+                        f"executed before {tq} (position {q}) but depends on "
+                        f"it via {vec}")
+
+
+def dependence_order_holds(trace: Sequence[Tuple[int, ...]],
+                           deps: DepSet) -> bool:
+    """Boolean form of :func:`check_dependence_order`."""
+    try:
+        check_dependence_order(trace, deps)
+        return True
+    except OracleFailure:
+        return False

@@ -1,0 +1,44 @@
+"""Shared utilities: error types, integer math, integer matrices.
+
+These are the lowest-level helpers used throughout the framework. They
+deliberately avoid any dependency on the expression or IR layers so that
+every other package may import them freely.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    IllegalTransformationError,
+    PreconditionViolation,
+    CodegenError,
+    ParseError,
+    AnalysisError,
+)
+from repro.util.intmath import (
+    floor_div,
+    ceil_div,
+    gcd,
+    gcd_many,
+    lcm,
+    extended_gcd,
+    sign,
+    trip_count,
+)
+from repro.util.matrices import IntMatrix
+
+__all__ = [
+    "ReproError",
+    "IllegalTransformationError",
+    "PreconditionViolation",
+    "CodegenError",
+    "ParseError",
+    "AnalysisError",
+    "floor_div",
+    "ceil_div",
+    "gcd",
+    "gcd_many",
+    "lcm",
+    "extended_gcd",
+    "sign",
+    "trip_count",
+    "IntMatrix",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+All framework-specific errors derive from :class:`ReproError` so callers
+can catch everything the library raises with a single except clause while
+still being able to distinguish legality failures from parse or codegen
+problems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IllegalTransformationError(ReproError):
+    """A transformation failed its legality test for a given loop nest.
+
+    Raised by code generation entry points when the caller asks to apply a
+    transformation that the unified legality test rejects.  The message
+    records which part of the test failed (dependence-vector test or loop
+    bounds preconditions) and for which template instantiation.
+    """
+
+
+class PreconditionViolation(ReproError):
+    """A template's loop-bounds precondition is violated.
+
+    Carries the template name, the offending loop and index variable, the
+    required type-lattice bound and the actual classified type so that
+    optimizers can report *why* a candidate transformation was rejected.
+    """
+
+    def __init__(self, template, message, loop=None, var=None,
+                 required=None, actual=None):
+        super().__init__(f"{template}: {message}")
+        self.template = template
+        self.loop = loop
+        self.var = var
+        self.required = required
+        self.actual = actual
+
+
+class CodegenError(ReproError):
+    """Code generation could not produce a transformed loop nest."""
+
+
+class ParseError(ReproError):
+    """The loop-nest or expression parser rejected its input."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class AnalysisError(ReproError):
+    """Dependence analysis could not handle the given loop nest."""

@@ -1,0 +1,99 @@
+"""Exact integer arithmetic helpers.
+
+Loop-bound manipulation needs floor/ceiling division that is correct for
+negative operands (Python's ``//`` already floors, but we make intent
+explicit and add the ceiling counterpart), plus gcd/lcm machinery for the
+dependence tests and unimodular matrix inversion.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def sign(x: int) -> int:
+    """Return -1, 0 or +1 according to the sign of *x*."""
+    if x > 0:
+        return 1
+    if x < 0:
+        return -1
+    return 0
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floor division correct for all sign combinations.
+
+    ``floor_div(7, 2) == 3``, ``floor_div(-7, 2) == -4``.
+    """
+    if b == 0:
+        raise ZeroDivisionError("floor_div by zero")
+    return a // b
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division correct for all sign combinations.
+
+    ``ceil_div(7, 2) == 4``, ``ceil_div(-7, 2) == -3``.
+    """
+    if b == 0:
+        raise ZeroDivisionError("ceil_div by zero")
+    return -floor_div(-a, b)
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor; ``gcd(0, 0) == 0`` by convention."""
+    return math.gcd(a, b)
+
+
+def gcd_many(values) -> int:
+    """GCD of an iterable of integers (0 for an empty iterable)."""
+    g = 0
+    for v in values:
+        g = math.gcd(g, v)
+        if g == 1:
+            return 1
+    return g
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple; ``lcm(x, 0) == 0``."""
+    if a == 0 or b == 0:
+        return 0
+    return abs(a // math.gcd(a, b) * b)
+
+
+def extended_gcd(a: int, b: int):
+    """Return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def trip_count(lower: int, upper: int, step: int) -> int:
+    """Number of iterations of ``do x = lower, upper, step`` (Fortran rules).
+
+    Zero when the loop is empty; raises on a zero step.
+    """
+    if step == 0:
+        raise ValueError("loop step must be nonzero")
+    count = floor_div(upper - lower, step) + 1
+    return max(count, 0)
+
+
+def last_iterate(lower: int, upper: int, step: int) -> int:
+    """The final value taken by the index of ``do x = lower, upper, step``.
+
+    Undefined (raises) for an empty loop.
+    """
+    n = trip_count(lower, upper, step)
+    if n == 0:
+        raise ValueError("empty loop has no last iterate")
+    return lower + (n - 1) * step

@@ -1,0 +1,242 @@
+"""Exact integer matrices for unimodular transformations.
+
+The :class:`IntMatrix` class implements just enough exact linear algebra
+for the framework: multiplication, determinant (Bareiss fraction-free
+elimination, exact over the integers), adjugate-based inversion of
+unimodular matrices, and constructors for the elementary iteration-space
+matrices (interchange/permutation, reversal, skew).
+
+Matrices are immutable; all operations return new instances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple
+
+
+class IntMatrix:
+    """An immutable 2-D matrix of Python integers.
+
+    Rows are stored as a tuple of tuples.  Construction validates that the
+    data is rectangular and that every entry is an ``int`` (``bool`` is
+    rejected to avoid silent surprises).
+    """
+
+    __slots__ = ("_rows", "_nrows", "_ncols")
+
+    def __init__(self, rows: Iterable[Sequence[int]]):
+        materialized: List[Tuple[int, ...]] = []
+        width = None
+        for row in rows:
+            tup = tuple(row)
+            for entry in tup:
+                if not isinstance(entry, int) or isinstance(entry, bool):
+                    raise TypeError(f"matrix entries must be int, got {entry!r}")
+            if width is None:
+                width = len(tup)
+            elif len(tup) != width:
+                raise ValueError("matrix rows must all have the same length")
+            materialized.append(tup)
+        if not materialized or width == 0:
+            raise ValueError("matrix must be non-empty")
+        self._rows = tuple(materialized)
+        self._nrows = len(materialized)
+        self._ncols = width
+
+    # -- basic structure ------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return self._nrows
+
+    @property
+    def ncols(self) -> int:
+        return self._ncols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._nrows, self._ncols)
+
+    def row(self, i: int) -> Tuple[int, ...]:
+        return self._rows[i]
+
+    def col(self, j: int) -> Tuple[int, ...]:
+        return tuple(r[j] for r in self._rows)
+
+    def rows(self) -> Tuple[Tuple[int, ...], ...]:
+        return self._rows
+
+    def __getitem__(self, key: Tuple[int, int]) -> int:
+        i, j = key
+        return self._rows[i][j]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IntMatrix) and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(list(r)) for r in self._rows)
+        return f"IntMatrix([{body}])"
+
+    def pretty(self) -> str:
+        """Multi-line aligned rendering, used by benches and examples."""
+        widths = [max(len(str(self._rows[i][j])) for i in range(self._nrows))
+                  for j in range(self._ncols)]
+        lines = []
+        for r in self._rows:
+            cells = [str(v).rjust(w) for v, w in zip(r, widths)]
+            lines.append("[ " + "  ".join(cells) + " ]")
+        return "\n".join(lines)
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def identity(n: int) -> "IntMatrix":
+        return IntMatrix([[1 if i == j else 0 for j in range(n)]
+                          for i in range(n)])
+
+    @staticmethod
+    def permutation(perm: Sequence[int]) -> "IntMatrix":
+        """Matrix P with P·x placing old coordinate *k* at position ``perm[k]``.
+
+        *perm* is 0-based: ``perm[k] = p`` means loop *k* of the input nest
+        moves to position *p* of the output nest, i.e. ``y[perm[k]] = x[k]``.
+        """
+        n = len(perm)
+        if sorted(perm) != list(range(n)):
+            raise ValueError(f"not a permutation of 0..{n - 1}: {perm!r}")
+        rows = [[0] * n for _ in range(n)]
+        for k, p in enumerate(perm):
+            rows[p][k] = 1
+        return IntMatrix(rows)
+
+    @staticmethod
+    def reversal(n: int, which: Sequence[int]) -> "IntMatrix":
+        """Diagonal matrix negating the coordinates listed in *which* (0-based)."""
+        flip = set(which)
+        if not flip.issubset(range(n)):
+            raise ValueError(f"reversal positions out of range: {which!r}")
+        return IntMatrix([[(-1 if i in flip else 1) if i == j else 0
+                           for j in range(n)] for i in range(n)])
+
+    @staticmethod
+    def skew(n: int, target: int, source: int, factor: int) -> "IntMatrix":
+        """Skew loop *target* by *factor* times loop *source* (0-based).
+
+        The resulting matrix maps ``y[target] = x[target] + factor*x[source]``
+        and is the identity elsewhere.  ``target != source`` is required so
+        the matrix stays unimodular.
+        """
+        if target == source:
+            raise ValueError("skew target and source must differ")
+        if not (0 <= target < n and 0 <= source < n):
+            raise ValueError("skew positions out of range")
+        rows = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+        rows[target][source] = factor
+        return IntMatrix(rows)
+
+    @staticmethod
+    def interchange(n: int, a: int, b: int) -> "IntMatrix":
+        """Permutation matrix swapping loops *a* and *b* (0-based)."""
+        perm = list(range(n))
+        perm[a], perm[b] = perm[b], perm[a]
+        return IntMatrix.permutation(perm)
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __matmul__(self, other: "IntMatrix") -> "IntMatrix":
+        return self.multiply(other)
+
+    def multiply(self, other: "IntMatrix") -> "IntMatrix":
+        if self._ncols != other._nrows:
+            raise ValueError(
+                f"shape mismatch: {self.shape} @ {other.shape}")
+        ocols = other._ncols
+        rows = []
+        for i in range(self._nrows):
+            srow = self._rows[i]
+            row = [sum(srow[k] * other._rows[k][j] for k in range(self._ncols))
+                   for j in range(ocols)]
+            rows.append(row)
+        return IntMatrix(rows)
+
+    def apply(self, vector: Sequence[int]) -> Tuple[int, ...]:
+        """Matrix-vector product with a plain integer vector."""
+        if len(vector) != self._ncols:
+            raise ValueError("vector length mismatch")
+        return tuple(sum(r[k] * vector[k] for k in range(self._ncols))
+                     for r in self._rows)
+
+    def transpose(self) -> "IntMatrix":
+        return IntMatrix([self.col(j) for j in range(self._ncols)])
+
+    # -- determinant / inverse -------------------------------------------
+
+    def determinant(self) -> int:
+        """Exact determinant via Bareiss fraction-free elimination."""
+        if self._nrows != self._ncols:
+            raise ValueError("determinant of a non-square matrix")
+        n = self._nrows
+        m = [list(r) for r in self._rows]
+        sign_flip = 1
+        prev = 1
+        for k in range(n - 1):
+            if m[k][k] == 0:
+                pivot_row = next((r for r in range(k + 1, n) if m[r][k] != 0),
+                                 None)
+                if pivot_row is None:
+                    return 0
+                m[k], m[pivot_row] = m[pivot_row], m[k]
+                sign_flip = -sign_flip
+            for i in range(k + 1, n):
+                for j in range(k + 1, n):
+                    m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) // prev
+                m[i][k] = 0
+            prev = m[k][k]
+        return sign_flip * m[n - 1][n - 1]
+
+    def is_unimodular(self) -> bool:
+        """True iff square, integer (by construction) and determinant ±1."""
+        if self._nrows != self._ncols:
+            return False
+        return self.determinant() in (1, -1)
+
+    def inverse_unimodular(self) -> "IntMatrix":
+        """Exact integer inverse; requires the matrix to be unimodular.
+
+        Uses Gauss-Jordan elimination over exact rationals and verifies
+        that the result is integral (always true for unimodular input).
+        """
+        if self._nrows != self._ncols:
+            raise ValueError("inverse of a non-square matrix")
+        det = self.determinant()
+        if det not in (1, -1):
+            raise ValueError(
+                f"matrix is not unimodular (determinant {det}); "
+                "integer inverse does not exist")
+        n = self._nrows
+        aug = [[Fraction(v) for v in self._rows[i]] +
+               [Fraction(1 if i == j else 0) for j in range(n)]
+               for i in range(n)]
+        for col in range(n):
+            pivot = next(r for r in range(col, n) if aug[r][col] != 0)
+            aug[col], aug[pivot] = aug[pivot], aug[col]
+            inv = Fraction(1) / aug[col][col]
+            aug[col] = [v * inv for v in aug[col]]
+            for r in range(n):
+                if r != col and aug[r][col] != 0:
+                    factor = aug[r][col]
+                    aug[r] = [a - factor * b for a, b in zip(aug[r], aug[col])]
+        rows = []
+        for i in range(n):
+            row = []
+            for j in range(n):
+                v = aug[i][n + j]
+                if v.denominator != 1:
+                    raise ArithmeticError("non-integer inverse entry")
+                row.append(int(v))
+            rows.append(row)
+        return IntMatrix(rows)

@@ -1,0 +1,111 @@
+"""Tests for the unimodular-only baseline framework."""
+
+import pytest
+
+from repro.baselines import CannotExpress, UnimodularFramework
+from repro.core.templates.block import Block
+from repro.core.templates.coalesce import Coalesce
+from repro.core.templates.interleave import Interleave
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.core.templates.unimodular import Unimodular
+from repro.deps.vector import depset
+from repro.ir.parser import parse_nest
+from repro.runtime import check_equivalence
+from repro.util.errors import (
+    IllegalTransformationError,
+    PreconditionViolation,
+)
+from repro.util.matrices import IntMatrix
+
+
+class TestExpressiveness:
+    """The paper's headline: 'none of parallelization, blocking,
+    coalescing, interleaving can be represented by a transformation
+    matrix'."""
+
+    @pytest.mark.parametrize("step", [
+        Parallelize(2, [True, False]),
+        Block(2, 1, 2, [4, 4]),
+        Coalesce(2, 1, 2),
+        Interleave(2, 1, 2, [4, 4]),
+    ])
+    def test_non_matrix_templates_rejected(self, step):
+        with pytest.raises(CannotExpress):
+            UnimodularFramework.from_template(step)
+
+    def test_unimodular_embeds(self):
+        u = Unimodular(2, [[1, 1], [1, 0]])
+        assert UnimodularFramework.from_template(u).matrix == u.matrix
+
+    def test_reverse_permute_embeds(self):
+        rp = ReversePermute(2, [False, True], [2, 1])
+        m = UnimodularFramework.from_template(rp).matrix
+        # loop1 -> position 2 unreversed; loop2 -> position 1 reversed.
+        assert m == IntMatrix([[0, -1], [1, 0]])
+        # Mapping a dep vector agrees with the general framework's rule.
+        from repro.deps.rules import unimodular_map
+        from repro.deps.vector import depv
+        assert unimodular_map(m, depv(1, -1)) == \
+            rp.map_dep_vector(depv(1, -1))[0]
+
+
+class TestComposition:
+    def test_matrix_product(self):
+        a = UnimodularFramework.skew(2, 2, 1)
+        b = UnimodularFramework.interchange(2, 1, 2)
+        c = a.then(b)
+        assert c.matrix == b.matrix @ a.matrix
+
+    def test_rejects_non_unimodular(self):
+        with pytest.raises(ValueError):
+            UnimodularFramework([[2, 0], [0, 1]])
+
+
+class TestLegality:
+    def test_wolf_lam_test(self):
+        deps = depset((1, -1))
+        assert not UnimodularFramework.interchange(2, 1, 2).is_legal(deps)
+        skew_swap = UnimodularFramework.skew(2, 2, 1).then(
+            UnimodularFramework.interchange(2, 1, 2))
+        assert skew_swap.is_legal(deps)
+
+    def test_stricter_than_general_on_summary(self):
+        # (0, 0+) can be the zero vector: Wolf-Lam requires strictly
+        # lex-positive transformed vectors, so identity already fails.
+        deps = depset((0, "0+"))
+        assert not UnimodularFramework.identity(2).is_legal(deps)
+
+
+class TestCodegen:
+    def test_apply_matches_general_framework(self, stencil_nest):
+        deps = depset((1, 0), (0, 1))
+        baseline = UnimodularFramework([[1, 1], [1, 0]])
+        out = baseline.apply(stencil_nest, deps, names=["jj", "ii"])
+        assert str(out.loops[0].lower) == "4"
+        check_equivalence(stencil_nest, out, {}, symbols={"n": 7})
+
+    def test_apply_rejects_illegal(self, stencil_nest):
+        with pytest.raises(IllegalTransformationError):
+            UnimodularFramework.interchange(2, 1, 2).apply(
+                stencil_nest, depset((1, -1)))
+
+    def test_requires_linear_bounds_even_for_interchange(self):
+        """Where the general framework's ReversePermute shines: the
+        baseline cannot even interchange around nonlinear bounds."""
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            do k = colstr(j), colstr(j+1)-1
+              a(i, j) += b(i, rowidx(k)) * c(k)
+            enddo
+          enddo
+        enddo
+        """)
+        baseline = UnimodularFramework(
+            IntMatrix.permutation([2, 0, 1]))  # move i innermost
+        with pytest.raises(PreconditionViolation):
+            baseline.apply(nest, depset())
+        # ... while ReversePermute handles it (see the template tests).
+        rp = ReversePermute(3, [False] * 3, [3, 1, 2])
+        rp.check_preconditions(nest.loops)

@@ -1,0 +1,114 @@
+"""Tests for the LB/UB/STEP matrix representation (Figure 5)."""
+
+import pytest
+
+from repro.core.bounds_matrix import LB, STEP, UB, BoundsMatrix
+from repro.expr.linear import BoundType
+from repro.ir.parser import parse_nest
+
+
+@pytest.fixture
+def fig5_nest():
+    """The sample loop nest of Figure 5."""
+    return parse_nest("""
+    do i = max(n, 3), 100, 2
+      do j = 1, min(2, i + 512)
+        do k = sqrt(i) / 2, 2*j, i
+          body(i, j, k) = 0
+        enddo
+      enddo
+    enddo
+    """)
+
+
+class TestFigure5Content:
+    def test_lb_invariant_entries(self, fig5_nest):
+        bm = BoundsMatrix.of_nest(fig5_nest)
+        assert [str(e) for e in bm.invariant_entry(LB, 1)] == ["3", "n"]
+        assert [str(e) for e in bm.invariant_entry(LB, 2)] == ["1"]
+        assert [str(e) for e in bm.invariant_entry(LB, 3)] == \
+            ["div(sqrt(i), 2)"]
+
+    def test_ub_min_entry_splits(self, fig5_nest):
+        bm = BoundsMatrix.of_nest(fig5_nest)
+        # min(2, i+512): two terms; coefficient of i is <0, 1> per term.
+        assert sorted(bm.coefficient(UB, 2, 1)) == [0, 1]
+        assert bm._cell(UB, 2).combiner == "min"
+
+    def test_ub_linear_coefficient(self, fig5_nest):
+        bm = BoundsMatrix.of_nest(fig5_nest)
+        assert bm.coefficient(UB, 3, 2) == (2,)
+
+    def test_step_matrix(self, fig5_nest):
+        bm = BoundsMatrix.of_nest(fig5_nest)
+        assert bm.step_value(1) == 2
+        assert bm.step_value(2) == 1
+        assert bm.step_value(3) is None          # step is i, not const
+        assert bm.coefficient(STEP, 3, 1) == (1,)
+
+    def test_type_facts(self, fig5_nest):
+        """The exact type facts listed under Figure 5."""
+        bm = BoundsMatrix.of_nest(fig5_nest)
+        assert bm.type_of(UB, 2, 1) is BoundType.LINEAR    # type(u2, i)
+        assert bm.type_of(LB, 3, 1) is BoundType.NONLINEAR  # type(l3, i)
+        assert bm.type_of(UB, 3, 2) is BoundType.LINEAR    # type(u3, j)
+        assert bm.type_of(STEP, 3, 1) is BoundType.LINEAR  # type(s3, i)
+        # invar or const in all other cases:
+        assert bm.type_of(LB, 2, 1) is BoundType.CONST
+        assert bm.type_of(UB, 3, 1) is BoundType.INVAR or \
+            bm.type_of(UB, 3, 1) is BoundType.CONST
+
+    def test_pretty_renders(self, fig5_nest):
+        bm = BoundsMatrix.of_nest(fig5_nest)
+        text = bm.pretty(LB)
+        assert "max<3, n>" in text
+        assert "sqrt" in text
+        types = bm.pretty_types()
+        assert "type(l3, i) = nonlinear" in types
+        assert "type(u2, i) = linear" in types
+
+
+class TestQueries:
+    def test_type_by_name_or_number(self, triangular_nest):
+        bm = BoundsMatrix.of_nest(triangular_nest)
+        assert bm.type_of(LB, 2, 1) is BoundType.LINEAR
+        assert bm.type_of(LB, 2, "i") is BoundType.LINEAR
+
+    def test_index_error(self, triangular_nest):
+        bm = BoundsMatrix.of_nest(triangular_nest)
+        with pytest.raises(IndexError):
+            bm.type_of(LB, 5, 1)
+
+    def test_negative_step_swaps_minmax_direction(self):
+        # With a negative step, a *min* lower bound is the special case.
+        nest = parse_nest("""
+        do i = 1, n
+          do j = min(i, 10), 1, -1
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        bm = BoundsMatrix.of_nest(nest)
+        assert bm.type_of(LB, 2, 1) is BoundType.LINEAR
+
+    def test_wrong_direction_minmax_is_nonlinear(self):
+        nest = parse_nest("""
+        do i = 1, n
+          do j = min(i, 10), 20
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        bm = BoundsMatrix.of_nest(nest)
+        assert bm.type_of(LB, 2, 1) is BoundType.NONLINEAR
+
+    def test_all_const_cell(self):
+        nest = parse_nest("do i = 1, 10\n a(i) = 1\nenddo")
+        bm = BoundsMatrix.of_nest(nest)
+        assert bm._cell(LB, 1).const_value() == 1
+        assert bm._cell(UB, 1).const_value() == 10
+
+    def test_pretty_types_all_invar(self):
+        nest = parse_nest("do i = 1, n\n do j = 1, n\n a(i,j)=1\n enddo\nenddo")
+        bm = BoundsMatrix.of_nest(nest)
+        assert "all cases" in bm.pretty_types()

@@ -1,0 +1,200 @@
+"""Tests for the command-line interface and its step mini-language."""
+
+import pytest
+
+from repro.cli import SpecError, build_step, main, parse_steps
+from repro.core import (
+    Block,
+    Coalesce,
+    Interleave,
+    Parallelize,
+    ReversePermute,
+    Unimodular,
+)
+
+STENCIL = """
+do i = 2, n-1
+  do j = 2, n-1
+    a(i, j) = (a(i, j) + a(i-1, j) + a(i, j-1) + a(i+1, j) + a(i, j+1)) / 5
+  enddo
+enddo
+"""
+
+MATMUL = """
+do i = 1, n
+  do j = 1, n
+    do k = 1, n
+      A(i, j) += B(i, k) * C(k, j)
+    enddo
+  enddo
+enddo
+"""
+
+
+@pytest.fixture
+def stencil_file(tmp_path):
+    path = tmp_path / "stencil.loop"
+    path.write_text(STENCIL)
+    return str(path)
+
+
+@pytest.fixture
+def matmul_file(tmp_path):
+    path = tmp_path / "matmul.loop"
+    path.write_text(MATMUL)
+    return str(path)
+
+
+class TestStepLanguage:
+    def test_interchange(self):
+        step = build_step("interchange", [1, 2], 3)
+        assert isinstance(step, ReversePermute)
+        assert step.perm == (2, 1, 3)
+
+    def test_permute(self):
+        step = build_step("permute", [3, 1, 2], 3)
+        assert step.perm == (2, 3, 1)
+
+    def test_reverse(self):
+        step = build_step("reverse", [2], 3)
+        assert step.rev == (False, True, False)
+
+    def test_skew_default_factor(self):
+        step = build_step("skew", [2, 1], 2)
+        assert isinstance(step, Unimodular)
+        assert step.matrix.rows() == ((1, 0), (1, 1))
+
+    def test_unimodular_matrix_literal(self):
+        step = build_step("unimodular", [[[1, 1], [1, 0]]], 2)
+        assert step.matrix.rows() == ((1, 1), (1, 0))
+
+    def test_parallelize(self):
+        step = build_step("parallelize", [1, 3], 3)
+        assert step.parflag == (True, False, True)
+
+    def test_block_broadcast_size(self):
+        step = build_step("block", [1, 3, 16], 3)
+        assert isinstance(step, Block)
+        assert len(step.bsize) == 3
+
+    def test_block_symbolic_size(self):
+        step = build_step("block", [1, 1, "bs"], 2)
+        assert str(step.bsize[0]) == "bs"
+
+    def test_stripmine(self):
+        step = build_step("stripmine", [2, 8], 3)
+        assert (step.i, step.j) == (2, 2)
+
+    def test_coalesce(self):
+        assert isinstance(build_step("coalesce", [1, 2], 3), Coalesce)
+
+    def test_interleave(self):
+        step = build_step("interleave", [1, 2, 4], 2)
+        assert isinstance(step, Interleave)
+
+    def test_wavefront(self):
+        step = build_step("wavefront", [], 3)
+        assert list(step.matrix.row(0)) == [1, 1, 1]
+
+    def test_unknown_step(self):
+        with pytest.raises(SpecError):
+            build_step("frobnicate", [], 2)
+
+    def test_bad_arity(self):
+        with pytest.raises(SpecError):
+            build_step("interchange", [1], 2)
+
+    def test_sequence_depth_tracking(self):
+        T = parse_steps("block(1,2,4); parallelize(1); coalesce(3,4)", 2)
+        assert T.input_depth == 2
+        assert T.output_depth == 3
+
+    def test_malformed_call(self):
+        with pytest.raises(SpecError):
+            parse_steps("interchange 1 2", 2)
+
+
+class TestCommands:
+    def test_show(self, stencil_file, capsys):
+        assert main(["show", stencil_file]) == 0
+        out = capsys.readouterr().out
+        assert "do i = 2, n - 1" in out
+
+    def test_show_deps_and_bounds(self, stencil_file, capsys):
+        assert main(["show", stencil_file, "--deps", "--bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "{(1, 0), (0, 1)}" in out
+        assert "LB =" in out
+
+    def test_analyze_levels(self, matmul_file, capsys):
+        assert main(["analyze", matmul_file, "--level", "fm"]) == 0
+        assert "{(0, 0, +)}" in capsys.readouterr().out
+
+    def test_legality_legal(self, stencil_file, capsys):
+        code = main(["legality", stencil_file,
+                     "--steps", "skew(2,1); interchange(1,2)"])
+        assert code == 0
+        assert "legal: True" in capsys.readouterr().out
+
+    def test_legality_illegal(self, stencil_file, capsys):
+        code = main(["legality", stencil_file,
+                     "--steps", "reverse(1)"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "legal: False" in out
+
+    def test_transform_loop_output(self, stencil_file, capsys):
+        code = main(["transform", stencil_file,
+                     "--steps", "skew(2,1); interchange(1,2)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "do jj = 4, 2*n - 2" in out
+
+    def test_transform_illegal_refused(self, stencil_file, capsys):
+        code = main(["transform", stencil_file, "--steps", "reverse(1)"])
+        assert code == 1
+        assert "ILLEGAL" in capsys.readouterr().err
+
+    def test_transform_force(self, stencil_file, capsys):
+        code = main(["transform", stencil_file, "--steps", "reverse(1)",
+                     "--force"])
+        assert code == 0
+        assert "do i = n - 1, 2, -1" in capsys.readouterr().out
+
+    def test_transform_emit_c(self, matmul_file, capsys):
+        code = main(["transform", matmul_file,
+                     "--steps", "block(1,3,8)", "--emit", "c"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "void kernel(long n)" in out
+        assert "FLOOR_DIV" in out or "for (" in out
+
+    def test_transform_emit_python(self, matmul_file, capsys):
+        code = main(["transform", matmul_file,
+                     "--steps", "interchange(1,3)", "--emit", "python"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "def kernel(arrays, symbols, funcs=None):" in out
+        compile(out, "<cli>", "exec")
+
+    def test_transform_trace(self, matmul_file, capsys):
+        code = main(["transform", matmul_file, "--trace",
+                     "--steps", "permute(2,3,1); block(1,3,2); "
+                                "parallelize(1,3); interchange(2,3); "
+                                "coalesce(1,2)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- START: D = {(0, 0, +)}" in out
+        assert "-- Coalesce" in out
+
+    def test_spec_error_reported(self, stencil_file, capsys):
+        code = main(["transform", stencil_file, "--steps", "bogus(1)"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.loop"
+        bad.write_text("do i = 1, n\n a(i) = 1\n")  # missing enddo
+        code = main(["show", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

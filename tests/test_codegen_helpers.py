@@ -1,0 +1,92 @@
+"""Tests for the code-generation bookkeeping helpers."""
+
+import pytest
+
+from repro.core.codegen import assemble_nest, collect_taken
+from repro.core.template import check_contiguous_range, fresh_name
+from repro.ir import parse_nest
+from repro.ir.loopnest import InitStmt, Loop
+from repro.expr.nodes import Const, var
+
+
+class TestCollectTaken:
+    def test_indices_and_invariants(self, matmul_nest):
+        taken = collect_taken(matmul_nest)
+        assert {"i", "j", "k", "n"} <= taken
+
+    def test_array_names(self, matmul_nest):
+        taken = collect_taken(matmul_nest)
+        assert {"A", "B", "C"} <= taken
+
+    def test_call_names_in_bounds(self):
+        nest = parse_nest("""
+        do j = 1, n
+          do k = colstr(j), colstr(j+1)-1
+            a(k) = c(k)
+          enddo
+        enddo
+        """)
+        taken = collect_taken(nest)
+        assert "colstr" in taken
+
+    def test_if_and_init_names(self):
+        nest = parse_nest("""
+        do ii = 1, 9
+          i = ii + off
+          if (p(i) > 0) a(i) = b(i)
+        enddo
+        """)
+        taken = collect_taken(nest)
+        assert {"ii", "i", "off", "p", "a", "b"} <= taken
+
+
+class TestFreshName:
+    def test_prefers_base(self):
+        taken = {"x"}
+        assert fresh_name("it", taken) == "it"
+        assert "it" in taken
+
+    def test_doubles_single_letter(self):
+        taken = {"i"}
+        assert fresh_name("i", taken) == "ii"
+
+    def test_numbered_fallback(self):
+        taken = {"i", "ii"}
+        assert fresh_name("i", taken) == "i2"
+
+    def test_deterministic(self):
+        assert fresh_name("j", {"j"}) == fresh_name("j", {"j"})
+
+
+class TestAssembleNest:
+    def test_init_ordering_reversed_per_step(self, matmul_nest):
+        step1 = (InitStmt("a1", Const(1)), InitStmt("a2", Const(2)))
+        step2 = (InitStmt("b1", Const(3)),)
+        out = assemble_nest(matmul_nest, matmul_nest.loops, [step1, step2])
+        # INIT_2 first, then INIT_1; order inside a step preserved.
+        assert [s.var for s in out.inits] == ["b1", "a1", "a2"]
+
+    def test_existing_inits_stay_last(self):
+        nest = parse_nest("""
+        do ii = 1, 4
+          i = ii * 2
+          a(i) = 1
+        enddo
+        """)
+        new = (InitStmt("z", Const(0)),)
+        out = assemble_nest(nest, nest.loops, [new])
+        assert [s.var for s in out.inits] == ["z", "i"]
+
+    def test_body_preserved(self, matmul_nest):
+        out = assemble_nest(matmul_nest, matmul_nest.loops, [])
+        assert out.body == matmul_nest.body
+
+
+class TestRangeValidation:
+    def test_valid(self):
+        check_contiguous_range("X", 4, 2, 3)
+
+    @pytest.mark.parametrize("i,j", [(0, 2), (3, 2), (1, 5)])
+    def test_invalid(self, i, j):
+        with pytest.raises(ValueError):
+            check_contiguous_range("X", 4, i, j)

@@ -1,0 +1,87 @@
+"""Tests for the statement-level dependence graph and carried levels."""
+
+import pytest
+
+from repro.deps.graph import ANTI, FLOW, OUTPUT, DependenceGraph
+from repro.deps.vector import depset
+from repro.ir import parse_nest
+from repro.optimize import parallelizable_loops
+
+
+class TestConstruction:
+    def test_stencil_flow_edges(self, stencil_nest):
+        g = DependenceGraph.from_nest(stencil_nest)
+        assert g.vectors() == depset((1, 0), (0, 1))
+        kinds = {e.kind for e in g.edges}
+        # The 5-point stencil has both flow (write feeds later reads)
+        # and anti (reads of a(i+1,j)/a(i,j+1) precede their writes).
+        assert FLOW in kinds and ANTI in kinds
+
+    def test_fig2_statement_pairs(self, fig2_nest):
+        g = DependenceGraph.from_nest(fig2_nest)
+        # a flows from statement 0 to statement 1 (a(i-1,j+1) read) and
+        # b flows from statement 1 back to statement 0.
+        pairs = g.statement_pairs()
+        assert (0, 1) in pairs and (1, 0) in pairs
+        arrays = {e.array for e in g.edges}
+        assert arrays == {"a", "b"}
+
+    def test_output_dependence(self):
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            a(j) = i + j
+          enddo
+        enddo
+        """)
+        g = DependenceGraph.from_nest(nest)
+        assert g.edges_of_kind(OUTPUT)
+
+    def test_no_deps(self):
+        nest = parse_nest("do i = 1, n\n a(i) = b(i)\nenddo")
+        g = DependenceGraph.from_nest(nest)
+        assert not g.edges
+        assert g.pretty() == "(no cross-iteration dependences)"
+        assert g.parallel_levels() == [1]
+
+
+class TestCarriedLevels:
+    def test_levels(self):
+        nest = parse_nest("""
+        do i = 2, n
+          do j = 1, n
+            a(i, j) = a(i-1, j) + 1
+          enddo
+        enddo
+        """)
+        g = DependenceGraph.from_nest(nest)
+        assert g.carrying_levels() == {1}
+        assert g.parallel_levels() == [2]
+        [edge] = [e for e in g.edges if e.kind == FLOW]
+        assert edge.level == 1
+
+    def test_edge_level_zero_for_summaries(self):
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            s(0) += a(i, j)
+          enddo
+        enddo
+        """)
+        g = DependenceGraph.from_nest(nest)
+        assert g.carrying_levels() == {1, 2}
+        assert g.parallel_levels() == []
+
+    def test_agrees_with_framework_parallelize(self, matmul_nest,
+                                               stencil_nest, fig2_nest):
+        """Allen-Kennedy via the graph == Parallelize legality via the
+        framework, on every fixture nest."""
+        for nest in (matmul_nest, stencil_nest, fig2_nest):
+            g = DependenceGraph.from_nest(nest)
+            deps = g.vectors()
+            assert g.parallel_levels() == \
+                parallelizable_loops(deps, nest.depth)
+
+    def test_pretty_lists_levels(self, stencil_nest):
+        text = DependenceGraph.from_nest(stencil_nest).pretty()
+        assert "flow" in text and "carried:" in text

@@ -1,0 +1,239 @@
+"""Tests for dependence entries and vectors (Section 3.1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.deps.entry import DepEntry, DIRECTION_CODES
+from repro.deps.vector import DepSet, DepVector, depset, depv
+
+
+class TestEntryConstruction:
+    def test_distance(self):
+        e = DepEntry.distance(3)
+        assert e.is_distance and e.value == 3 and e.code == "3"
+
+    def test_direction(self):
+        e = DepEntry.direction("0+")
+        assert not e.is_distance and e.code == "0+"
+
+    def test_equals_direction_is_zero_distance(self):
+        # The paper: "= is equivalent to a zero distance".
+        assert DepEntry.direction("=") == DepEntry.distance(0)
+
+    def test_relational_aliases(self):
+        assert DepEntry.direction("<") == DepEntry.direction("+")
+        assert DepEntry.direction(">=") == DepEntry.direction("0-")
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError):
+            DepEntry.direction("?")
+
+    def test_of_coercions(self):
+        assert DepEntry.of(4) == DepEntry.distance(4)
+        assert DepEntry.of("-2") == DepEntry.distance(-2)
+        assert DepEntry.of("+") == DepEntry.direction("+")
+        assert DepEntry.of(DepEntry.distance(1)).value == 1
+
+    def test_of_rejects_bool(self):
+        with pytest.raises(TypeError):
+            DepEntry.of(True)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            DepEntry.distance(1).iset = None
+
+
+class TestEntrySemantics:
+    @pytest.mark.parametrize("code,neg,zero,pos", [
+        ("+", False, False, True),
+        ("-", True, False, False),
+        ("0+", False, True, True),
+        ("0-", True, True, False),
+        ("!0", True, False, True),
+        ("*", True, True, True),
+    ])
+    def test_sign_predicates(self, code, neg, zero, pos):
+        e = DepEntry.direction(code)
+        assert e.can_be_negative() == neg
+        assert e.can_be_zero() == zero
+        assert e.can_be_positive() == pos
+        assert e.code == code  # round-trips through the tightest cover
+
+    def test_direction_of(self):
+        assert DepEntry.distance(5).direction_of() == DepEntry.direction("+")
+        assert DepEntry.distance(-5).direction_of() == DepEntry.direction("-")
+        assert DepEntry.distance(0).direction_of() == DepEntry.distance(0)
+        assert DepEntry.direction("0+").direction_of().code == "0+"
+
+    def test_negate(self):
+        assert DepEntry.distance(3).negate() == DepEntry.distance(-3)
+        assert DepEntry.direction("0+").negate().code == "0-"
+        assert DepEntry.direction("!0").negate().code == "!0"
+
+    def test_add(self):
+        assert DepEntry.distance(2).add(DepEntry.distance(3)).value == 5
+        assert DepEntry.distance(2).add(DepEntry.direction("+")).code == "+"
+        s = DepEntry.direction("+").add(DepEntry.direction("-"))
+        assert s.code == "*"
+
+    def test_scale(self):
+        assert DepEntry.distance(3).scale(-2).value == -6
+        assert DepEntry.direction("+").scale(0) == DepEntry.distance(0)
+        assert DepEntry.direction("+").scale(-1).code == "-"
+
+    def test_coarsen_refined_interval(self):
+        # 2 + '+' denotes [3, inf]; coarsened code is '+'.
+        refined = DepEntry.distance(2).add(DepEntry.direction("+"))
+        assert refined.code == "+"
+        assert refined.coarsen() == DepEntry.direction("+")
+
+    def test_sample_within_set(self):
+        for code in DIRECTION_CODES:
+            e = DepEntry.direction(code)
+            for v in e.sample():
+                assert v in e.tuples()
+
+    def test_sample_of_far_distance(self):
+        assert DepEntry.distance(9).sample(bound=3) == [9]
+
+
+class TestDepVector:
+    def test_construction_coercion(self):
+        v = depv(1, "-", "0+")
+        assert v[0].value == 1 and v[1].code == "-" and v[2].code == "0+"
+
+    def test_one_based_entry(self):
+        assert depv(5, 6).entry(1).value == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DepVector([])
+
+    def test_str(self):
+        assert str(depv(1, "-", "*")) == "(1, -, *)"
+
+    def test_contains_tuple(self):
+        v = depv("0+", "-")
+        assert v.contains_tuple((0, -3))
+        assert not v.contains_tuple((-1, -3))
+        assert not v.contains_tuple((0,))
+
+
+class TestLexicographic:
+    @pytest.mark.parametrize("entries,expected", [
+        ((1, -1), False),          # first entry positive
+        ((-1, 1), True),           # first entry negative
+        ((0, "+"), False),
+        (("+", 0), False),
+        (("0+", "-"), True),       # 0 then negative possible
+        (("+", "-"), False),       # first always positive
+        (("*",), True),
+        ((0, 0, -1), True),
+        (("!0", 5), True),         # !0 can be negative
+    ])
+    def test_can_be_lex_negative(self, entries, expected):
+        assert depv(*entries).can_be_lex_negative() == expected
+
+    def test_lex_negative_matches_enumeration(self):
+        codes = ["-2", "0", "1", "+", "-", "0+", "0-", "!0", "*"]
+        for a, b in itertools.product(codes, repeat=2):
+            v = depv(a, b)
+            brute = any(_lex_negative(t) for t in v.sample_tuples(bound=2))
+            assert v.can_be_lex_negative() == brute, str(v)
+
+    def test_is_lex_positive(self):
+        assert depv(0, 1).is_lex_positive()
+        assert not depv(0, "0+").is_lex_positive()  # zero vector possible
+        assert not depv("*", 1).is_lex_positive()
+
+    def test_carried_at(self):
+        assert depv(0, 1, "*").carried_at() == 2
+        assert depv(1, "*", "*").carried_at() == 1
+        assert depv("0+", "+").carried_at() == 0
+
+    def test_could_be_carried_at(self):
+        assert depv(0, "+").could_be_carried_at(2)
+        assert not depv(1, "+").could_be_carried_at(2)
+        assert depv("0+", "+").could_be_carried_at(1)
+
+
+def _lex_negative(t):
+    for x in t:
+        if x != 0:
+            return x < 0
+    return False
+
+
+class TestExpansion:
+    def test_expand_summary(self):
+        expanded = depv("0+", 1).expand_summary()
+        assert depv(0, 1) in expanded
+        assert depv("+", 1) in expanded
+        assert len(expanded) == 2
+
+    def test_expand_star(self):
+        assert len(depv("*",).expand_summary()) == 3
+
+    def test_expand_preserves_tuples(self):
+        v = depv("!0", "0-")
+        originals = set(v.sample_tuples(bound=2))
+        covered = set()
+        for e in v.expand_summary():
+            covered.update(e.sample_tuples(bound=2))
+        assert originals == covered
+
+
+class TestDepSet:
+    def test_dedup(self):
+        s = DepSet([depv(1, 0), depv(1, 0), depv(0, 1)])
+        assert len(s) == 2
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DepSet([depv(1), depv(1, 2)])
+
+    def test_can_be_lex_negative(self):
+        assert depset((1, 0), ("-", 0)).can_be_lex_negative()
+        assert not depset((1, 0), (0, "+")).can_be_lex_negative()
+
+    def test_union(self):
+        s = depset((1, 0)).union(depset((0, 1)))
+        assert len(s) == 2
+
+    def test_equality_order_independent(self):
+        assert depset((1, 0), (0, 1)) == depset((0, 1), (1, 0))
+
+    def test_str(self):
+        assert str(depset((1, -1))) == "{(1, -1)}"
+
+
+# -- property tests -------------------------------------------------------------
+
+entry_strategy = st.one_of(
+    st.integers(-4, 4).map(DepEntry.distance),
+    st.sampled_from(DIRECTION_CODES).map(DepEntry.direction),
+)
+
+
+@given(entry_strategy, entry_strategy)
+def test_add_is_sound(a, b):
+    """Every sum of sampled members lies in the computed sum entry."""
+    total = a.add(b)
+    for x in a.sample(2):
+        for y in b.sample(2):
+            assert (x + y) in total.tuples()
+
+
+@given(entry_strategy, st.integers(-3, 3))
+def test_scale_is_sound(e, k):
+    scaled = e.scale(k)
+    for x in e.sample(2):
+        assert (k * x) in scaled.tuples()
+
+
+@given(entry_strategy)
+def test_coarsen_is_superset(e):
+    coarse = e.coarsen()
+    assert e.tuples().issubset(coarse.tuples())

@@ -1,0 +1,157 @@
+"""Tests for integer interval sets (the value sets behind dep entries)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.deps import intervals as iv
+from repro.deps.intervals import NEG_INF, POS_INF, IntervalSet
+
+
+class TestNormalization:
+    def test_merge_overlapping(self):
+        s = IntervalSet([(1, 5), (3, 8)])
+        assert s.intervals == ((1, 8),)
+
+    def test_merge_adjacent_integers(self):
+        s = IntervalSet([(1, 2), (3, 4)])
+        assert s.intervals == ((1, 4),)
+
+    def test_keep_gap(self):
+        s = IntervalSet([(1, 2), (4, 5)])
+        assert len(s.intervals) == 2
+
+    def test_drop_empty(self):
+        assert IntervalSet([(5, 3)]).is_empty()
+
+    def test_rejects_float_endpoints(self):
+        with pytest.raises(TypeError):
+            IntervalSet([(1.5, 2.5)])
+
+
+class TestInspection:
+    def test_point(self):
+        p = IntervalSet.point(4)
+        assert p.is_point() and p.point_value() == 4
+
+    def test_min_max(self):
+        s = IntervalSet([(1, 2), (9, 10)])
+        assert s.min() == 1 and s.max() == 10
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            IntervalSet.empty().min()
+
+    def test_membership(self):
+        s = iv.NON_ZERO
+        assert 5 in s and -5 in s and 0 not in s
+
+    def test_sign_predicates(self):
+        assert iv.POSITIVE.definitely_positive()
+        assert iv.NEGATIVE.definitely_negative()
+        assert iv.NON_NEGATIVE.definitely_nonnegative()
+        assert iv.NON_POSITIVE.definitely_nonpositive()
+        assert iv.ANY.can_be_zero()
+        assert not iv.NON_ZERO.can_be_zero()
+        assert iv.ZERO.is_zero()
+
+    def test_enumerate(self):
+        s = IntervalSet([(1, 3), (7, 8)])
+        assert s.enumerate() == [1, 2, 3, 7, 8]
+
+    def test_enumerate_infinite_raises(self):
+        with pytest.raises(ValueError):
+            iv.POSITIVE.enumerate()
+
+
+class TestSetOperations:
+    def test_union(self):
+        assert iv.POSITIVE.union(iv.NEGATIVE) == iv.NON_ZERO
+
+    def test_union_with_zero_gives_any(self):
+        assert iv.NON_ZERO.union(iv.ZERO) == iv.ANY
+
+    def test_intersect(self):
+        assert iv.NON_NEGATIVE.intersect(iv.NON_POSITIVE) == iv.ZERO
+
+    def test_intersect_disjoint(self):
+        assert iv.POSITIVE.intersect(iv.NEGATIVE).is_empty()
+
+    def test_issubset(self):
+        assert iv.POSITIVE.issubset(iv.NON_NEGATIVE)
+        assert not iv.NON_NEGATIVE.issubset(iv.POSITIVE)
+
+
+class TestArithmetic:
+    def test_negate_direction(self):
+        assert iv.POSITIVE.negate() == iv.NEGATIVE
+        assert iv.NON_ZERO.negate() == iv.NON_ZERO
+
+    def test_add_points(self):
+        assert IntervalSet.point(3).add(IntervalSet.point(-5)) == \
+            IntervalSet.point(-2)
+
+    def test_add_direction_and_point(self):
+        s = iv.POSITIVE.add(IntervalSet.point(2))
+        assert s == IntervalSet.range(3, POS_INF)
+
+    def test_add_opposing_directions(self):
+        assert iv.POSITIVE.add(iv.NEGATIVE) == iv.ANY
+
+    def test_add_nonzero_plus_point_fills_gap(self):
+        # {.. -1} U {1 ..} + {1} = {.. 0} U {2 ..}
+        s = iv.NON_ZERO.add(IntervalSet.point(1))
+        assert 0 in s and 1 not in s and 2 in s
+
+    def test_scale_by_minus_one_exact(self):
+        assert iv.NON_NEGATIVE.scale(-1) == iv.NON_POSITIVE
+
+    def test_scale_zero(self):
+        assert iv.ANY.scale(0) == iv.ZERO
+
+    def test_scale_point_exact(self):
+        assert IntervalSet.point(3).scale(4) == IntervalSet.point(12)
+
+    def test_scale_hull_overapproximates(self):
+        # 2 * [1, inf] is {2,4,6,...}; the hull is [2, inf] - a superset.
+        s = iv.POSITIVE.scale(2)
+        assert s == IntervalSet.range(2, POS_INF)
+        assert 3 in s  # the over-approximation, by design
+
+
+# -- property tests: finite models ------------------------------------------------
+
+finite_sets = st.lists(
+    st.tuples(st.integers(-10, 10), st.integers(-10, 10)), max_size=3
+).map(IntervalSet)
+
+
+def members(s: IntervalSet):
+    return set(s.enumerate()) if s.is_finite() else None
+
+
+@given(finite_sets, finite_sets)
+def test_union_semantics(a, b):
+    assert members(a.union(b)) == members(a) | members(b)
+
+
+@given(finite_sets, finite_sets)
+def test_intersect_semantics(a, b):
+    assert members(a.intersect(b)) == members(a) & members(b)
+
+
+@given(finite_sets, finite_sets)
+def test_add_semantics(a, b):
+    expected = {x + y for x in members(a) for y in members(b)}
+    assert members(a.add(b)) == expected
+
+
+@given(finite_sets)
+def test_negate_semantics(a):
+    assert members(a.negate()) == {-x for x in members(a)}
+
+
+@given(finite_sets, st.integers(-4, 4))
+def test_scale_is_superset(a, k):
+    scaled = members(a.scale(k))
+    exact = {k * x for x in members(a)}
+    assert exact <= scaled

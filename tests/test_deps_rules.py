@@ -1,0 +1,241 @@
+"""Tests for the Table 2 dependence mapping rules, including brute-force
+consistency checks (Def. 3.4) against concrete iteration models."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.deps.entry import DepEntry
+from repro.deps.rules import (
+    blockmap,
+    blockmap_precise,
+    imap,
+    imap_precise,
+    mergedirs,
+    parmap,
+    reverse,
+    unimodular_map,
+)
+from repro.deps.vector import depv
+from repro.util.matrices import IntMatrix
+
+
+def E(x):
+    return DepEntry.of(x)
+
+
+class TestReverse:
+    """Table 2's reverse(d_k) line: +<->-, 0+<->0-, !0 and * fixed."""
+
+    @pytest.mark.parametrize("code,expected", [
+        ("+", "-"), ("-", "+"), ("0+", "0-"), ("0-", "0+"),
+        ("!0", "!0"), ("*", "*"),
+    ])
+    def test_direction_table(self, code, expected):
+        assert reverse(E(code)).code == expected
+
+    def test_distance(self):
+        assert reverse(E(7)).value == -7
+        assert reverse(E(0)).value == 0
+
+
+class TestParmap:
+    """parmap: 0 -> 0, anything possibly nonzero -> *."""
+
+    def test_zero_fixed(self):
+        assert parmap(E(0)) == E(0)
+
+    @pytest.mark.parametrize("value", [1, -3, "+", "-", "0+", "0-", "!0", "*"])
+    def test_nonzero_to_star(self, value):
+        assert parmap(E(value)).code == "*"
+
+    def test_semantics(self):
+        """In any parallel order, a distance y can appear as any nonzero
+        offset in the schedule; parmap's * must cover all of them."""
+        mapped = parmap(E(3))
+        for offset in (-5, -1, 1, 5, 0):
+            assert offset in mapped.tuples()
+
+
+class TestMergedirs:
+    def test_paper_example(self):
+        # "mergedirs(+, -) = +": an outer positive entry dominates.
+        assert mergedirs([E("+"), E("-")]).code == "+"
+
+    def test_zero_outer_defers(self):
+        assert mergedirs([E(0), E("-")]).code == "-"
+
+    def test_nonneg_outer(self):
+        assert mergedirs([E("0+"), E("-")]).code == "!0"
+
+    def test_all_zero(self):
+        assert mergedirs([E(0), E(0)]) == E(0)
+
+    def test_distances_coarsen(self):
+        assert mergedirs([E(2), E(-1)]).code == "+"
+
+    def test_single_entry(self):
+        assert mergedirs([E(-4)]).code == "-"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mergedirs([])
+
+    @pytest.mark.parametrize("d1", [-2, -1, 0, 1, 2])
+    @pytest.mark.parametrize("d2", [-2, -1, 0, 1, 2])
+    def test_consistency_by_linearization(self, d1, d2):
+        """Brute force: coalesce a 5x5 space; every linearized difference
+        of a pair at distance (d1, d2) must lie in mergedirs' result."""
+        merged = mergedirs([E(d1), E(d2)])
+        n1 = n2 = 5
+        for x1, y1 in itertools.product(range(n1), range(n2)):
+            x2, y2 = x1 + d1, y1 + d2
+            if not (0 <= x2 < n1 and 0 <= y2 < n2):
+                continue
+            c1 = x1 * n2 + y1
+            c2 = x2 * n2 + y2
+            assert (c2 - c1) in merged.tuples(), (d1, d2, c2 - c1)
+
+
+def _exact_block_pairs(y: int, b: int, span: int = 40):
+    """Ground truth for blocking: all (block diff, in-block offset diff)
+    pairs realized by a distance y in a 0-based space of `span` points."""
+    pairs = set()
+    for m1 in range(span):
+        m2 = m1 + y
+        if not 0 <= m2 < span:
+            continue
+        pairs.add((m2 // b - m1 // b, m2 % b - m1 % b))
+    return pairs
+
+
+class TestBlockmap:
+    def test_zero(self):
+        assert [(a.code, b.code) for a, b in blockmap(E(0))] == [("0", "0")]
+
+    def test_star(self):
+        assert [(a.code, b.code) for a, b in blockmap(E("*"))] == [("*", "*")]
+
+    def test_unit_distance(self):
+        pairs = [(a.code, b.code) for a, b in blockmap(E(1))]
+        assert pairs == [("0", "1"), ("+", "*")]
+
+    def test_general_distance(self):
+        pairs = [(a.code, b.code) for a, b in blockmap(E(-5))]
+        assert pairs == [("0", "-5"), ("-", "*")]
+
+    def test_direction(self):
+        pairs = [(a.code, b.code) for a, b in blockmap(E("0+"))]
+        assert pairs == [("0", "0+"), ("0+", "*")]
+
+    @pytest.mark.parametrize("y", [-7, -3, -1, 0, 1, 2, 3, 5, 9])
+    @pytest.mark.parametrize("b", [1, 2, 3, 4, 8])
+    def test_conservative_covers_exact(self, y, b):
+        rule = blockmap(E(y))
+        for dq, de in _exact_block_pairs(y, b):
+            assert any(dq in p[0].tuples() and de in p[1].tuples()
+                       for p in rule), (y, b, dq, de)
+
+    @pytest.mark.parametrize("y", [-7, -3, -1, 0, 1, 2, 3, 5, 9])
+    @pytest.mark.parametrize("b", [1, 2, 3, 4, 8])
+    def test_precise_equals_exact(self, y, b):
+        exact = _exact_block_pairs(y, b)
+        rule = {(p[0].value, p[1].value)
+                for p in blockmap_precise(E(y), b)}
+        assert exact <= rule
+        # Precise pairs not realized can only come from boundary effects
+        # of the finite span; over an unbounded space they are realized.
+        full = _exact_block_pairs(y, b, span=200)
+        assert rule == full
+
+    def test_precise_falls_back_for_directions(self):
+        assert blockmap_precise(E("+"), 4) == blockmap(E("+"))
+
+    def test_precise_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            blockmap_precise(E(1), 0)
+
+
+def _exact_interleave_pairs(y: int, f: int, span: int = 60):
+    """Ground truth for interleaving: (residue diff, stride-loop diff)."""
+    pairs = set()
+    for m1 in range(span):
+        m2 = m1 + y
+        if not 0 <= m2 < span:
+            continue
+        pairs.add((m2 % f - m1 % f, m2 // f - m1 // f))
+    return pairs
+
+
+class TestImap:
+    def test_zero(self):
+        assert [(a.code, b.code) for a, b in imap(E(0))] == [("0", "0")]
+
+    def test_star(self):
+        assert [(a.code, b.code) for a, b in imap(E("*"))] == [("*", "*")]
+
+    def test_positive(self):
+        pairs = [(a.code, b.code) for a, b in imap(E("+"))]
+        assert pairs == [("+", "0+"), ("0-", "+")]
+
+    def test_negative(self):
+        pairs = [(a.code, b.code) for a, b in imap(E("-"))]
+        assert pairs == [("-", "0-"), ("0+", "-")]
+
+    def test_nonnegative_union(self):
+        pairs = [(a.code, b.code) for a, b in imap(E("0+"))]
+        assert ("0", "0") in pairs and ("+", "0+") in pairs
+
+    @pytest.mark.parametrize("y", [-9, -4, -1, 0, 1, 3, 4, 8])
+    @pytest.mark.parametrize("f", [1, 2, 3, 4, 5])
+    def test_conservative_covers_exact(self, y, f):
+        rule = imap(E(y))
+        for dr, dq in _exact_interleave_pairs(y, f):
+            assert any(dr in p[0].tuples() and dq in p[1].tuples()
+                       for p in rule), (y, f, dr, dq)
+
+    @pytest.mark.parametrize("y", [-9, -4, -1, 0, 1, 3, 4, 8])
+    @pytest.mark.parametrize("f", [1, 2, 3, 4, 5])
+    def test_precise_equals_exact(self, y, f):
+        exact = _exact_interleave_pairs(y, f, span=200)
+        rule = {(p[0].value, p[1].value) for p in imap_precise(E(y), f)}
+        assert rule == exact
+
+    def test_precise_falls_back_for_directions(self):
+        assert imap_precise(E("0-"), 4) == imap(E("0-"))
+
+
+class TestUnimodularMap:
+    def test_exact_distances(self):
+        m = IntMatrix([[1, 1], [1, 0]])
+        out = unimodular_map(m, depv(2, -1))
+        assert [e.value for e in out] == [1, 2]
+
+    def test_direction_extension(self):
+        m = IntMatrix([[1, 1], [0, 1]])
+        out = unimodular_map(m, depv("+", "0+"))
+        assert out[0].code == "+"
+        assert out[1].code == "0+"
+
+    def test_interval_beats_sign_algebra(self):
+        # 2*'+' + distance(-1) is [1, inf]: sign algebra would say '*'.
+        m = IntMatrix([[2, 1]])
+        out = unimodular_map(m, depv("+", -1))
+        assert out[0].code == "+"
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            unimodular_map(IntMatrix.identity(3), depv(1, 2))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_consistency_by_sampling(self, seed):
+        rng = random.Random(seed)
+        from tests.test_util_matrices import random_unimodular
+        m = random_unimodular(rng, 3, ops=4)
+        codes = ["-2", "0", "3", "+", "-", "0+", "0-", "!0", "*"]
+        vec = depv(*(rng.choice(codes) for _ in range(3)))
+        out = unimodular_map(m, vec)
+        for concrete in vec.sample_tuples(bound=2, limit=64):
+            image = m.apply(concrete)
+            assert out.contains_tuple(image), (m, concrete, image)

@@ -1,0 +1,129 @@
+"""Tests for the derived transformation library (repro.core.derived)."""
+
+import random
+
+import pytest
+
+from repro.core import Transformation, derived
+from repro.deps import depset, depv
+from repro.deps.analysis import analyze
+from repro.ir import parse_nest
+from repro.ir.loopnest import PARDO
+from repro.runtime import check_equivalence, run_nest
+from tests.conftest import random_array_2d
+
+
+class TestInterchangePermutation:
+    def test_interchange(self, matmul_nest):
+        T = derived.interchange(3, 1, 3)
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        assert out.indices == ("k", "j", "i")
+
+    def test_permutation_order_semantics(self, matmul_nest):
+        T = derived.permutation(3, [2, 3, 1])
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        assert out.indices == ("j", "k", "i")
+
+    def test_permutation_validates(self):
+        with pytest.raises(ValueError):
+            derived.permutation(3, [1, 1, 2])
+
+    def test_reversal(self):
+        nest = parse_nest("do i = 1, 9\n a(i) = i\nenddo")
+        T = derived.reversal(1, [1])
+        out = T.apply(nest, depset(), check=False)
+        assert str(out.loops[0].step) == "-1"
+
+
+class TestSkewAndUnimodular:
+    def test_skew_matrix(self):
+        T = derived.skew(2, 2, 1, factor=3)
+        assert T.steps[0].matrix.rows() == ((1, 0), (3, 1))
+
+    def test_skew_semantics(self, stencil_nest):
+        deps = analyze(stencil_nest)
+        T = derived.skew(2, 2, 1)
+        out = T.apply(stencil_nest, deps)
+        rng = random.Random(0)
+        arrays = {"a": random_array_2d(rng, 0, 8, "a")}
+        check_equivalence(stencil_nest, out, arrays, symbols={"n": 7})
+
+    def test_unimodular_passthrough(self):
+        T = derived.unimodular(2, [[0, 1], [1, 0]])
+        assert len(T) == 1
+
+
+class TestStripMineTile:
+    def test_strip_mine_shape(self):
+        nest = parse_nest("do i = 1, 20\n a(i) = i\nenddo")
+        T = derived.strip_mine(1, 1, 5)
+        out = T.apply(nest, depset(), check=False)
+        assert out.depth == 2
+        assert str(out.loops[0].step) == "5"
+
+    def test_tile_range(self, matmul_nest):
+        T = derived.tile(3, 2, 3, [4, 4])
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        assert out.depth == 5
+        assert out.indices[0] == "i"
+
+    def test_coalesce(self, matmul_nest):
+        T = derived.coalesce(3, 2, 3)
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        assert out.depth == 2
+
+    def test_interleave(self):
+        nest = parse_nest("do i = 1, 12\n a(i) = i\nenddo")
+        T = derived.interleave(1, 1, 1, [3])
+        out = T.apply(nest, depset(), check=False)
+        assert out.depth == 2
+
+
+class TestWavefront:
+    def test_default_factors(self):
+        T = derived.wavefront(3)
+        assert list(T.steps[0].matrix.row(0)) == [1, 1, 1]
+        assert T.steps[0].matrix.is_unimodular()
+
+    def test_custom_factors(self):
+        T = derived.wavefront(2, factors=[1, 2])
+        assert list(T.steps[0].matrix.row(0)) == [1, 2]
+
+    def test_requires_unit_leading_factor(self):
+        with pytest.raises(ValueError):
+            derived.wavefront(2, factors=[2, 1])
+
+    def test_wavefront_then_parallelize_is_legal(self, stencil_nest):
+        deps = analyze(stencil_nest)
+        T = derived.wavefront(2).then(
+            derived.parallelize(2, [2]), reduce=False)
+        report = T.legality(stencil_nest, deps)
+        assert report.legal
+        out = T.apply(stencil_nest, deps)
+        assert out.loops[1].kind == PARDO
+
+
+class TestFigure1Helper:
+    def test_matrix(self):
+        T = derived.skew_and_interchange()
+        assert T.steps[0].matrix.rows() == ((1, 1), (1, 0))
+
+    def test_rejects_other_depths(self):
+        with pytest.raises(ValueError):
+            derived.skew_and_interchange(n=3)
+
+
+class TestCompositionOfDerived:
+    def test_full_pipeline_on_matmul(self, matmul_nest):
+        """Derived helpers compose exactly like raw templates."""
+        deps = depset((0, 0, "+"))
+        T = (derived.permutation(3, [2, 3, 1])
+             .then(derived.tile(3, 1, 3, [2, 2, 2]), reduce=False)
+             .then(derived.parallelize(6, [1, 3]), reduce=False))
+        report = T.legality(matmul_nest, deps)
+        assert report.legal
+        out = T.apply(matmul_nest, deps)
+        rng = random.Random(5)
+        arrays = {"B": random_array_2d(rng, 1, 6, "B"),
+                  "C": random_array_2d(rng, 1, 6, "C")}
+        check_equivalence(matmul_nest, out, arrays, symbols={"n": 6})

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+The examples are self-verifying (each one asserts equivalence of
+original and transformed nests before printing success), so a clean exit
+is a real check, not just an import test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+assert EXAMPLES, "examples directory is empty"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=180)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_cli_end_to_end(tmp_path):
+    """The README's CLI pipeline, run for real."""
+    loop = tmp_path / "stencil.loop"
+    loop.write_text("""
+    do i = 2, n-1
+      do j = 2, n-1
+        a(i, j) = (a(i-1, j) + a(i, j-1)) / 2
+      enddo
+    enddo
+    """)
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "transform", str(loop),
+         "--steps", "skew(2,1); interchange(1,2)", "--emit", "c"],
+        capture_output=True, text=True, timeout=60)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "void kernel(long n)" in result.stdout

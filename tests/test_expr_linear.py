@@ -1,0 +1,128 @@
+"""Tests for affine forms and the paper's type lattice (Section 4.1)."""
+
+import pytest
+
+from repro.expr.linear import (
+    BoundType,
+    affine_form,
+    bound_type,
+    bound_type_through_minmax,
+    classify_over,
+)
+from repro.expr.nodes import add, call, const, floordiv, mul, var, vmax, vmin
+from repro.expr.parser import parse_expr
+
+i, j, n = var("i"), var("j"), var("n")
+
+
+class TestLattice:
+    def test_total_order(self):
+        assert BoundType.CONST.leq(BoundType.INVAR)
+        assert BoundType.INVAR.leq(BoundType.LINEAR)
+        assert BoundType.LINEAR.leq(BoundType.NONLINEAR)
+        assert not BoundType.LINEAR.leq(BoundType.INVAR)
+
+    def test_reflexive(self):
+        for t in BoundType:
+            assert t.leq(t)
+
+    def test_lub(self):
+        assert BoundType.lub(BoundType.CONST, BoundType.LINEAR) is BoundType.LINEAR
+        assert BoundType.lub() is BoundType.CONST
+
+    def test_str(self):
+        assert str(BoundType.NONLINEAR) == "nonlinear"
+
+
+class TestAffineForm:
+    def test_basic(self):
+        form = affine_form(parse_expr("2*i - 3*j + n + 1"), ("i", "j"))
+        assert form.coeffs == {"i": 2, "j": -3}
+        assert str(form.rest) == "n + 1"
+
+    def test_invariant_only(self):
+        form = affine_form(parse_expr("n*n + 1"), ("i",))
+        assert form.coeffs == {}
+
+    def test_to_expr_roundtrip(self):
+        e = parse_expr("2*i - 3*j + n + 1")
+        assert affine_form(e, ("i", "j")).to_expr() == e
+
+    def test_symbolic_coefficient_rejected(self):
+        # n*i is linear in i mathematically but the coefficient is not a
+        # compile-time constant, so the paper calls it nonlinear.
+        assert affine_form(mul(n, i), ("i",)) is None
+
+    def test_product_of_wanted_rejected(self):
+        assert affine_form(mul(i, j), ("i", "j")) is None
+
+    def test_div_rejected(self):
+        assert affine_form(floordiv(i, 2), ("i",)) is None
+
+    def test_div_of_invariant_ok(self):
+        form = affine_form(add(i, floordiv(n, 2)), ("i",))
+        assert form.coeffs == {"i": 1}
+
+    def test_call_rejected(self):
+        assert affine_form(call("sqrt", i), ("i",)) is None
+
+    def test_partial_affine_extraction_none(self):
+        assert affine_form(add(i, call("sqrt", i)), ("i",)) is None
+
+    def test_coefficient_accessor(self):
+        form = affine_form(parse_expr("5*i"), ("i", "j"))
+        assert form.coefficient("i") == 5
+        assert form.coefficient("j") == 0
+
+
+class TestBoundType:
+    def test_const(self):
+        assert bound_type(const(100), "i") is BoundType.CONST
+
+    def test_invar(self):
+        # Figure 5: max(n, 3) is invariant in i.
+        assert bound_type(parse_expr("max(n, 3)"), "i") is BoundType.INVAR
+
+    def test_linear(self):
+        assert bound_type(parse_expr("2*j"), "j") is BoundType.LINEAR
+
+    def test_nonlinear_sqrt(self):
+        # Figure 5: type(l3, i) = nonlinear for sqrt(i)/2.
+        assert bound_type(parse_expr("sqrt(i)/2"), "i") is BoundType.NONLINEAR
+
+    def test_nonlinear_colstr(self):
+        # Figure 4(c): colstr(j) makes the bound nonlinear in j.
+        assert bound_type(parse_expr("colstr(j)"), "j") is BoundType.NONLINEAR
+        # ... but invariant in i, which is what lets ReversePermute move
+        # loop i innermost.
+        assert bound_type(parse_expr("colstr(j)"), "i") is BoundType.INVAR
+
+    def test_minmax_is_nonlinear_by_default(self):
+        assert bound_type(parse_expr("min(2, i+512)"), "i") is BoundType.NONLINEAR
+
+    def test_classify_over(self):
+        result = classify_over(parse_expr("2*i + n"), ["i", "j"])
+        assert result == {"i": BoundType.LINEAR, "j": BoundType.INVAR}
+
+
+class TestMinMaxSpecialCase:
+    def test_min_upper_bound_is_linear(self):
+        # Figure 5: type(u2, i) = linear for min(2, i+512).
+        e = parse_expr("min(2, i+512)")
+        assert bound_type_through_minmax(e, "i", allow="min") is BoundType.LINEAR
+
+    def test_max_lower_bound_is_linear(self):
+        e = vmax(add(i, 1), const(2))
+        assert bound_type_through_minmax(e, "i", allow="max") is BoundType.LINEAR
+
+    def test_wrong_direction_stays_nonlinear(self):
+        e = vmin(add(i, 1), const(2))
+        assert bound_type_through_minmax(e, "i", allow="max") is BoundType.NONLINEAR
+
+    def test_nonlinear_term_inside_minmax(self):
+        e = vmin(call("sqrt", i), const(2))
+        assert bound_type_through_minmax(e, "i", allow="min") is BoundType.NONLINEAR
+
+    def test_invariance_unaffected(self):
+        e = vmin(n, const(2))
+        assert bound_type_through_minmax(e, "i", allow="min") is BoundType.INVAR

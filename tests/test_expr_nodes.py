@@ -1,0 +1,309 @@
+"""Unit and property tests for the expression engine."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.expr.nodes import (
+    Add,
+    Const,
+    Max,
+    Min,
+    Mul,
+    Var,
+    abs_,
+    add,
+    call,
+    ceildiv,
+    const,
+    contains_call,
+    evaluate,
+    floordiv,
+    free_vars,
+    mod,
+    mul,
+    neg,
+    sgn,
+    sub,
+    substitute,
+    to_str,
+    var,
+    vmax,
+    vmin,
+)
+from repro.expr.parser import parse_expr
+
+i, j, n = var("i"), var("j"), var("n")
+
+
+class TestConstruction:
+    def test_const_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Const(True)
+
+    def test_const_rejects_float(self):
+        with pytest.raises(TypeError):
+            Const(1.5)
+
+    def test_var_rejects_empty(self):
+        with pytest.raises(TypeError):
+            Var("")
+
+    def test_immutability(self):
+        e = add(i, j)
+        with pytest.raises(AttributeError):
+            e.terms = ()
+
+    def test_structural_equality(self):
+        assert add(i, j) == add(j, i)  # canonical ordering
+        assert hash(add(i, 1)) == hash(add(1, i))
+
+
+class TestAddNormalization:
+    def test_constant_folding(self):
+        assert add(const(2), const(3)) == const(5)
+
+    def test_like_terms_collect(self):
+        assert add(i, i, i) == mul(3, i)
+
+    def test_cancellation(self):
+        assert sub(add(i, j), add(i, j)) == const(0)
+
+    def test_flattening(self):
+        assert add(add(i, 1), add(j, 2)) == add(i, j, 3)
+
+    def test_zero_identity(self):
+        assert add(i, const(0)) == i
+
+    def test_mixed_coefficients(self):
+        e = add(mul(2, i), mul(-2, i), j)
+        assert e == j
+
+
+class TestMulNormalization:
+    def test_constant_folding(self):
+        assert mul(const(2), const(3)) == const(6)
+
+    def test_zero_annihilates(self):
+        assert mul(const(0), i, j) == const(0)
+
+    def test_one_identity(self):
+        assert mul(const(1), i) == i
+
+    def test_distribution_over_add(self):
+        assert mul(2, add(i, 1)) == add(mul(2, i), 2)
+
+    def test_binomial_expansion(self):
+        e = mul(add(i, 1), add(j, 1))
+        assert e == add(mul(i, j), i, j, 1)
+
+    def test_neg(self):
+        assert neg(neg(i)) == i
+        assert neg(const(5)) == const(-5)
+
+
+class TestDivMod:
+    def test_floordiv_by_one(self):
+        assert floordiv(i, 1) == i
+
+    def test_floordiv_consts(self):
+        assert floordiv(const(-7), const(2)) == const(-4)
+
+    def test_floordiv_exact_coefficient(self):
+        assert floordiv(mul(4, i), 2) == mul(2, i)
+
+    def test_floordiv_inexact_kept(self):
+        e = floordiv(add(i, 1), 2)
+        assert to_str(e) == "div(i + 1, 2)"
+
+    def test_floordiv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            floordiv(i, 0)
+
+    def test_ceildiv_consts(self):
+        assert ceildiv(const(7), const(2)) == const(4)
+
+    def test_ceildiv_by_one(self):
+        assert ceildiv(add(i, j), 1) == add(i, j)
+
+    def test_mod_by_one(self):
+        assert mod(i, 1) == const(0)
+
+    def test_mod_consts_floored(self):
+        assert mod(const(-7), const(3)) == const(2)
+
+    def test_mod_self(self):
+        assert mod(i, i) == const(0)
+
+    def test_div_self(self):
+        assert floordiv(add(i, j), add(i, j)) == const(1)
+
+
+class TestMinMax:
+    def test_flatten_and_fold_constants(self):
+        assert vmax(vmax(i, 2), 5) == vmax(i, 5)
+
+    def test_single_arg(self):
+        assert vmin(i) == i
+
+    def test_all_const(self):
+        assert vmin(3, 7, 5) == const(3)
+
+    def test_dominated_pruning(self):
+        # i+1 dominates i in a max
+        assert vmax(add(i, 1), i) == add(i, 1)
+        assert vmin(add(i, 1), i) == i
+
+    def test_incomparable_kept(self):
+        e = vmax(i, j)
+        assert isinstance(e, Max) and len(e.args) == 2
+
+    def test_dedup(self):
+        assert vmin(i, i, j) == vmin(i, j)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            vmax()
+
+
+class TestCalls:
+    def test_abs_folds(self):
+        assert abs_(const(-4)) == const(4)
+
+    def test_sgn_folds(self):
+        assert sgn(const(-4)) == const(-1)
+
+    def test_abs_negation_normalized(self):
+        assert abs_(neg(i)) == abs_(i)
+
+    def test_opaque_call_kept(self):
+        e = call("colstr", add(j, 1))
+        assert contains_call(e)
+        assert to_str(e) == "colstr(j + 1)"
+
+    def test_contains_call_nested(self):
+        assert contains_call(add(i, call("f", j)))
+        assert not contains_call(add(i, j))
+
+
+class TestFreeVarsSubstitute:
+    def test_free_vars(self):
+        assert free_vars(add(i, mul(2, j), 3)) == {"i", "j"}
+
+    def test_free_vars_leaf(self):
+        assert free_vars(const(3)) == frozenset()
+
+    def test_substitute_simple(self):
+        assert substitute(add(i, j), {"i": const(5)}) == add(j, 5)
+
+    def test_substitute_renormalizes(self):
+        assert substitute(sub(i, j), {"i": j}) == const(0)
+
+    def test_substitute_into_minmax(self):
+        e = substitute(vmax(i, j), {"i": add(j, 1)})
+        assert e == add(j, 1)
+
+    def test_substitute_missing_untouched(self):
+        e = add(i, j)
+        assert substitute(e, {"z": const(1)}) is e
+
+
+class TestEvaluate:
+    def test_basic(self):
+        e = parse_expr("2*i + j - 1")
+        assert evaluate(e, {"i": 3, "j": 4}) == 9
+
+    def test_div_mod_minmax(self):
+        e = parse_expr("max(min(i/2, 10), i % 3)")
+        assert evaluate(e, {"i": 7}) == max(min(7 // 2, 10), 7 % 3)
+
+    def test_unbound_raises(self):
+        with pytest.raises(NameError):
+            evaluate(i, {})
+
+    def test_funcs(self):
+        e = call("f", i)
+        assert evaluate(e, {"i": 2}, {"f": lambda x: x * x}) == 4
+
+    def test_missing_func_raises(self):
+        with pytest.raises(NameError):
+            evaluate(call("f", i), {"i": 2})
+
+
+# -- property tests -----------------------------------------------------------
+
+_names = st.sampled_from(["i", "j", "k", "n"])
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0:
+        if draw(st.booleans()):
+            return const(draw(st.integers(-8, 8)))
+        return var(draw(_names))
+    kind = draw(st.integers(0, 5))
+    a = draw(exprs(depth=depth - 1))
+    b = draw(exprs(depth=depth - 1))
+    if kind == 0:
+        return add(a, b)
+    if kind == 1:
+        return sub(a, b)
+    if kind == 2:
+        return mul(a, b)
+    if kind == 3:
+        return vmax(a, b)
+    if kind == 4:
+        return vmin(a, b)
+    return floordiv(a, const(draw(st.sampled_from([2, 3, 5]))))
+
+
+@given(exprs())
+def test_print_parse_roundtrip(e):
+    """Printing then parsing reproduces the same canonical expression."""
+    assert parse_expr(to_str(e)) == e
+
+
+@given(exprs(), st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5),
+       st.integers(-5, 5))
+def test_roundtrip_preserves_value(e, vi, vj, vk, vn):
+    env = {"i": vi, "j": vj, "k": vk, "n": vn}
+    assert evaluate(parse_expr(to_str(e)), env) == evaluate(e, env)
+
+
+@given(exprs(depth=2), exprs(depth=2), st.integers(-5, 5), st.integers(-5, 5),
+       st.integers(-5, 5), st.integers(-5, 5))
+def test_smart_constructors_match_semantics(a, b, vi, vj, vk, vn):
+    """add/mul/vmax normalization never changes the value."""
+    env = {"i": vi, "j": vj, "k": vk, "n": vn}
+    assert evaluate(add(a, b), env) == evaluate(a, env) + evaluate(b, env)
+    assert evaluate(mul(a, b), env) == evaluate(a, env) * evaluate(b, env)
+    assert evaluate(vmax(a, b), env) == max(evaluate(a, env), evaluate(b, env))
+    assert evaluate(vmin(a, b), env) == min(evaluate(a, env), evaluate(b, env))
+
+
+class TestDivChainSimplification:
+    def test_floordiv_of_floordiv_folds(self):
+        e = floordiv(floordiv(i, 2), 3)
+        assert e == floordiv(i, 6)
+
+    def test_ceildiv_of_ceildiv_folds(self):
+        e = ceildiv(ceildiv(i, 2), 3)
+        assert e == ceildiv(i, 6)
+
+    def test_negative_divisor_not_folded(self):
+        e = floordiv(floordiv(i, -2), 3)
+        # floor(floor(x/-2)/3) != floor(x/-6) in general; must stay nested.
+        assert isinstance(e, type(floordiv(i, const(5))))
+
+    @given(st.integers(-100, 100), st.integers(1, 9), st.integers(1, 9))
+    def test_identity_holds_on_integers(self, x, m, n_):
+        assert (x // m) // n_ == x // (m * n_)
+        assert -((-x) // m) == -(-(-((-x) // (1)) ) // m)  # sanity only
+
+    @given(st.integers(-100, 100), st.integers(1, 9), st.integers(1, 9))
+    def test_simplified_matches_semantics(self, x, m, n_):
+        e = floordiv(floordiv(i, m), n_)
+        assert evaluate(e, {"i": x}) == (x // m) // n_
+        e2 = ceildiv(ceildiv(i, m), n_)
+        assert evaluate(e2, {"i": x}) == -((-(-((-x) // m))) // n_)

@@ -1,0 +1,96 @@
+"""Tests for the expression parser."""
+
+import pytest
+
+from repro.expr.nodes import (
+    add,
+    call,
+    ceildiv,
+    const,
+    floordiv,
+    mod,
+    mul,
+    neg,
+    sub,
+    var,
+    vmax,
+    vmin,
+)
+from repro.expr.parser import parse_expr, tokenize
+from repro.util.errors import ParseError
+
+i, j, n = var("i"), var("j"), var("n")
+
+
+class TestTokenizer:
+    def test_tokens(self):
+        kinds = [t.kind for t in tokenize("do i = 1, n-1")]
+        assert kinds == ["ident", "ident", "op", "int", "op", "ident",
+                         "op", "int", "eof"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("1 ! comment here\n2 # another")
+        assert [t.text for t in toks if t.kind == "int"] == ["1", "2"]
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nb")
+        assert toks[0].line == 1
+        assert toks[2].line == 2
+
+    def test_unknown_char(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestParsing:
+    def test_precedence(self):
+        assert parse_expr("1 + 2*i") == add(1, mul(2, i))
+
+    def test_associativity(self):
+        assert parse_expr("i - j - 1") == sub(sub(i, j), 1)
+
+    def test_parentheses(self):
+        assert parse_expr("2*(i + 1)") == mul(2, add(i, 1))
+
+    def test_unary_minus(self):
+        assert parse_expr("-i + j") == add(neg(i), j)
+
+    def test_unary_plus(self):
+        assert parse_expr("+i") == i
+
+    def test_division_is_floor(self):
+        assert parse_expr("i / 2") == floordiv(i, 2)
+
+    def test_percent_is_mod(self):
+        assert parse_expr("i % 3") == mod(i, 3)
+
+    def test_builders(self):
+        assert parse_expr("min(i, 2)") == vmin(i, 2)
+        assert parse_expr("max(i, j, n)") == vmax(i, j, n)
+        assert parse_expr("mod(i, 4)") == mod(i, 4)
+        assert parse_expr("div(i, 4)") == floordiv(i, 4)
+        assert parse_expr("ceil(i, 4)") == ceildiv(i, 4)
+
+    def test_opaque_call(self):
+        assert parse_expr("colstr(j + 1)") == call("colstr", add(j, 1))
+
+    def test_multi_arg_call(self):
+        assert parse_expr("f(i, j)") == call("f", i, j)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("i + 1 )")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_expr("i +")
+
+    def test_unclosed_call(self):
+        with pytest.raises(ParseError):
+            parse_expr("f(i")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as info:
+            parse_expr("1 + * 2")
+        assert info.value.line == 1
+        assert info.value.column == 5

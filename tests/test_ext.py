@@ -1,0 +1,213 @@
+"""Tests for the extensions: unrolling and empirical rule derivation."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Block,
+    Coalesce,
+    Interleave,
+    Parallelize,
+    ReversePermute,
+    Transformation,
+    Unimodular,
+)
+from repro.core.templates.block import Block as BlockT
+from repro.deps import depset
+from repro.ext import derive_dep_map, unroll_innermost, validate_rule
+from repro.ext.derive import iteration_mapping
+from repro.ir import parse_nest
+from repro.runtime import check_equivalence, run_nest
+from repro.util.errors import CodegenError
+from tests.conftest import random_array_2d
+
+
+class TestUnroll:
+    def test_factor_one_is_identity(self, matmul_nest):
+        assert unroll_innermost(matmul_nest, 1) is matmul_nest
+
+    def test_body_replication(self):
+        nest = parse_nest("do i = 1, 8\n a(i) = b(i) + 1\nenddo")
+        out = unroll_innermost(nest, 4)
+        assert len(out.body) == 4
+        assert str(out.loops[0].step) == "4"
+        assert str(out.body[1]) == "a(i + 1) = b(i + 1) + 1"
+
+    def test_semantics(self):
+        rng = random.Random(0)
+        nest = parse_nest("""
+        do i = 1, 6
+          do j = 1, 8
+            a(i, j) = a(i, j) + b(j, i)
+          enddo
+        enddo
+        """)
+        out = unroll_innermost(nest, 2)
+        arrays = {"a": random_array_2d(rng, 1, 8, "a"),
+                  "b": random_array_2d(rng, 1, 8, "b")}
+        check_equivalence(nest, out, arrays)
+
+    def test_semantics_with_negative_step(self):
+        rng = random.Random(1)
+        nest = parse_nest("""
+        do i = 1, 4
+          do j = 9, 1, -2
+            a(i, j) = a(i, j) * 2 + j
+          enddo
+        enddo
+        """)
+        # 5 iterations: not divisible by 2 -> rejected; factor 5 works.
+        with pytest.raises(CodegenError):
+            unroll_innermost(nest, 2)
+        out = unroll_innermost(nest, 5)
+        arrays = {"a": random_array_2d(rng, 1, 10, "a")}
+        check_equivalence(nest, out, arrays)
+
+    def test_guarded_statement(self):
+        nest = parse_nest("""
+        do i = 1, 8
+          if (i % 2 == 0) a(i) = 1
+        enddo
+        """)
+        out = unroll_innermost(nest, 2)
+        check_equivalence(nest, out, {})
+
+    def test_symbolic_step_rejected(self):
+        nest = parse_nest("do i = 1, n, s\n a(i) = 1\nenddo")
+        with pytest.raises(CodegenError):
+            unroll_innermost(nest, 2)
+
+    def test_init_using_index_rejected(self, stencil_nest):
+        from repro.core.derived import skew_and_interchange
+
+        out = skew_and_interchange().apply(stencil_nest,
+                                           depset((1, 0), (0, 1)))
+        # inits define i, j from ii (the innermost index): cannot unroll.
+        with pytest.raises(CodegenError):
+            unroll_innermost(out, 2)
+
+    def test_after_strip_mine(self):
+        """The documented recipe: strip-mine by the factor, then unroll
+        every full tile — here sizes divide evenly so it's exact."""
+        nest = parse_nest("""
+        do i = 1, 16
+          a(i) = a(i) + i
+        enddo
+        """)
+        from repro.core.derived import strip_mine
+
+        tiled = strip_mine(1, 1, 4).apply(nest, depset(), check=False)
+        out = unroll_innermost(tiled, 2)
+        from tests.conftest import random_array_1d
+
+        rng = random.Random(2)
+        arrays = {"a": random_array_1d(rng, 1, 16, "a")}
+        check_equivalence(nest, out, arrays)
+
+
+class TestIterationMapping:
+    def test_identity_template(self):
+        rp = ReversePermute(2, [False, False], [1, 2])
+        mapping = iteration_mapping(rp, [(0, 2), (0, 2)])
+        assert mapping[(1, 2)] == (1, 2)
+
+    def test_interchange(self):
+        rp = ReversePermute(2, [False, False], [2, 1])
+        mapping = iteration_mapping(rp, [(0, 2), (0, 3)])
+        assert mapping[(1, 2)] == (2, 1)
+
+    def test_unimodular_skew(self):
+        u = Unimodular(2, [[1, 0], [1, 1]])
+        mapping = iteration_mapping(u, [(0, 3), (0, 3)])
+        # Iteration-number coordinates: y1 = 2 (counter 2), y2 = 5 which
+        # is the 4th value of its clamped range [2, 5] (counter 3).
+        assert mapping[(2, 3)] == (2, 3)
+
+    def test_coalesce_linearizes(self):
+        c = Coalesce(2, 1, 2)
+        mapping = iteration_mapping(c, [(0, 1), (0, 2)])
+        # Lexicographic linearization (0-based iteration numbers).
+        assert mapping[(0, 0)] == (0,)
+        assert mapping[(0, 2)] == (2,)
+        assert mapping[(1, 0)] == (3,)
+
+
+class TestDeriveDepMap:
+    def test_interchange_swaps(self):
+        rp = ReversePermute(2, [False, False], [2, 1])
+        derived = derive_dep_map(rp, (1, -1), [(0, 5), (0, 5)])
+        assert derived == {(-1, 1)}
+
+    def test_block_splits(self):
+        b = Block(1, 1, 1, [3])
+        derived = derive_dep_map(b, (1,), [(0, 11)])
+        # In-block pairs (0, 1) and block-crossing pairs (1, -2) in
+        # iteration-number coordinates (the element numbering restarts
+        # per tile) -- exactly blockmap_precise(1, 3).
+        assert derived == {(0, 1), (1, -2)}
+
+
+class TestValidateRules:
+    """The paper's future-work validator run over the kernel set: every
+    declared Table 2 rule must cover the empirically derived mapping."""
+
+    SPACES_2D = [(0, 5), (0, 4)]
+
+    @pytest.mark.parametrize("distance", [(1, 0), (0, 1), (2, -1), (1, 1),
+                                          (-1, 2)])
+    @pytest.mark.parametrize("make", [
+        lambda: ReversePermute(2, [True, False], [2, 1]),
+        lambda: Parallelize(2, [True, False]),
+        lambda: Unimodular(2, [[1, 1], [0, 1]]),
+        lambda: Block(2, 1, 2, [2, 3]),
+        lambda: Coalesce(2, 1, 2),
+        lambda: Interleave(2, 1, 2, [2, 2]),
+    ])
+    def test_kernel_rules_consistent(self, make, distance):
+        template = make()
+        result = validate_rule(template, distance, self.SPACES_2D)
+        assert result.ok, (template.signature(), result.uncovered)
+
+    @pytest.mark.parametrize("make", [
+        lambda: ReversePermute(2, [True, False], [2, 1]),
+        lambda: Parallelize(2, [True, False]),
+        lambda: Block(2, 1, 2, [2, 3]),
+        lambda: Coalesce(2, 1, 2),
+        lambda: Interleave(2, 1, 2, [2, 2]),
+    ])
+    def test_counter_space_rules_strictly_consistent(self, make):
+        # All non-Unimodular rules hold under full tuple membership.
+        result = validate_rule(make(), (1, 2), self.SPACES_2D,
+                               criterion="strict")
+        assert result.ok, result.uncovered
+
+    def test_unimodular_is_value_space(self):
+        # The strict criterion legitimately fails for a skew over a
+        # trapezoidal output (below-divergence counters shift), while
+        # the order criterion — all legality needs — holds.
+        template = Unimodular(2, [[1, 1], [0, 1]])
+        strict = validate_rule(template, (1, 0), self.SPACES_2D,
+                               criterion="strict")
+        order = validate_rule(template, (1, 0), self.SPACES_2D)
+        assert not strict.ok
+        assert order.ok
+
+    @pytest.mark.parametrize("bsize", [1, 2, 3, 4])
+    def test_precise_blockmap_also_consistent(self, bsize):
+        template = Block(2, 1, 2, [bsize, bsize], precise=True)
+        result = validate_rule(template, (1, 2), self.SPACES_2D,
+                               criterion="strict")
+        assert result.ok, result.uncovered
+
+    def test_catches_a_broken_rule(self):
+        """Sanity: a deliberately wrong rule is caught."""
+
+        class BrokenInterchange(ReversePermute):
+            def map_dep_vector(self, vec):
+                return [vec]  # forgets to permute the entries
+
+        broken = BrokenInterchange(2, [False, False], [2, 1])
+        result = validate_rule(broken, (1, -1), self.SPACES_2D)
+        assert not result.ok
+        assert (-1, 1) in result.uncovered

@@ -1,0 +1,203 @@
+"""Direct tests for the symbolic Fourier–Motzkin machinery, including a
+property test scanning random integer polyhedra."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fme import (
+    Constraint,
+    constraint_from_bound,
+    remove_redundant,
+    scan_bounds,
+    transform_constraints,
+)
+from repro.expr.nodes import Const, add, evaluate, mul, var, vmax, vmin
+from repro.expr.parser import parse_expr
+from repro.util.errors import CodegenError
+from repro.util.matrices import IntMatrix
+
+
+class TestConstraint:
+    def test_normalized_divides_by_gcd(self):
+        c = Constraint([2, 4], Const(6)).normalized()
+        assert c.coeffs == (1, 2)
+        assert c.rest == Const(3)
+
+    def test_normalized_floor_tightens(self):
+        # 2x + 3 >= 0  <=>  x >= -3/2  <=>  x >= -1  <=>  x + 1 >= 0 ... as
+        # floor(3/2) = 1.
+        c = Constraint([2], Const(3)).normalized()
+        assert c.coeffs == (1,) and c.rest == Const(1)
+
+    def test_symbolic_rest_not_divided(self):
+        c = Constraint([2, 4], var("n")).normalized()
+        assert c.coeffs == (2, 4)
+
+    def test_trivial(self):
+        assert Constraint([0, 0], Const(1)).is_trivial()
+        assert not Constraint([1, 0], Const(1)).is_trivial()
+
+
+class TestConstraintFromBound:
+    def test_lower(self):
+        [c] = constraint_from_bound(parse_expr("2*i + 1"), ["i", "j"], 1,
+                                    is_lower=True)
+        # j - (2i + 1) >= 0
+        assert c.coeffs == (-2, 1)
+        assert c.rest == Const(-1)
+
+    def test_upper(self):
+        [c] = constraint_from_bound(parse_expr("n - 1"), ["i"], 0,
+                                    is_lower=False)
+        assert c.coeffs == (-1,)
+        assert str(c.rest) == "n - 1"
+
+    def test_max_lower_splits(self):
+        cs = constraint_from_bound(vmax(var("i"), Const(2)), ["i", "j"], 1,
+                                   is_lower=True)
+        assert len(cs) == 2
+
+    def test_min_upper_splits(self):
+        cs = constraint_from_bound(vmin(var("n"), Const(100)), ["i"], 0,
+                                   is_lower=False)
+        assert len(cs) == 2
+
+    def test_nonaffine_rejected(self):
+        with pytest.raises(CodegenError):
+            constraint_from_bound(parse_expr("sqrt(i)"), ["i", "j"], 1,
+                                  is_lower=True)
+
+
+class TestTransformConstraints:
+    def test_change_of_basis(self):
+        # x0 >= 0 under y = [[1,1],[0,1]] x: x = [[1,-1],[0,1]] y, so the
+        # constraint becomes y0 - y1 >= 0.
+        m = IntMatrix([[1, 1], [0, 1]])
+        out = transform_constraints([Constraint([1, 0], Const(0))],
+                                    m.inverse_unimodular())
+        assert out[0].coeffs == (1, -1)
+
+
+class TestRemoveRedundant:
+    def test_implied_constraint_dropped(self):
+        # x <= y, y <= n  =>  x <= n is redundant.
+        cs = [
+            Constraint([-1, 1], Const(0)),        # y - x >= 0
+            Constraint([0, -1], var("n")),        # n - y >= 0
+            Constraint([-1, 0], var("n")),        # n - x >= 0 (implied)
+        ]
+        kept = remove_redundant(cs)
+        assert len(kept) == 2
+        assert all(c.coeffs != (-1, 0) for c in kept)
+
+    def test_nothing_dropped_when_independent(self):
+        cs = [Constraint([1, 0], Const(0)), Constraint([0, 1], Const(0))]
+        assert len(remove_redundant(cs)) == 2
+
+    def test_opaque_rests_are_safe(self):
+        # Different opaque invariant parts cannot imply each other.
+        cs = [Constraint([-1], parse_expr("f(n)")),
+              Constraint([-1], parse_expr("g(n)"))]
+        assert len(remove_redundant(cs)) == 2
+
+
+class TestScanBounds:
+    def test_fig1_bounds(self):
+        # The stencil square [2, n-1]^2 under y = [[1,1],[1,0]] x.
+        names = ["i", "j"]
+        cs = []
+        for k in range(2):
+            cs += constraint_from_bound(Const(2), names, k, is_lower=True)
+            cs += constraint_from_bound(parse_expr("n - 1"), names, k,
+                                        is_lower=False)
+        m = IntMatrix([[1, 1], [1, 0]])
+        out = transform_constraints(cs, m.inverse_unimodular())
+        bounds = scan_bounds(out, ["jj", "ii"])
+        assert str(bounds[0][0]) == "4"
+        assert str(bounds[0][1]) == "2*n - 2"
+        assert str(bounds[1][0]) == "max(jj + 1 - n, 2)"
+        assert str(bounds[1][1]) == "min(jj - 2, n - 1)"
+
+    def test_unbounded_raises(self):
+        with pytest.raises(CodegenError):
+            scan_bounds([Constraint([1], Const(0))], ["x"])  # no upper
+
+    def test_empty_polyhedron_yields_empty_loop(self):
+        # x >= 5, x <= 3: scannable, just empty at run time.
+        cs = [Constraint([1], Const(-5)), Constraint([-1], Const(3))]
+        (lo, hi), = scan_bounds(cs, ["x"])
+        assert evaluate(lo, {}) > evaluate(hi, {})
+
+
+def _brute_points(constraints, box):
+    pts = []
+    for p in itertools.product(*[range(lo, hi + 1) for lo, hi in box]):
+        ok = True
+        for c in constraints:
+            total = sum(a * x for a, x in zip(c.coeffs, p))
+            total += c.rest.value
+            if total < 0:
+                ok = False
+                break
+        if ok:
+            pts.append(p)
+    return pts
+
+
+def _scan_points(bounds, names):
+    """Enumerate the generated loop nest's points."""
+    out = []
+
+    def rec(level, env):
+        if level == len(names):
+            out.append(tuple(env[n] for n in names))
+            return
+        lo, hi = bounds[level]
+        lov = evaluate(lo, env)
+        hiv = evaluate(hi, env)
+        for v in range(lov, hiv + 1):
+            env[names[level]] = v
+            rec(level + 1, env)
+        env.pop(names[level], None)
+
+    rec(0, {})
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_scan_matches_polyhedron_enumeration(seed):
+    """Property: scanning a random bounded 2-D/3-D integer polyhedron
+    visits exactly its integer points, in lexicographic order."""
+    rng = random.Random(seed)
+    dim = rng.choice([2, 3])
+    names = [f"v{k}" for k in range(dim)]
+    # A bounding box keeps everything finite...
+    constraints = []
+    box = []
+    for k in range(dim):
+        lo = rng.randint(-3, 2)
+        hi = lo + rng.randint(0, 5)
+        box.append((lo, hi))
+        cs = [0] * dim
+        cs[k] = 1
+        constraints.append(Constraint(cs, Const(-lo)))
+        cs2 = [0] * dim
+        cs2[k] = -1
+        constraints.append(Constraint(cs2, Const(hi)))
+    # ... plus a few random cutting planes.
+    for _ in range(rng.randint(0, 3)):
+        coeffs = [rng.randint(-2, 2) for _ in range(dim)]
+        constraints.append(Constraint(coeffs, Const(rng.randint(-3, 6))))
+
+    expected = sorted(_brute_points(constraints, box))
+    try:
+        bounds = scan_bounds(constraints, names)
+    except CodegenError:
+        # Unbounded can't happen (box); only blowup guard, which we accept.
+        return
+    got = _scan_points(bounds, names)
+    assert got == expected

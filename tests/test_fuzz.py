@@ -1,0 +1,61 @@
+"""Fuzz-style robustness tests: arbitrary input must either parse or
+raise :class:`ParseError` — never crash with anything else."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.expr.parser import parse_expr
+from repro.ir.parser import parse_nest
+from repro.util.errors import ParseError, ReproError
+
+
+printable = st.text(alphabet=string.printable, max_size=80)
+loopish = st.text(
+    alphabet=list("dopar enj=+-*/%(),0123456789ijkn\n"), max_size=120)
+
+
+@given(printable)
+def test_parse_expr_never_crashes(text):
+    try:
+        parse_expr(text)
+    except ParseError:
+        pass
+    except ZeroDivisionError:
+        pass  # constant folding of literal "1/0" is allowed to raise this
+
+
+@given(loopish)
+def test_parse_nest_never_crashes(text):
+    try:
+        parse_nest(text)
+    except (ParseError, ReproError):
+        pass
+    except ZeroDivisionError:
+        pass
+    except ValueError:
+        pass  # e.g. zero constant step caught by Loop validation
+
+
+@given(st.text(alphabet=list("interchange skew block coalesce(),;0123456789"),
+               max_size=60))
+def test_cli_spec_never_crashes(spec):
+    from repro.cli import SpecError, parse_steps
+    from repro.util.errors import ReproError as RE
+
+    try:
+        parse_steps(spec, 3)
+    except (SpecError, RE, ValueError):
+        pass
+
+
+def test_expression_parser_handles_deep_nesting():
+    text = "(" * 50 + "1" + ")" * 50
+    assert parse_expr(text).value == 1
+
+
+def test_huge_flat_sum():
+    text = " + ".join(["i"] * 200)
+    e = parse_expr(text)
+    from repro.expr.nodes import evaluate
+    assert evaluate(e, {"i": 1}) == 200

@@ -1,0 +1,245 @@
+"""Tests for the loop-nest interpreter and the semantic oracles."""
+
+import pytest
+
+from repro.deps.vector import depset
+from repro.ir.parser import parse_nest
+from repro.runtime import (
+    Array,
+    Interpreter,
+    OracleFailure,
+    Schedule,
+    check_dependence_order,
+    dependence_order_holds,
+    run_nest,
+)
+from repro.util.errors import ReproError
+
+
+class TestArray:
+    def test_default_value(self):
+        a = Array(7)
+        assert a[(1, 2)] == 7
+
+    def test_scalar_index_tupled(self):
+        a = Array()
+        a[3] = 5
+        assert a[(3,)] == 5
+
+    def test_copy_is_independent(self):
+        a = Array()
+        a[(1,)] = 1
+        b = a.copy()
+        b[(1,)] = 2
+        assert a[(1,)] == 1
+
+    def test_equality_respects_defaults(self):
+        a = Array(0)
+        b = Array(0)
+        b[(5,)] = 0  # explicitly stored default
+        assert a == b
+
+    def test_from_rows(self):
+        a = Array.from_rows([[1, 2], [3, 4]])
+        assert a[(2, 1)] == 3
+        assert a.to_rows(1, 2) == [[1, 2], [3, 4]]
+
+    def test_from_values(self):
+        a = Array.from_values([9, 8], base=0)
+        assert a[(1,)] == 8
+
+    def test_max_abs_difference(self):
+        a = Array()
+        b = Array()
+        a[(1,)] = 10
+        b[(1,)] = 3
+        assert a.max_abs_difference(b) == 7
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Array())
+
+
+class TestExecution:
+    def test_simple_sum(self):
+        nest = parse_nest("""
+        do i = 1, 5
+          s(0) += i
+        enddo
+        """)
+        result = run_nest(nest, {})
+        assert result.arrays["s"][(0,)] == 15
+
+    def test_symbols_bound(self):
+        nest = parse_nest("do i = 1, n\n a(i) = m\nenddo")
+        result = run_nest(nest, {}, symbols={"n": 3, "m": 9})
+        assert result.arrays["a"][(2,)] == 9
+
+    def test_negative_step(self):
+        nest = parse_nest("""
+        do i = 5, 1, -2
+          log(i) = c(0)
+          c(0) = c(0) + 1
+        enddo
+        """)
+        result = run_nest(nest, {})
+        assert result.arrays["log"][(5,)] == 0
+        assert result.arrays["log"][(1,)] == 2
+
+    def test_empty_loop(self):
+        nest = parse_nest("do i = 5, 1\n a(i) = 1\nenddo")
+        assert run_nest(nest, {}).body_count == 0
+
+    def test_zero_step_run_time_error(self):
+        nest = parse_nest("do i = 1, 5, s\n a(i) = 1\nenddo")
+        with pytest.raises(ReproError):
+            run_nest(nest, {}, symbols={"s": 0})
+
+    def test_if_guard(self):
+        nest = parse_nest("""
+        do i = 1, 6
+          if (i % 2 == 0) a(i) = 1
+        enddo
+        """)
+        result = run_nest(nest, {})
+        assert result.arrays["a"][(2,)] == 1
+        assert result.arrays["a"][(3,)] == 0
+
+    def test_relational_operators(self):
+        nest = parse_nest("""
+        do i = 1, 5
+          if (i < 3) rlt(i) = 1
+          if (i <= 3) rle(i) = 1
+          if (i > 3) rgt(i) = 1
+          if (i >= 3) rge(i) = 1
+        enddo
+        """)
+        arrays = run_nest(nest, {}).arrays
+        assert sum(arrays["rlt"].data.values()) == 2
+        assert sum(arrays["rle"].data.values()) == 3
+        assert sum(arrays["rgt"].data.values()) == 2
+        assert sum(arrays["rge"].data.values()) == 3
+
+    def test_accumulate(self):
+        nest = parse_nest("""
+        do i = 1, 4
+          t(0) += i * i
+        enddo
+        """)
+        assert run_nest(nest, {}).arrays["t"][(0,)] == 30
+
+    def test_opaque_function_binding(self):
+        nest = parse_nest("""
+        do j = 1, 3
+          do k = colstr(j), colstr(j+1) - 1
+            out(k) = j
+          enddo
+        enddo
+        """)
+        colstr = [0, 1, 3, 4, 6]
+        result = run_nest(nest, {}, funcs={"colstr": lambda x: colstr[x]})
+        assert result.arrays["out"][(3,)] == 2
+
+    def test_inputs_not_mutated(self):
+        nest = parse_nest("do i = 1, 3\n a(i) = 0\nenddo")
+        a = Array(0, "a")
+        a[(1,)] = 99
+        run_nest(nest, {"a": a})
+        assert a[(1,)] == 99
+
+    def test_iteration_limit(self):
+        nest = parse_nest("do i = 1, 100\n a(i) = 1\nenddo")
+        interp = Interpreter(nest, max_iterations=10)
+        with pytest.raises(ReproError):
+            interp.run({})
+
+    def test_init_statements_run_before_body(self):
+        nest = parse_nest("""
+        do ii = 1, 3
+          i = ii * 2
+          a(i) = i
+        enddo
+        """)
+        result = run_nest(nest, {})
+        assert result.arrays["a"][(4,)] == 4
+
+
+class TestSchedules:
+    def test_reverse_schedule(self):
+        nest = parse_nest("""
+        pardo i = 1, 4
+          log(i) = c(0)
+          c(0) = c(0) + 1
+        enddo
+        """)
+        result = run_nest(nest, {}, schedule=Schedule("reverse"))
+        assert result.arrays["log"][(4,)] == 0
+
+    def test_shuffle_deterministic_per_seed(self):
+        nest = parse_nest("""
+        pardo i = 1, 8
+          log(i) = c(0)
+          c(0) = c(0) + 1
+        enddo
+        """)
+        a = run_nest(nest, {}, schedule=Schedule("shuffle", seed=3))
+        b = run_nest(nest, {}, schedule=Schedule("shuffle", seed=3))
+        c = run_nest(nest, {}, schedule=Schedule("shuffle", seed=4))
+        assert a.arrays["log"] == b.arrays["log"]
+        assert a.arrays["log"] != c.arrays["log"]
+
+    def test_do_loops_unaffected_by_schedule(self):
+        nest = parse_nest("""
+        do i = 1, 4
+          log(i) = c(0)
+          c(0) = c(0) + 1
+        enddo
+        """)
+        result = run_nest(nest, {}, schedule=Schedule("reverse"))
+        assert result.arrays["log"][(1,)] == 0
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            Schedule("random")
+
+
+class TestTraces:
+    def test_iteration_trace(self):
+        nest = parse_nest("""
+        do i = 1, 2
+          do j = 1, 2
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        result = run_nest(nest, {}, trace_vars=("i", "j"))
+        assert result.iteration_trace == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_address_trace_reads_and_writes(self):
+        nest = parse_nest("do i = 1, 2\n a(i) = b(i) + 1\nenddo")
+        result = run_nest(nest, {"b": Array(0, "b")}, trace_addresses=True)
+        assert ("b", (1,), "R") in result.address_trace
+        assert ("a", (1,), "W") in result.address_trace
+
+    def test_accumulate_traces_read_then_write(self):
+        nest = parse_nest("do i = 1, 1\n a(i) += 1\nenddo")
+        result = run_nest(nest, {}, trace_addresses=True)
+        assert result.address_trace == [("a", (1,), "R"), ("a", (1,), "W")]
+
+
+class TestDependenceOrderOracle:
+    def test_order_respected(self):
+        trace = [(1,), (2,), (3,)]
+        check_dependence_order(trace, depset((1,)))
+
+    def test_violation_detected(self):
+        trace = [(2,), (1,)]  # iteration 2 ran before 1 but depends on it
+        with pytest.raises(OracleFailure):
+            check_dependence_order(trace, depset((1,)))
+
+    def test_direction_vector_violation(self):
+        trace = [(1, 5), (1, 4)]
+        assert not dependence_order_holds(trace, depset((0, "+")))
+
+    def test_empty_deps_always_ok(self):
+        assert dependence_order_holds([(2,), (1,)], depset())

@@ -1,0 +1,175 @@
+"""Tests for the loop-nest IR: structures, parser, printer, validation."""
+
+import pytest
+
+from repro.expr.nodes import Const, add, const, var
+from repro.ir.loopnest import (
+    ArrayRef,
+    Assign,
+    If,
+    InitStmt,
+    Loop,
+    LoopNest,
+    PARDO,
+    validate_nest,
+)
+from repro.ir.parser import parse_nest
+from repro.util.errors import ParseError, ReproError
+
+
+class TestLoop:
+    def test_header_default_step(self):
+        lp = Loop("i", const(1), var("n"))
+        assert lp.header() == "do i = 1, n"
+
+    def test_header_with_step(self):
+        lp = Loop("i", const(1), var("n"), const(2), PARDO)
+        assert lp.header() == "pardo i = 1, n, 2"
+
+    def test_rejects_zero_step(self):
+        with pytest.raises(ValueError):
+            Loop("i", const(1), const(10), const(0))
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            Loop("i", const(1), const(10), kind="for")
+
+    def test_with_kind(self):
+        lp = Loop("i", const(1), const(10))
+        assert lp.with_kind(PARDO).is_parallel
+        assert not lp.is_parallel
+
+    def test_with_bounds(self):
+        lp = Loop("i", const(1), const(10))
+        assert lp.with_bounds(upper=const(5)).upper == const(5)
+
+
+class TestLoopNest:
+    def test_requires_a_loop(self):
+        with pytest.raises(ValueError):
+            LoopNest([], [])
+
+    def test_rejects_duplicate_indices(self):
+        loops = [Loop("i", const(1), const(2)), Loop("i", const(1), const(2))]
+        with pytest.raises(ValueError):
+            LoopNest(loops, [])
+
+    def test_one_based_loop_accessor(self):
+        nest = parse_nest("do i = 1, 5\n do j = 1, 5\n a(i,j)=0\n enddo\nenddo")
+        assert nest.loop(1).index == "i"
+        assert nest.loop(2).index == "j"
+        with pytest.raises(IndexError):
+            nest.loop(3)
+
+    def test_invariants(self):
+        nest = parse_nest("do i = 1, n\n a(i) = m\n enddo")
+        assert nest.invariants() == {"n"}
+
+
+class TestParser:
+    def test_fig1_roundtrip(self, stencil_nest):
+        text = stencil_nest.pretty()
+        assert parse_nest(text) == stencil_nest
+
+    def test_pardo(self):
+        nest = parse_nest("pardo i = 1, n\n a(i) = 0\nenddo")
+        assert nest.loops[0].is_parallel
+
+    def test_step(self):
+        nest = parse_nest("do i = 1, n, 2\n a(i) = 0\nenddo")
+        assert nest.loops[0].step == Const(2)
+
+    def test_accumulate(self):
+        nest = parse_nest("do i = 1, n\n a(i) += 1\nenddo")
+        assert nest.body[0].accumulate
+
+    def test_if_statement(self):
+        nest = parse_nest("do i = 1, n\n if (b(i) > 0) a(i) = 1\nenddo")
+        assert isinstance(nest.body[0], If)
+
+    def test_init_statements(self):
+        nest = parse_nest("""
+        do jj = 4, 6
+          do ii = 1, 2
+            j = jj - ii
+            i = ii
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        assert [s.var for s in nest.inits] == ["j", "i"]
+        assert len(nest.body) == 1
+
+    def test_imperfect_rejected_stmt_before_loop(self):
+        with pytest.raises(ParseError):
+            parse_nest("""
+            do i = 1, n
+              a(i) = 0
+              do j = 1, n
+                b(j) = 0
+              enddo
+            enddo
+            """)
+
+    def test_imperfect_rejected_stmt_after_loop(self):
+        with pytest.raises(ParseError):
+            parse_nest("""
+            do i = 1, n
+              do j = 1, n
+                b(j) = 0
+              enddo
+              a(i) = 0
+            enddo
+            """)
+
+    def test_missing_enddo(self):
+        with pytest.raises(ParseError):
+            parse_nest("do i = 1, n\n a(i) = 0")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_nest("do i = 1, n\n a(i) = 0\nenddo\nenddo")
+
+    def test_init_after_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_nest("do i = 1, n\n a(i) = 0\n t = i\nenddo")
+
+
+class TestValidation:
+    def test_bound_may_not_use_inner_index(self):
+        loops = [Loop("i", const(1), var("j")), Loop("j", const(1), const(5))]
+        with pytest.raises(ReproError):
+            validate_nest(LoopNest(loops, []))
+
+    def test_bound_may_not_use_own_index(self):
+        loops = [Loop("i", const(1), add(var("i"), 1))]
+        with pytest.raises(ReproError):
+            validate_nest(LoopNest(loops, []))
+
+    def test_triangular_is_valid(self, triangular_nest):
+        validate_nest(triangular_nest)
+
+    def test_init_referencing_later_init_rejected(self):
+        nest = LoopNest([Loop("i", const(1), const(5))], [],
+                        [InitStmt("a", var("b")), InitStmt("b", var("i"))])
+        with pytest.raises(ReproError):
+            validate_nest(nest)
+
+
+class TestPrinter:
+    def test_pretty_structure(self, matmul_nest):
+        text = matmul_nest.pretty()
+        lines = text.splitlines()
+        assert lines[0] == "do i = 1, n"
+        assert lines[1] == "  do j = 1, n"
+        assert lines[-1] == "enddo"
+        assert text.count("enddo") == 3
+
+    def test_statement_rendering(self):
+        stmt = Assign(ArrayRef("a", (var("i"),)), add(var("i"), 1),
+                      accumulate=True)
+        assert str(stmt) == "a(i) += i + 1"
+
+    def test_if_rendering(self):
+        stmt = If(var("c"), Assign(ArrayRef("a", (var("i"),)), const(0)))
+        assert str(stmt) == "if (c) a(i) = 0"

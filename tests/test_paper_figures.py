@@ -1,0 +1,229 @@
+"""Integration tests reproducing every worked example of the paper:
+Figures 1, 2, 4, 5, 6/7 and the Table 1 kernel inventory.  These are the
+assertions behind EXPERIMENTS.md."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Block,
+    BoundsMatrix,
+    Coalesce,
+    KERNEL_SET,
+    Parallelize,
+    ReversePermute,
+    Transformation,
+    Unimodular,
+)
+from repro.core.bounds_matrix import LB, STEP, UB
+from repro.deps.analysis import analyze
+from repro.deps.vector import depset, depv
+from repro.ir.parser import parse_nest
+from repro.runtime import check_equivalence, same_iteration_multiset
+from tests.conftest import random_array_2d
+
+
+class TestTable1KernelSet:
+    def test_all_six_templates_present(self):
+        names = {t.kernel_name for t in KERNEL_SET}
+        assert names == {"Unimodular", "ReversePermute", "Parallelize",
+                         "Block", "Coalesce", "Interleave"}
+
+    def test_instantiation_signatures(self):
+        sigs = [
+            Unimodular(2, [[1, 1], [1, 0]]).signature(),
+            ReversePermute(2, [False, True], [2, 1]).signature(),
+            Parallelize(2, [True, False]).signature(),
+            Block(2, 1, 2, [4, 4]).signature(),
+            Coalesce(2, 1, 2).signature(),
+        ]
+        assert all("(" in s for s in sigs)
+
+
+class TestFigure1:
+    """Skew j w.r.t. i, then interchange, on the 5-point stencil."""
+
+    def test_transformed_code_matches_paper(self, stencil_nest):
+        deps = analyze(stencil_nest)
+        assert deps == depset((1, 0), (0, 1))
+        T = Transformation.of(
+            Unimodular(2, [[1, 1], [1, 0]], names=["jj", "ii"]))
+        out = T.apply(stencil_nest, deps)
+        text = out.pretty()
+        assert "do jj = 4, 2*n - 2" in text
+        assert "do ii = max(jj + 1 - n, 2), min(jj - 2, n - 1)" in text
+        assert "j = jj - ii" in text
+        assert "i = ii" in text
+
+    def test_composes_from_separate_skew_and_interchange(self, stencil_nest):
+        """The same transformation as skew-then-Unimodular-interchange,
+        fused by the peephole into one matrix."""
+        skew = Unimodular(2, [[1, 0], [1, 1]])
+        swap = Unimodular(2, [[0, 1], [1, 0]])
+        T = Transformation.of(skew).then(swap)
+        assert len(T) == 1
+        assert T.steps[0].matrix.rows() == ((1, 1), (1, 0))
+
+    @pytest.mark.parametrize("n", [5, 8, 13])
+    def test_semantics_across_sizes(self, n, stencil_nest):
+        deps = analyze(stencil_nest)
+        T = Transformation.of(Unimodular(2, [[1, 1], [1, 0]]))
+        out = T.apply(stencil_nest, deps)
+        rng = random.Random(n)
+        arrays = {"a": random_array_2d(rng, 0, n + 1, "a")}
+        check_equivalence(stencil_nest, out, arrays, symbols={"n": n})
+        same_iteration_multiset(stencil_nest, out, arrays, symbols={"n": n})
+
+
+class TestFigure2:
+    """The legality example: interchange of D={(1,-1),(+,0)}."""
+
+    def test_dependence_set_from_analysis(self, fig2_nest):
+        assert analyze(fig2_nest) == depset((1, -1), ("+", 0))
+
+    def test_plain_interchange_illegal(self, fig2_nest):
+        deps = analyze(fig2_nest)
+        T = Transformation.of(ReversePermute(2, [False, False], [2, 1]))
+        report = T.legality(fig2_nest, deps)
+        assert not report.legal
+        assert depv(-1, 1) in report.final_deps
+
+    def test_reverse_then_interchange_legal(self, fig2_nest):
+        deps = analyze(fig2_nest)
+        T = Transformation.of(ReversePermute(2, [False, True], [2, 1]))
+        report = T.legality(fig2_nest, deps)
+        assert report.legal
+        assert report.final_deps == depset((1, 1), (0, "+"))
+
+
+class TestFigure4:
+    def test_triangular_interchange(self, triangular_nest):
+        """(a) -> (b): the triangular bounds satisfy the Unimodular
+        preconditions; the interchanged loop is j=1..n, i=1..j."""
+        T = Transformation.of(
+            Unimodular(2, [[0, 1], [1, 0]], names=["jj", "ii"]))
+        out = T.apply(triangular_nest, analyze(triangular_nest))
+        assert str(out.loops[0].upper) == "n"
+        assert str(out.loops[1].upper) == "jj"
+
+    def test_sparse_matmul_legality_contrast(self):
+        """(c): Unimodular cannot touch the colstr nest; ReversePermute
+        moves i innermost."""
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            do k = colstr(j), colstr(j+1)-1
+              a(i, j) += b(i, rowidx(k)) * c(k)
+            enddo
+          enddo
+        enddo
+        """)
+        deps = depset()  # no cross-iteration flow for distinct (i, j)
+        uni = Transformation.of(
+            Unimodular(3, [[0, 1, 0], [0, 0, 1], [1, 0, 0]]))
+        assert not uni.legality(nest, deps).legal
+        rp = Transformation.of(ReversePermute(3, [False] * 3, [3, 1, 2]))
+        assert rp.legality(nest, deps).legal
+        out = rp.apply(nest, deps)
+        assert out.indices == ("j", "k", "i")
+
+    def test_sparse_matmul_runs_correctly_after_permute(self):
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            do k = colstr(j), colstr(j+1)-1
+              a(i, j) += b(i, rowidx(k)) * c(k)
+            enddo
+          enddo
+        enddo
+        """)
+        out = Transformation.of(
+            ReversePermute(3, [False] * 3, [3, 1, 2])).apply(
+                nest, depset())
+        # CSR-ish sparse matrix: column j holds entries colstr(j)..colstr(j+1)-1.
+        colstr = {1: 1, 2: 3, 3: 4, 4: 6}
+        rowidx = {1: 1, 2: 3, 3: 2, 4: 1, 5: 2, 6: 3}
+        funcs = {"colstr": lambda j: colstr[j],
+                 "rowidx": lambda k: rowidx[k]}
+        rng = random.Random(0)
+        arrays = {"b": random_array_2d(rng, 1, 3, "b")}
+        from tests.conftest import random_array_1d
+        arrays["c"] = random_array_1d(rng, 1, 6, "c")
+        check_equivalence(nest, out, arrays, symbols={"n": 3}, funcs=funcs)
+
+
+class TestFigure5:
+    def test_matrices_and_types(self):
+        nest = parse_nest("""
+        do i = max(n, 3), 100, 2
+          do j = 1, min(2, i + 512)
+            do k = sqrt(i) / 2, 2*j, i
+              body(i, j, k) = 0
+            enddo
+          enddo
+        enddo
+        """)
+        bm = BoundsMatrix.of_nest(nest)
+        assert "max<3, n>" in bm.pretty(LB)
+        assert "min<512, 2>" in bm.pretty(UB) or \
+            "min<2, 512>" in bm.pretty(UB)
+        facts = bm.pretty_types()
+        for fact in ("type(u2, i) = linear", "type(l3, i) = nonlinear",
+                     "type(u3, j) = linear", "type(s3, i) = linear"):
+            assert fact in facts
+
+
+class TestFigures6And7:
+    """The appendix matrix-multiply pipeline of five template
+    instantiations, stage by stage."""
+
+    @pytest.fixture
+    def pipeline(self):
+        return Transformation.of(
+            ReversePermute(3, [False] * 3, [3, 1, 2]),
+            Block(3, 1, 3, ["bj", "bk", "bi"]),
+            Parallelize(6, [True, False, True, False, False, False]),
+            ReversePermute(6, [False] * 6, [1, 3, 2, 4, 5, 6]),
+            Coalesce(6, 1, 2),
+        )
+
+    def test_dependence_trace_matches_figure7(self, matmul_nest, pipeline):
+        deps = analyze(matmul_nest)
+        assert deps == depset((0, 0, "+"))
+        trace = pipeline.dep_set_trace(deps)
+        assert trace[1] == depset((0, "+", 0))
+        assert trace[2] == depset((0, 0, 0, 0, "+", 0),
+                                  (0, "+", 0, 0, "*", 0))
+        assert trace[3] == trace[2]  # parallelized entries were zero
+        assert trace[4] == depset((0, 0, 0, 0, "+", 0),
+                                  (0, 0, "+", 0, "*", 0))
+        assert trace[5] == depset((0, 0, 0, "+", 0),
+                                  (0, "+", 0, "*", 0))
+
+    def test_legal_and_structure(self, matmul_nest, pipeline):
+        deps = analyze(matmul_nest)
+        assert pipeline.legality(matmul_nest, deps).legal
+        out = pipeline.apply(matmul_nest, deps)
+        assert out.depth == 5
+        assert out.loops[0].kind == "pardo"   # the coalesced jj/ii loop
+        assert out.loops[1].index == "kk"
+        assert out.indices[2:] == ("j", "k", "i")
+
+    @pytest.mark.parametrize("sizes", [(2, 2, 2), (3, 2, 4)])
+    def test_semantics_with_concrete_blocks(self, matmul_nest, sizes):
+        bj, bk, bi = sizes
+        pipeline = Transformation.of(
+            ReversePermute(3, [False] * 3, [3, 1, 2]),
+            Block(3, 1, 3, [bj, bk, bi]),
+            Parallelize(6, [True, False, True, False, False, False]),
+            ReversePermute(6, [False] * 6, [1, 3, 2, 4, 5, 6]),
+            Coalesce(6, 1, 2),
+        )
+        deps = depset((0, 0, "+"))
+        out = pipeline.apply(matmul_nest, deps)
+        rng = random.Random(bj * 100 + bk * 10 + bi)
+        arrays = {"B": random_array_2d(rng, 1, 7, "B"),
+                  "C": random_array_2d(rng, 1, 7, "C")}
+        check_equivalence(matmul_nest, out, arrays, symbols={"n": 7})
+        same_iteration_multiset(matmul_nest, out, arrays, symbols={"n": 7})

@@ -1,0 +1,129 @@
+"""The paper's precision claims (Section 3.2, proofs omitted there):
+
+* for direction-only dependence vectors, every Table 2 rule is as
+  precise as possible;
+* for distance vectors, ReversePermute and Parallelize stay precise
+  (other rules may approximate distances by directions).
+
+Precision here means the mapped set denotes no tuple that is not the
+image of a dependent pair — checked by comparing against exact image
+sets over sampled windows.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.deps.entry import DepEntry
+from repro.deps.rules import mergedirs, parmap, reverse
+from repro.deps.vector import DepVector
+
+DIRECTIONS = ["+", "-", "0+", "0-", "!0", "*"]
+WINDOW = range(-4, 5)
+
+
+def _tuples_in_window(entry: DepEntry):
+    return {v for v in WINDOW if v in entry.tuples()}
+
+
+class TestReversePrecision:
+    @pytest.mark.parametrize("code", DIRECTIONS)
+    def test_direction_exact(self, code):
+        e = DepEntry.direction(code)
+        mapped = reverse(e)
+        assert _tuples_in_window(mapped) == \
+            {-v for v in _tuples_in_window(e)}
+
+    @pytest.mark.parametrize("y", [-3, -1, 0, 2, 4])
+    def test_distance_exact(self, y):
+        mapped = reverse(DepEntry.distance(y))
+        assert mapped.is_distance and mapped.value == -y
+
+
+class TestParmapPrecision:
+    def test_zero_exact(self):
+        assert parmap(DepEntry.distance(0)).is_zero()
+
+    @pytest.mark.parametrize("value", ["+", "-", "!0", 1, -2])
+    def test_nonzero_is_star_and_tight(self, value):
+        """In an arbitrary parallel order, a dependence between two
+        distinct iterations can appear at any relative schedule offset,
+        so * is not just sound but the tightest single entry: every
+        nonzero offset is realizable."""
+        mapped = parmap(DepEntry.of(value))
+        for offset in WINDOW:
+            assert offset in mapped.tuples()
+
+
+class TestReversePermutePrecision:
+    @pytest.mark.parametrize("entries", [
+        (1, -2), (0, 3), (-1, -1), (2, 0),
+    ])
+    def test_distance_vectors_map_to_single_exact_vector(self, entries):
+        rp = ReversePermute(2, [True, False], [2, 1])
+        [mapped] = rp.map_dep_vector(DepVector(list(entries)))
+        assert all(e.is_distance for e in mapped)
+        # Exact image: entry k lands at perm[k], negated when reversed.
+        assert mapped.entries[1].value == -entries[0]
+        assert mapped.entries[0].value == entries[1]
+
+    @pytest.mark.parametrize("codes", list(
+        itertools.product(DIRECTIONS, repeat=2)))
+    def test_direction_vectors_exact(self, codes):
+        rp = ReversePermute(2, [False, True], [2, 1])
+        vec = DepVector([DepEntry.direction(c) for c in codes])
+        [mapped] = rp.map_dep_vector(vec)
+        # Per-entry exactness over the window implies vector exactness
+        # (entries are independent).
+        assert _tuples_in_window(mapped.entries[0]) == \
+            {-v for v in _tuples_in_window(vec.entries[1])}
+        assert _tuples_in_window(mapped.entries[1]) == \
+            _tuples_in_window(vec.entries[0])
+
+
+class TestParallelizePrecision:
+    @pytest.mark.parametrize("entries", [(0, 1), (2, 0), (0, 0), (1, -1)])
+    def test_distance_vectors(self, entries):
+        """Parallelize keeps unflagged distances exact and flags the
+        rest as *, which TestParmapPrecision shows is tight."""
+        p = Parallelize(2, [True, False])
+        [mapped] = p.map_dep_vector(DepVector(list(entries)))
+        assert mapped.entries[1].is_distance
+        assert mapped.entries[1].value == entries[1]
+        if entries[0] == 0:
+            assert mapped.entries[0].is_zero()
+        else:
+            assert mapped.entries[0].code == "*"
+
+
+class TestMergedirsPrecision:
+    @pytest.mark.parametrize("a", DIRECTIONS + ["0"])
+    @pytest.mark.parametrize("b", DIRECTIONS + ["0"])
+    def test_direction_pairs_tight(self, a, b):
+        """mergedirs' sign set must be achievable: every sign it claims
+        is realized by some linearization of some concrete pair."""
+        ea = DepEntry.of(a) if a != "0" else DepEntry.distance(0)
+        eb = DepEntry.of(b) if b != "0" else DepEntry.distance(0)
+        merged = mergedirs([ea, eb])
+        # Realizable signs by brute force over a 9x9 window, width 9.
+        achieved = set()
+        width = 9
+        for d1 in _tuples_in_window(ea):
+            for d2 in _tuples_in_window(eb):
+                c = d1 * width + d2
+                if c < 0:
+                    achieved.add(-1)
+                elif c == 0:
+                    achieved.add(0)
+                else:
+                    achieved.add(1)
+        claimed = set()
+        if merged.can_be_negative():
+            claimed.add(-1)
+        if merged.can_be_zero():
+            claimed.add(0)
+        if merged.can_be_positive():
+            claimed.add(1)
+        assert claimed == achieved, (a, b)

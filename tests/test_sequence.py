@@ -1,0 +1,259 @@
+"""Tests for the sequence representation: composition, peephole fusion,
+the unified legality test, and code generation order (Section 2)."""
+
+import random
+
+import pytest
+
+from repro.core.sequence import Transformation
+from repro.core.templates.block import Block
+from repro.core.templates.coalesce import Coalesce
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute, interchange
+from repro.core.templates.unimodular import Unimodular
+from repro.deps.vector import depset, depv
+from repro.ir.parser import parse_nest
+from repro.runtime import check_equivalence, run_nest
+from repro.util.errors import IllegalTransformationError
+from repro.util.matrices import IntMatrix
+from tests.conftest import random_array_2d
+
+ID2 = [[1, 0], [0, 1]]
+
+
+class TestConstruction:
+    def test_empty_needs_n(self):
+        with pytest.raises(ValueError):
+            Transformation(())
+
+    def test_identity(self):
+        t = Transformation.identity(3)
+        assert t.input_depth == t.output_depth == 3
+        assert len(t) == 0
+
+    def test_depth_chaining_enforced(self):
+        with pytest.raises(ValueError):
+            Transformation.of(Block(2, 1, 2, [4, 4]),   # outputs 4 loops
+                              interchange(2, 1, 2))     # expects 2
+
+    def test_depth_chaining_accepts_matching(self):
+        t = Transformation.of(Block(2, 1, 2, [4, 4]),
+                              Parallelize(4, [True] * 4))
+        assert t.output_depth == 4
+
+    def test_n_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Transformation((interchange(2, 1, 2),), n=3)
+
+    def test_immutable(self):
+        t = Transformation.identity(2)
+        with pytest.raises(AttributeError):
+            t.steps = ()
+
+
+class TestComposition:
+    def test_then_concatenates(self):
+        a = Transformation.of(interchange(2, 1, 2))
+        b = Transformation.of(Parallelize(2, [True, False]))
+        c = a.then(b, reduce=False)
+        assert len(c) == 2
+        assert c.signature().startswith("<ReversePermute")
+
+    def test_composition_maps_deps_in_order(self):
+        a = Transformation.of(interchange(2, 1, 2))
+        c = a.then(Parallelize(2, [True, False]), reduce=False)
+        mapped = c.map_dep_set(depset((1, 0)))
+        # interchange -> (0,1); parallelize loop1 -> (0,1).
+        assert mapped == depset((0, 1))
+
+    def test_dep_set_trace(self):
+        c = Transformation.of(interchange(2, 1, 2),
+                              Parallelize(2, [False, True]))
+        trace = c.dep_set_trace(depset((1, 0)))
+        assert trace == [depset((1, 0)), depset((0, 1)), depset((0, "*"))]
+
+
+class TestPeepholeReduction:
+    def test_unimodular_fusion(self):
+        skew = Unimodular(2, [[1, 0], [1, 1]])
+        swap = Unimodular(2, [[0, 1], [1, 0]])
+        fused = Transformation.of(skew).then(swap)
+        assert len(fused) == 1
+        step = fused.steps[0]
+        assert isinstance(step, Unimodular)
+        assert step.matrix == IntMatrix([[0, 1], [1, 0]]) @ IntMatrix(
+            [[1, 0], [1, 1]])
+
+    def test_unimodular_fusion_preserves_dep_mapping(self):
+        skew = Unimodular(2, [[1, 0], [1, 1]])
+        swap = Unimodular(2, [[0, 1], [1, 0]])
+        unfused = Transformation.of(skew).then(swap, reduce=False)
+        fused = unfused.reduced()
+        for vec in [depv(1, 0), depv(0, 1), depv(2, -1), depv("+", "0-")]:
+            assert (unfused.map_dep_set(depset(vec)) ==
+                    fused.map_dep_set(depset(vec)))
+
+    def test_reverse_permute_fusion(self):
+        a = ReversePermute(3, [True, False, False], [2, 3, 1])
+        b = ReversePermute(3, [False, False, True], [3, 1, 2])
+        fused = Transformation.of(a).then(b)
+        assert len(fused) == 1
+        combined = fused.steps[0]
+        # Check against explicit two-step mapping on a distance vector.
+        two_step = Transformation.of(a, b)
+        for vec in [depset((1, 2, 3)), depset(("+", "0-", -2))]:
+            assert combined.map_dep_set(vec) == two_step.map_dep_set(vec)
+
+    def test_reverse_permute_fusion_to_identity(self):
+        # This particular pair composes to the identity and vanishes.
+        a = ReversePermute(3, [True, False, False], [2, 3, 1])
+        b = ReversePermute(3, [False, True, False], [3, 1, 2])
+        fused = Transformation.of(a).then(b)
+        assert len(fused) == 0
+        two_step = Transformation.of(a, b)
+        vec = depset((1, 2, 3))
+        assert two_step.map_dep_set(vec) == vec
+
+    def test_double_reversal_cancels(self):
+        a = ReversePermute(2, [True, False], [1, 2])
+        fused = Transformation.of(a).then(a)
+        assert len(fused) == 0  # identity removed
+
+    def test_parallelize_fusion_is_or(self):
+        a = Parallelize(2, [True, False])
+        b = Parallelize(2, [False, True])
+        fused = Transformation.of(a).then(b)
+        assert len(fused) == 1
+        assert fused.steps[0].parflag == (True, True)
+
+    def test_identity_steps_dropped(self):
+        t = Transformation.of(
+            ReversePermute(2, [False, False], [1, 2]),
+            Parallelize(2, [False, False]),
+            Unimodular(2, ID2),
+        ).reduced()
+        assert len(t) == 0
+
+    def test_mixed_templates_not_fused(self):
+        t = Transformation.of(interchange(2, 1, 2),
+                              Unimodular(2, ID2)).reduced()
+        # The identity Unimodular is dropped, interchange kept.
+        assert len(t) == 1
+
+
+class TestLegality:
+    def test_wrong_depth_nest(self, matmul_nest):
+        t = Transformation.of(interchange(2, 1, 2))
+        report = t.legality(matmul_nest, depset((0, 0, "+")))
+        assert not report.legal
+        assert "3 loops" in report.reason
+
+    def test_dep_failure_reported(self, stencil_nest):
+        t = Transformation.of(interchange(2, 1, 2))
+        report = t.legality(stencil_nest, depset((1, -1)))
+        assert not report.legal
+        assert "lexicographically negative" in report.reason
+        assert report.final_deps is not None
+
+    def test_precondition_failure_reported(self, triangular_nest):
+        t = Transformation.of(interchange(2, 1, 2))
+        report = t.legality(triangular_nest, depset())
+        assert not report.legal
+        assert report.failed_step == 0
+        assert report.violation is not None
+
+    def test_intermediate_illegality_allowed(self):
+        """Section 3.2: only the final dependence set matters.  Skew by
+        -1 then skew by +2 passes through an illegal intermediate."""
+        deps = depset((1, 0))
+        bad_then_good = Transformation.of(
+            Unimodular(2, [[1, 0], [-1, 1]]),
+            Unimodular(2, [[1, 0], [2, 1]]),
+        )
+        # Intermediate state (1, -1)... final (1, 1): legal overall.
+        trace = bad_then_good.dep_set_trace(deps)
+        assert trace[1] == depset((1, -1))
+        assert trace[2] == depset((1, 1))
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            a(i, j) = a(i-1, j) + 1
+          enddo
+        enddo
+        """)
+        assert bad_then_good.legality(nest, deps).legal
+
+    def test_legality_never_mutates_nest(self, stencil_nest):
+        before = stencil_nest.pretty()
+        Transformation.of(interchange(2, 1, 2)).legality(
+            stencil_nest, depset((1, -1)))
+        assert stencil_nest.pretty() == before
+
+
+class TestApply:
+    def test_apply_requires_deps_when_checking(self, stencil_nest):
+        with pytest.raises(ValueError):
+            Transformation.of(interchange(2, 1, 2)).apply(stencil_nest)
+
+    def test_apply_raises_on_illegal(self, stencil_nest):
+        with pytest.raises(IllegalTransformationError):
+            Transformation.of(interchange(2, 1, 2)).apply(
+                stencil_nest, depset((1, -1)))
+
+    def test_init_statement_order_reversed(self):
+        """INIT_k ... INIT_1: later templates' inits come first."""
+        nest = parse_nest("""
+        do i = 1, 8
+          do j = 1, 8
+            a(i, j) = i + j
+          enddo
+        enddo
+        """)
+        t = Transformation.of(
+            # A rectangularity-preserving Unimodular (pure reversal), so
+            # the subsequent Coalesce precondition holds.
+            Unimodular(2, [[-1, 0], [0, 1]], names=["u", "v"]),  # INIT_1
+            Coalesce(2, 1, 2),                                   # INIT_2
+        )
+        out = t.apply(nest, depset(), check=False)
+        vars_in_order = [s.var for s in out.inits]
+        # Coalesce defines u and v (from the coalesced index) first, then
+        # Unimodular defines i and j from u and v.
+        assert vars_in_order == ["u", "v", "i", "j"]
+        check_equivalence(nest, out, {})
+
+    def test_identity_apply_returns_equal_nest(self, stencil_nest):
+        out = Transformation.identity(2).apply(stencil_nest, depset())
+        assert out == stencil_nest
+
+    def test_empty_dep_set_always_passes_dep_test(self, stencil_nest):
+        t = Transformation.of(interchange(2, 1, 2))
+        assert t.legality(stencil_nest, depset()).legal
+
+    def test_loop_trace_stages(self, matmul_nest):
+        t = Transformation.of(
+            ReversePermute(3, [False] * 3, [3, 1, 2]),
+            Block(3, 1, 3, [2, 2, 2]),
+        )
+        trace = t.loop_trace(matmul_nest)
+        assert [len(loops) for loops in trace] == [3, 3, 6]
+
+    def test_fused_and_unfused_generate_same_iteration_order(self):
+        rng = random.Random(13)
+        nest = parse_nest("""
+        do i = 0, 7
+          do j = 0, 7
+            a(i, j) = a(i, j) + 1
+          enddo
+        enddo
+        """)
+        skew = Unimodular(2, [[1, 0], [1, 1]])
+        swap = Unimodular(2, [[0, 1], [1, 0]])
+        unfused = Transformation.of(skew, swap)
+        fused = unfused.reduced()
+        assert len(fused) == 1
+        out_a = unfused.apply(nest, depset(), check=False)
+        out_b = fused.apply(nest, depset(), check=False)
+        ta = run_nest(out_a, {}, trace_vars=("i", "j")).iteration_trace
+        tb = run_nest(out_b, {}, trace_vars=("i", "j")).iteration_trace
+        assert ta == tb

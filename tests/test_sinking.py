@@ -1,0 +1,193 @@
+"""Tests for imperfect-nest parsing and code sinking."""
+
+import random
+
+import pytest
+
+from repro.deps.analysis import analyze
+from repro.ir.parser import parse_imperfect
+from repro.ir.sinking import first_iterate_expr, last_iterate_expr, sink
+from repro.ir.loopnest import If, Loop
+from repro.expr.nodes import Const, const, var
+from repro.runtime import Array, run_nest, check_equivalence
+from repro.util.errors import ParseError, ReproError
+from tests.conftest import random_array_2d
+
+ROW_SUMS = """
+do i = 1, n
+  s(i) = 0
+  do j = 1, n
+    s(i) = s(i) + a(i, j)
+  enddo
+  b(i) = s(i) / n
+enddo
+"""
+
+
+class TestLastIterate:
+    def test_unit_step(self):
+        lp = Loop("i", const(2), var("n"))
+        assert str(last_iterate_expr(lp)) == "n"
+
+    def test_non_dividing_step(self):
+        lp = Loop("i", const(1), const(10), const(3))
+        assert last_iterate_expr(lp) == const(10)
+        lp2 = Loop("i", const(1), const(9), const(3))
+        assert last_iterate_expr(lp2) == const(7)
+
+    def test_negative_step(self):
+        lp = Loop("i", const(10), const(1), const(-2))
+        assert last_iterate_expr(lp) == const(2)
+
+    def test_symbolic_step(self):
+        lp = Loop("i", var("lo"), var("hi"), var("s"))
+        assert "sgn(s)" in str(last_iterate_expr(lp))
+
+    def test_first(self):
+        lp = Loop("i", const(2), var("n"))
+        assert first_iterate_expr(lp) == const(2)
+
+
+class TestParseImperfect:
+    def test_tree_shape(self):
+        tree = parse_imperfect(ROW_SUMS)
+        assert tree.loop.index == "i"
+        assert len(tree.pre) == 1 and len(tree.post) == 1
+        assert tree.inner.loop.index == "j"
+        assert tree.inner.is_leaf
+
+    def test_perfect_nest_parses_too(self):
+        tree = parse_imperfect("""
+        do i = 1, n
+          do j = 1, n
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        assert not tree.pre and not tree.post
+        assert tree.inner.is_leaf
+
+    def test_multiple_inner_loops_rejected(self):
+        with pytest.raises(ParseError):
+            parse_imperfect("""
+            do i = 1, n
+              do j = 1, n
+                a(i, j) = 1
+              enddo
+              do k = 1, n
+                b(i, k) = 1
+              enddo
+            enddo
+            """)
+
+    def test_scalar_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_imperfect("""
+            do i = 1, n
+              t = i * 2
+              do j = 1, n
+                a(i, j) = t
+              enddo
+            enddo
+            """)
+
+
+class TestSink:
+    def test_guards_inserted(self):
+        nest = sink(parse_imperfect(ROW_SUMS))
+        assert nest.depth == 2
+        assert isinstance(nest.body[0], If)
+        assert isinstance(nest.body[-1], If)
+        text = nest.pretty()
+        assert "if (eq(j, 1)) s(i) = 0" in text
+        assert "if (eq(j, n))" in text
+
+    def test_semantics_row_sums(self):
+        nest = sink(parse_imperfect(ROW_SUMS))
+        rng = random.Random(0)
+        n = 6
+        arrays = {"a": random_array_2d(rng, 1, n, "a")}
+        result = run_nest(nest, arrays, symbols={"n": n})
+        for i in range(1, n + 1):
+            expected = sum(arrays["a"][(i, j)] for j in range(1, n + 1))
+            assert result.arrays["s"][(i,)] == expected
+            assert result.arrays["b"][(i,)] == expected // n
+
+    def test_three_levels(self):
+        tree = parse_imperfect("""
+        do i = 1, 3
+          t(i) = 0
+          do j = 1, 3
+            u(i, j) = 0
+            do k = 1, 3
+              u(i, j) = u(i, j) + k
+              t(i) = t(i) + 1
+            enddo
+          enddo
+        enddo
+        """)
+        nest = sink(tree)
+        assert nest.depth == 3
+        result = run_nest(nest, {})
+        assert result.arrays["t"][(2,)] == 9
+        assert result.arrays["u"][(1, 2)] == 6
+
+    def test_strided_inner_guard(self):
+        tree = parse_imperfect("""
+        do i = 1, 4
+          first(i) = 0
+          do j = 1, 10, 4
+            first(i) = first(i) + j
+          enddo
+          last(i) = first(i)
+        enddo
+        """)
+        nest = sink(tree)
+        result = run_nest(nest, {})
+        # j visits 1, 5, 9: last-iteration guard must fire at j == 9.
+        assert result.arrays["first"][(1,)] == 15
+        assert result.arrays["last"][(1,)] == 15
+
+    def test_statically_empty_inner_rejected(self):
+        tree = parse_imperfect("""
+        do i = 1, 4
+          s(i) = 0
+          do j = 5, 1
+            s(i) = s(i) + 1
+          enddo
+        enddo
+        """)
+        with pytest.raises(ReproError):
+            sink(tree)
+
+    def test_sunk_nest_feeds_the_framework(self):
+        """The point of sinking: the guarded perfect nest can now be
+        transformed.  Interchange is legal — the reduction into s(i) is
+        carried by j as (0, +), which interchange maps to the
+        lex-positive (+, 0); every s(i) still accumulates all its terms
+        before the j == n guard fires.  Execution confirms it."""
+        nest = sink(parse_imperfect(ROW_SUMS))
+        deps = analyze(nest)
+        assert str(deps) == "{(0, +)}"
+        from repro.core import Block, Transformation
+        from repro.core.templates.reverse_permute import interchange
+
+        rng = random.Random(1)
+        n = 6
+        arrays = {"a": random_array_2d(rng, 1, n, "a")}
+
+        swap = Transformation.of(interchange(2, 1, 2))
+        assert swap.legality(nest, deps).legal
+        check_equivalence(nest, swap.apply(nest, deps), arrays,
+                          symbols={"n": n})
+
+        # ... but parallelizing j (the carrier) is correctly rejected.
+        from repro.core.templates.parallelize import parallelize_loop
+
+        par_j = Transformation.of(parallelize_loop(2, 2))
+        assert not par_j.legality(nest, deps).legal
+
+        tile_i = Transformation.of(Block(2, 1, 1, [2]))
+        assert tile_i.legality(nest, deps).legal
+        check_equivalence(nest, tile_i.apply(nest, deps), arrays,
+                          symbols={"n": n})

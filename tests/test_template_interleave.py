@@ -1,0 +1,139 @@
+"""Tests for the Interleave template (Tables 2 and 3)."""
+
+import random
+
+import pytest
+
+from repro.core.sequence import Transformation
+from repro.core.templates.interleave import Interleave
+from repro.deps.vector import depset, depv
+from repro.ir.parser import parse_nest
+from repro.runtime import check_equivalence, run_nest, same_iteration_multiset
+from repro.util.errors import PreconditionViolation
+from tests.conftest import random_array_2d
+
+
+class TestConstruction:
+    def test_isize_arity(self):
+        with pytest.raises(ValueError):
+            Interleave(2, 1, 2, [4])
+
+    def test_output_depth(self):
+        assert Interleave(3, 2, 3, [2, 2]).output_depth == 5
+
+
+class TestDependenceMapping:
+    def test_zero(self):
+        it = Interleave(1, 1, 1, [4])
+        assert it.map_dep_set(depset((0,))) == depset((0, 0))
+
+    def test_positive_distance(self):
+        it = Interleave(1, 1, 1, [4])
+        mapped = it.map_dep_set(depset((1,)))
+        assert mapped == depset(("+", "0+"), ("0-", "+"))
+
+    def test_precise_mode(self):
+        it = Interleave(1, 1, 1, [4], precise=True)
+        mapped = it.map_dep_set(depset((1,)))
+        assert mapped == depset((1, 0), (-3, 1))
+
+    def test_interleave_breaks_small_distance_legality(self):
+        """Interleaving a loop carrying a dependence is illegal: the
+        offset entry can be negative first."""
+        it = Interleave(1, 1, 1, [4])
+        assert it.map_dep_set(depset((1,))).can_be_lex_negative()
+
+    def test_outside_entries_pass_through(self):
+        it = Interleave(3, 2, 2, [4])
+        mapped = it.map_dep_set(depset((1, 0, -2)))
+        assert mapped == depset((1, 0, 0, -2))
+
+
+class TestPreconditions:
+    def test_rectangular_ok(self, matmul_nest):
+        Interleave(3, 1, 3, [2, 2, 2]).check_preconditions(matmul_nest.loops)
+
+    def test_triangular_ok(self, triangular_nest):
+        # Linear bounds within the range are allowed (like Block).
+        Interleave(2, 1, 2, [2, 2]).check_preconditions(triangular_nest.loops)
+
+    def test_nonlinear_rejected(self):
+        nest = parse_nest("""
+        do j = 1, n
+          do k = colstr(j), colstr(j+1)-1
+            a(k) = a(k) + 1
+          enddo
+        enddo
+        """)
+        with pytest.raises(PreconditionViolation):
+            Interleave(2, 1, 2, [2, 2]).check_preconditions(nest.loops)
+
+
+class TestCodegen:
+    def test_structure(self):
+        nest = parse_nest("do i = 1, n\n a(i) = 1\nenddo")
+        out = Transformation.of(Interleave(1, 1, 1, [4])).apply(
+            nest, depset(), check=False)
+        off, elem = out.loops
+        assert off.index == "ii"
+        assert str(off.lower) == "0" and str(off.upper) == "3"
+        assert elem.index == "i"
+        assert str(elem.lower) == "ii + 1"
+        assert str(elem.step) == "4"
+        assert out.inits == ()
+
+    def test_strided_structure(self):
+        nest = parse_nest("do i = 2, n, 3\n a(i) = 1\nenddo")
+        out = Transformation.of(Interleave(1, 1, 1, [2])).apply(
+            nest, depset(), check=False)
+        off, elem = out.loops
+        assert str(elem.lower) == "3*ii + 2"
+        assert str(elem.step) == "6"
+
+    def test_cyclic_distribution_order(self):
+        nest = parse_nest("do i = 1, 8\n a(i) = 1\nenddo")
+        out = Transformation.of(Interleave(1, 1, 1, [3])).apply(
+            nest, depset(), check=False)
+        result = run_nest(out, {}, trace_vars=("i",))
+        assert [t[0] for t in result.iteration_trace] == \
+            [1, 4, 7, 2, 5, 8, 3, 6]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("isize", [1, 2, 3, 5])
+    def test_equivalence_reduction_free(self, isize):
+        rng = random.Random(isize)
+        nest = parse_nest("""
+        do i = 1, 9
+          do j = 1, 9
+            a(i, j) = b(i, j) * 2
+          enddo
+        enddo
+        """)
+        out = Transformation.of(Interleave(2, 1, 2, [isize, isize])).apply(
+            nest, depset(), check=False)
+        arrays = {"b": random_array_2d(rng, 1, 9, "b")}
+        check_equivalence(nest, out, arrays)
+        same_iteration_multiset(nest, out, arrays)
+
+    def test_equivalence_with_negative_step(self):
+        nest = parse_nest("""
+        do i = 10, 1, -2
+          a(i) = a(i) + i
+        enddo
+        """)
+        rng = random.Random(2)
+        out = Transformation.of(Interleave(1, 1, 1, [2])).apply(
+            nest, depset(), check=False)
+        from tests.conftest import random_array_1d
+        arrays = {"a": random_array_1d(rng, 1, 10, "a")}
+        check_equivalence(nest, out, arrays)
+        same_iteration_multiset(nest, out, arrays)
+
+    def test_legal_interleave_of_independent_loop(self, matmul_nest):
+        rng = random.Random(4)
+        T = Transformation.of(Interleave(3, 1, 2, [2, 2]))
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        arrays = {"B": random_array_2d(rng, 1, 5, "B"),
+                  "C": random_array_2d(rng, 1, 5, "C")}
+        check_equivalence(matmul_nest, out, arrays, symbols={"n": 5})

@@ -1,0 +1,124 @@
+"""Tests for the Parallelize template — 'just another iteration-reordering
+transformation' (the paper's phrase)."""
+
+import random
+
+import pytest
+
+from repro.core.sequence import Transformation
+from repro.core.templates.parallelize import Parallelize, parallelize_loop
+from repro.deps.vector import depset, depv
+from repro.ir.loopnest import PARDO
+from repro.ir.parser import parse_nest
+from repro.runtime import (
+    OracleFailure,
+    Schedule,
+    check_equivalence,
+    run_nest,
+)
+from repro.util.errors import IllegalTransformationError
+from tests.conftest import random_array_1d, random_array_2d
+
+
+class TestConstruction:
+    def test_flag_length_checked(self):
+        with pytest.raises(ValueError):
+            Parallelize(3, [True])
+
+    def test_params(self):
+        assert Parallelize(2, [True, False]).params() == \
+            "n=2, parflag=[1 0]"
+
+    def test_helper(self):
+        p = parallelize_loop(3, 2)
+        assert p.parflag == (False, True, False)
+
+
+class TestDependenceMapping:
+    def test_zero_entries_survive(self):
+        p = Parallelize(2, [True, True])
+        assert p.map_dep_set(depset((0, 0))) == depset((0, 0))
+
+    def test_carried_entry_becomes_star(self):
+        p = parallelize_loop(2, 1)
+        assert p.map_dep_set(depset((1, 0))) == depset(("*", 0))
+
+    def test_unflagged_entries_untouched(self):
+        p = parallelize_loop(2, 2)
+        assert p.map_dep_set(depset((1, -1))) == depset((1, "*"))
+
+    def test_legal_inner_parallelization(self):
+        # (1, -1): carried by loop 1, so loop 2 may go parallel.
+        mapped = parallelize_loop(2, 2).map_dep_set(depset((1, -1)))
+        assert not mapped.can_be_lex_negative()
+
+    def test_illegal_carried_parallelization(self):
+        # (0, 1): carried by loop 2; parallelizing it is illegal.
+        mapped = parallelize_loop(2, 2).map_dep_set(depset((0, 1)))
+        assert mapped.can_be_lex_negative()
+
+
+class TestCodegen:
+    def test_kind_changes_only(self, matmul_nest):
+        T = Transformation.of(Parallelize(3, [True, True, False]))
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        assert [lp.kind for lp in out.loops] == [PARDO, PARDO, "do"]
+        assert out.loops[0].lower == matmul_nest.loops[0].lower
+        assert out.inits == ()
+
+    def test_illegal_apply_raises(self):
+        nest = parse_nest("""
+        do i = 1, n
+          a(i) = a(i-1) + 1
+        enddo
+        """)
+        T = Transformation.of(parallelize_loop(1, 1))
+        with pytest.raises(IllegalTransformationError):
+            T.apply(nest, depset((1,)))
+
+
+class TestSemantics:
+    def test_legal_parallel_loop_schedule_independent(self):
+        rng = random.Random(3)
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            a(i, j) = a(i-1, j) + 1
+          enddo
+        enddo
+        """)
+        deps = depset((1, 0))
+        T = Transformation.of(parallelize_loop(2, 2))
+        out = T.apply(nest, deps)
+        arrays = {"a": random_array_2d(rng, 0, 7, "a")}
+        # Equivalence under seq/reverse/shuffled pardo schedules.
+        check_equivalence(nest, out, arrays, symbols={"n": 7})
+
+    def test_illegal_parallelization_detected_by_oracle(self):
+        """A recurrence parallelized illegally must produce a wrong answer
+        under some schedule — the oracle and the legality test agree."""
+        rng = random.Random(5)
+        nest = parse_nest("""
+        do i = 2, n
+          a(i) = a(i-1) + b(i)
+        enddo
+        """)
+        deps = depset((1,))
+        T = Transformation.of(parallelize_loop(1, 1))
+        assert not T.legality(nest, deps).legal
+        # Force codegen anyway and watch it break.
+        bad = T.apply(nest, deps, check=False)
+        arrays = {"a": random_array_1d(rng, 1, 30, "a"),
+                  "b": random_array_1d(rng, 1, 30, "b")}
+        with pytest.raises(OracleFailure):
+            check_equivalence(nest, bad, arrays, symbols={"n": 30},
+                              schedules=[Schedule("reverse")])
+
+    def test_pardo_seq_schedule_matches_do(self):
+        nest = parse_nest("""
+        pardo i = 1, 5
+          a(i) = i * i
+        enddo
+        """)
+        result = run_nest(nest, {}, schedule=Schedule("seq"))
+        assert result.arrays["a"][(3,)] == 9

@@ -1,0 +1,207 @@
+"""Tests for the ReversePermute template (Tables 2 and 3)."""
+
+import random
+
+import pytest
+
+from repro.core.sequence import Transformation
+from repro.core.templates.reverse_permute import (
+    ReversePermute,
+    interchange,
+    reversal,
+)
+from repro.deps.vector import depset, depv
+from repro.ir.parser import parse_nest
+from repro.runtime import check_equivalence, same_iteration_multiset
+from repro.util.errors import PreconditionViolation
+from tests.conftest import random_array_2d
+
+
+class TestConstruction:
+    def test_validates_perm(self):
+        with pytest.raises(ValueError):
+            ReversePermute(2, [False, False], [1, 1])
+
+    def test_validates_rev_length(self):
+        with pytest.raises(ValueError):
+            ReversePermute(2, [False], [1, 2])
+
+    def test_params_string(self):
+        rp = ReversePermute(2, [False, True], [2, 1])
+        assert rp.params() == "n=2, rev=[F T], perm=[2 1]"
+
+    def test_output_depth_unchanged(self):
+        assert ReversePermute(3, [False] * 3, [2, 3, 1]).output_depth == 3
+
+
+class TestDependenceMapping:
+    def test_fig2_illegal_interchange(self):
+        """Figure 2(b): interchanging D={(1,-1),(+,0)} creates (-1,1)."""
+        deps = depset((1, -1), ("+", 0))
+        rp = interchange(2, 1, 2)
+        mapped = rp.map_dep_set(deps)
+        assert depv(-1, 1) in mapped
+        assert mapped.can_be_lex_negative()
+
+    def test_fig2_legal_reverse_then_interchange(self):
+        """Figure 2(c): rev=[F T], perm=[2 1] gives D'={(1,1),(0,+)}."""
+        deps = depset((1, -1), ("+", 0))
+        rp = ReversePermute(2, [False, True], [2, 1])
+        mapped = rp.map_dep_set(deps)
+        assert mapped == depset((1, 1), (0, "+"))
+        assert not mapped.can_be_lex_negative()
+
+    def test_reversal_negates_entry(self):
+        rp = reversal(3, [2])
+        mapped = rp.map_dep_set(depset((1, 2, "0+")))
+        assert mapped == depset((1, -2, "0+"))
+
+    def test_permutation_moves_entries(self):
+        rp = ReversePermute(3, [False] * 3, [3, 1, 2])
+        mapped = rp.map_dep_set(depset((7, 8, 9)))
+        assert mapped == depset((8, 9, 7))
+
+
+class TestPreconditions:
+    def test_rectangular_ok(self, matmul_nest):
+        ReversePermute(3, [False] * 3, [3, 1, 2]).check_preconditions(
+            matmul_nest.loops)
+
+    def test_triangular_interchange_rejected(self, triangular_nest):
+        # l_2 = i is linear (not invariant) in i; moving j outward needs
+        # Unimodular instead (Figure 4 discussion).
+        with pytest.raises(PreconditionViolation):
+            interchange(2, 1, 2).check_preconditions(triangular_nest.loops)
+
+    def test_order_preserving_pairs_unconstrained(self, triangular_nest):
+        # Pure reversal keeps relative order: no invariance requirement.
+        reversal(2, [1]).check_preconditions(triangular_nest.loops)
+
+    def test_fig4c_move_i_innermost_legal(self):
+        """Figure 4(c): nonlinear colstr bounds block Unimodular, but
+        ReversePermute may move i innermost (k's bounds are invariant in i)."""
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            do k = colstr(j), colstr(j+1)-1
+              a(i, j) += b(i, rowidx(k)) * c(k)
+            enddo
+          enddo
+        enddo
+        """)
+        rp = ReversePermute(3, [False] * 3, [3, 1, 2])
+        rp.check_preconditions(nest.loops)
+
+    def test_fig4c_interchange_j_k_rejected(self):
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            do k = colstr(j), colstr(j+1)-1
+              a(i, j) += b(i, rowidx(k)) * c(k)
+            enddo
+          enddo
+        enddo
+        """)
+        with pytest.raises(PreconditionViolation):
+            interchange(3, 2, 3).check_preconditions(nest.loops)
+
+    def test_symbolic_step_allowed(self):
+        # ReversePermute does not normalize steps; symbolic strides OK.
+        nest = parse_nest("""
+        do i = 1, n, s
+          do j = 1, m
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        interchange(2, 1, 2).check_preconditions(nest.loops)
+
+
+class TestCodegen:
+    def test_interchange_swaps_headers(self, matmul_nest):
+        T = Transformation.of(ReversePermute(3, [False] * 3, [3, 1, 2]))
+        out = T.apply(matmul_nest, depset((0, 0, "+")))
+        assert out.indices == ("j", "k", "i")
+        assert out.inits == ()  # names reused, no INIT statements
+
+    def test_reversal_bounds_unit_step(self):
+        nest = parse_nest("do i = 2, n-1\n a(i) = i\nenddo")
+        T = Transformation.of(reversal(1, [1]))
+        out = T.apply(nest, depset(), check=False)
+        lp = out.loops[0]
+        assert str(lp.lower) == "n - 1"
+        assert str(lp.upper) == "2"
+        assert str(lp.step) == "-1"
+
+    def test_reversal_bounds_non_dividing_step(self):
+        # do i = 1, 10, 3 visits 1,4,7,10; reversed must start at 10.
+        nest = parse_nest("do i = 1, 10, 3\n a(i) = i\nenddo")
+        out = Transformation.of(reversal(1, [1])).apply(
+            nest, depset(), check=False)
+        lp = out.loops[0]
+        assert str(lp.lower) == "10"
+        assert str(lp.step) == "-3"
+
+    def test_reversal_bounds_non_dividing_step_2(self):
+        # do i = 1, 9, 3 visits 1,4,7; reversed must start at 7.
+        nest = parse_nest("do i = 1, 9, 3\n a(i) = i\nenddo")
+        out = Transformation.of(reversal(1, [1])).apply(
+            nest, depset(), check=False)
+        assert str(out.loops[0].lower) == "7"
+
+    def test_reversal_of_negative_step(self):
+        nest = parse_nest("do i = 10, 1, -2\n a(i) = i\nenddo")
+        out = Transformation.of(reversal(1, [1])).apply(
+            nest, depset(), check=False)
+        lp = out.loops[0]
+        assert str(lp.lower) == "2"      # last forward iterate
+        assert str(lp.upper) == "10"
+        assert str(lp.step) == "2"
+
+    def test_pardo_kind_travels(self):
+        nest = parse_nest("""
+        pardo i = 1, n
+          do j = 1, n
+            a(i, j) = 1
+          enddo
+        enddo
+        """)
+        out = Transformation.of(interchange(2, 1, 2)).apply(
+            nest, depset(), check=False)
+        assert out.loops[0].kind == "do"
+        assert out.loops[1].kind == "pardo"
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_interchange_equivalence(self, seed):
+        rng = random.Random(seed)
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 1, n
+            a(i, j) = b(j, i) + 1
+          enddo
+        enddo
+        """)
+        out = Transformation.of(interchange(2, 1, 2)).apply(
+            nest, depset(), check=False)
+        arrays = {"b": random_array_2d(rng, 1, 6, "b")}
+        check_equivalence(nest, out, arrays, symbols={"n": 6})
+        same_iteration_multiset(nest, out, arrays, symbols={"n": 6})
+
+    def test_reversal_equivalence_with_strides(self):
+        rng = random.Random(42)
+        nest = parse_nest("""
+        do i = 1, 11, 3
+          do j = 10, 2, -2
+            a(i, j) = a(i, j) + b(j, i)
+          enddo
+        enddo
+        """)
+        out = Transformation.of(
+            ReversePermute(2, [True, True], [2, 1])).apply(
+                nest, depset(), check=False)
+        arrays = {"a": random_array_2d(rng, 1, 12, "a"),
+                  "b": random_array_2d(rng, 1, 12, "b")}
+        check_equivalence(nest, out, arrays, symbols={})
+        same_iteration_multiset(nest, out, arrays, symbols={})

@@ -1,0 +1,120 @@
+"""Unit and property tests for repro.util.intmath."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    extended_gcd,
+    floor_div,
+    gcd,
+    gcd_many,
+    lcm,
+    sign,
+    trip_count,
+)
+from repro.util.intmath import last_iterate
+
+
+class TestSign:
+    def test_positive(self):
+        assert sign(7) == 1
+
+    def test_negative(self):
+        assert sign(-3) == -1
+
+    def test_zero(self):
+        assert sign(0) == 0
+
+
+class TestFloorCeilDiv:
+    @pytest.mark.parametrize("a,b,expected", [
+        (7, 2, 3), (-7, 2, -4), (7, -2, -4), (-7, -2, 3),
+        (6, 3, 2), (-6, 3, -2), (0, 5, 0),
+    ])
+    def test_floor_div(self, a, b, expected):
+        assert floor_div(a, b) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (7, 2, 4), (-7, 2, -3), (7, -2, -3), (-7, -2, 4),
+        (6, 3, 2), (0, 5, 0),
+    ])
+    def test_ceil_div(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_floor_div_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            floor_div(1, 0)
+
+    def test_ceil_div_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ceil_div(1, 0)
+
+    @given(st.integers(-1000, 1000), st.integers(-50, 50).filter(lambda b: b != 0))
+    def test_floor_matches_math(self, a, b):
+        assert floor_div(a, b) == math.floor(a / b)
+
+    @given(st.integers(-1000, 1000), st.integers(-50, 50).filter(lambda b: b != 0))
+    def test_ceil_floor_duality(self, a, b):
+        assert ceil_div(a, b) == -floor_div(-a, b)
+
+
+class TestGcdLcm:
+    def test_gcd_basic(self):
+        assert gcd(12, 18) == 6
+
+    def test_gcd_zero(self):
+        assert gcd(0, 0) == 0
+
+    def test_gcd_many(self):
+        assert gcd_many([12, 18, 30]) == 6
+
+    def test_gcd_many_empty(self):
+        assert gcd_many([]) == 0
+
+    def test_gcd_many_short_circuit(self):
+        assert gcd_many([3, 5, 999999]) == 1
+
+    def test_lcm(self):
+        assert lcm(4, 6) == 12
+
+    def test_lcm_zero(self):
+        assert lcm(7, 0) == 0
+
+    @given(st.integers(-500, 500), st.integers(-500, 500))
+    def test_extended_gcd_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert a * x + b * y == g
+        assert g == math.gcd(a, b)
+        assert g >= 0
+
+
+class TestTripCount:
+    @pytest.mark.parametrize("lo,hi,step,expected", [
+        (1, 10, 1, 10), (1, 10, 3, 4), (10, 1, -1, 10), (10, 1, -3, 4),
+        (5, 4, 1, 0), (4, 5, -1, 0), (3, 3, 1, 1), (3, 3, -7, 1),
+    ])
+    def test_values(self, lo, hi, step, expected):
+        assert trip_count(lo, hi, step) == expected
+
+    def test_zero_step_raises(self):
+        with pytest.raises(ValueError):
+            trip_count(1, 10, 0)
+
+    @given(st.integers(-20, 20), st.integers(-20, 20),
+           st.integers(-5, 5).filter(lambda s: s != 0))
+    def test_matches_range_enumeration(self, lo, hi, step):
+        expected = len(list(range(lo, hi + sign(step), step)))
+        assert trip_count(lo, hi, step) == expected
+
+    @given(st.integers(-20, 20), st.integers(-20, 20),
+           st.integers(-5, 5).filter(lambda s: s != 0))
+    def test_last_iterate(self, lo, hi, step):
+        values = list(range(lo, hi + sign(step), step))
+        if values:
+            assert last_iterate(lo, hi, step) == values[-1]
+        else:
+            with pytest.raises(ValueError):
+                last_iterate(lo, hi, step)

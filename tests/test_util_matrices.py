@@ -1,0 +1,157 @@
+"""Unit and property tests for repro.util.matrices."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.matrices import IntMatrix
+
+
+def random_unimodular(rng: random.Random, n: int, ops: int = 8) -> IntMatrix:
+    """Random unimodular matrix as a product of elementary matrices."""
+    m = IntMatrix.identity(n)
+    for _ in range(ops):
+        kind = rng.randrange(3)
+        if kind == 0 and n >= 2:
+            a, b = rng.sample(range(n), 2)
+            m = IntMatrix.interchange(n, a, b) @ m
+        elif kind == 1:
+            k = rng.randrange(n)
+            m = IntMatrix.reversal(n, [k]) @ m
+        elif n >= 2:
+            a, b = rng.sample(range(n), 2)
+            m = IntMatrix.skew(n, a, b, rng.randint(-3, 3)) @ m
+    return m
+
+
+class TestConstruction:
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2], [3]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IntMatrix([])
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            IntMatrix([[1.5]])
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            IntMatrix([[True]])
+
+    def test_shape_accessors(self):
+        m = IntMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+        assert m.row(1) == (4, 5, 6)
+        assert m.col(2) == (3, 6)
+        assert m[1, 0] == 4
+
+    def test_equality_and_hash(self):
+        a = IntMatrix([[1, 2], [3, 4]])
+        b = IntMatrix([[1, 2], [3, 4]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_pretty(self):
+        text = IntMatrix([[1, -10], [3, 4]]).pretty()
+        assert "[" in text and "-10" in text
+
+
+class TestConstructors:
+    def test_identity(self):
+        assert IntMatrix.identity(2) == IntMatrix([[1, 0], [0, 1]])
+
+    def test_permutation(self):
+        # old coordinate 0 -> position 2, 1 -> 0, 2 -> 1
+        p = IntMatrix.permutation([2, 0, 1])
+        assert p.apply((10, 20, 30)) == (20, 30, 10)
+
+    def test_permutation_rejects_bad(self):
+        with pytest.raises(ValueError):
+            IntMatrix.permutation([0, 0, 1])
+
+    def test_reversal(self):
+        r = IntMatrix.reversal(3, [1])
+        assert r.apply((1, 2, 3)) == (1, -2, 3)
+
+    def test_skew(self):
+        s = IntMatrix.skew(2, 1, 0, 3)
+        assert s.apply((2, 5)) == (2, 11)
+
+    def test_skew_rejects_diagonal(self):
+        with pytest.raises(ValueError):
+            IntMatrix.skew(2, 1, 1, 3)
+
+    def test_interchange(self):
+        m = IntMatrix.interchange(3, 0, 2)
+        assert m.apply((1, 2, 3)) == (3, 2, 1)
+
+
+class TestArithmetic:
+    def test_multiply(self):
+        a = IntMatrix([[1, 2], [3, 4]])
+        b = IntMatrix([[5, 6], [7, 8]])
+        assert a @ b == IntMatrix([[19, 22], [43, 50]])
+
+    def test_multiply_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2]]) @ IntMatrix([[1, 2]])
+
+    def test_apply_length_mismatch(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2]]).apply((1, 2, 3))
+
+    def test_transpose(self):
+        assert IntMatrix([[1, 2, 3]]).transpose() == IntMatrix([[1], [2], [3]])
+
+
+class TestDeterminantInverse:
+    def test_det_identity(self):
+        assert IntMatrix.identity(4).determinant() == 1
+
+    def test_det_singular(self):
+        assert IntMatrix([[1, 2], [2, 4]]).determinant() == 0
+
+    def test_det_3x3(self):
+        m = IntMatrix([[2, 0, 1], [1, 1, 0], [0, 3, 1]])
+        assert m.determinant() == 2 * 1 - 0 + 1 * 3  # 5
+
+    def test_det_non_square_raises(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2]]).determinant()
+
+    def test_det_needs_pivot_swap(self):
+        m = IntMatrix([[0, 1], [1, 0]])
+        assert m.determinant() == -1
+
+    def test_is_unimodular(self):
+        assert IntMatrix([[1, 1], [1, 0]]).is_unimodular()
+        assert not IntMatrix([[2, 0], [0, 1]]).is_unimodular()
+        assert not IntMatrix([[1, 2, 3]]).is_unimodular()
+
+    def test_inverse_fig1_matrix(self):
+        m = IntMatrix([[1, 1], [1, 0]])
+        assert m.inverse_unimodular() == IntMatrix([[0, 1], [1, -1]])
+
+    def test_inverse_rejects_non_unimodular(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[2, 0], [0, 1]]).inverse_unimodular()
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_random_unimodular_roundtrip(self, seed, n):
+        rng = random.Random(seed * 31 + n)
+        m = random_unimodular(rng, n)
+        assert m.is_unimodular()
+        inv = m.inverse_unimodular()
+        assert m @ inv == IntMatrix.identity(n)
+        assert inv @ m == IntMatrix.identity(n)
+
+    @given(st.integers(0, 10**6))
+    def test_elementary_products_unimodular(self, seed):
+        rng = random.Random(seed)
+        m = random_unimodular(rng, 3, ops=5)
+        assert m.determinant() in (1, -1)

@@ -1,0 +1,117 @@
+"""Tests for the vectorization driver and the Section 4.2 template
+preference (ReversePermute over Unimodular when both apply)."""
+
+import random
+
+import pytest
+
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.core.templates.unimodular import Unimodular
+from repro.deps import depset
+from repro.deps.analysis import analyze
+from repro.ir import parse_nest
+from repro.ir.loopnest import PARDO
+from repro.optimize import cheapest_permutation, vectorize_innermost
+from repro.runtime import check_equivalence
+from repro.util.errors import PreconditionViolation
+from tests.conftest import random_array_2d
+
+
+class TestCheapestPermutation:
+    def test_rectangular_uses_reverse_permute(self, matmul_nest):
+        step = cheapest_permutation(matmul_nest.loops, [3, 1, 2])
+        assert isinstance(step, ReversePermute)
+
+    def test_triangular_falls_back_to_unimodular(self, triangular_nest):
+        step = cheapest_permutation(triangular_nest.loops, [2, 1])
+        assert isinstance(step, Unimodular)
+        assert step.matrix.rows() == ((0, 1), (1, 0))
+
+    def test_nonlinear_bounds_raise_when_neither_works(self):
+        nest = parse_nest("""
+        do j = 1, n
+          do k = colstr(j), colstr(j+1)-1
+            a(k) = a(k) + 1
+          enddo
+        enddo
+        """)
+        with pytest.raises(PreconditionViolation):
+            cheapest_permutation(nest.loops, [2, 1])
+
+    def test_validates_order(self, matmul_nest):
+        with pytest.raises(ValueError):
+            cheapest_permutation(matmul_nest.loops, [1, 1, 2])
+
+
+class TestVectorizeInnermost:
+    def test_already_vectorizable(self):
+        nest = parse_nest("""
+        do i = 2, n
+          do j = 1, n
+            a(i, j) = a(i-1, j) + 1
+          enddo
+        enddo
+        """)
+        deps = analyze(nest)
+        result = vectorize_innermost(nest, deps)
+        assert result is not None
+        assert result.order == (1, 2)
+        out = result.transformation.apply(nest, deps)
+        assert out.loops[1].kind == PARDO
+
+    def test_needs_interchange(self):
+        """Dependence carried by the inner loop: interchange brings the
+        parallel dimension inside."""
+        nest = parse_nest("""
+        do i = 1, n
+          do j = 2, n
+            a(i, j) = a(i, j-1) + 1
+          enddo
+        enddo
+        """)
+        deps = analyze(nest)
+        assert deps == depset((0, 1))
+        result = vectorize_innermost(nest, deps)
+        assert result is not None
+        assert result.order == (2, 1)
+        out = result.transformation.apply(nest, deps)
+        assert out.indices == ("j", "i")
+        assert out.loops[1].kind == PARDO
+        rng = random.Random(0)
+        arrays = {"a": random_array_2d(rng, 0, 7, "a")}
+        check_equivalence(nest, out, arrays, symbols={"n": 7})
+
+    def test_prefers_longer_parallel_suffix(self, matmul_nest):
+        deps = depset((0, 0, "+"))
+        result = vectorize_innermost(matmul_nest, deps)
+        assert result is not None
+        # k carries the reduction: it must move outermost so that both
+        # inner loops are parallel.
+        assert result.parallel_suffix == 2
+        assert result.order[0] == 3
+
+    def test_triangular_interchange_via_unimodular(self):
+        nest = parse_nest("""
+        do i = 2, n
+          do j = i, n
+            a(i, j) = a(i-1, j) + 1
+          enddo
+        enddo
+        """)
+        deps = analyze(nest)
+        result = vectorize_innermost(nest, deps)
+        assert result is not None
+        out = result.transformation.apply(nest, deps)
+        assert out.loops[-1].kind == PARDO
+        check_equivalence(nest, out, {}, symbols={"n": 8})
+
+    def test_fully_serial_returns_none(self):
+        nest = parse_nest("""
+        do i = 2, n
+          do j = 2, n
+            a(i, j) = a(i-1, j) + a(i, j-1)
+          enddo
+        enddo
+        """)
+        deps = analyze(nest)
+        assert vectorize_innermost(nest, deps) is None
