@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-report examples corpus all
+.PHONY: test bench bench-report bench-smoke examples corpus all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -11,6 +11,12 @@ bench:
 # Benchmarks plus the regenerated paper tables/figures on stdout.
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Fast perf guardrails (compiled engine >= 5x, memoized legality >= 2x)
+# with a machine-readable speedup summary in bench_smoke.json.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -m smoke -s \
+		--smoke-json bench_smoke.json
 
 examples:
 	@for f in examples/*.py; do \

@@ -6,17 +6,21 @@ function of nest depth, dependence-set size and sequence length, and
 reports the series.
 """
 
+import gc
 import random
+import time
 
 import pytest
 
 from repro.core import (
     Block,
+    LegalityCache,
     Parallelize,
     ReversePermute,
     Transformation,
     Unimodular,
 )
+from repro.optimize.search import default_candidates
 from repro.deps import DepSet, DepVector, DepEntry
 from repro.expr.nodes import Const, var
 from repro.ir import Loop, LoopNest, parse_nest
@@ -110,3 +114,101 @@ def test_search_and_undo_rate(report, benchmark):
     report("Perf-1: search-and-undo evaluation",
            f"{legal}/{len(candidates)} candidates legal; nest untouched")
     assert 0 < legal <= len(candidates)
+
+
+def _beam_query_stream(depth: int = 3, levels: int = 2):
+    """The legality queries a beam search issues: every menu-step
+    sequence up to *levels* long (the beam's shared-prefix shape)."""
+    menu = default_candidates(depth)
+    frontier = [Transformation.identity(depth)]
+    stream = []
+    for _ in range(levels):
+        nxt = []
+        for base in frontier:
+            for step in menu:
+                if step.n != base.output_depth:
+                    continue
+                candidate = base.then(step, reduce=False)
+                stream.append(candidate)
+                nxt.append(candidate)
+        frontier = nxt
+    return stream
+
+
+def test_memoized_legality_throughput(report, benchmark):
+    nest = rectangular_nest(3)
+    deps = random_deps(random.Random(3), 3, 8)
+    stream = _beam_query_stream()
+    cache = LegalityCache()
+
+    def evaluate_all():
+        return sum(1 for T in stream if cache.legality(T, nest, deps).legal)
+
+    legal = benchmark(evaluate_all)
+    report("Perf-1: memoized legality over a beam query stream",
+           f"{legal}/{len(stream)} legal; stats={cache.stats}")
+
+
+@pytest.mark.smoke
+def test_smoke_memoized_legality_speedup(report, smoke_summary):
+    """CI guardrail: memoized legality must stay >= 2x faster than the
+    uncached test on a repeated beam-search query stream, with
+    field-identical reports."""
+    nest = rectangular_nest(3)
+    deps = random_deps(random.Random(3), 3, 8)
+    # Three searches over the same nest and dependence set (the
+    # re-optimization pattern the cache exists for).
+    stream = _beam_query_stream() * 3
+
+    def timed(fn):
+        # Best of two trials with the collector paused: the suite's other
+        # benchmarks leave enough garbage that a mid-measurement GC pass
+        # otherwise dominates the short cached run.
+        best, result = float("inf"), None
+        for _ in range(2):
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                result = fn()
+                best = min(best, time.perf_counter() - t0)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+        return best, result
+
+    uncached_s, uncached = timed(
+        lambda: [T.legality(nest, deps) for T in stream])
+
+    def run_cached():
+        cache = LegalityCache()  # cold per trial: one search-shaped
+        reports = [cache.legality(T, nest, deps) for T in stream]
+        return cache, reports    # miss round plus two warm rounds
+
+    cached_s, (cache, cached) = timed(run_cached)
+
+    for ref, got in zip(uncached, cached):
+        assert ref.legal == got.legal
+        assert ref.reason == got.reason
+        assert ref.failed_step == got.failed_step
+        if ref.final_deps is None:
+            assert got.final_deps is None
+        else:
+            assert tuple(ref.final_deps.vectors) == \
+                tuple(got.final_deps.vectors)
+
+    speedup = uncached_s / cached_s
+    smoke_summary["memoized_legality"] = {
+        "benchmark": "beam query stream x3",
+        "queries": len(stream),
+        "uncached_seconds": round(uncached_s, 6),
+        "cached_seconds": round(cached_s, 6),
+        "speedup": round(speedup, 2),
+        "threshold": 2.0,
+        "cache_stats": cache.stats,
+    }
+    report("Perf-1 smoke: memoized legality speedup",
+           f"{speedup:.1f}x over uncached (floor 2x), "
+           f"{len(stream)} queries, stats={cache.stats}")
+    assert speedup >= 2.0, (
+        f"memoized legality only {speedup:.2f}x faster than uncached")

@@ -8,12 +8,39 @@ it with pytest-benchmark.
 
 from __future__ import annotations
 
+import json
 import random
 
 import pytest
 
 from repro.ir import parse_nest
 from repro.runtime import Array
+
+# Filled by the ``smoke_summary`` fixture; written out at session end
+# when ``--smoke-json`` was given.
+_SMOKE_RESULTS = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke-json", action="store", default=None, metavar="PATH",
+        help="write the smoke benchmarks' machine-readable speedup "
+             "summary to PATH")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--smoke-json")
+    if path and _SMOKE_RESULTS:
+        with open(path, "w") as fh:
+            json.dump(_SMOKE_RESULTS, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+@pytest.fixture
+def smoke_summary():
+    """Dict the ``smoke``-marked benchmarks record their speedups in;
+    dumped as JSON via ``--smoke-json`` (see ``make bench-smoke``)."""
+    return _SMOKE_RESULTS
 
 
 def _banner(title: str) -> str:

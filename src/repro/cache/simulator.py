@@ -24,6 +24,13 @@ class CacheConfig:
 
     def __init__(self, size_bytes: int = 32 * 1024, line_bytes: int = 64,
                  associativity: int = 4):
+        for field, value in (("size_bytes", size_bytes),
+                             ("line_bytes", line_bytes),
+                             ("associativity", associativity)):
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ValueError(
+                    f"{field} must be a positive integer, got {value!r}")
         if size_bytes % (line_bytes * associativity) != 0:
             raise ValueError(
                 "cache size must be a multiple of line_bytes * associativity")
@@ -86,6 +93,35 @@ class Cache:
             ways.popitem(last=False)
         return False
 
+    def access_all(self, addresses: Iterable[int]) -> CacheStats:
+        """Touch a batch of byte addresses.
+
+        Exactly equivalent to calling :meth:`access` per address (same
+        LRU state, same counters), but with the per-access attribute
+        lookups hoisted out of the loop — the hot path for full
+        interpreter traces.
+        """
+        config = self.config
+        line_bytes = config.line_bytes
+        num_sets = config.num_sets
+        associativity = config.associativity
+        sets = self._sets
+        accesses = misses = 0
+        for address in addresses:
+            line = address // line_bytes
+            ways = sets[line % num_sets]
+            accesses += 1
+            if line in ways:
+                ways.move_to_end(line)
+            else:
+                misses += 1
+                ways[line] = True
+                if len(ways) > associativity:
+                    ways.popitem(last=False)
+        self.stats.accesses += accesses
+        self.stats.misses += misses
+        return self.stats
+
     def reset(self) -> None:
         for s in self._sets:
             s.clear()
@@ -117,31 +153,64 @@ class Layout:
             if s <= 0:
                 raise ValueError(f"empty extent in {name}: {extents}")
             total *= s
-        self._arrays[name] = (self._next_base, tuple(extents))
+        # Element strides per dimension, precomputed once so address
+        # computation is a flat dot product.
+        n = len(sizes)
+        strides = [0] * n
+        stride = 1
+        order = range(n) if self.order == "col" else range(n - 1, -1, -1)
+        for d in order:
+            strides[d] = stride
+            stride *= sizes[d]
+        self._arrays[name] = (self._next_base, tuple(extents), tuple(strides))
         # Pad to a 4KiB boundary so arrays do not share lines.
         self._next_base += ((total * self.element_bytes + 4095) // 4096) * 4096
 
     def address(self, name: str, index: Tuple[int, ...]) -> int:
         try:
-            base, extents = self._arrays[name]
+            base, extents, strides = self._arrays[name]
         except KeyError:
             raise KeyError(f"array {name!r} not registered in layout") from None
         if len(index) != len(extents):
             raise ValueError(
                 f"{name}: index {index} has {len(index)} dims, "
                 f"layout has {len(extents)}")
-        dims = range(len(extents))
-        ordered = dims if self.order == "col" else reversed(list(dims))
         offset = 0
-        stride = 1
-        for d in ordered:
+        for d, ix in enumerate(index):
             lo, hi = extents[d]
-            if not lo <= index[d] <= hi:
+            if not lo <= ix <= hi:
                 raise IndexError(
                     f"{name}{index}: dim {d} out of extent [{lo},{hi}]")
-            offset += (index[d] - lo) * stride
-            stride *= hi - lo + 1
+            offset += (ix - lo) * strides[d]
         return base + offset * self.element_bytes
+
+    def addresses(self, trace: Iterable[Tuple[str, Tuple[int, ...], str]]
+                  ) -> List[int]:
+        """Byte addresses for a whole address trace (batched
+        :meth:`address`, same bounds checks and errors)."""
+        arrays = self._arrays
+        element_bytes = self.element_bytes
+        out: List[int] = []
+        append = out.append
+        for name, index, _kind in trace:
+            try:
+                base, extents, strides = arrays[name]
+            except KeyError:
+                raise KeyError(
+                    f"array {name!r} not registered in layout") from None
+            if len(index) != len(extents):
+                raise ValueError(
+                    f"{name}: index {index} has {len(index)} dims, "
+                    f"layout has {len(extents)}")
+            offset = 0
+            for d, ix in enumerate(index):
+                lo, hi = extents[d]
+                if not lo <= ix <= hi:
+                    raise IndexError(
+                        f"{name}{index}: dim {d} out of extent [{lo},{hi}]")
+                offset += (ix - lo) * strides[d]
+            append(base + offset * element_bytes)
+        return out
 
 
 def simulate_trace(trace: Iterable[Tuple[str, Tuple[int, ...], str]],
@@ -149,6 +218,4 @@ def simulate_trace(trace: Iterable[Tuple[str, Tuple[int, ...], str]],
                    config: Optional[CacheConfig] = None) -> CacheStats:
     """Run an interpreter address trace through a cache."""
     cache = Cache(config or CacheConfig())
-    for name, index, _kind in trace:
-        cache.access(layout.address(name, index))
-    return cache.stats
+    return cache.access_all(layout.addresses(trace))

@@ -1,6 +1,7 @@
 """The paper's primary contribution: templates, sequences, legality, codegen."""
 
 from repro.core.bounds_matrix import BoundsMatrix
+from repro.core.legality_cache import LegalityCache
 from repro.core.sequence import LegalityReport, Transformation
 from repro.core.template import Template, TransformedLoops, fresh_name
 from repro.core.templates import (
@@ -15,7 +16,8 @@ from repro.core.templates import (
 from repro.core import derived
 
 __all__ = [
-    "BoundsMatrix", "LegalityReport", "Transformation", "Template",
+    "BoundsMatrix", "LegalityCache", "LegalityReport", "Transformation",
+    "Template",
     "TransformedLoops", "fresh_name", "KERNEL_SET",
     "Block", "Coalesce", "Interleave", "Parallelize", "ReversePermute",
     "Unimodular", "derived",

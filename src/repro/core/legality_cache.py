@@ -1,0 +1,277 @@
+"""Memoized legality testing for transformation sequences.
+
+Beam search (:func:`repro.optimize.search.search`) asks
+:meth:`Transformation.legality` about thousands of sequences that share
+long prefixes and always the same nest and dependence set.  Both halves
+of the unified legality test decompose over the sequence:
+
+* the dependence half is a fold of ``step.map_dep_set`` — memoizing on
+  ``(dependence-set content, step content)`` means a sequence extension
+  maps only its new step;
+* the bounds half is a fold of ``check_preconditions``/``map_loops``
+  over the loop headers — memoizing per ``(nest, step prefix)`` means an
+  extension re-checks only its new step, and a prefix that already
+  failed rejects every extension immediately without re-running any
+  template code (legality of ``T`` never improves by appending to it,
+  because the bounds fold fails at the same step with the same error).
+
+The cache replicates :meth:`Transformation.legality` exactly: identical
+``LegalityReport`` fields (reason strings, failed step index, final
+dependence set with identical vector order, violation object) for every
+input, which the property tests in ``tests/test_legality_cache.py``
+enforce against the uncached implementation.
+
+Keys are *content* keys: dependence sets key by their ordered entry
+tuples (``DepSet.__hash__`` is order-insensitive, but the failure reason
+string enumerates vectors in order, so the cache must not conflate
+reorderings); template steps key by type, depth and ``to_spec()`` (plus
+``names`` for Unimodular, which its spec omits).  All keys are interned
+to small integers so hot lookups never re-hash deep structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.codegen import collect_taken
+from repro.core.sequence import LegalityReport, Transformation
+from repro.core.template import Template
+from repro.deps.vector import DepSet
+from repro.ir.loopnest import Loop, LoopNest
+from repro.util.errors import CodegenError, PreconditionViolation
+
+
+def depset_key(deps: DepSet) -> Tuple:
+    """Order-preserving content key for a dependence set."""
+    return tuple(v.entries for v in deps.vectors)
+
+
+def template_key(step: Template) -> Tuple:
+    """Content key for a template instantiation.
+
+    ``to_spec()`` is the canonical serialization, but it omits ``n`` for
+    some templates (``block(i, j, sizes)``) and ``names`` for Unimodular,
+    so both are folded in explicitly.  A template with no step-language
+    spelling falls back to identity keying — always correct, never
+    shared.
+    """
+    try:
+        spec = step.to_spec()
+    except NotImplementedError:
+        return (type(step).__name__, step.n, step.signature(), id(step))
+    return (type(step).__name__, step.n, spec, getattr(step, "names", None))
+
+
+class LegalityCache:
+    """Memoizes :meth:`Transformation.legality` across a search session.
+
+    Use one instance per (nest, dependence set) workload — typically one
+    per :func:`~repro.optimize.search.search` call.  Sharing an instance
+    across nests and dependence sets is safe (keys include both); it
+    just grows the tables.
+    """
+
+    def __init__(self):
+        # content-key -> small int, so hot paths hash ints not trees
+        self._step_ids: Dict[Tuple, int] = {}
+        self._deps_ids: Dict[Tuple, int] = {}
+        self._nest_ids: Dict[LoopNest, int] = {}
+        # Object-identity shortcuts over the content keys: the search
+        # loop passes the same template/nest/DepSet objects thousands of
+        # times, so compute each deep content key once per object and
+        # pin the object (the strong reference keeps its id() valid).
+        self._step_by_obj: Dict[int, Tuple[Template, int]] = {}
+        self._nest_by_obj: Dict[int, Tuple[LoopNest, int]] = {}
+        self._deps_by_obj: Dict[int, Tuple[DepSet, int]] = {}
+        # (id(transformation), id(nest), id(deps)) -> (pins, report):
+        # repeat queries with the very same objects skip keying entirely.
+        self._verdict_by_obj: Dict[Tuple[int, int, int],
+                                   Tuple[Tuple, LegalityReport]] = {}
+        # (deps_id, step_id) -> (mapped DepSet, its deps_id)
+        self._map_cache: Dict[Tuple[int, int], Tuple[DepSet, int]] = {}
+        # (nest_id, step_id prefix) -> ("ok", loops, frozen taken)
+        #                            | ("pre"|"cg", step index, exception)
+        self._bounds_cache: Dict[Tuple[int, Tuple[int, ...]], Tuple] = {}
+        # (nest_id, deps_id, step ids) -> LegalityReport
+        self._verdicts: Dict[Tuple[int, int, Tuple[int, ...]],
+                             LegalityReport] = {}
+        self.hits = 0
+        self.misses = 0
+        self.dep_map_evals = 0
+        self.bounds_step_evals = 0
+
+    # -- interning ---------------------------------------------------------
+
+    def _intern_step(self, step: Template) -> int:
+        pinned = self._step_by_obj.get(id(step))
+        if pinned is not None:
+            return pinned[1]
+        key = template_key(step)
+        sid = self._step_ids.get(key)
+        if sid is None:
+            sid = len(self._step_ids)
+            self._step_ids[key] = sid
+        self._step_by_obj[id(step)] = (step, sid)
+        return sid
+
+    def _intern_deps(self, deps: DepSet) -> int:
+        pinned = self._deps_by_obj.get(id(deps))
+        if pinned is not None:
+            return pinned[1]
+        key = depset_key(deps)
+        did = self._deps_ids.get(key)
+        if did is None:
+            did = len(self._deps_ids)
+            self._deps_ids[key] = did
+        self._deps_by_obj[id(deps)] = (deps, did)
+        return did
+
+    def _intern_nest(self, nest: LoopNest) -> int:
+        pinned = self._nest_by_obj.get(id(nest))
+        if pinned is not None:
+            return pinned[1]
+        nid = self._nest_ids.get(nest)
+        if nid is None:
+            nid = len(self._nest_ids)
+            self._nest_ids[nest] = nid
+        self._nest_by_obj[id(nest)] = (nest, nid)
+        return nid
+
+    # -- the memoized test -------------------------------------------------
+
+    def legality(self, transformation: Transformation, nest: LoopNest,
+                 deps: DepSet) -> LegalityReport:
+        """Drop-in for ``transformation.legality(nest, deps)``."""
+        okey = (id(transformation), id(nest), id(deps))
+        pinned = self._verdict_by_obj.get(okey)
+        if pinned is not None:
+            self.hits += 1
+            return pinned[1]
+        if nest.depth != transformation.input_depth:
+            report = LegalityReport(
+                False, f"nest has {nest.depth} loops, transformation "
+                       f"expects {transformation.input_depth}")
+            self._verdict_by_obj[okey] = ((transformation, nest, deps),
+                                          report)
+            return report
+        steps = transformation.steps
+        step_ids = tuple(self._intern_step(s) for s in steps)
+        deps_id = self._intern_deps(deps)
+        nest_id = self._intern_nest(nest)
+        vkey = (nest_id, deps_id, step_ids)
+        report = self._verdicts.get(vkey)
+        if report is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+            report = self._compute(steps, step_ids, nest, nest_id,
+                                   deps, deps_id)
+            self._verdicts[vkey] = report
+        self._verdict_by_obj[okey] = ((transformation, nest, deps), report)
+        return report
+
+    def _compute(self, steps: Sequence[Template], step_ids: Tuple[int, ...],
+                 nest: LoopNest, nest_id: int,
+                 deps: DepSet, deps_id: int) -> LegalityReport:
+        # (a) dependence vector test, mapped one memoized step at a time.
+        final = self._map_deps(steps, step_ids, deps, deps_id)
+        if final.can_be_lex_negative():
+            bad = [str(v) for v in final if v.can_be_lex_negative()]
+            return LegalityReport(
+                False,
+                "transformed dependence set admits a lexicographically "
+                f"negative tuple: {', '.join(bad)}",
+                final_deps=final)
+        # (b) loop bounds test over the longest novel suffix.
+        state = self._bounds(steps, step_ids, nest, nest_id)
+        if state[0] == "pre":
+            _, idx, exc = state
+            return LegalityReport(False, str(exc), failed_step=idx,
+                                  final_deps=final, violation=exc)
+        if state[0] == "cg":
+            _, idx, exc = state
+            return LegalityReport(
+                False, f"{steps[idx].signature()}: {exc}", failed_step=idx,
+                final_deps=final)
+        return LegalityReport(True, final_deps=final)
+
+    def _map_deps(self, steps: Sequence[Template], step_ids: Tuple[int, ...],
+                  deps: DepSet, deps_id: int) -> DepSet:
+        current, current_id = deps, deps_id
+        for step, sid in zip(steps, step_ids):
+            hit = self._map_cache.get((current_id, sid))
+            if hit is None:
+                self.dep_map_evals += 1
+                mapped = step.map_dep_set(current)
+                key = depset_key(mapped)
+                mapped_id = self._deps_ids.get(key)
+                if mapped_id is None:
+                    mapped_id = len(self._deps_ids)
+                    self._deps_ids[key] = mapped_id
+                hit = (mapped, mapped_id)
+                self._map_cache[(current_id, sid)] = hit
+            current, current_id = hit
+        return current
+
+    def _bounds(self, steps: Sequence[Template], step_ids: Tuple[int, ...],
+                nest: LoopNest, nest_id: int) -> Tuple:
+        n = len(steps)
+        start = 0
+        loops: Optional[Tuple[Loop, ...]] = None
+        taken_frozen: Optional[frozenset] = None
+        for k in range(n, 0, -1):
+            state = self._bounds_cache.get((nest_id, step_ids[:k]))
+            if state is not None:
+                if state[0] != "ok":
+                    return state
+                _, loops, taken_frozen = state
+                start = k
+                break
+        if loops is None:
+            loops = nest.loops
+            taken_frozen = frozenset(collect_taken(nest))
+        taken = set(taken_frozen)
+        for idx in range(start, n):
+            step = steps[idx]
+            prefix = (nest_id, step_ids[:idx + 1])
+            try:
+                self.bounds_step_evals += 1
+                step.check_preconditions(loops)
+                loops, _ = step.map_loops(loops, taken)
+            except PreconditionViolation as exc:
+                state = ("pre", idx, exc)
+                self._bounds_cache[prefix] = state
+                return state
+            except CodegenError as exc:
+                state = ("cg", idx, exc)
+                self._bounds_cache[prefix] = state
+                return state
+            taken_frozen = frozenset(taken)
+            self._bounds_cache[prefix] = ("ok", loops, taken_frozen)
+        return ("ok", loops, taken_frozen)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "dep_map_evals": self.dep_map_evals,
+            "bounds_step_evals": self.bounds_step_evals,
+            "verdicts": len(self._verdicts),
+        }
+
+    def clear(self) -> None:
+        self._step_ids.clear()
+        self._deps_ids.clear()
+        self._nest_ids.clear()
+        self._step_by_obj.clear()
+        self._nest_by_obj.clear()
+        self._deps_by_obj.clear()
+        self._verdict_by_obj.clear()
+        self._map_cache.clear()
+        self._bounds_cache.clear()
+        self._verdicts.clear()
+        self.hits = self.misses = 0
+        self.dep_map_evals = self.bounds_step_evals = 0

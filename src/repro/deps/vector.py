@@ -83,26 +83,36 @@ class DepVector:
         return all(e.can_be_zero() for e in self.entries)
 
     def carried_at(self) -> int:
-        """The outermost 1-based level that *must* carry this dependence.
+        """The unique 1-based level carrying every real dependence, or 0.
 
-        Returns the first level whose entry is definitely positive while
-        all earlier entries are exactly zero, or 0 when no single level is
-        forced (e.g. ``(0+, +)``).
+        Real dependences are the *lexicographically positive* members of
+        ``Tuples(d)`` (a legal source ordering admits no others), so the
+        query quantifies over those: the result is level ``k`` iff every
+        lex-positive tuple has its first nonzero at ``k`` and the
+        all-zero (loop-independent) tuple is not possible.  Returns 0
+        when no level is forced (e.g. ``(0+, +)``, which can be carried
+        at level 1 or 2) or when no lex-positive tuple exists at all.
         """
+        forced = 0
         for i, e in enumerate(self.entries):
-            if e.definitely_positive():
-                if all(prev.is_zero() for prev in self.entries[:i]):
-                    return i + 1
-            if not e.is_zero():
-                return 0
-        return 0
+            if e.can_be_positive() and \
+                    all(prev.can_be_zero() for prev in self.entries[:i]):
+                if forced:
+                    return 0  # two distinct levels possible
+                forced = i + 1
+        if forced and all(e.can_be_zero() for e in self.entries):
+            return 0  # a loop-independent (all-zero) tuple is also possible
+        return forced
 
     def could_be_carried_at(self, level: int) -> bool:
-        """True iff some tuple's first nonzero (positive) lands at *level*
-        (1-based) — i.e. parallelizing that loop alone may be illegal."""
+        """True iff some *lex-positive* tuple's first nonzero lands at
+        *level* (1-based) — i.e. parallelizing that loop alone may be
+        illegal.  A first nonzero that is negative belongs to a
+        lexicographically negative tuple, which no legal source ordering
+        produces, so it does not count."""
         i = level - 1
         e = self.entries[i]
-        if not (e.can_be_positive() or e.can_be_negative()):
+        if not e.can_be_positive():
             return False
         return all(prev.can_be_zero() for prev in self.entries[:i])
 

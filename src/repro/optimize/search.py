@@ -15,6 +15,7 @@ import itertools
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cache.simulator import CacheConfig, Layout, simulate_trace
+from repro.core.legality_cache import LegalityCache
 from repro.core.sequence import Transformation
 from repro.core.template import Template
 from repro.core.templates.block import Block
@@ -22,7 +23,7 @@ from repro.core.templates.parallelize import Parallelize
 from repro.core.templates.reverse_permute import ReversePermute
 from repro.deps.vector import DepSet
 from repro.ir.loopnest import LoopNest, PARDO
-from repro.runtime.interpreter import run_nest
+from repro.runtime.compiled import run_compiled
 
 Score = Callable[[Transformation, LoopNest, DepSet], float]
 
@@ -67,14 +68,17 @@ def make_locality_score(arrays, symbols, layout: Layout,
                         config: Optional[CacheConfig] = None,
                         trace_source: Optional[LoopNest] = None) -> Score:
     """A scoring function that *runs* the transformed nest through the
-    interpreter and cache simulator; higher is better (negated misses)."""
+    compiled execution engine and cache simulator; higher is better
+    (negated misses).  The compiled engine emits the same address trace
+    as the interpreter oracle (enforced by the differential tests), so
+    scores are unchanged — only faster."""
 
     def score(transformation: Transformation, nest: LoopNest,
               deps: DepSet) -> float:
         try:
             out = transformation.apply(nest, deps)
-            result = run_nest(out, arrays, symbols=symbols,
-                              trace_addresses=True)
+            result = run_compiled(out, arrays, symbols=symbols,
+                                  trace_addresses=True)
             stats = simulate_trace(result.address_trace, layout, config)
             return -float(stats.misses)
         except Exception:
@@ -102,16 +106,25 @@ class SearchResult:
 def search(nest: LoopNest, deps: DepSet,
            candidates: Optional[Sequence[Template]] = None,
            score: Score = parallelism_score,
-           depth: int = 2, beam: int = 8) -> SearchResult:
+           depth: int = 2, beam: int = 8,
+           cache: Optional[LegalityCache] = None) -> SearchResult:
     """Beam search over sequences of up to *depth* menu steps.
 
     Every candidate sequence is legality-tested and scored against the
     *unmodified* nest; ties keep the shorter sequence.  The identity
     transformation seeds the beam, so "do nothing" wins when nothing
     scores better.
+
+    Legality tests run through a :class:`LegalityCache` (a fresh one per
+    call unless *cache* is supplied), so the shared prefixes the beam
+    generates are each mapped and bounds-checked once.  Pass any object
+    with a compatible ``legality(transformation, nest, deps)`` method to
+    substitute a different policy.
     """
     n = nest.depth
     menu = list(candidates) if candidates is not None else default_candidates(n)
+    if cache is None:
+        cache = LegalityCache()
     identity = Transformation.identity(n)
     frontier: List[Tuple[float, Transformation]] = [
         (score(identity, nest, deps), identity)]
@@ -126,7 +139,7 @@ def search(nest: LoopNest, deps: DepSet,
                     continue
                 candidate = base.then(step, reduce=False)
                 explored += 1
-                report = candidate.legality(nest, deps)
+                report = cache.legality(candidate, nest, deps)
                 if not report.legal:
                     continue
                 legal_count += 1

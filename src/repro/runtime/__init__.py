@@ -1,6 +1,13 @@
-"""Loop-nest interpreter, traces, and semantic oracles."""
+"""Loop-nest execution engines, traces, and semantic oracles.
+
+Two engines share one semantics: :class:`Interpreter` (the tree-walking
+oracle) and :class:`CompiledNest` (the nest lowered to Python and
+``exec``-compiled — the fast path).  Differential tests keep them
+bit-for-bit interchangeable, traces included.
+"""
 
 from repro.runtime.arrays import Array
+from repro.runtime.compiled import CompiledNest, compile_loopnest, run_compiled
 from repro.runtime.interpreter import (
     ExecutionResult,
     Interpreter,
@@ -18,6 +25,7 @@ from repro.runtime.parallel_sim import CostResult, simulate_makespan
 
 __all__ = [
     "Array", "ExecutionResult", "Interpreter", "Schedule", "run_nest",
+    "CompiledNest", "compile_loopnest", "run_compiled",
     "OracleFailure", "check_dependence_order", "check_equivalence",
     "dependence_order_holds", "same_iteration_multiset",
     "CostResult", "simulate_makespan",

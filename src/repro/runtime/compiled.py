@@ -1,0 +1,423 @@
+"""Compiled loop-nest execution: the fast path behind the interpreter oracle.
+
+:class:`~repro.runtime.interpreter.Interpreter` walks the expression tree
+for every evaluation; that makes it a trustworthy semantic ground truth
+and a very slow executor.  This module lowers a :class:`LoopNest` to
+Python source — nested ``for`` loops over ``range``, init statements
+inlined, expressions folded to native arithmetic — and ``exec``-compiles
+it into a closure.  The contract is *bit-for-bit agreement* with the
+interpreter:
+
+* final arrays are identical (the differential tests check every nest in
+  ``examples/loops`` under every :class:`Schedule` policy);
+* the optional iteration trace and address trace are identical,
+  element-for-element, because the generated code preserves the
+  interpreter's left-to-right, depth-first evaluation order (reads are
+  recorded through a tracing helper exactly where ``Interpreter._eval``
+  records them);
+* ``pardo`` loops go through the same :meth:`Schedule.order` hook, so an
+  illegal Parallelize shows up as a wrong answer under the same
+  schedules that expose it in the interpreter.
+
+The interpreter stays the oracle; :class:`CompiledNest` is what the
+optimizer's scoring loops and the cache simulator feed on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.expr.nodes import (
+    Add,
+    Call,
+    CeilDiv,
+    Const,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    children,
+)
+from repro.ir.loopnest import Assign, If, InitStmt, LoopNest, PARDO, Statement
+from repro.runtime.arrays import Array
+from repro.runtime.interpreter import ExecutionResult, Schedule
+from repro.util.errors import CodegenError, ReproError
+from repro.util.intmath import sign
+
+_RELATIONAL = {"le": "<=", "ge": ">=", "lt": "<", "gt": ">", "eq": "=="}
+
+
+def _sgn_once(*xs: int) -> int:
+    """Single-evaluation ``sgn``; like the interpreter, extra args are
+    evaluated but ignored."""
+    return sign(xs[0])
+
+
+def _fst(*xs: int) -> int:
+    """First argument (interpreter's ``abs``/``sgn`` arity behaviour)."""
+    return xs[0]
+
+
+def _is_builtin_call(func: str, arity: int) -> bool:
+    """Mirror of ``Interpreter._eval_call``'s builtin dispatch: the
+    relational forms apply only at arity 2, ``abs``/``sgn`` at any
+    arity (they use the first argument)."""
+    return (func in _RELATIONAL and arity == 2) or func in ("abs", "sgn")
+
+
+class _Emitter:
+    """Lowers one nest (for one fixed array-name set) to Python source."""
+
+    def __init__(self, nest: LoopNest, arrays: Set[str], funcs: Set[str],
+                 trace_vars: Optional[Tuple[str, ...]],
+                 trace_addresses: bool):
+        self.nest = nest
+        self.arrays = arrays
+        self.funcs = funcs
+        self.trace_vars = trace_vars
+        self.trace_addresses = trace_addresses
+        self.lines: List[str] = []
+        self._tmp = 0
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, e: Expr) -> str:
+        if isinstance(e, Const):
+            return str(e.value) if e.value >= 0 else f"({e.value})"
+        if isinstance(e, Var):
+            return e.name
+        if isinstance(e, Add):
+            return "(" + " + ".join(self.expr(t) for t in e.terms) + ")"
+        if isinstance(e, Mul):
+            return "(" + " * ".join(self.expr(f) for f in e.factors) + ")"
+        if isinstance(e, FloorDiv):
+            return f"({self.expr(e.num)} // {self.expr(e.den)})"
+        if isinstance(e, CeilDiv):
+            return f"(-((-{self.expr(e.num)}) // {self.expr(e.den)}))"
+        if isinstance(e, Mod):
+            return f"({self.expr(e.num)} % {self.expr(e.den)})"
+        if isinstance(e, Min):
+            return "min(" + ", ".join(self.expr(a) for a in e.args) + ")"
+        if isinstance(e, Max):
+            return "max(" + ", ".join(self.expr(a) for a in e.args) + ")"
+        if isinstance(e, Call):
+            return self.call(e)
+        raise CodegenError(f"cannot compile expression {e!r}")
+
+    def call(self, e: Call) -> str:
+        args = ", ".join(self.expr(a) for a in e.args)
+        # Precedence mirrors Interpreter._eval_call: arrays shadow the
+        # relational/abs/sgn builtins and user functions.
+        if e.func in self.arrays:
+            return self.read(e.func, f"({args},)")
+        if e.func in _RELATIONAL and len(e.args) == 2:
+            a, b = (self.expr(x) for x in e.args)
+            return f"(1 if {a} {_RELATIONAL[e.func]} {b} else 0)"
+        if e.func == "abs":
+            if len(e.args) == 1:
+                return f"abs({args})"
+            return f"abs(_fst({args}))"
+        if e.func == "sgn":
+            return f"_sgn({args})"
+        if e.func in self.funcs:
+            return f"int(_fn_{e.func}({args}))"
+        # Interpreter fallback: an unknown callee reads a never-written
+        # array; the variant compiler routes those into `self.arrays`, so
+        # reaching this point is a compile-time inconsistency.
+        raise CodegenError(f"call {e.func!r} is neither array nor function")
+
+    def read(self, name: str, index_src: str) -> str:
+        if self.trace_addresses:
+            return f"_rd({name!r}, _arr_{name}, {index_src})"
+        return f"_arr_{name}[{index_src}]"
+
+    # -- statements --------------------------------------------------------
+
+    def emit(self, text: str, depth: int) -> None:
+        self.lines.append("    " * (depth + 1) + text)
+
+    def stmt(self, s: Statement, depth: int) -> None:
+        if isinstance(s, Assign):
+            self._assign(s, depth)
+        elif isinstance(s, If):
+            self.emit(f"if {self.expr(s.cond)} != 0:", depth)
+            self.stmt(s.then, depth + 1)
+        elif isinstance(s, InitStmt):
+            self.emit(f"{s.var} = {self.expr(s.expr)}", depth)
+        else:
+            raise CodegenError(f"cannot compile statement {s!r}")
+
+    def _assign(self, s: Assign, depth: int) -> None:
+        name = s.target.name
+        subs = ", ".join(self.expr(x) for x in s.target.subscripts)
+        index_src = f"({subs},)"
+        value = self.expr(s.expr)
+        simple = not self.trace_addresses
+        if simple and not s.accumulate:
+            self.emit(f"_arr_{name}[{index_src}] = {value}", depth)
+            return
+        self._tmp += 1
+        v, ix = f"_v{self._tmp}", f"_ix{self._tmp}"
+        # Interpreter order: value, then subscripts, then (for accumulate)
+        # the read of the old element, then the write.
+        self.emit(f"{v} = {value}", depth)
+        self.emit(f"{ix} = {index_src}", depth)
+        if s.accumulate:
+            self.emit(f"{v} = {self.read(name, ix)} + {v}", depth)
+        self.emit(f"_arr_{name}[{ix}] = {v}", depth)
+        if self.trace_addresses:
+            self.emit(f"_ap(({name!r}, {ix}, 'W'))", depth)
+
+    # -- the function ------------------------------------------------------
+
+    def source(self, symbols: Sequence[str]) -> str:
+        nest = self.nest
+        self.lines = [
+            "def _kernel(_arrays, _symbols, _funcs, _order, "
+            "_itrace, _atrace, _max_iterations):",
+        ]
+        self.emit("_count = 0", 0)
+        for name in sorted(self.arrays):
+            self.emit(f"_arr_{name} = _arrays[{name!r}]", 0)
+        for name in symbols:
+            self.emit(f"{name} = _symbols[{name!r}]", 0)
+        for name in sorted(self.funcs):
+            self.emit(f"_fn_{name} = _funcs[{name!r}]", 0)
+        if self.trace_addresses:
+            self.emit("_ap = _atrace.append", 0)
+            self.emit("def _rd(_name, _arr, _idx):", 0)
+            self.emit("    _ap((_name, _idx, 'R'))", 0)
+            self.emit("    return _arr[_idx]", 0)
+        if self.trace_vars is not None:
+            self.emit("_it = _itrace.append", 0)
+
+        depth = 0
+        for level, lp in enumerate(nest.loops):
+            lo, hi, st = f"_lo{level}", f"_hi{level}", f"_st{level}"
+            # Bounds evaluate once per entry, in the interpreter's order
+            # (lower, upper, step) so any array reads they contain land in
+            # the address trace at the same positions.
+            self.emit(f"{lo} = {self.expr(lp.lower)}", depth)
+            self.emit(f"{hi} = {self.expr(lp.upper)}", depth)
+            if isinstance(lp.step, Const):
+                step_val = lp.step.value
+                end = f"{hi} + 1" if step_val > 0 else f"{hi} - 1"
+                rng = f"range({lo}, {end}, {step_val})"
+            else:
+                self.emit(f"{st} = {self.expr(lp.step)}", depth)
+                self.emit(f"if {st} == 0:", depth)
+                self.emit(f"    raise _ReproError("
+                          f"'loop {lp.index} has zero step at run time')",
+                          depth)
+                rng = f"range({lo}, {hi} + (1 if {st} > 0 else -1), {st})"
+            if lp.kind == PARDO:
+                self.emit(f"for {lp.index} in _order(list({rng}), {level}):",
+                          depth)
+            else:
+                self.emit(f"for {lp.index} in {rng}:", depth)
+            depth += 1
+
+        self.emit("_count += 1", depth)
+        self.emit("if _count > _max_iterations:", depth)
+        self.emit("    raise _ReproError('interpreter exceeded %d iterations'"
+                  " % _max_iterations)", depth)
+        for init in nest.inits:
+            self.emit(f"{init.var} = {self.expr(init.expr)}", depth)
+        if self.trace_vars is not None:
+            vars_src = ", ".join(self.trace_vars)
+            comma = "," if len(self.trace_vars) == 1 else ""
+            self.emit(f"_it(({vars_src}{comma}))", depth)
+        for s in nest.body:
+            self.stmt(s, depth)
+        self.emit("return _count", 0)
+        return "\n".join(self.lines) + "\n"
+
+
+def _free_var_names(nest: LoopNest) -> Set[str]:
+    """Every plain-variable name the nest evaluates (Var nodes only)."""
+    out: Set[str] = set()
+
+    def scan(e: Expr) -> None:
+        if isinstance(e, Var):
+            out.add(e.name)
+        for c in children(e):
+            scan(c)
+
+    def visit(s: Statement) -> None:
+        if isinstance(s, Assign):
+            scan(s.expr)
+            for sub in s.target.subscripts:
+                scan(sub)
+        elif isinstance(s, If):
+            scan(s.cond)
+            visit(s.then)
+        elif isinstance(s, InitStmt):
+            scan(s.expr)
+
+    for lp in nest.loops:
+        for e in (lp.lower, lp.upper, lp.step):
+            scan(e)
+    for init in nest.inits:
+        scan(init.expr)
+    for s in nest.body:
+        visit(s)
+    return out
+
+
+def _calls(nest: LoopNest) -> Set[Tuple[str, int]]:
+    """Every ``(callee, arity)`` pair anywhere in the nest."""
+    out: Set[Tuple[str, int]] = set()
+
+    def scan(e: Expr) -> None:
+        if isinstance(e, Call):
+            out.add((e.func, len(e.args)))
+        for c in children(e):
+            scan(c)
+
+    def visit(s: Statement) -> None:
+        if isinstance(s, Assign):
+            scan(s.expr)
+            for sub in s.target.subscripts:
+                scan(sub)
+        elif isinstance(s, If):
+            scan(s.cond)
+            visit(s.then)
+        elif isinstance(s, InitStmt):
+            scan(s.expr)
+
+    for lp in nest.loops:
+        for e in (lp.lower, lp.upper, lp.step):
+            scan(e)
+    for init in nest.inits:
+        scan(init.expr)
+    for s in nest.body:
+        visit(s)
+    return out
+
+
+class CompiledNest:
+    """A :class:`LoopNest` compiled to native Python, interpreter-compatible.
+
+    The constructor mirrors :class:`Interpreter`; :meth:`run` mirrors
+    :meth:`Interpreter.run` and returns the same :class:`ExecutionResult`
+    shape (arrays as :class:`Array`, optional iteration/address traces,
+    body count).  Because the interpreter decides name-is-array at run
+    time (any name present in the caller's arrays mapping is an array),
+    compilation is specialized per distinct extra-array-name set and the
+    specializations are cached on the instance.
+    """
+
+    def __init__(self, nest: LoopNest,
+                 symbols: Optional[Mapping[str, int]] = None,
+                 funcs: Optional[Mapping[str, Callable[..., int]]] = None,
+                 schedule: Optional[Schedule] = None,
+                 trace_vars: Optional[Sequence[str]] = None,
+                 trace_addresses: bool = False,
+                 max_iterations: int = 2_000_000):
+        from repro.deps.analysis.references import inferred_array_names
+
+        self.nest = nest
+        self.symbols = dict(symbols or {})
+        self.funcs = dict(funcs or {})
+        self.schedule = schedule or Schedule()
+        self.trace_vars = tuple(trace_vars) if trace_vars is not None else None
+        self.trace_addresses = trace_addresses
+        self.max_iterations = max_iterations
+        self._calls = _calls(nest)
+        # Interpreter default: a callee that is neither builtin nor a
+        # registered function reads a never-written array.
+        self._base_arrays = (inferred_array_names(nest) |
+                             {f for f, k in self._calls
+                              if f not in self.funcs
+                              and not _is_builtin_call(f, k)})
+        self._variants: Dict[frozenset, Tuple[str, Callable]] = {}
+
+    # -- compilation -------------------------------------------------------
+
+    def _variant(self, extra: frozenset) -> Tuple[str, Callable]:
+        cached = self._variants.get(extra)
+        if cached is not None:
+            return cached
+        arrays = self._base_arrays | set(extra)
+        funcs = {f for f, _ in self._calls
+                 if f in self.funcs and f not in arrays}
+        # Bind up-front only the names the caller actually supplied;
+        # anything else stays unbound so a use raises NameError at the
+        # same point in execution as the interpreter (a name referenced
+        # only inside a zero-trip loop never raises).
+        symbols = sorted(n for n in _free_var_names(self.nest)
+                         if n in self.symbols)
+        tv = self.trace_vars
+        if tv is not None and not tv:
+            tv = tuple(self.nest.indices)
+        emitter = _Emitter(self.nest, arrays, funcs, tv,
+                           self.trace_addresses)
+        source = emitter.source(symbols)
+        namespace: Dict[str, object] = {
+            "_ReproError": ReproError,
+            "_sgn": _sgn_once,
+            "_fst": _fst,
+        }
+        exec(compile(source, "<repro:compiled-nest>", "exec"), namespace)
+        variant = (source, namespace["_kernel"])  # type: ignore[assignment]
+        self._variants[extra] = variant
+        return variant
+
+    @property
+    def source(self) -> str:
+        """The generated Python source of the no-extra-arrays variant."""
+        return self._variant(frozenset())[0]
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, arrays: Mapping[str, Array],
+            schedule: Optional[Schedule] = None) -> ExecutionResult:
+        """Execute on copies of *arrays*; the inputs are not mutated."""
+        extra = frozenset(set(arrays) - self._base_arrays)
+        _, fn = self._variant(extra)
+        state: Dict[str, defaultdict] = {}
+        defaults: Dict[str, object] = {}
+        for name in sorted(self._base_arrays | set(arrays)):
+            src = arrays.get(name)
+            default = src.default if src is not None else 0
+            factory = (int if default == 0
+                       else (lambda d=default: d))  # noqa: B008
+            state[name] = defaultdict(factory,
+                                      src.data if src is not None else ())
+            defaults[name] = default
+        itrace: Optional[List[Tuple[int, ...]]] = (
+            [] if self.trace_vars is not None else None)
+        atrace: Optional[List[Tuple[str, Tuple[int, ...], str]]] = (
+            [] if self.trace_addresses else None)
+        sched = schedule or self.schedule
+        count = fn(state, self.symbols, self.funcs, sched.order,
+                   itrace, atrace, self.max_iterations)
+        # The interpreter materializes an array only when it is actually
+        # touched; a defaultdict records every touch as an inserted key,
+        # so an untouched non-input array is exactly an empty one.
+        out = {name: Array(defaults[name], name, dict(data))
+               for name, data in state.items()
+               if name in arrays or data}
+        return ExecutionResult(out, itrace, atrace, count)
+
+
+def compile_loopnest(nest: LoopNest, **kwargs) -> CompiledNest:
+    """Factory alias mirroring :func:`repro.ir.emit.compile_nest` naming."""
+    return CompiledNest(nest, **kwargs)
+
+
+def run_compiled(nest: LoopNest, arrays: Mapping[str, Array],
+                 symbols: Optional[Mapping[str, int]] = None,
+                 funcs: Optional[Mapping[str, Callable[..., int]]] = None,
+                 schedule: Optional[Schedule] = None,
+                 trace_vars: Optional[Sequence[str]] = None,
+                 trace_addresses: bool = False) -> ExecutionResult:
+    """One-shot convenience mirroring :func:`repro.runtime.run_nest`."""
+    compiled = CompiledNest(nest, symbols=symbols, funcs=funcs,
+                            schedule=schedule, trace_vars=trace_vars,
+                            trace_addresses=trace_addresses)
+    return compiled.run(arrays)

@@ -123,3 +123,118 @@ class TestEndToEndLocality:
         assert rows < cols
         assert rows <= 0.2          # ~1 miss per line of 8 elements
         assert cols >= 0.9          # every access a new line
+
+
+class TestCacheConfigValidation:
+    """The geometry fields must be positive integers — a zero or
+    negative line size would otherwise surface later as a ZeroDivision
+    or nonsense set index deep in the simulator."""
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size_bytes=0), dict(line_bytes=0), dict(associativity=0),
+        dict(size_bytes=-32768), dict(line_bytes=-64),
+        dict(associativity=-4),
+    ])
+    def test_nonpositive_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size_bytes=1024.0), dict(line_bytes="64"),
+        dict(associativity=True),
+    ])
+    def test_non_integer_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+
+class TestLayoutBruteForce:
+    EXTENTS = ((2, 5), (-1, 3), (0, 1))  # asymmetric, negative lower
+
+    def _address_map(self, order):
+        import itertools as it
+        lay = Layout(element_bytes=8, order=order)
+        lay.register("a", self.EXTENTS)
+        return lay, {
+            idx: lay.address("a", idx)
+            for idx in it.product(*(range(lo, hi + 1)
+                                    for lo, hi in self.EXTENTS))}
+
+    @pytest.mark.parametrize("order", ["row", "col"])
+    def test_dense_and_collision_free(self, order):
+        _, addrs = self._address_map(order)
+        vals = sorted(addrs.values())
+        assert len(set(vals)) == len(addrs)
+        assert vals == list(range(vals[0], vals[0] + 8 * len(addrs), 8))
+
+    @pytest.mark.parametrize("order,expected", [
+        ("row", [80, 16, 8]),   # last dimension fastest
+        ("col", [8, 32, 160]),  # first dimension fastest
+    ])
+    def test_per_dimension_strides(self, order, expected):
+        _, addrs = self._address_map(order)
+        base = (2, -1, 0)
+        for dim, stride in enumerate(expected):
+            bumped = list(base)
+            bumped[dim] += 1
+            assert addrs[tuple(bumped)] - addrs[base] == stride
+
+    def test_scalar_array(self):
+        lay = Layout()
+        lay.register("s", [])
+        assert lay.address("s", ()) == 0
+
+
+class TestBatchedAccess:
+    def _trace(self):
+        import random as _random
+        rng = _random.Random(7)
+        return [("a", (rng.randrange(1, 9), rng.randrange(1, 9)),
+                 rng.choice("RW"))
+                for _ in range(200)]
+
+    def test_addresses_matches_per_access(self):
+        lay = Layout(element_bytes=8)
+        lay.register("a", [(1, 8), (1, 8)])
+        trace = self._trace()
+        assert lay.addresses(trace) == \
+            [lay.address(name, idx) for name, idx, _ in trace]
+
+    def test_addresses_error_messages_match(self):
+        lay = Layout()
+        lay.register("a", [(1, 4)])
+        for bad in [[("x", (1,), "R")], [("a", (5,), "R")],
+                    [("a", (1, 1), "W")]]:
+            try:
+                lay.address(bad[0][0], bad[0][1])
+                raise AssertionError("expected an error")
+            except (KeyError, IndexError, ValueError) as exc:
+                per_access = (type(exc), str(exc))
+            try:
+                lay.addresses(bad)
+                raise AssertionError("expected an error")
+            except (KeyError, IndexError, ValueError) as exc:
+                assert (type(exc), str(exc)) == per_access
+
+    def test_access_all_matches_per_access(self):
+        lay = Layout(element_bytes=8)
+        lay.register("a", [(1, 8), (1, 8)])
+        addrs = lay.addresses(self._trace())
+        cfg = CacheConfig(size_bytes=512, line_bytes=64, associativity=2)
+        one = Cache(cfg)
+        hits = [one.access(a) for a in addrs]
+        batched = Cache(cfg)
+        stats = batched.access_all(addrs)
+        assert stats.accesses == one.stats.accesses == len(addrs)
+        assert stats.misses == one.stats.misses == hits.count(False)
+
+    def test_simulate_trace_uses_batched_path(self):
+        lay = Layout(element_bytes=8)
+        lay.register("a", [(1, 8), (1, 8)])
+        trace = self._trace()
+        stats = simulate_trace(trace, lay)
+        ref = Cache(CacheConfig())
+        for a in lay.addresses(trace):
+            ref.access(a)
+        assert (stats.accesses, stats.misses) == \
+            (ref.stats.accesses, ref.stats.misses)

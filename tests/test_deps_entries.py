@@ -237,3 +237,80 @@ def test_scale_is_sound(e, k):
 def test_coarsen_is_superset(e):
     coarse = e.coarsen()
     assert e.tuples().issubset(coarse.tuples())
+
+
+# -- carried levels (lex-positive semantics) ------------------------------------
+
+
+def _lexpos(t):
+    for x in t:
+        if x != 0:
+            return x > 0
+    return False
+
+
+def _first_nonzero_level(t):
+    for i, x in enumerate(t):
+        if x != 0:
+            return i + 1
+    return None
+
+
+class TestCarriedLevels:
+    """carried_at / could_be_carried_at quantify over the
+    lexicographically *positive* members of Tuples(d) only — a
+    dependence is carried at the level of its first nonzero entry, and
+    that entry is positive for any dependence that can actually occur.
+    Verified by brute force against sample_tuples over every entry-code
+    combination up to depth 3."""
+
+    CODES = [-2, -1, 0, 1, 2, "+", "-", "0+", "0-", "!0", "*"]
+
+    @staticmethod
+    def brute_could(vec, level):
+        return any(_lexpos(t) and _first_nonzero_level(t) == level
+                   for t in vec.sample_tuples(bound=3))
+
+    @staticmethod
+    def brute_carried(vec):
+        levels = set()
+        for t in vec.sample_tuples(bound=3):
+            if all(x == 0 for x in t):
+                levels.add(None)
+            elif _lexpos(t):
+                levels.add(_first_nonzero_level(t))
+        real = levels - {None}
+        if len(real) == 1 and None not in levels:
+            return real.pop()
+        return 0
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_brute_force_all_code_combinations(self, depth):
+        for combo in itertools.product(self.CODES, repeat=depth):
+            vec = DepVector(combo)
+            for level in range(1, depth + 1):
+                assert vec.could_be_carried_at(level) == \
+                    self.brute_could(vec, level), f"{vec} level {level}"
+            assert vec.carried_at() == self.brute_carried(vec), str(vec)
+
+    def test_negative_leading_entry_not_carried(self):
+        # (-, +) can only occur lex-negatively via level 1; its only
+        # lex-positive members are carried at... none (entry 1 cannot be
+        # positive), so nothing is carried at level 1.
+        v = depv("-", "+")
+        assert not v.could_be_carried_at(1)
+        assert not v.could_be_carried_at(2)
+        assert v.carried_at() == 0
+
+    def test_star_leading_entry(self):
+        # (*, 1): lex-positive members all have first entry > 0 or
+        # (0, 1) — carried at level 1 or 2, so no unique level.
+        v = depv("*", 1)
+        assert v.could_be_carried_at(1)
+        assert v.could_be_carried_at(2)
+        assert v.carried_at() == 0
+
+    def test_unique_level_behind_zeros(self):
+        assert depv(0, "+").carried_at() == 2
+        assert depv(0, 0, 1).carried_at() == 3
+        assert depv("0+", 1).carried_at() == 0  # may be level 1 or 2

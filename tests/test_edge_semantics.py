@@ -1,0 +1,113 @@
+"""Fortran do-loop sign-combination regressions.
+
+An audit of zero-trip and negative-step loops across the stack — the
+integer helpers, both execution engines, and the reordering templates.
+Every bound/step sign combination that a ``do l, u, s`` header can spell
+is enumerated and checked against first-principles enumeration, so a
+future off-by-one in ceiling/floor arithmetic or an engine that runs a
+zero-trip loop once shows up here.
+"""
+
+import itertools
+from collections import Counter
+
+import pytest
+
+from repro.core import Block, Coalesce, Interleave, Transformation
+from repro.deps.vector import DepSet
+from repro.expr.nodes import Const, add, var
+from repro.ir.loopnest import ArrayRef, Assign, Loop, LoopNest
+from repro.runtime import CompiledNest, run_nest
+from repro.util.intmath import last_iterate, trip_count
+
+# Every sign shape a header can take: forward, backward, zero-trip in
+# both directions, strides that do and do not divide the range, and
+# single-iteration ranges.
+BOUNDS = [(1, 4, 1), (4, 1, -1), (1, 0, 1), (0, 1, -1), (1, 6, 2),
+          (6, 1, -2), (2, 2, 1), (2, 2, -1), (1, 5, 3), (5, -1, -3),
+          (-3, 3, 2), (3, -3, -2), (1, 1, 5), (0, 7, 3), (7, 0, -3)]
+
+
+def fortran_range(lower, upper, step):
+    """The iterate list straight from the Fortran definition."""
+    out = []
+    x = lower
+    while (x <= upper) if step > 0 else (x >= upper):
+        out.append(x)
+        x += step
+    return out
+
+
+@pytest.mark.parametrize("lower,upper,step", BOUNDS)
+def test_trip_count_and_last_iterate(lower, upper, step):
+    ref = fortran_range(lower, upper, step)
+    assert trip_count(lower, upper, step) == len(ref)
+    if ref:
+        assert last_iterate(lower, upper, step) == ref[-1]
+    else:
+        with pytest.raises(ValueError):
+            last_iterate(lower, upper, step)
+
+
+def test_trip_count_zero_step_rejected():
+    with pytest.raises(ValueError):
+        trip_count(1, 10, 0)
+
+
+@pytest.mark.parametrize("lower,upper,step", BOUNDS)
+def test_engines_iterate_fortran_ranges(lower, upper, step):
+    """Both engines visit exactly the Fortran iterate list, in order —
+    zero-trip loops run the body zero times."""
+    nest = LoopNest([Loop("i", Const(lower), Const(upper), Const(step))],
+                    [Assign(ArrayRef("a", (var("i"),)), var("i"))])
+    expected = [(x,) for x in fortran_range(lower, upper, step)]
+    assert run_nest(nest, {}, trace_vars=("i",)).iteration_trace == expected
+    assert CompiledNest(nest, trace_vars=("i",)).run({}) \
+        .iteration_trace == expected
+
+
+def _nest2(b1, b2):
+    body = [Assign(ArrayRef("a", (var("i"), var("j"))),
+                   add(var("i"), var("j")), accumulate=True)]
+    return LoopNest([Loop("i", Const(b1[0]), Const(b1[1]), Const(b1[2])),
+                     Loop("j", Const(b2[0]), Const(b2[1]), Const(b2[2]))],
+                    body)
+
+
+TEMPLATES = [
+    (Transformation.of(Block(2, 1, 2, [2, 2])), "block-2x2"),
+    (Transformation.of(Block(2, 1, 2, [3, 1])), "block-3x1"),
+    (Transformation.of(Block(2, 2, 2, [2])), "block-inner"),
+    (Transformation.of(Coalesce(2, 1, 2)), "coalesce"),
+    (Transformation.of(Interleave(2, 1, 2, [2, 3])), "interleave-2x3"),
+]
+
+
+@pytest.mark.parametrize("T,tag", TEMPLATES, ids=[t[1] for t in TEMPLATES])
+def test_templates_preserve_iteration_multiset(T, tag):
+    """Block/Coalesce/Interleave must visit exactly the original
+    iteration set on every sign combination, zero-trip included (the
+    reordered nest may permute, never add or drop)."""
+    empty = DepSet([])
+    for b1, b2 in itertools.product(BOUNDS[:8], repeat=2):
+        nest = _nest2(b1, b2)
+        out = T.apply(nest, empty)
+        ref = run_nest(nest, {}, trace_vars=("i", "j"))
+        got = run_nest(out, {}, trace_vars=("i", "j"))
+        assert Counter(ref.iteration_trace) == \
+            Counter(got.iteration_trace), f"{tag} on {b1}x{b2}"
+        assert ref.arrays.get("a") == got.arrays.get("a"), \
+            f"{tag} on {b1}x{b2}"
+
+
+def test_zero_trip_outer_skips_dependent_inner():
+    """A zero-trip outer loop must not evaluate inner bounds that read
+    the (never-bound) outer index."""
+    nest = LoopNest(
+        [Loop("i", Const(5), Const(1)),
+         Loop("j", var("i"), add(var("i"), Const(2)))],
+        [Assign(ArrayRef("a", (var("i"), var("j"))), Const(1))])
+    for result in (run_nest(nest, {}, trace_vars=("i", "j")),
+                   CompiledNest(nest, trace_vars=("i", "j")).run({})):
+        assert result.body_count == 0
+        assert result.iteration_trace == []
