@@ -1,5 +1,9 @@
 PYTHON ?= python
 
+# The package lives under src/; every target needs it importable, so
+# export once here instead of per-recipe.
+export PYTHONPATH := src
+
 .PHONY: test bench bench-report bench-smoke examples corpus all
 
 test:
@@ -13,9 +17,9 @@ bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Fast perf guardrails (compiled engine >= 5x, memoized legality >= 2x)
-# with a machine-readable speedup summary in bench_smoke.json.
+# with a machine-readable speedup + metrics summary in bench_smoke.json.
 bench-smoke:
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -m smoke -s \
+	$(PYTHON) -m pytest benchmarks/ -m smoke -s \
 		--smoke-json bench_smoke.json
 
 examples:

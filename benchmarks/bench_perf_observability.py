@@ -1,0 +1,85 @@
+"""Perf-7 — the observability layer itself.
+
+Two guarantees, one per test: (1) with the tracer ON, one pass over the
+search/legality/execution pipeline yields a per-phase profile and a
+metrics snapshot, which ``bench_smoke.json`` embeds so every later perf
+PR can cite real phase numbers; (2) with the tracer OFF (the default),
+the instrumentation leaves no state behind — the speedup-floor smoke
+tests in the sibling modules run tracer-off, so their thresholds double
+as the "instrumentation costs nothing when disabled" guard.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cache.simulator import Layout, simulate_trace
+from repro.deps.analysis import analyze
+from repro.optimize.search import search
+from repro.runtime.compiled import run_compiled
+
+N = 12
+
+
+def _observed_pipeline(nest):
+    """One instrumented end-to-end pass: analyze, search, run, simulate."""
+    deps = analyze(nest)
+    result = search(nest, deps)
+    out = (result.transformation.apply(nest, deps)
+           if result.transformation else nest)
+    run = run_compiled(out, {}, symbols={"n": N}, trace_addresses=True)
+    layout = Layout()
+    extents = {}
+    for name, index, _kind in run.address_trace:
+        dims = extents.setdefault(name, [[ix, ix] for ix in index])
+        for d, ix in enumerate(index):
+            dims[d][0] = min(dims[d][0], ix)
+            dims[d][1] = max(dims[d][1], ix)
+    for name in sorted(extents):
+        layout.register(name, [tuple(e) for e in extents[name]])
+    simulate_trace(run.address_trace, layout)
+    return result
+
+
+@pytest.mark.smoke
+def test_smoke_pipeline_metrics(report, smoke_summary, matmul_nest):
+    """Embed the per-phase profile + metrics snapshot in bench_smoke.json."""
+    obs.enable()
+    try:
+        result = _observed_pipeline(matmul_nest)
+        doc = obs.profile_document()
+    finally:
+        obs.disable()
+
+    phase_names = {ph["phase"] for ph in doc["phases"]}
+    for required in ("search", "legality.map_deps", "legality.bounds",
+                     "deps.analyze", "compiled.run", "cachesim.simulate"):
+        assert required in phase_names, f"missing phase {required}"
+    assert doc["metrics"]["counters"]["search.explored"] == result.explored
+    assert result.cache_stats is not None
+    assert doc["spans"]["dropped"] == 0
+
+    smoke_summary["metrics"] = {
+        "benchmark": "observed matmul pipeline",
+        "phases": doc["phases"],
+        "snapshot": doc["metrics"],
+        "spans": doc["spans"],
+    }
+    top = doc["phases"][0]
+    report("Perf-7 smoke: pipeline metrics",
+           f"{len(doc['phases'])} phases, hottest {top['phase']} "
+           f"({top['wall_s'] * 1e3:.2f} ms); "
+           f"{doc['spans']['completed']} spans")
+
+
+@pytest.mark.smoke
+def test_smoke_disabled_leaves_no_state(report, matmul_nest):
+    """Tracer off (the default): the same pipeline records nothing."""
+    assert not obs.enabled()
+    obs.get_metrics().clear()
+    _observed_pipeline(matmul_nest)
+    assert obs.get_tracer() is None
+    assert obs.get_metrics().is_empty(), (
+        "instrumentation touched the metrics registry while disabled")
+    report("Perf-7 smoke: disabled observability",
+           "no tracer, no metrics state; floors enforced by the "
+           "compiled/legality smoke tests run tracer-off")

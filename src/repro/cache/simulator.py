@@ -16,6 +16,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
+
 
 class CacheConfig:
     """Geometry of a simulated cache."""
@@ -120,6 +123,15 @@ class Cache:
                     ways.popitem(last=False)
         self.stats.accesses += accesses
         self.stats.misses += misses
+        # Per-batch accounting (the per-address path is too hot to
+        # instrument; `simulate_trace` always comes through here).
+        if _obs.enabled():
+            metrics = get_metrics()
+            metrics.counter("cachesim.accesses").inc(accesses)
+            metrics.counter("cachesim.misses").inc(misses)
+            if self.stats.accesses:
+                metrics.gauge("cachesim.hit_ratio").set(
+                    round(self.stats.hits / self.stats.accesses, 6))
         return self.stats
 
     def reset(self) -> None:
@@ -192,24 +204,26 @@ class Layout:
         element_bytes = self.element_bytes
         out: List[int] = []
         append = out.append
-        for name, index, _kind in trace:
-            try:
-                base, extents, strides = arrays[name]
-            except KeyError:
-                raise KeyError(
-                    f"array {name!r} not registered in layout") from None
-            if len(index) != len(extents):
-                raise ValueError(
-                    f"{name}: index {index} has {len(index)} dims, "
-                    f"layout has {len(extents)}")
-            offset = 0
-            for d, ix in enumerate(index):
-                lo, hi = extents[d]
-                if not lo <= ix <= hi:
-                    raise IndexError(
-                        f"{name}{index}: dim {d} out of extent [{lo},{hi}]")
-                offset += (ix - lo) * strides[d]
-            append(base + offset * element_bytes)
+        with _obs.span("cachesim.addresses"):
+            for name, index, _kind in trace:
+                try:
+                    base, extents, strides = arrays[name]
+                except KeyError:
+                    raise KeyError(
+                        f"array {name!r} not registered in layout") from None
+                if len(index) != len(extents):
+                    raise ValueError(
+                        f"{name}: index {index} has {len(index)} dims, "
+                        f"layout has {len(extents)}")
+                offset = 0
+                for d, ix in enumerate(index):
+                    lo, hi = extents[d]
+                    if not lo <= ix <= hi:
+                        raise IndexError(
+                            f"{name}{index}: dim {d} out of extent "
+                            f"[{lo},{hi}]")
+                    offset += (ix - lo) * strides[d]
+                append(base + offset * element_bytes)
         return out
 
 
@@ -218,4 +232,5 @@ def simulate_trace(trace: Iterable[Tuple[str, Tuple[int, ...], str]],
                    config: Optional[CacheConfig] = None) -> CacheStats:
     """Run an interpreter address trace through a cache."""
     cache = Cache(config or CacheConfig())
-    return cache.access_all(layout.addresses(trace))
+    with _obs.span("cachesim.simulate"):
+        return cache.access_all(layout.addresses(trace))

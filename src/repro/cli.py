@@ -18,6 +18,18 @@ Commands
     half of the legality test); ``--trace`` prints the Figure-7-style
     per-stage dependence/loop tables.
 
+``profile FILE [--steps SPEC] [--search] [--size N]``
+    Run the full pipeline — dependence analysis, beam search (and/or the
+    given sequence), code generation, compiled execution, cache
+    simulation — with observability on, and print one machine-readable
+    JSON document: per-phase profile, metrics snapshot, search and cache
+    summaries.
+
+Every command additionally accepts ``--profile`` (print the per-phase
+span table to stderr when done) and ``--trace-json PATH`` (export the
+raw span stream as JSON lines); both install the
+:mod:`repro.obs` tracer for the duration of the command.
+
 The ``SPEC`` mini-language is a semicolon-separated list of step
 builders, evaluated left to right against the current nest depth::
 
@@ -34,9 +46,11 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core import (
     Block,
     BoundsMatrix,
@@ -292,6 +306,88 @@ def cmd_transform(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile the whole pipeline on one nest and print a JSON document.
+
+    The tracer is already installed by :func:`main` (the ``profile``
+    command always runs observed), so every instrumented layer — the
+    dependence analyzer, the beam search and its legality cache, the
+    compiled engine, the cache simulator — reports into the same span
+    stream and metrics registry that this command renders.
+    """
+    from repro.cache.simulator import Layout, simulate_trace
+    from repro.core.legality_cache import LegalityCache
+    from repro.optimize.search import search
+    from repro.runtime.compiled import run_compiled
+
+    nest = _read_nest(args.file, args.sink)
+    symbols = {name: args.size for name in sorted(nest.invariants())}
+    deps = analyze(nest, level=args.level)
+
+    doc_search = None
+    winner = None
+    if not args.no_search:
+        result = search(nest, deps, depth=args.depth, beam=args.beam)
+        winner = result.transformation
+        doc_search = {
+            "winner": winner.signature() if winner else None,
+            "score": (result.score
+                      if result.score != float("-inf") else None),
+            "explored": result.explored,
+            "legal": result.legal_count,
+            "cache_stats": result.cache_stats,
+        }
+
+    if args.steps:
+        chosen = parse_steps(args.steps, nest.depth)
+    else:
+        chosen = winner or Transformation.identity(nest.depth)
+    report = LegalityCache().legality(chosen, nest, deps)
+
+    doc_run = {"sequence": chosen.signature(), "legal": report.legal}
+    doc_cachesim = None
+    try:
+        out = chosen.apply(nest, deps) if report.legal else nest
+        if not report.legal:
+            doc_run["note"] = ("sequence illegal; profiled the original "
+                               "nest instead")
+        result = run_compiled(out, {}, symbols=symbols,
+                              trace_addresses=True)
+        doc_run["iterations"] = result.body_count
+        doc_run["accesses"] = len(result.address_trace)
+        if result.address_trace:
+            # Extents observed in the trace are exact for the layout.
+            extents = {}
+            for name, index, _kind in result.address_trace:
+                dims = extents.setdefault(name,
+                                          [[ix, ix] for ix in index])
+                for d, ix in enumerate(index):
+                    if ix < dims[d][0]:
+                        dims[d][0] = ix
+                    if ix > dims[d][1]:
+                        dims[d][1] = ix
+            layout = Layout()
+            for name in sorted(extents):
+                layout.register(name, [tuple(e) for e in extents[name]])
+            stats = simulate_trace(result.address_trace, layout)
+            doc_cachesim = {
+                "accesses": stats.accesses,
+                "misses": stats.misses,
+                "miss_rate": round(stats.miss_rate, 6),
+            }
+    except ReproError as exc:
+        doc_run["error"] = str(exc)
+
+    doc = obs.profile_document()
+    doc["input"] = {"file": args.file, "level": args.level,
+                    "size": args.size}
+    doc["search"] = doc_search
+    doc["run"] = doc_run
+    doc["cachesim"] = doc_cachesim
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -306,6 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sink", action="store_true",
                        help="accept an imperfect nest and sink it into a "
                             "guarded perfect nest first")
+        p.add_argument("--profile", action="store_true",
+                       help="run with the tracer on and print the "
+                            "per-phase profile table to stderr")
+        p.add_argument("--trace-json", metavar="PATH", default=None,
+                       help="run with the tracer on and export the span "
+                            "stream to PATH as JSON lines")
 
     p_show = sub.add_parser("show", help="parse and pretty-print a nest")
     add_common(p_show)
@@ -336,17 +438,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--trace", action="store_true",
                       help="print per-stage dependence/loop tables")
     p_tr.set_defaults(func=cmd_transform)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile the search/legality/execution pipeline as JSON")
+    add_common(p_prof)
+    p_prof.add_argument("--steps", default=None,
+                        help="also profile this specific step sequence "
+                             "(default: the search winner)")
+    p_prof.add_argument("--no-search", action="store_true",
+                        help="skip the beam search phase")
+    p_prof.add_argument("--depth", type=int, default=2,
+                        help="beam search depth (default 2)")
+    p_prof.add_argument("--beam", type=int, default=8,
+                        help="beam width (default 8)")
+    p_prof.add_argument("--size", type=int, default=12,
+                        help="value bound to every symbolic invariant "
+                             "for the execution phases (default 12)")
+    p_prof.set_defaults(func=cmd_profile)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    profiling = getattr(args, "profile", False)
+    trace_path = getattr(args, "trace_json", None)
+    observe = (profiling or trace_path is not None or
+               args.command == "profile")
+    tracer = obs.enable() if observe else None
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            if trace_path is not None:
+                tracer.export_jsonl(trace_path)
+            if profiling:
+                print(obs.profile_table(tracer), file=sys.stderr)
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

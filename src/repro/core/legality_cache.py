@@ -38,6 +38,7 @@ from repro.core.sequence import LegalityReport, Transformation
 from repro.core.template import Template
 from repro.deps.vector import DepSet
 from repro.ir.loopnest import Loop, LoopNest
+from repro.obs import trace as _obs
 from repro.util.errors import CodegenError, PreconditionViolation
 
 
@@ -173,8 +174,11 @@ class LegalityCache:
     def _compute(self, steps: Sequence[Template], step_ids: Tuple[int, ...],
                  nest: LoopNest, nest_id: int,
                  deps: DepSet, deps_id: int) -> LegalityReport:
+        # Spans only on the miss path: verdict-cache hits in `legality`
+        # stay span-free so the memoized fast path pays nothing.
         # (a) dependence vector test, mapped one memoized step at a time.
-        final = self._map_deps(steps, step_ids, deps, deps_id)
+        with _obs.span("legality.map_deps", steps=len(steps)):
+            final = self._map_deps(steps, step_ids, deps, deps_id)
         if final.can_be_lex_negative():
             bad = [str(v) for v in final if v.can_be_lex_negative()]
             return LegalityReport(
@@ -183,7 +187,8 @@ class LegalityCache:
                 f"negative tuple: {', '.join(bad)}",
                 final_deps=final)
         # (b) loop bounds test over the longest novel suffix.
-        state = self._bounds(steps, step_ids, nest, nest_id)
+        with _obs.span("legality.bounds", steps=len(steps)):
+            state = self._bounds(steps, step_ids, nest, nest_id)
         if state[0] == "pre":
             _, idx, exc = state
             return LegalityReport(False, str(exc), failed_step=idx,

@@ -33,6 +33,7 @@ from repro.core.templates.reverse_permute import ReversePermute
 from repro.core.templates.unimodular import Unimodular
 from repro.deps.vector import DepSet
 from repro.ir.loopnest import Loop, LoopNest
+from repro.obs import trace as _obs
 from repro.util.errors import (
     CodegenError,
     IllegalTransformationError,
@@ -186,7 +187,8 @@ class Transformation:
                 False, f"nest has {nest.depth} loops, transformation "
                        f"expects {self._n}")
         # (a) dependence vector test: only the final set matters.
-        final = self.map_dep_set(deps)
+        with _obs.span("legality.map_deps", steps=len(self.steps)):
+            final = self.map_dep_set(deps)
         if final.can_be_lex_negative():
             bad = [str(v) for v in final if v.can_be_lex_negative()]
             return LegalityReport(
@@ -196,23 +198,24 @@ class Transformation:
                 final_deps=final)
         # (b) loop bounds test: every step's preconditions must hold on
         # the loops it receives.
-        loops: Tuple[Loop, ...] = nest.loops
-        taken = collect_taken(nest)
-        for idx, step in enumerate(self.steps):
-            try:
-                step.check_preconditions(loops)
-                loops, _ = step.map_loops(loops, taken)
-            except PreconditionViolation as exc:
-                return LegalityReport(
-                    False, str(exc), failed_step=idx, final_deps=final,
-                    violation=exc)
-            except CodegenError as exc:
-                # A mapping the preconditions admit but codegen cannot
-                # realize (e.g. Fourier-Motzkin blowup) is still a
-                # rejection, not a crash.
-                return LegalityReport(
-                    False, f"{step.signature()}: {exc}", failed_step=idx,
-                    final_deps=final)
+        with _obs.span("legality.bounds", steps=len(self.steps)):
+            loops: Tuple[Loop, ...] = nest.loops
+            taken = collect_taken(nest)
+            for idx, step in enumerate(self.steps):
+                try:
+                    step.check_preconditions(loops)
+                    loops, _ = step.map_loops(loops, taken)
+                except PreconditionViolation as exc:
+                    return LegalityReport(
+                        False, str(exc), failed_step=idx, final_deps=final,
+                        violation=exc)
+                except CodegenError as exc:
+                    # A mapping the preconditions admit but codegen cannot
+                    # realize (e.g. Fourier-Motzkin blowup) is still a
+                    # rejection, not a crash.
+                    return LegalityReport(
+                        False, f"{step.signature()}: {exc}", failed_step=idx,
+                        final_deps=final)
         return LegalityReport(True, final_deps=final)
 
     def is_legal(self, nest: LoopNest, deps: DepSet) -> bool:

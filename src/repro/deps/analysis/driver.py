@@ -44,6 +44,8 @@ from repro.deps.vector import DepEntry, DepSet, DepVector
 from repro.expr.linear import affine_form
 from repro.expr.nodes import Const, Expr, Max, Min, add, mul, substitute, var
 from repro.ir.loopnest import LoopNest
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
 
 LEVELS = ("gcd", "banerjee", "fm")
 
@@ -272,17 +274,34 @@ class DependenceAnalyzer:
 
     def _feasible(self, problem: _PairProblem,
                   directions: Dict[str, str]) -> bool:
+        # Test-ladder accounting: which tier refutes each direction-vector
+        # node (gcd, then banerjee, then exact FM) — the per-tier counters
+        # show how much work the cheap tiers save the expensive ones.
+        observing = _obs.enabled()
+        metrics = get_metrics() if observing else None
         for eq in problem.equalities:
             if not gcd_test(eq):
+                if observing:
+                    metrics.counter("deps.refuted.gcd").inc()
                 return False
         if self.level == "gcd":
+            if observing:
+                metrics.counter("deps.feasible").inc()
             return True
         for eq in problem.equalities:
             if not banerjee_test(eq, problem.var_ranges, directions):
+                if observing:
+                    metrics.counter("deps.refuted.banerjee").inc()
                 return False
         if self.level == "banerjee":
+            if observing:
+                metrics.counter("deps.feasible").inc()
             return True
-        return problem.with_directions(directions).is_feasible()
+        feasible = problem.with_directions(directions).is_feasible()
+        if observing:
+            metrics.counter("deps.feasible" if feasible
+                            else "deps.refuted.fm").inc()
+        return feasible
 
     def _refine_entry(self, problem: _PairProblem,
                       directions: Dict[str, str], name: str) -> DepEntry:
@@ -347,17 +366,23 @@ class DependenceAnalyzer:
         aggregates): the references involved, how many affine subscript
         equalities constrained the pair, whether the conservative
         lex-positive cover had to be used, and the resulting vectors."""
-        accesses = collect_accesses(self.nest, self.arrays)
-        reports: List[PairReport] = []
-        for src, dst in dependence_candidate_pairs(accesses):
-            problem = self._build_problem(src, dst)
-            if problem is None or not problem.equalities:
+        with _obs.span("deps.analyze", level=self.level, depth=self.n):
+            accesses = collect_accesses(self.nest, self.arrays)
+            reports: List[PairReport] = []
+            for src, dst in dependence_candidate_pairs(accesses):
+                problem = self._build_problem(src, dst)
+                if problem is None or not problem.equalities:
+                    reports.append(PairReport(
+                        src, dst, 0, True, _conservative_cover(self.n)))
+                    continue
+                vectors = self._enumerate(problem)
                 reports.append(PairReport(
-                    src, dst, 0, True, _conservative_cover(self.n)))
-                continue
-            vectors = self._enumerate(problem)
-            reports.append(PairReport(
-                src, dst, len(problem.equalities), False, vectors))
+                    src, dst, len(problem.equalities), False, vectors))
+        if _obs.enabled():
+            metrics = get_metrics()
+            metrics.counter("deps.pairs").inc(len(reports))
+            metrics.counter("deps.pairs_conservative").inc(
+                sum(1 for r in reports if r.conservative))
         return reports
 
 

@@ -1,0 +1,71 @@
+"""repro.obs — tracing, metrics and profiling for the whole pipeline.
+
+One switch drives everything::
+
+    from repro import obs
+
+    tracer = obs.enable()          # fresh tracer + cleared metrics
+    ...run searches, legality tests, compiled nests...
+    print(obs.profile_table())     # per-phase wall/CPU table
+    doc = obs.profile_document()   # JSON-ready phases + metrics snapshot
+    tracer.export_jsonl("trace.jsonl")
+    obs.disable()
+
+While disabled (the default) every instrumentation site degrades to a
+single global ``None`` check: :func:`repro.obs.trace.span` hands back a
+shared no-op context manager and the metrics registry is never touched,
+so the instrumented hot paths (compiled execution, memoized legality,
+cache simulation) pay nothing measurable.
+
+See :mod:`repro.obs.trace`, :mod:`repro.obs.metrics` and
+:mod:`repro.obs.report` for the pieces; ``docs/API.md`` has the span
+name inventory and the JSON schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import trace as _trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    get_metrics,
+)
+from repro.obs.report import (
+    aggregate_phases,
+    load_trace,
+    profile_document,
+    profile_table,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    enabled,
+    get_tracer,
+    span,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Metrics", "Span", "Tracer",
+    "NULL_SPAN",
+    "aggregate_phases", "disable", "enable", "enabled", "get_metrics",
+    "get_tracer", "load_trace", "profile_document", "profile_table",
+    "span",
+]
+
+
+def enable(ring_size: int = 65536) -> Tracer:
+    """Turn every instrumentation site on: install a fresh tracer and
+    clear the global metrics registry.  Returns the tracer."""
+    get_metrics().clear()
+    return _trace.install(Tracer(ring_size=ring_size))
+
+
+def disable() -> Optional[Tracer]:
+    """Back to no-op mode.  The tracer (returned) and the metrics
+    registry keep their data, so reports can still be rendered."""
+    return _trace.uninstall()

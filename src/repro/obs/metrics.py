@@ -1,0 +1,173 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+Instrumented code gets instruments from the process-global registry
+(:func:`get_metrics`) *only after checking* :func:`repro.obs.trace.enabled`,
+so the registry stays empty — no names registered, no values — while
+observability is off.  :meth:`Metrics.snapshot` renders everything as a
+plain JSON-serializable dict for reports and ``bench_smoke.json``.
+
+Histograms are log-bucketed base 2: an observation ``v > 0`` lands in
+the bucket whose key is the smallest power of two ``>= v``; zero and
+negative observations land in the ``"<=0"`` bucket.  Exact count, sum,
+min and max are kept alongside, so the buckets only ever add resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "get_metrics"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {n}")
+        self.value += n
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, v: Number) -> None:
+        self.value = v
+
+    def __repr__(self):
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+def bucket_key(v: Number) -> str:
+    """The histogram bucket label for observation *v* (see module doc)."""
+    if v <= 0:
+        return "<=0"
+    mantissa, exponent = math.frexp(float(v))  # v = mantissa * 2**exponent
+    if mantissa == 0.5:  # exact power of two: its own upper bound
+        exponent -= 1
+    upper = 2.0 ** exponent
+    return str(int(upper)) if upper >= 1 else str(upper)
+
+
+class Histogram:
+    """Log-bucketed (base 2) distribution with exact count/sum/min/max."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.buckets: Dict[str, int] = {}
+
+    def observe(self, v: Number) -> None:
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        key = bucket_key(v)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+    def __repr__(self):
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class Metrics:
+    """Named instruments, created on first use.
+
+    A name belongs to exactly one instrument kind; asking for the same
+    name as a different kind raises, which catches typo'd dashboards at
+    the instrumentation site instead of at read time.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (("counter", self._counters),
+                                  ("gauge", self._gauges),
+                                  ("histogram", self._histograms)):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"{name!r} is already a {other_kind}, not a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, "counter")
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, "gauge")
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, "histogram")
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything, as a plain JSON-serializable dict."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.to_dict()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_REGISTRY = Metrics()
+
+
+def get_metrics() -> Metrics:
+    """The process-global registry (see the module doc for the
+    enabled-gate convention instrumented code must follow)."""
+    return _REGISTRY

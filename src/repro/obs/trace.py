@@ -1,0 +1,233 @@
+"""Span tracing for the search/legality/execution pipeline.
+
+A :class:`Tracer` records *spans*: named context-manager scopes with
+wall-clock and CPU time, a tag dict, and parent nesting (a span opened
+inside another span records it as its parent).  Completed spans land in
+a bounded ring buffer and can be exported as JSON lines
+(:meth:`Tracer.export_jsonl`) or aggregated into a per-phase profile
+(:mod:`repro.obs.report`).
+
+The module-level switch is the whole enable story: instrumented code
+calls :func:`span` (and checks :func:`enabled` before touching the
+metrics registry).  While no tracer is installed — the default —
+:func:`span` returns a shared no-op context manager and instrumented
+functions record nothing, so the cost of shipping instrumentation in a
+hot path is one global read per call.  Install a tracer with
+:func:`repro.obs.enable` (or :func:`install` directly) to turn every
+site on at once.
+
+The tracer keeps its open-span stack as a plain list, matching the
+single-threaded execution model of the rest of the package.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Deque, Dict, IO, List, Optional, Union
+
+__all__ = [
+    "Span", "Tracer", "NULL_SPAN",
+    "span", "enabled", "get_tracer", "install", "uninstall",
+]
+
+
+class Span:
+    """One timed scope.  Use as a context manager via :meth:`Tracer.span`.
+
+    Durations are filled in at ``__exit__``: ``wall`` and ``cpu`` are
+    seconds; ``start`` is seconds since the owning tracer's epoch, so
+    sorting by it reconstructs open order.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "depth", "tags",
+                 "start", "wall", "cpu", "error",
+                 "_tracer", "_wall0", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, Any]):
+        self.name = name
+        self.tags = tags
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.start = 0.0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.error: Optional[str] = None
+        self._tracer = tracer
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def tag(self, **tags: Any) -> "Span":
+        """Attach tags from inside the ``with`` body (e.g. a score that
+        is only known after the work ran)."""
+        self.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall = time.perf_counter() - self._wall0
+        self.cpu = time.process_time() - self._cpu0
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        self._tracer._close(self)
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-lines record for this span."""
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "start": round(self.start, 9),
+            "wall": round(self.wall, 9),
+            "cpu": round(self.cpu, 9),
+            "tags": self.tags,
+            "error": self.error,
+        }
+
+    def __repr__(self):
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, wall={self.wall:.6f})")
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in returned by :func:`span` when no
+    tracer is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans into a bounded ring buffer.
+
+    *ring_size* bounds memory: once full, the oldest completed spans are
+    dropped (counted in :attr:`dropped`).  Spans are buffered in
+    completion order; ``start`` timestamps give open order.
+    """
+
+    def __init__(self, ring_size: int = 65536):
+        if ring_size <= 0:
+            raise ValueError("ring_size must be positive")
+        self.ring_size = ring_size
+        self.epoch = time.perf_counter()
+        self._buffer: Deque[Span] = deque(maxlen=ring_size)
+        self._stack: List[Span] = []
+        self.completed = 0
+        self._next_id = 1
+
+    # -- span lifecycle (called by Span) -----------------------------------
+
+    def _open(self, sp: Span) -> None:
+        sp.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            sp.parent_id = self._stack[-1].span_id
+            sp.depth = self._stack[-1].depth + 1
+        sp.start = time.perf_counter() - self.epoch
+        self._stack.append(sp)
+
+    def _close(self, sp: Span) -> None:
+        # Tolerate exits out of order (an exception unwinding through
+        # several spans closes them innermost-first, which is in order;
+        # anything stranger just drops the stranded entries).
+        while self._stack:
+            top = self._stack.pop()
+            if top is sp:
+                break
+        self.completed += 1
+        self._buffer.append(sp)
+
+    # -- public API --------------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """Open a new span; use as ``with tracer.span("phase"): ...``."""
+        return Span(self, name, tags)
+
+    @property
+    def dropped(self) -> int:
+        return self.completed - len(self._buffer)
+
+    def spans(self) -> List[Span]:
+        """Completed spans currently in the ring buffer."""
+        return list(self._buffer)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [sp.to_dict() for sp in self._buffer]
+
+    def export_jsonl(self, dest: Union[str, IO[str]]) -> int:
+        """Write one JSON object per completed span to *dest* (a path or
+        a text file object); returns the number of spans written."""
+        records = self.to_dicts()
+        if isinstance(dest, str):
+            with open(dest, "w") as fh:
+                for rec in records:
+                    fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        else:
+            for rec in records:
+                dest.write(json.dumps(rec, sort_keys=True) + "\n")
+        return len(records)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._stack.clear()
+        self.completed = 0
+        self._next_id = 1
+        self.epoch = time.perf_counter()
+
+
+# ---------------------------------------------------------------------------
+# the module-level switch
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def enabled() -> bool:
+    """True when a tracer is installed (instrumentation is live)."""
+    return _ACTIVE is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make *tracer* the destination of every :func:`span` call."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def uninstall() -> Optional[Tracer]:
+    """Remove the active tracer (back to no-op mode); returns it."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def span(name: str, **tags: Any):
+    """A span on the active tracer, or the shared no-op when disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **tags)

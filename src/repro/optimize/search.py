@@ -12,10 +12,12 @@ cache locality).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cache.simulator import CacheConfig, Layout, simulate_trace
 from repro.core.legality_cache import LegalityCache
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
 from repro.core.sequence import Transformation
 from repro.core.template import Template
 from repro.core.templates.block import Block
@@ -88,19 +90,26 @@ def make_locality_score(arrays, symbols, layout: Layout,
 
 
 class SearchResult:
-    __slots__ = ("transformation", "score", "explored", "legal_count")
+    __slots__ = ("transformation", "score", "explored", "legal_count",
+                 "cache_stats")
 
     def __init__(self, transformation: Optional[Transformation],
-                 score: float, explored: int, legal_count: int):
+                 score: float, explored: int, legal_count: int,
+                 cache_stats: Optional[Dict[str, int]] = None):
         self.transformation = transformation
         self.score = score
         self.explored = explored
         self.legal_count = legal_count
+        #: The legality cache's hit/miss/eval counters at the end of the
+        #: search (``LegalityCache.stats``), so beam-search efficiency is
+        #: visible to callers; None when the supplied cache has no stats.
+        self.cache_stats = cache_stats
 
     def __repr__(self):
         sig = self.transformation.signature() if self.transformation else None
         return (f"SearchResult({sig}, score={self.score}, "
-                f"explored={self.explored}, legal={self.legal_count})")
+                f"explored={self.explored}, legal={self.legal_count}, "
+                f"cache_stats={self.cache_stats})")
 
 
 def search(nest: LoopNest, deps: DepSet,
@@ -119,37 +128,68 @@ def search(nest: LoopNest, deps: DepSet,
     call unless *cache* is supplied), so the shared prefixes the beam
     generates are each mapped and bounds-checked once.  Pass any object
     with a compatible ``legality(transformation, nest, deps)`` method to
-    substitute a different policy.
+    substitute a different policy.  The cache's hit/miss counters come
+    back on :attr:`SearchResult.cache_stats`; under ``repro.obs`` the
+    search additionally records spans (``search``, ``search.level``,
+    ``search.candidate``) and metrics (explored/legal counters, beam
+    gauges, a score histogram, legality-cache gauges).
     """
     n = nest.depth
     menu = list(candidates) if candidates is not None else default_candidates(n)
     if cache is None:
         cache = LegalityCache()
     identity = Transformation.identity(n)
-    frontier: List[Tuple[float, Transformation]] = [
-        (score(identity, nest, deps), identity)]
-    best_score, best = frontier[0]
-    explored = 1
-    legal_count = 1
-    for _level in range(depth):
-        nxt: List[Tuple[float, Transformation]] = []
-        for _, base in frontier:
-            for step in menu:
-                if step.n != base.output_depth:
-                    continue
-                candidate = base.then(step, reduce=False)
-                explored += 1
-                report = cache.legality(candidate, nest, deps)
-                if not report.legal:
-                    continue
-                legal_count += 1
-                s = score(candidate, nest, deps)
-                nxt.append((s, candidate))
-                if s > best_score or (s == best_score and
-                                      len(candidate) < len(best)):
-                    best_score, best = s, candidate
-        nxt.sort(key=lambda p: -p[0])
-        frontier = nxt[:beam]
-        if not frontier:
-            break
-    return SearchResult(best, best_score, explored, legal_count)
+    observing = _obs.enabled()
+    with _obs.span("search", nest_depth=n, depth=depth, beam=beam,
+                   menu=len(menu)):
+        frontier: List[Tuple[float, Transformation]] = [
+            (score(identity, nest, deps), identity)]
+        best_score, best = frontier[0]
+        explored = 1
+        legal_count = 1
+        if observing:
+            metrics = get_metrics()
+            score_hist = metrics.histogram("search.score")
+            metrics.gauge("search.depth").set(depth)
+            metrics.gauge("search.beam_width").set(len(frontier))
+        for _level in range(depth):
+            nxt: List[Tuple[float, Transformation]] = []
+            with _obs.span("search.level", level=_level,
+                           frontier=len(frontier)):
+                for _, base in frontier:
+                    for step in menu:
+                        if step.n != base.output_depth:
+                            continue
+                        candidate = base.then(step, reduce=False)
+                        explored += 1
+                        with _obs.span("search.candidate") as sp:
+                            report = cache.legality(candidate, nest, deps)
+                            if not report.legal:
+                                sp.tag(legal=False)
+                                continue
+                            legal_count += 1
+                            s = score(candidate, nest, deps)
+                            sp.tag(legal=True, score=s)
+                        if observing and s != float("-inf"):
+                            score_hist.observe(s)
+                        nxt.append((s, candidate))
+                        if s > best_score or (s == best_score and
+                                              len(candidate) < len(best)):
+                            best_score, best = s, candidate
+            nxt.sort(key=lambda p: -p[0])
+            frontier = nxt[:beam]
+            if observing:
+                metrics.gauge("search.beam_width").set(len(frontier))
+            if not frontier:
+                break
+        stats = getattr(cache, "stats", None)
+        if observing:
+            metrics.counter("search.calls").inc()
+            metrics.counter("search.explored").inc(explored)
+            metrics.counter("search.legal").inc(legal_count)
+            if stats is not None:
+                for key in ("hits", "misses", "dep_map_evals",
+                            "bounds_step_evals"):
+                    metrics.gauge(f"legality_cache.{key}").set(stats[key])
+    return SearchResult(best, best_score, explored, legal_count,
+                        cache_stats=dict(stats) if stats is not None else None)

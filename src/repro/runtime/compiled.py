@@ -43,6 +43,8 @@ from repro.expr.nodes import (
     children,
 )
 from repro.ir.loopnest import Assign, If, InitStmt, LoopNest, PARDO, Statement
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
 from repro.runtime.arrays import Array
 from repro.runtime.interpreter import ExecutionResult, Schedule
 from repro.util.errors import CodegenError, ReproError
@@ -341,7 +343,11 @@ class CompiledNest:
     def _variant(self, extra: frozenset) -> Tuple[str, Callable]:
         cached = self._variants.get(extra)
         if cached is not None:
+            if _obs.enabled():
+                get_metrics().counter("compiled.source_cache_hits").inc()
             return cached
+        if _obs.enabled():
+            get_metrics().counter("compiled.source_cache_misses").inc()
         arrays = self._base_arrays | set(extra)
         funcs = {f for f, _ in self._calls
                  if f in self.funcs and f not in arrays}
@@ -356,13 +362,16 @@ class CompiledNest:
             tv = tuple(self.nest.indices)
         emitter = _Emitter(self.nest, arrays, funcs, tv,
                            self.trace_addresses)
-        source = emitter.source(symbols)
+        with _obs.span("compiled.codegen", depth=self.nest.depth,
+                       arrays=len(arrays)):
+            source = emitter.source(symbols)
         namespace: Dict[str, object] = {
             "_ReproError": ReproError,
             "_sgn": _sgn_once,
             "_fst": _fst,
         }
-        exec(compile(source, "<repro:compiled-nest>", "exec"), namespace)
+        with _obs.span("compiled.exec_compile", lines=source.count("\n")):
+            exec(compile(source, "<repro:compiled-nest>", "exec"), namespace)
         variant = (source, namespace["_kernel"])  # type: ignore[assignment]
         self._variants[extra] = variant
         return variant
@@ -394,8 +403,14 @@ class CompiledNest:
         atrace: Optional[List[Tuple[str, Tuple[int, ...], str]]] = (
             [] if self.trace_addresses else None)
         sched = schedule or self.schedule
-        count = fn(state, self.symbols, self.funcs, sched.order,
-                   itrace, atrace, self.max_iterations)
+        with _obs.span("compiled.run", depth=self.nest.depth,
+                       traced=self.trace_addresses):
+            count = fn(state, self.symbols, self.funcs, sched.order,
+                       itrace, atrace, self.max_iterations)
+        if _obs.enabled():
+            metrics = get_metrics()
+            metrics.counter("compiled.runs").inc()
+            metrics.counter("compiled.iterations").inc(count)
         # The interpreter materializes an array only when it is actually
         # touched; a defaultdict records every touch as an inserted key,
         # so an untouched non-input array is exactly an empty one.

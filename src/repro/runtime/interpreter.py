@@ -36,6 +36,8 @@ from repro.expr.nodes import (
     Var,
 )
 from repro.ir.loopnest import Assign, If, InitStmt, Loop, LoopNest, PARDO, Statement
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
 from repro.runtime.arrays import Array
 from repro.util.intmath import ceil_div, floor_div, sign
 from repro.util.errors import ReproError
@@ -123,7 +125,14 @@ class Interpreter:
             [] if self.trace_vars is not None else None)
         address_trace = [] if self.trace_addresses else None
         counter = [0]
-        self._run_level(0, env, state, iteration_trace, address_trace, counter)
+        with _obs.span("interpreter.run", depth=len(self.nest.loops),
+                       traced=self.trace_addresses):
+            self._run_level(0, env, state, iteration_trace, address_trace,
+                            counter)
+        if _obs.enabled():
+            metrics = get_metrics()
+            metrics.counter("interpreter.runs").inc()
+            metrics.counter("interpreter.iterations").inc(counter[0])
         return ExecutionResult(state, iteration_trace, address_trace,
                                counter[0])
 
