@@ -306,6 +306,38 @@ def cmd_transform(args) -> int:
     return 0
 
 
+def cmd_search(args) -> int:
+    """Beam-search a transformation sequence and print a JSON summary.
+
+    ``--jobs N`` shards candidate evaluation across N forked worker
+    processes; results are guaranteed identical to ``--jobs 1`` (the
+    ``parallel`` block in the output records the worker accounting).
+    """
+    from repro.optimize.search import search
+
+    nest = _read_nest(args.file, args.sink)
+    deps = analyze(nest, level=args.level)
+    result = search(nest, deps, depth=args.depth, beam=args.beam,
+                    jobs=args.jobs,
+                    candidate_timeout=args.candidate_timeout)
+    winner = result.transformation
+    doc = {
+        "input": {"file": args.file, "level": args.level,
+                  "depth": args.depth, "beam": args.beam,
+                  "jobs": args.jobs},
+        "winner": winner.signature() if winner else None,
+        "spec": winner.to_spec() if winner is not None else None,
+        "score": result.score if result.score != float("-inf") else None,
+        "explored": result.explored,
+        "legal": result.legal_count,
+        "timeouts": result.timeouts,
+        "cache_stats": result.cache_stats,
+        "parallel": result.parallel,
+    }
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_profile(args) -> int:
     """Profile the whole pipeline on one nest and print a JSON document.
 
@@ -327,7 +359,9 @@ def cmd_profile(args) -> int:
     doc_search = None
     winner = None
     if not args.no_search:
-        result = search(nest, deps, depth=args.depth, beam=args.beam)
+        result = search(nest, deps, depth=args.depth, beam=args.beam,
+                        jobs=args.jobs,
+                        candidate_timeout=args.candidate_timeout)
         winner = result.transformation
         doc_search = {
             "winner": winner.signature() if winner else None,
@@ -336,6 +370,7 @@ def cmd_profile(args) -> int:
             "explored": result.explored,
             "legal": result.legal_count,
             "cache_stats": result.cache_stats,
+            "parallel": result.parallel,
         }
 
     if args.steps:
@@ -439,6 +474,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print per-stage dependence/loop tables")
     p_tr.set_defaults(func=cmd_transform)
 
+    def add_parallel(p):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for candidate evaluation "
+                            "(1 = serial; results are identical either way)")
+        p.add_argument("--candidate-timeout", dest="candidate_timeout",
+                       type=float, default=None, metavar="SECONDS",
+                       help="wall-clock budget per candidate scoring; "
+                            "overrunning candidates score -inf")
+
+    p_se = sub.add_parser(
+        "search", help="beam-search a transformation sequence")
+    add_common(p_se)
+    p_se.add_argument("--depth", type=int, default=2,
+                      help="beam search depth (default 2)")
+    p_se.add_argument("--beam", type=int, default=8,
+                      help="beam width (default 8)")
+    add_parallel(p_se)
+    p_se.set_defaults(func=cmd_search)
+
     p_prof = sub.add_parser(
         "profile",
         help="profile the search/legality/execution pipeline as JSON")
@@ -455,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--size", type=int, default=12,
                         help="value bound to every symbolic invariant "
                              "for the execution phases (default 12)")
+    add_parallel(p_prof)
     p_prof.set_defaults(func=cmd_profile)
     return parser
 

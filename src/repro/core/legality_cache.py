@@ -54,12 +54,17 @@ def template_key(step: Template) -> Tuple:
     some templates (``block(i, j, sizes)``) and ``names`` for Unimodular,
     so both are folded in explicitly.  A template with no step-language
     spelling falls back to identity keying — always correct, never
-    shared.
+    shared: the instantiation object itself is the identity token, so the
+    key compares by object identity *and* holds a strong reference.
+    Keying by ``id(step)`` instead would go stale: once the step is
+    garbage-collected, CPython happily hands the same address to a new
+    same-signature template, and a cache still holding the old key would
+    serve the dead step's legality report for the new one.
     """
     try:
         spec = step.to_spec()
     except NotImplementedError:
-        return (type(step).__name__, step.n, step.signature(), id(step))
+        return (type(step).__name__, step.n, step.signature(), step)
     return (type(step).__name__, step.n, spec, getattr(step, "names", None))
 
 
@@ -73,6 +78,9 @@ class LegalityCache:
     """
 
     def __init__(self):
+        # When a list, the memoized test appends a content-keyed record
+        # of every entry it creates (see legality_with_delta).
+        self._delta_log: Optional[List[Tuple]] = None
         # content-key -> small int, so hot paths hash ints not trees
         self._step_ids: Dict[Tuple, int] = {}
         self._deps_ids: Dict[Tuple, int] = {}
@@ -215,6 +223,10 @@ class LegalityCache:
                     self._deps_ids[key] = mapped_id
                 hit = (mapped, mapped_id)
                 self._map_cache[(current_id, sid)] = hit
+                if self._delta_log is not None:
+                    self._delta_log.append(
+                        ("map", depset_key(current), template_key(step),
+                         mapped))
             current, current_id = hit
         return current
 
@@ -246,14 +258,113 @@ class LegalityCache:
             except PreconditionViolation as exc:
                 state = ("pre", idx, exc)
                 self._bounds_cache[prefix] = state
+                self._log_bounds(steps, idx, state)
                 return state
             except CodegenError as exc:
                 state = ("cg", idx, exc)
                 self._bounds_cache[prefix] = state
+                self._log_bounds(steps, idx, state)
                 return state
             taken_frozen = frozenset(taken)
-            self._bounds_cache[prefix] = ("ok", loops, taken_frozen)
+            state = ("ok", loops, taken_frozen)
+            self._bounds_cache[prefix] = state
+            self._log_bounds(steps, idx, state)
         return ("ok", loops, taken_frozen)
+
+    def _log_bounds(self, steps: Sequence[Template], idx: int,
+                    state: Tuple) -> None:
+        if self._delta_log is not None:
+            self._delta_log.append(
+                ("bounds", tuple(template_key(s) for s in steps[:idx + 1]),
+                 state))
+
+    # -- parallel-search delta protocol ------------------------------------
+    #
+    # A forked worker evaluates candidates on its *copy* of this cache and
+    # ships back, per candidate, the content-keyed entries the evaluation
+    # created.  The parent replays deltas with merge_delta in serial
+    # candidate order; because every key is a content key, entries another
+    # candidate already contributed (in this process or another worker's
+    # delta) deduplicate exactly where the serial evaluation would have
+    # taken a cache hit, so hits/misses/eval counters — and therefore
+    # ``SearchResult.cache_stats`` — come out identical to a serial run.
+
+    def legality_with_delta(
+            self, transformation: Transformation, nest: LoopNest,
+            deps: DepSet) -> Tuple[LegalityReport, List[Tuple]]:
+        """Like :meth:`legality`, additionally returning the delta: the
+        content-keyed record of every cache entry this call created, plus
+        a trailing ``("verdict", ...)`` entry (always present, even when
+        the verdict itself was a local hit, so the replaying cache can
+        attribute one hit or miss per candidate)."""
+        if nest.depth != transformation.input_depth:
+            # Mirrors the depth-mismatch early return in `legality`:
+            # no stats, no shared-table entries, nothing to replay.
+            return self.legality(transformation, nest, deps), []
+        log: List[Tuple] = []
+        previous = self._delta_log
+        self._delta_log = log
+        try:
+            report = self.legality(transformation, nest, deps)
+        finally:
+            self._delta_log = previous
+        log.append(
+            ("verdict",
+             tuple(template_key(s) for s in transformation.steps), report))
+        return report, log
+
+    def merge_delta(self, nest: LoopNest, deps: DepSet,
+                    delta: Sequence[Tuple]) -> Optional[LegalityReport]:
+        """Replay a worker delta into this cache.
+
+        Returns the canonical :class:`LegalityReport` for the delta's
+        verdict entry — the already-cached report when one exists (the
+        serial evaluation would have hit it), else the worker's.  Stats
+        attribution matches serial evaluation: an existing verdict is a
+        hit, a new one a miss, and only *new* map/bounds entries count as
+        evaluations.
+        """
+        nest_id = self._intern_nest(nest)
+        deps_id = self._intern_deps(deps)
+        report: Optional[LegalityReport] = None
+        step_ids = self._step_ids
+        for entry in delta:
+            kind = entry[0]
+            if kind == "map":
+                _, src_key, step_key, mapped = entry
+                src_id = self._deps_ids.setdefault(src_key,
+                                                   len(self._deps_ids))
+                sid = step_ids.setdefault(step_key, len(step_ids))
+                mkey = (src_id, sid)
+                if mkey not in self._map_cache:
+                    self.dep_map_evals += 1
+                    mapped_id = self._deps_ids.setdefault(
+                        depset_key(mapped), len(self._deps_ids))
+                    self._map_cache[mkey] = (mapped, mapped_id)
+            elif kind == "bounds":
+                _, prefix_keys, state = entry
+                sids = tuple(step_ids.setdefault(k, len(step_ids))
+                             for k in prefix_keys)
+                bkey = (nest_id, sids)
+                if bkey not in self._bounds_cache:
+                    self.bounds_step_evals += 1
+                    self._bounds_cache[bkey] = state
+            elif kind == "verdict":
+                _, step_keys, worker_report = entry
+                sids = tuple(step_ids.setdefault(k, len(step_ids))
+                             for k in step_keys)
+                vkey = (nest_id, deps_id, sids)
+                cached = self._verdicts.get(vkey)
+                if cached is not None:
+                    self.hits += 1
+                    report = cached
+                else:
+                    self.misses += 1
+                    self._verdicts[vkey] = worker_report
+                    report = worker_report
+            else:
+                raise ValueError(f"unknown delta entry kind: {kind!r}")
+        return report
 
     # -- bookkeeping -------------------------------------------------------
 

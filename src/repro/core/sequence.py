@@ -90,6 +90,15 @@ class Transformation:
     def __setattr__(self, name, value):
         raise AttributeError("Transformation is immutable")
 
+    # The guarded __setattr__ breaks pickle's default slot-state
+    # restoration (sequences cross process boundaries in parallel search).
+    def __getstate__(self):
+        return (self.steps, self._n)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "steps", state[0])
+        object.__setattr__(self, "_n", state[1])
+
     # -- construction -----------------------------------------------------
 
     @staticmethod

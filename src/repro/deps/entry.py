@@ -51,6 +51,14 @@ class DepEntry:
     def __setattr__(self, name, value):
         raise AttributeError("DepEntry is immutable")
 
+    # The guarded __setattr__ breaks pickle's default slot-state
+    # restoration (entries cross process boundaries in parallel search).
+    def __getstate__(self):
+        return (self.iset,)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "iset", state[0])
+
     # -- constructors ---------------------------------------------------------
 
     @staticmethod

@@ -37,6 +37,14 @@ class DepVector:
     def __setattr__(self, name, value):
         raise AttributeError("DepVector is immutable")
 
+    # The guarded __setattr__ breaks pickle's default slot-state
+    # restoration (vectors cross process boundaries in parallel search).
+    def __getstate__(self):
+        return (self.entries,)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "entries", state[0])
+
     # -- structure ---------------------------------------------------------
 
     def __len__(self):
@@ -196,6 +204,13 @@ class DepSet:
 
     def __setattr__(self, name, value):
         raise AttributeError("DepSet is immutable")
+
+    # See DepVector: explicit state protocol for pickling.
+    def __getstate__(self):
+        return (self.vectors,)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "vectors", state[0])
 
     @property
     def depth(self) -> int:

@@ -62,6 +62,22 @@ class Expr:
         else:
             raise AttributeError("expressions are immutable")
 
+    # The guarded __setattr__ breaks pickle's default slot-state
+    # restoration, so spell the state protocol out.  ``_hash`` caches
+    # ``hash(str)`` values, which are salted per process — dropping it
+    # keeps a pickled expression from carrying a foreign process's hash.
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                if name != "_hash" and hasattr(self, name):
+                    state[name] = getattr(self, name)
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     # Operator sugar so tests and examples read naturally -----------------
 
     def __add__(self, other):

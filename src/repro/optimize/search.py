@@ -12,6 +12,8 @@ cache locality).
 from __future__ import annotations
 
 import itertools
+import math
+from contextlib import nullcontext
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cache.simulator import CacheConfig, Layout, simulate_trace
@@ -26,8 +28,22 @@ from repro.core.templates.reverse_permute import ReversePermute
 from repro.deps.vector import DepSet
 from repro.ir.loopnest import LoopNest, PARDO
 from repro.runtime.compiled import run_compiled
+from repro.util.errors import ReproError
 
 Score = Callable[[Transformation, LoopNest, DepSet], float]
+
+
+def coerce_score(s: float) -> float:
+    """Normalize a user scoring function's return value at the search
+    boundary: ``NaN`` becomes ``-inf``.
+
+    ``NaN`` would otherwise poison the beam silently — ``s > best_score``
+    is always false for it, and ``list.sort`` over a key containing NaN
+    leaves the frontier in an undefined order — so "unscorable" is
+    canonicalized to the same value failed candidates use.
+    """
+    s = float(s)
+    return float("-inf") if math.isnan(s) else s
 
 
 def default_candidates(n: int, tile_size: int = 16) -> List[Template]:
@@ -83,7 +99,13 @@ def make_locality_score(arrays, symbols, layout: Layout,
                                   trace_addresses=True)
             stats = simulate_trace(result.address_trace, layout, config)
             return -float(stats.misses)
-        except Exception:
+        except ReproError:
+            # Domain rejections only: illegal/unmappable candidates and
+            # runtime guards (iteration bound, zero step, codegen) score
+            # -inf.  Genuine programming errors — a typo'd symbol dict
+            # (NameError), a malformed layout (KeyError), a non-numeric
+            # array (TypeError) — propagate instead of masquerading as
+            # bad candidates.
             return float("-inf")
 
     return score
@@ -91,11 +113,13 @@ def make_locality_score(arrays, symbols, layout: Layout,
 
 class SearchResult:
     __slots__ = ("transformation", "score", "explored", "legal_count",
-                 "cache_stats")
+                 "cache_stats", "timeouts", "parallel")
 
     def __init__(self, transformation: Optional[Transformation],
                  score: float, explored: int, legal_count: int,
-                 cache_stats: Optional[Dict[str, int]] = None):
+                 cache_stats: Optional[Dict[str, int]] = None,
+                 timeouts: int = 0,
+                 parallel: Optional[Dict[str, object]] = None):
         self.transformation = transformation
         self.score = score
         self.explored = explored
@@ -104,6 +128,13 @@ class SearchResult:
         #: search (``LegalityCache.stats``), so beam-search efficiency is
         #: visible to callers; None when the supplied cache has no stats.
         self.cache_stats = cache_stats
+        #: Candidates whose scoring overran ``candidate_timeout`` (they
+        #: scored ``-inf`` but still count toward ``explored``).
+        self.timeouts = timeouts
+        #: ``ShardedPool.snapshot()`` when the search ran with
+        #: ``jobs > 1`` (worker/crash/requeue/fallback accounting);
+        #: ``None`` for a serial search.
+        self.parallel = parallel
 
     def __repr__(self):
         sig = self.transformation.signature() if self.transformation else None
@@ -116,34 +147,66 @@ def search(nest: LoopNest, deps: DepSet,
            candidates: Optional[Sequence[Template]] = None,
            score: Score = parallelism_score,
            depth: int = 2, beam: int = 8,
-           cache: Optional[LegalityCache] = None) -> SearchResult:
+           cache: Optional[LegalityCache] = None,
+           jobs: int = 1,
+           candidate_timeout: Optional[float] = None) -> SearchResult:
     """Beam search over sequences of up to *depth* menu steps.
 
     Every candidate sequence is legality-tested and scored against the
     *unmodified* nest; ties keep the shorter sequence.  The identity
     transformation seeds the beam, so "do nothing" wins when nothing
-    scores better.
+    scores better.  A scoring function returning ``NaN`` is treated as
+    "unscorable": the value is coerced to ``-inf`` at the boundary
+    (:func:`coerce_score`) so it can neither win nor scramble the beam
+    ordering.
+
+    With ``jobs > 1`` each level's candidate evaluations are sharded
+    across forked worker processes (:mod:`repro.parallel`); the workers'
+    legality-cache deltas are merged back in serial candidate order, so
+    the result — winner, score, ``explored``, ``legal_count`` and
+    ``cache_stats`` — is identical to ``jobs=1``.  Worker crashes
+    requeue the lost candidates once, then degrade to in-process
+    evaluation; the accounting lands on :attr:`SearchResult.parallel`.
+    ``candidate_timeout`` bounds each candidate's scoring wall-clock in
+    *both* modes: an overrunning candidate scores ``-inf`` and is
+    counted on :attr:`SearchResult.timeouts`.
 
     Legality tests run through a :class:`LegalityCache` (a fresh one per
     call unless *cache* is supplied), so the shared prefixes the beam
     generates are each mapped and bounds-checked once.  Pass any object
     with a compatible ``legality(transformation, nest, deps)`` method to
-    substitute a different policy.  The cache's hit/miss counters come
-    back on :attr:`SearchResult.cache_stats`; under ``repro.obs`` the
-    search additionally records spans (``search``, ``search.level``,
-    ``search.candidate``) and metrics (explored/legal counters, beam
-    gauges, a score histogram, legality-cache gauges).
+    substitute a different policy (parallel mode additionally needs the
+    delta protocol and falls back to serial without it).  The cache's
+    hit/miss counters come back on :attr:`SearchResult.cache_stats`;
+    under ``repro.obs`` the search additionally records spans
+    (``search``, ``search.level``, ``search.candidate``, and
+    ``search.shard``/``search.merge`` when parallel) and metrics
+    (explored/legal counters, beam gauges, a score histogram,
+    legality-cache gauges, parallel timeout/crash/requeue/fallback
+    counters).
     """
+    from repro.parallel.worker import call_with_timeout
+
     n = nest.depth
     menu = list(candidates) if candidates is not None else default_candidates(n)
     if cache is None:
         cache = LegalityCache()
+    pool = None
+    if jobs and int(jobs) > 1:
+        from repro.parallel.pool import ShardedPool
+        pool = ShardedPool(nest, deps, score, int(jobs),
+                           candidate_timeout=candidate_timeout, menu=menu)
     identity = Transformation.identity(n)
     observing = _obs.enabled()
+    timeouts = 0
     with _obs.span("search", nest_depth=n, depth=depth, beam=beam,
-                   menu=len(menu)):
-        frontier: List[Tuple[float, Transformation]] = [
-            (score(identity, nest, deps), identity)]
+                   menu=len(menu), jobs=int(jobs) if jobs else 1):
+        value, timed_out = call_with_timeout(
+            lambda: score(identity, nest, deps), candidate_timeout)
+        if timed_out:
+            timeouts += 1
+        seed = float("-inf") if timed_out else coerce_score(value)
+        frontier: List[Tuple[float, Transformation]] = [(seed, identity)]
         best_score, best = frontier[0]
         explored = 1
         legal_count = 1
@@ -156,20 +219,56 @@ def search(nest: LoopNest, deps: DepSet,
             nxt: List[Tuple[float, Transformation]] = []
             with _obs.span("search.level", level=_level,
                            frontier=len(frontier)):
+                level_candidates: List[Transformation] = []
                 for _, base in frontier:
                     for step in menu:
                         if step.n != base.output_depth:
                             continue
-                        candidate = base.then(step, reduce=False)
-                        explored += 1
-                        with _obs.span("search.candidate") as sp:
-                            report = cache.legality(candidate, nest, deps)
-                            if not report.legal:
-                                sp.tag(legal=False)
+                        level_candidates.append(
+                            base.then(step, reduce=False))
+                explored += len(level_candidates)
+                outcomes = (pool.evaluate_level(_level, level_candidates,
+                                                cache)
+                            if pool is not None else {})
+                merge_span = (_obs.span("search.merge", level=_level,
+                                        worker_results=len(outcomes))
+                              if pool is not None else nullcontext())
+                with merge_span:
+                    for idx, candidate in enumerate(level_candidates):
+                        outcome = outcomes.get(idx)
+                        if outcome is None:
+                            # Serial mode — or a candidate no worker
+                            # finished (degraded pool / crashed worker):
+                            # evaluate in-process.
+                            if pool is not None:
+                                pool.stats["parent_evals"] = (
+                                    int(pool.stats["parent_evals"]) + 1)
+                            with _obs.span("search.candidate") as sp:
+                                report = cache.legality(candidate, nest,
+                                                        deps)
+                                if not report.legal:
+                                    sp.tag(legal=False)
+                                    continue
+                                legal_count += 1
+                                value, timed_out = call_with_timeout(
+                                    lambda: score(candidate, nest, deps),
+                                    candidate_timeout)
+                                if timed_out:
+                                    timeouts += 1
+                                s = (float("-inf") if timed_out
+                                     else coerce_score(value))
+                                sp.tag(legal=True, score=s)
+                        else:
+                            report = cache.merge_delta(nest, deps,
+                                                       outcome.delta)
+                            if report is None or not report.legal:
                                 continue
                             legal_count += 1
-                            s = score(candidate, nest, deps)
-                            sp.tag(legal=True, score=s)
+                            if outcome.timed_out:
+                                timeouts += 1
+                                s = float("-inf")
+                            else:
+                                s = coerce_score(outcome.value)
                         if observing and s != float("-inf"):
                             score_hist.observe(s)
                         nxt.append((s, candidate))
@@ -187,9 +286,13 @@ def search(nest: LoopNest, deps: DepSet,
             metrics.counter("search.calls").inc()
             metrics.counter("search.explored").inc(explored)
             metrics.counter("search.legal").inc(legal_count)
+            if timeouts:
+                metrics.counter("search.timeouts").inc(timeouts)
             if stats is not None:
                 for key in ("hits", "misses", "dep_map_evals",
                             "bounds_step_evals"):
                     metrics.gauge(f"legality_cache.{key}").set(stats[key])
     return SearchResult(best, best_score, explored, legal_count,
-                        cache_stats=dict(stats) if stats is not None else None)
+                        cache_stats=dict(stats) if stats is not None else None,
+                        timeouts=timeouts,
+                        parallel=pool.snapshot() if pool is not None else None)

@@ -1,0 +1,52 @@
+"""Deterministic folding of worker results into the parent search.
+
+Why parallel equals serial, exactly
+-----------------------------------
+
+The pool forks workers at the start of each level, so every worker's
+cache copy is the parent cache at level start — which already holds the
+map/bounds entries for every frontier base (each base was merged or
+evaluated in the previous level).  A worker therefore evaluates only
+what the serial search would have evaluated for its candidates, and its
+delta records only those new entries, under *content* keys.
+
+The parent replays deltas in serial candidate order.  Content keys make
+replay idempotent: an entry that an earlier candidate already
+contributed (in-process or via another worker's delta) is skipped,
+exactly where the serial evaluation would have taken a cache hit.
+Attribution then reproduces the serial counters: a delta's verdict entry
+counts one hit when the verdict already exists, else one miss; each
+*new* map/bounds entry counts one evaluation.  Two workers may evaluate
+a shared within-level prefix redundantly (duplicated wall-clock work),
+but the replay dedups the entries, so ``SearchResult.cache_stats`` —
+and the beam itself — come out identical to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class Outcome:
+    """One candidate's evaluation as reported by a worker."""
+
+    __slots__ = ("legal", "value", "timed_out", "delta")
+
+    def __init__(self, legal: bool, value: Optional[float],
+                 timed_out: bool, delta: List[Tuple]):
+        self.legal = legal
+        self.value = value
+        self.timed_out = timed_out
+        self.delta = delta
+
+    def __repr__(self):
+        return (f"Outcome(legal={self.legal}, value={self.value}, "
+                f"timed_out={self.timed_out}, delta={len(self.delta)})")
+
+
+def merge_outcome(cache, nest, deps, outcome: Outcome):
+    """Replay *outcome*'s cache delta and return the canonical
+    :class:`~repro.core.sequence.LegalityReport` (the already-cached
+    report when one exists — see ``LegalityCache.merge_delta`` for the
+    stats contract)."""
+    return cache.merge_delta(nest, deps, outcome.delta)

@@ -1,0 +1,199 @@
+"""Worker-side protocol for sharded parallel beam search.
+
+Wire forms
+----------
+
+A template step travels as ``(n, spec, names)`` — its CLI step-language
+spelling plus the two pieces ``to_spec()`` omits: the nest depth the
+step expects and the ``names`` tuple of a renaming Unimodular.  A
+candidate transformation travels as ``(input_depth, step_wires)``.
+Rebuilding goes through :func:`repro.cli.build_step` **without**
+peephole reduction, mirroring how the search composes candidates
+(``base.then(step, reduce=False)``); :func:`step_roundtrips` verifies
+that the rebuilt step has the same legality-cache content key as the
+original, which is what makes worker-side cache deltas interchangeable
+with parent-side evaluations.
+
+Messages (all picklable tuples, tagged by their first element):
+
+``("result", wid, idx, legal, value, timed_out, delta)``
+    One candidate's evaluation: legality verdict, raw score value
+    (``None`` when illegal or timed out), whether the scoring call
+    overran ``candidate_timeout``, and the legality-cache delta to
+    replay in the parent (see ``LegalityCache.legality_with_delta``).
+
+``("error", wid, idx, payload)``
+    The scoring function raised: the exception crosses back to the
+    parent (pickled when possible) and is re-raised there, exactly as a
+    serial search would have propagated it.
+
+``("done", wid)``
+    Shard finished; the worker exits after flushing the queue.
+"""
+
+from __future__ import annotations
+
+import pickle
+import signal
+import threading
+import traceback
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.legality_cache import template_key
+from repro.core.sequence import Transformation
+from repro.core.template import Template
+from repro.core.templates.unimodular import Unimodular
+from repro.parallel import faults
+from repro.util.errors import ReproError
+
+
+class ScoreTimeout(Exception):
+    """Internal: a candidate evaluation overran its wall-clock budget."""
+
+
+class WorkerError(ReproError):
+    """A worker raised an exception that could not be pickled back;
+    carries the worker-side type, message and traceback as text."""
+
+
+# -- step/candidate wire forms ---------------------------------------------
+
+def step_to_wire(step: Template) -> Tuple:
+    """``(n, spec, names)`` — raises NotImplementedError for templates
+    with no step-language spelling (those cannot be shipped)."""
+    return (step.n, step.to_spec(), getattr(step, "names", None))
+
+
+def step_from_wire(wire: Tuple) -> Template:
+    # Lazy import: repro.cli imports the search module, which imports
+    # this module; deferring to call time keeps the import graph acyclic.
+    from repro.cli import _parse_call, build_step
+
+    n, spec, names = wire
+    name, args = _parse_call(spec)
+    step = build_step(name, args, n)
+    if names is not None and isinstance(step, Unimodular):
+        # to_spec() omits the renaming; restore it so the rebuilt step's
+        # cache content key matches the original's.
+        step = Unimodular(step.n, step.matrix, names=list(names))
+    return step
+
+
+def step_roundtrips(step: Template) -> bool:
+    """True iff the wire form rebuilds a step with the same cache
+    content key, i.e. shipping it to a worker is indistinguishable from
+    evaluating in-process."""
+    try:
+        rebuilt = step_from_wire(step_to_wire(step))
+    except Exception:
+        return False
+    return template_key(rebuilt) == template_key(step)
+
+
+def candidate_to_wire(candidate: Transformation) -> Tuple:
+    return (candidate.input_depth,
+            tuple(step_to_wire(s) for s in candidate.steps))
+
+
+def candidate_from_wire(wire: Tuple) -> Transformation:
+    n, step_wires = wire
+    return Transformation([step_from_wire(w) for w in step_wires], n=n)
+
+
+# -- per-candidate wall-clock budget ---------------------------------------
+
+def call_with_timeout(fn: Callable[[], object],
+                      seconds: Optional[float]) -> Tuple[object, bool]:
+    """Run ``fn()`` under a wall-clock budget; return ``(value,
+    timed_out)`` with ``value`` meaningless when ``timed_out``.
+
+    Uses ``SIGALRM``/``setitimer``, so the budget only applies on the
+    main thread of a process (which both the search caller and worker
+    processes normally are); elsewhere, or with no budget, the call
+    simply runs to completion.
+    """
+    if not seconds or seconds <= 0 or \
+            threading.current_thread() is not threading.main_thread():
+        return fn(), False
+
+    def _alarm(signum, frame):
+        raise ScoreTimeout
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return fn(), False
+    except ScoreTimeout:
+        return None, True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# -- exception transport ----------------------------------------------------
+
+def exception_to_wire(exc: BaseException) -> Tuple:
+    try:
+        payload = pickle.dumps(exc)
+        pickle.loads(payload)  # some exceptions pickle but fail to rebuild
+        return ("pickle", payload)
+    except Exception:
+        return ("text", type(exc).__name__, str(exc),
+                traceback.format_exc())
+
+
+def exception_from_wire(wire: Tuple) -> BaseException:
+    if wire[0] == "pickle":
+        return pickle.loads(wire[1])
+    _, type_name, message, tb = wire
+    return WorkerError(
+        f"{type_name}: {message}\n--- worker traceback ---\n{tb}")
+
+
+# -- the worker loop --------------------------------------------------------
+
+def evaluate_wire(wire: Tuple, kind: str, index: int, nest, deps, score,
+                  cache, timeout: Optional[float]) -> Tuple:
+    """Evaluate one candidate: ``(legal, value, timed_out, delta)``."""
+    candidate = candidate_from_wire(wire)
+    report, delta = cache.legality_with_delta(candidate, nest, deps)
+    if not report.legal:
+        return False, None, False, delta
+
+    def scored():
+        faults.maybe_hang(kind, index)
+        return score(candidate, nest, deps)
+
+    value, timed_out = call_with_timeout(scored, timeout)
+    return True, (None if timed_out else value), timed_out, delta
+
+
+def worker_main(worker_id: int, kind: str, shard: List[Tuple[int, Tuple]],
+                nest, deps, score, cache, timeout: Optional[float],
+                out_queue) -> None:
+    """Entry point of a forked evaluation worker.
+
+    *shard* is a list of ``(index, candidate_wire)`` pairs in serial
+    candidate order; *cache* is the fork-inherited copy of the parent's
+    legality cache (level-start state), so deltas contain exactly the
+    entries a serial evaluation would have added.
+    """
+    try:
+        for index, wire in shard:
+            faults.maybe_crash(kind, index)
+            try:
+                legal, value, timed_out, delta = evaluate_wire(
+                    wire, kind, index, nest, deps, score, cache, timeout)
+            except Exception as exc:
+                out_queue.put(
+                    ("error", worker_id, index, exception_to_wire(exc)))
+                break  # a serial search would have aborted here too
+            out_queue.put(
+                ("result", worker_id, index, legal, value, timed_out,
+                 delta))
+        out_queue.put(("done", worker_id))
+    finally:
+        # Flush the feeder thread before the process exits, else the
+        # tail of the queue can be lost on fast exits.
+        out_queue.close()
+        out_queue.join_thread()

@@ -33,10 +33,20 @@ class PreconditionViolation(ReproError):
                  required=None, actual=None):
         super().__init__(f"{template}: {message}")
         self.template = template
+        self.message = message
         self.loop = loop
         self.var = var
         self.required = required
         self.actual = actual
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` — a single combined
+        # string — into the multi-argument __init__ and fails.  Legality
+        # reports carrying these violations cross process boundaries in
+        # parallel search, so rebuild from the original arguments.
+        return (PreconditionViolation,
+                (self.template, self.message, self.loop, self.var,
+                 self.required, self.actual))
 
 
 class CodegenError(ReproError):

@@ -266,3 +266,24 @@ class TestKeys:
         # block(1, 2, [4, 4]) spells the same for any n; the key keeps n.
         assert template_key(Block(2, 1, 2, [4, 4])) != \
             template_key(Block(3, 1, 2, [4, 4]))
+
+    def test_spec_less_template_keys_never_collide_across_gc(self):
+        """Regression: spec-less templates used to key by ``id(step)``.
+        CPython reuses a freed object's address for the next same-sized
+        allocation, so a cache outliving a step could serve the dead
+        step's verdict to a brand-new instantiation.  The key now embeds
+        (and pins) the step object itself, so every distinct
+        instantiation keeps a distinct, never-recycled key."""
+        class Opaque(ReversePermute):
+            def to_spec(self):
+                raise NotImplementedError("no step-language spelling")
+
+        keys = set()
+        for _ in range(64):
+            step = Opaque(2, [False, False], [2, 1])
+            keys.add(template_key(step))
+            # Drop our only reference; with id()-keying the next
+            # iteration's allocation typically lands on the same address
+            # and collides in `keys`.
+            del step
+        assert len(keys) == 64
