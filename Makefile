@@ -4,7 +4,7 @@ PYTHON ?= python
 # export once here instead of per-recipe.
 export PYTHONPATH := src
 
-.PHONY: test bench bench-report bench-smoke examples corpus all
+.PHONY: test bench bench-report bench-smoke bench-service examples corpus all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -21,6 +21,11 @@ bench-report:
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/ -m smoke -s \
 		--smoke-json bench_smoke.json
+
+# The warm-service replay guardrail alone (>= 3x over cold state);
+# writes bench_service.json with the service metrics embedded.
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_service.py -m smoke -s
 
 examples:
 	@for f in examples/*.py; do \

@@ -1,0 +1,48 @@
+"""The stable façade: one import for the whole pipeline.
+
+``repro.api`` is the supported entry point for programmatic users — the
+service, the benchmarks and external callers alike::
+
+    from repro.api import parse_nest, analyze, Transformation, search
+
+    nest = parse_nest(SRC)
+    deps = analyze(nest)
+    result = search(nest, deps, depth=2, beam=8)
+
+It re-exports exactly the surface documented in ``docs/API.md`` (the
+``repro.api`` section — ``tests/test_api_facade.py`` holds the two in
+lockstep): the pipeline stages (:func:`parse_nest`, :func:`analyze`,
+:class:`Transformation`, :func:`search`), the six transformation
+templates of the paper, and the two warm-state engines
+(:class:`LegalityCache`, :class:`CompiledNest`).  Anything else in the
+package tree is implementation detail that may move between releases;
+this module will not.
+"""
+
+from repro.core.legality_cache import LegalityCache
+from repro.core.sequence import Transformation
+from repro.core.templates.block import Block
+from repro.core.templates.coalesce import Coalesce
+from repro.core.templates.interleave import Interleave
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.core.templates.unimodular import Unimodular
+from repro.deps.analysis import analyze
+from repro.ir import parse_nest
+from repro.optimize.search import search
+from repro.runtime.compiled import CompiledNest
+
+__all__ = [
+    "Block",
+    "Coalesce",
+    "CompiledNest",
+    "Interleave",
+    "LegalityCache",
+    "Parallelize",
+    "ReversePermute",
+    "Transformation",
+    "Unimodular",
+    "analyze",
+    "parse_nest",
+    "search",
+]

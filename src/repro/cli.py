@@ -25,10 +25,29 @@ Commands
     JSON document: per-phase profile, metrics snapshot, search and cache
     summaries.
 
+``serve [--stdio | --tcp --host H --port P] [--jobs N] ...``
+    Run the long-lived transformation service: newline-delimited JSON
+    requests over stdio or TCP against warm caches and a shared worker
+    pool (see :mod:`repro.service` and the Service section of
+    ``docs/API.md``).
+
+``client SCRIPT [--connect HOST:PORT]``
+    Replay an NDJSON request script against a service — a spawned
+    stdio server by default, or a running TCP server with
+    ``--connect``.
+
 Every command additionally accepts ``--profile`` (print the per-phase
 span table to stderr when done) and ``--trace-json PATH`` (export the
-raw span stream as JSON lines); both install the
-:mod:`repro.obs` tracer for the duration of the command.
+raw span stream as JSON lines) — both install the :mod:`repro.obs`
+tracer for the duration of the command — plus ``--jobs N`` and
+``--candidate-timeout S``, which tune parallel candidate evaluation
+where the command searches (``search``, ``profile``, ``serve``) and are
+accepted-but-inert elsewhere so wrapper scripts can pass one uniform
+flag set.
+
+Exit codes: ``0`` success; ``1`` operation failed (illegal sequence,
+failed service request); ``2`` bad input or usage (parse/spec errors,
+malformed arguments).
 
 The ``SPEC`` mini-language is a semicolon-separated list of step
 builders, evaluated left to right against the current nest depth::
@@ -45,185 +64,27 @@ Loop numbers are 1-based, outermost first, as in the paper.
 from __future__ import annotations
 
 import argparse
-import ast
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro import obs
-from repro.core import (
-    Block,
-    BoundsMatrix,
-    Coalesce,
-    Interleave,
-    Parallelize,
-    ReversePermute,
-    Transformation,
-    Unimodular,
-)
+from repro.core import BoundsMatrix, Transformation
 from repro.core.bounds_matrix import LB, STEP, UB
-from repro.core.derived import wavefront as _wavefront
+# The step mini-language lives in repro.core.spec (it is shared wire
+# format, not CLI detail); these re-exports keep the historical
+# ``from repro.cli import parse_steps`` spelling working.
+from repro.core.spec import (  # noqa: F401  (re-exported)
+    SpecError,
+    build_step,
+    parse_call as _parse_call,
+    parse_steps,
+    split_calls as _split_calls,
+)
 from repro.deps.analysis import analyze
-from repro.expr.parser import parse_expr
 from repro.ir import parse_nest
 from repro.ir.emit import emit_c, emit_python
 from repro.util.errors import ReproError
-from repro.util.matrices import IntMatrix
-
-
-class SpecError(ReproError):
-    """A malformed --steps specification."""
-
-
-def _split_calls(spec: str) -> List[str]:
-    calls = [part.strip() for part in spec.split(";")]
-    return [c for c in calls if c]
-
-
-def _parse_call(text: str):
-    """``name(arg, ...)`` -> (name, [args]); args via literal_eval with
-    bare identifiers allowed (block sizes may be symbolic)."""
-    open_paren = text.find("(")
-    if open_paren < 0 or not text.endswith(")"):
-        raise SpecError(f"malformed step {text!r}; expected name(args)")
-    name = text[:open_paren].strip().lower()
-    body = text[open_paren + 1:-1].strip()
-    if not body:
-        return name, []
-    args = []
-    depth = 0
-    current = ""
-    for ch in body + ",":
-        if ch == "," and depth == 0:
-            args.append(current.strip())
-            current = ""
-            continue
-        if ch in "([":
-            depth += 1
-        elif ch in ")]":
-            depth -= 1
-        current += ch
-    parsed = []
-    for a in args:
-        try:
-            parsed.append(ast.literal_eval(a))
-        except (ValueError, SyntaxError):
-            parsed.append(a)  # symbolic size / identifier
-    return name, parsed
-
-
-def _ints(args, count: Optional[int] = None, what: str = "argument"):
-    for a in args:
-        if not isinstance(a, int):
-            raise SpecError(f"expected integer {what}s, got {a!r}")
-    if count is not None and len(args) != count:
-        raise SpecError(f"expected {count} {what}(s), got {len(args)}")
-    return list(args)
-
-
-def build_step(name: str, args: List, n: int):
-    """Instantiate one kernel template for a nest of current depth *n*."""
-    if name == "interchange":
-        a, b = _ints(args, 2, "loop number")
-        perm = list(range(1, n + 1))
-        perm[a - 1], perm[b - 1] = perm[b - 1], perm[a - 1]
-        return ReversePermute(n, [False] * n, perm)
-    if name == "permute":
-        order = _ints(args, n, "loop number")
-        perm = [0] * n
-        for position, loop in enumerate(order, start=1):
-            perm[loop - 1] = position
-        return ReversePermute(n, [False] * n, perm)
-    if name == "reverse":
-        which = _ints(args, None, "loop number")
-        rev = [k + 1 in which for k in range(n)]
-        return ReversePermute(n, rev, list(range(1, n + 1)))
-    if name == "revpermute":
-        if (len(args) != 2 or not isinstance(args[0], list) or
-                not isinstance(args[1], list)):
-            raise SpecError("revpermute takes ([rev 0/1 flags], [perm]), "
-                            "e.g. revpermute([0,1], [2,1])")
-        rev = [bool(r) for r in args[0]]
-        return ReversePermute(n, rev, args[1])
-    if name == "skew":
-        if len(args) == 2:
-            target, source, factor = args[0], args[1], 1
-        else:
-            target, source, factor = _ints(args, 3, "skew parameter")
-        return Unimodular(n, IntMatrix.skew(n, target - 1, source - 1,
-                                            factor))
-    if name == "unimodular":
-        if len(args) != 1 or not isinstance(args[0], list):
-            raise SpecError("unimodular takes one matrix, e.g. "
-                            "unimodular([[1,1],[1,0]])")
-        return Unimodular(n, args[0])
-    if name == "wavefront":
-        factors = _ints(args, None, "factor") if args else None
-        return _wavefront(n, factors).steps[0]
-    if name == "parallelize":
-        which = _ints(args, None, "loop number")
-        return Parallelize(n, [k + 1 in which for k in range(n)])
-    if name in ("block", "tile"):
-        if len(args) < 3:
-            raise SpecError(f"{name} needs (i, j, size...)")
-        i, j = _ints(args[:2], 2, "range bound")
-        sizes = args[2:]
-        precise = False
-        if sizes and sizes[-1] == "precise":
-            precise = True
-            sizes = sizes[:-1]
-        width = j - i + 1
-        if len(sizes) == 1:
-            sizes = sizes * width
-        return Block(n, i, j, [_coerce_size(s) for s in sizes],
-                     precise=precise)
-    if name in ("stripmine", "strip_mine"):
-        if len(args) != 2:
-            raise SpecError("stripmine needs (loop, size)")
-        k = _ints(args[:1], 1, "loop number")[0]
-        return Block(n, k, k, [_coerce_size(args[1])])
-    if name == "coalesce":
-        i, j = _ints(args, 2, "range bound")
-        return Coalesce(n, i, j)
-    if name == "interleave":
-        if len(args) < 3:
-            raise SpecError("interleave needs (i, j, size...)")
-        i, j = _ints(args[:2], 2, "range bound")
-        sizes = args[2:]
-        precise = False
-        if sizes and sizes[-1] == "precise":
-            precise = True
-            sizes = sizes[:-1]
-        width = j - i + 1
-        if len(sizes) == 1:
-            sizes = sizes * width
-        return Interleave(n, i, j, [_coerce_size(s) for s in sizes],
-                          precise=precise)
-    raise SpecError(f"unknown step {name!r}")
-
-
-def _coerce_size(s):
-    if isinstance(s, int):
-        return s
-    if isinstance(s, str):
-        return parse_expr(s)
-    raise SpecError(f"bad size {s!r}")
-
-
-def parse_steps(spec: str, depth: int) -> Transformation:
-    """Build a Transformation from a SPEC string for a *depth*-deep nest.
-
-    The sequence is peephole-reduced, so ``skew(2,1); interchange(1,2)``
-    becomes the single fused Unimodular step of Figure 1.
-    """
-    steps = []
-    n = depth
-    for call in _split_calls(spec):
-        name, args = _parse_call(call)
-        step = build_step(name, args, n)
-        steps.append(step)
-        n = step.output_depth
-    return Transformation(steps, n=depth).reduced()
 
 
 # ---------------------------------------------------------------------------
@@ -423,12 +284,107 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the long-lived transformation service until drained.
+
+    The server keeps warm state (legality cache, compiled-nest cache,
+    parse/analysis memos) and one shared worker pool across the whole
+    session; see :mod:`repro.service`.  It exits cleanly on SIGTERM,
+    SIGINT, stdin EOF (stdio mode) or a ``shutdown`` request.
+    """
+    from repro.service import TransformationService, serve_stdio, serve_tcp
+
+    service = TransformationService(
+        jobs=args.jobs,
+        queue_max=args.queue_max,
+        batch_max=args.batch_max,
+        request_timeout=args.request_timeout,
+        cache_max_entries=args.cache_max_entries)
+    if args.tcp:
+        serve_tcp(service, host=args.host, port=args.port)
+    else:
+        serve_stdio(service)
+    print(f"repro serve: drained ({service.drain_reason}); "
+          f"{service.counters['completed']} requests served",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_client(args) -> int:
+    """Replay an NDJSON request script and print the raw responses.
+
+    Exit code 0 when every response is ``ok``, 1 when any request
+    failed, 2 on a malformed script.
+    """
+    from repro.service import ServiceClient
+
+    text = (sys.stdin.read() if args.script == "-"
+            else open(args.script).read())
+    requests = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            req = json.loads(line)
+        except ValueError as exc:
+            print(f"error: script line {lineno}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(req, dict) or "op" not in req:
+            print(f"error: script line {lineno}: each request needs "
+                  f"an 'op'", file=sys.stderr)
+            return 2
+        requests.append(req)
+
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --connect expects HOST:PORT, got "
+                  f"{args.connect!r}", file=sys.stderr)
+            return 2
+        client = ServiceClient.connect(host, int(port))
+        shutdown = args.shutdown
+    else:
+        serve_args = []
+        if args.jobs and args.jobs > 1:
+            serve_args += ["--jobs", str(args.jobs)]
+        client = ServiceClient.spawn(serve_args)
+        shutdown = True
+    try:
+        responses = client.replay(requests)
+    finally:
+        client.close(shutdown=shutdown)
+    for response in responses:
+        print(json.dumps(response, sort_keys=True))
+    return 0 if all(r.get("ok") for r in responses) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Iteration-reordering loop transformations "
-                    "(Sarkar & Thekkath, PLDI 1992)")
+                    "(Sarkar & Thekkath, PLDI 1992)",
+        epilog="exit codes: 0 success; 1 operation failed (illegal "
+               "sequence, failed service request); 2 bad input or usage "
+               "(parse/spec errors, malformed arguments)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_observe(p):
+        p.add_argument("--profile", action="store_true",
+                       help="run with the tracer on and print the "
+                            "per-phase profile table to stderr")
+        p.add_argument("--trace-json", metavar="PATH", default=None,
+                       help="run with the tracer on and export the span "
+                            "stream to PATH as JSON lines")
+
+    def add_parallel(p, jobs_help="worker processes for candidate "
+                     "evaluation (1 = serial; results are identical "
+                     "either way)"):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help=jobs_help)
+        p.add_argument("--candidate-timeout", dest="candidate_timeout",
+                       type=float, default=None, metavar="SECONDS",
+                       help="wall-clock budget per candidate scoring; "
+                            "overrunning candidates score -inf")
 
     def add_common(p):
         p.add_argument("file", help="loop nest file ('-' for stdin)")
@@ -437,12 +393,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sink", action="store_true",
                        help="accept an imperfect nest and sink it into a "
                             "guarded perfect nest first")
-        p.add_argument("--profile", action="store_true",
-                       help="run with the tracer on and print the "
-                            "per-phase profile table to stderr")
-        p.add_argument("--trace-json", metavar="PATH", default=None,
-                       help="run with the tracer on and export the span "
-                            "stream to PATH as JSON lines")
+        add_observe(p)
+        add_parallel(p)
 
     p_show = sub.add_parser("show", help="parse and pretty-print a nest")
     add_common(p_show)
@@ -474,15 +426,6 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print per-stage dependence/loop tables")
     p_tr.set_defaults(func=cmd_transform)
 
-    def add_parallel(p):
-        p.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker processes for candidate evaluation "
-                            "(1 = serial; results are identical either way)")
-        p.add_argument("--candidate-timeout", dest="candidate_timeout",
-                       type=float, default=None, metavar="SECONDS",
-                       help="wall-clock budget per candidate scoring; "
-                            "overrunning candidates score -inf")
-
     p_se = sub.add_parser(
         "search", help="beam-search a transformation sequence")
     add_common(p_se)
@@ -490,7 +433,6 @@ def build_parser() -> argparse.ArgumentParser:
                       help="beam search depth (default 2)")
     p_se.add_argument("--beam", type=int, default=8,
                       help="beam width (default 8)")
-    add_parallel(p_se)
     p_se.set_defaults(func=cmd_search)
 
     p_prof = sub.add_parser(
@@ -509,8 +451,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--size", type=int, default=12,
                         help="value bound to every symbolic invariant "
                              "for the execution phases (default 12)")
-    add_parallel(p_prof)
     p_prof.set_defaults(func=cmd_profile)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the long-lived transformation service (NDJSON over "
+             "stdio or TCP)")
+    mode = p_srv.add_mutually_exclusive_group()
+    mode.add_argument("--stdio", action="store_true", default=True,
+                      help="serve over stdin/stdout (default)")
+    mode.add_argument("--tcp", action="store_true",
+                      help="serve over a TCP socket instead of stdio")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --tcp (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="port for --tcp (default 0 = ephemeral; the "
+                            "bound port is announced on stderr)")
+    p_srv.add_argument("--queue-max", dest="queue_max", type=int,
+                       default=64, metavar="N",
+                       help="admission queue bound; requests beyond it "
+                            "get a typed backpressure error (default 64)")
+    p_srv.add_argument("--batch-max", dest="batch_max", type=int,
+                       default=8, metavar="N",
+                       help="max requests drained per processing cycle "
+                            "(default 8)")
+    p_srv.add_argument("--request-timeout", dest="request_timeout",
+                       type=float, default=None, metavar="SECONDS",
+                       help="per-request wall-clock budget; overruns get "
+                            "a typed timeout error")
+    p_srv.add_argument("--cache-max-entries", dest="cache_max_entries",
+                       type=int, default=4096, metavar="N",
+                       help="bound on the warm legality cache (LRU "
+                            "eviction; default 4096)")
+    add_observe(p_srv)
+    add_parallel(p_srv, jobs_help="size of the shared worker pool for "
+                 "batched legality and parallel search (default 1)")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_cl = sub.add_parser(
+        "client",
+        help="replay an NDJSON request script against a service")
+    p_cl.add_argument("script",
+                      help="request script, one {\"op\", \"params\"} "
+                           "object per line ('-' for stdin)")
+    p_cl.add_argument("--connect", metavar="HOST:PORT", default=None,
+                      help="use a running TCP server instead of spawning "
+                           "a stdio server")
+    p_cl.add_argument("--shutdown", action="store_true",
+                      help="with --connect: ask the server to drain and "
+                           "stop after the replay")
+    add_observe(p_cl)
+    add_parallel(p_cl, jobs_help="--jobs for the spawned server "
+                 "(ignored with --connect)")
+    p_cl.set_defaults(func=cmd_client)
     return parser
 
 

@@ -75,9 +75,31 @@ class LegalityCache:
     per :func:`~repro.optimize.search.search` call.  Sharing an instance
     across nests and dependence sets is safe (keys include both); it
     just grows the tables.
+
+    Long-lived sharing — the transformation service keeps *one* cache
+    warm across every request it ever serves — needs bounded memory:
+    pass ``max_entries`` to turn on LRU eviction.  The bound applies to
+    each memo table (verdicts, dependence maps, bounds prefixes, and
+    the object-identity shortcut tables, which pin their key objects),
+    so total retained state is ``O(max_entries)`` entries per table.
+    The content-interning tables cannot be evicted piecemeal (their
+    small-int ids are embedded in other tables' keys), so when they
+    alone outgrow ``8 * max_entries`` distinct contents the cache takes
+    a generation flush: every table is dropped at once — counted in
+    ``stats["flushes"]`` — and the cache rebuilds warm state from the
+    traffic that follows.  Eviction only ever forces recomputation,
+    never a wrong answer; the bounded-cap property tests re-verify
+    report identity under a tiny cap.
     """
 
-    def __init__(self):
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be a positive int or None, "
+                f"got {max_entries!r}")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self.flushes = 0
         # When a list, the memoized test appends a content-keyed record
         # of every entry it creates (see legality_with_delta).
         self._delta_log: Optional[List[Tuple]] = None
@@ -121,6 +143,7 @@ class LegalityCache:
             sid = len(self._step_ids)
             self._step_ids[key] = sid
         self._step_by_obj[id(step)] = (step, sid)
+        self._bound(self._step_by_obj)
         return sid
 
     def _intern_deps(self, deps: DepSet) -> int:
@@ -133,6 +156,7 @@ class LegalityCache:
             did = len(self._deps_ids)
             self._deps_ids[key] = did
         self._deps_by_obj[id(deps)] = (deps, did)
+        self._bound(self._deps_by_obj)
         return did
 
     def _intern_nest(self, nest: LoopNest) -> int:
@@ -144,17 +168,76 @@ class LegalityCache:
             nid = len(self._nest_ids)
             self._nest_ids[nest] = nid
         self._nest_by_obj[id(nest)] = (nest, nid)
+        self._bound(self._nest_by_obj)
         return nid
+
+    # -- bounded-memory LRU ------------------------------------------------
+    #
+    # Tables are plain dicts in insertion order; with a cap set, a hit
+    # re-inserts its entry (LRU touch) and every insert evicts from the
+    # front until the table fits.  With no cap (the default) both hooks
+    # are a single attribute check, so search workloads pay nothing.
+
+    def _touch(self, table: Dict, key) -> None:
+        if self.max_entries is not None:
+            table[key] = table.pop(key)
+
+    def _bound(self, table: Dict) -> None:
+        cap = self.max_entries
+        if cap is None:
+            return
+        while len(table) > cap:
+            del table[next(iter(table))]
+            self.evictions += 1
+
+    def _maybe_flush(self) -> None:
+        """Generation flush when the un-evictable interning tables have
+        outgrown the cap (see the class docstring)."""
+        cap = self.max_entries
+        if cap is None:
+            return
+        interned = (len(self._step_ids) + len(self._deps_ids) +
+                    len(self._nest_ids))
+        if interned > 8 * cap:
+            self._drop_tables()
+            self.flushes += 1
+
+    def _drop_tables(self) -> None:
+        for table in (self._step_ids, self._deps_ids, self._nest_ids,
+                      self._step_by_obj, self._nest_by_obj,
+                      self._deps_by_obj, self._verdict_by_obj,
+                      self._map_cache, self._bounds_cache, self._verdicts):
+            table.clear()
+
+    def entry_count(self) -> int:
+        """Entries across the three content-keyed memo tables (the size
+        ``max_entries`` bounds per table)."""
+        return (len(self._verdicts) + len(self._map_cache) +
+                len(self._bounds_cache))
+
+    def sizes(self) -> Dict[str, int]:
+        """Per-table entry counts, for service stats and debugging."""
+        return {
+            "verdicts": len(self._verdicts),
+            "map_cache": len(self._map_cache),
+            "bounds_cache": len(self._bounds_cache),
+            "verdict_by_obj": len(self._verdict_by_obj),
+            "interned_steps": len(self._step_ids),
+            "interned_deps": len(self._deps_ids),
+            "interned_nests": len(self._nest_ids),
+        }
 
     # -- the memoized test -------------------------------------------------
 
     def legality(self, transformation: Transformation, nest: LoopNest,
                  deps: DepSet) -> LegalityReport:
         """Drop-in for ``transformation.legality(nest, deps)``."""
+        self._maybe_flush()
         okey = (id(transformation), id(nest), id(deps))
         pinned = self._verdict_by_obj.get(okey)
         if pinned is not None:
             self.hits += 1
+            self._touch(self._verdict_by_obj, okey)
             return pinned[1]
         if nest.depth != transformation.input_depth:
             report = LegalityReport(
@@ -162,6 +245,7 @@ class LegalityCache:
                        f"expects {transformation.input_depth}")
             self._verdict_by_obj[okey] = ((transformation, nest, deps),
                                           report)
+            self._bound(self._verdict_by_obj)
             return report
         steps = transformation.steps
         step_ids = tuple(self._intern_step(s) for s in steps)
@@ -171,12 +255,15 @@ class LegalityCache:
         report = self._verdicts.get(vkey)
         if report is not None:
             self.hits += 1
+            self._touch(self._verdicts, vkey)
         else:
             self.misses += 1
             report = self._compute(steps, step_ids, nest, nest_id,
                                    deps, deps_id)
             self._verdicts[vkey] = report
+            self._bound(self._verdicts)
         self._verdict_by_obj[okey] = ((transformation, nest, deps), report)
+        self._bound(self._verdict_by_obj)
         return report
 
     def _compute(self, steps: Sequence[Template], step_ids: Tuple[int, ...],
@@ -213,7 +300,9 @@ class LegalityCache:
         current, current_id = deps, deps_id
         for step, sid in zip(steps, step_ids):
             hit = self._map_cache.get((current_id, sid))
-            if hit is None:
+            if hit is not None:
+                self._touch(self._map_cache, (current_id, sid))
+            else:
                 self.dep_map_evals += 1
                 mapped = step.map_dep_set(current)
                 key = depset_key(mapped)
@@ -223,6 +312,7 @@ class LegalityCache:
                     self._deps_ids[key] = mapped_id
                 hit = (mapped, mapped_id)
                 self._map_cache[(current_id, sid)] = hit
+                self._bound(self._map_cache)
                 if self._delta_log is not None:
                     self._delta_log.append(
                         ("map", depset_key(current), template_key(step),
@@ -239,6 +329,7 @@ class LegalityCache:
         for k in range(n, 0, -1):
             state = self._bounds_cache.get((nest_id, step_ids[:k]))
             if state is not None:
+                self._touch(self._bounds_cache, (nest_id, step_ids[:k]))
                 if state[0] != "ok":
                     return state
                 _, loops, taken_frozen = state
@@ -258,16 +349,19 @@ class LegalityCache:
             except PreconditionViolation as exc:
                 state = ("pre", idx, exc)
                 self._bounds_cache[prefix] = state
+                self._bound(self._bounds_cache)
                 self._log_bounds(steps, idx, state)
                 return state
             except CodegenError as exc:
                 state = ("cg", idx, exc)
                 self._bounds_cache[prefix] = state
+                self._bound(self._bounds_cache)
                 self._log_bounds(steps, idx, state)
                 return state
             taken_frozen = frozenset(taken)
             state = ("ok", loops, taken_frozen)
             self._bounds_cache[prefix] = state
+            self._bound(self._bounds_cache)
             self._log_bounds(steps, idx, state)
         return ("ok", loops, taken_frozen)
 
@@ -341,6 +435,7 @@ class LegalityCache:
                     mapped_id = self._deps_ids.setdefault(
                         depset_key(mapped), len(self._deps_ids))
                     self._map_cache[mkey] = (mapped, mapped_id)
+                    self._bound(self._map_cache)
             elif kind == "bounds":
                 _, prefix_keys, state = entry
                 sids = tuple(step_ids.setdefault(k, len(step_ids))
@@ -349,6 +444,7 @@ class LegalityCache:
                 if bkey not in self._bounds_cache:
                     self.bounds_step_evals += 1
                     self._bounds_cache[bkey] = state
+                    self._bound(self._bounds_cache)
             elif kind == "verdict":
                 _, step_keys, worker_report = entry
                 sids = tuple(step_ids.setdefault(k, len(step_ids))
@@ -361,6 +457,7 @@ class LegalityCache:
                 else:
                     self.misses += 1
                     self._verdicts[vkey] = worker_report
+                    self._bound(self._verdicts)
                     report = worker_report
             else:
                 raise ValueError(f"unknown delta entry kind: {kind!r}")
@@ -370,24 +467,24 @@ class LegalityCache:
 
     @property
     def stats(self) -> Dict[str, int]:
-        return {
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "dep_map_evals": self.dep_map_evals,
             "bounds_step_evals": self.bounds_step_evals,
             "verdicts": len(self._verdicts),
         }
+        # The eviction keys appear only in bounded mode, so unbounded
+        # callers (every search workload) see the historical dict shape.
+        if self.max_entries is not None:
+            out["max_entries"] = self.max_entries
+            out["entries"] = self.entry_count()
+            out["evictions"] = self.evictions
+            out["flushes"] = self.flushes
+        return out
 
     def clear(self) -> None:
-        self._step_ids.clear()
-        self._deps_ids.clear()
-        self._nest_ids.clear()
-        self._step_by_obj.clear()
-        self._nest_by_obj.clear()
-        self._deps_by_obj.clear()
-        self._verdict_by_obj.clear()
-        self._map_cache.clear()
-        self._bounds_cache.clear()
-        self._verdicts.clear()
+        self._drop_tables()
         self.hits = self.misses = 0
         self.dep_map_evals = self.bounds_step_evals = 0
+        self.evictions = self.flushes = 0

@@ -109,6 +109,18 @@ class Transformation:
     def of(*steps: Template) -> "Transformation":
         return Transformation(steps)
 
+    @staticmethod
+    def from_spec(spec: str, n: int,
+                  reduce: bool = True) -> "Transformation":
+        """Rebuild a transformation from its :meth:`to_spec` rendering
+        for an *n*-deep nest — the inverse wire form used by the CLI,
+        the parallel-search workers and the transformation service.
+        ``reduce=False`` skips the peephole reduction and keeps the
+        spelled steps verbatim."""
+        # Deferred: repro.core.spec imports this module.
+        from repro.core.spec import parse_steps
+        return parse_steps(spec, n, reduce=reduce)
+
     def then(self, other: Union[Template, "Transformation"],
              reduce: bool = True) -> "Transformation":
         """Compose: apply *self* first, then *other* (sequence

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from contextlib import nullcontext
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -143,13 +144,50 @@ class SearchResult:
                 f"cache_stats={self.cache_stats})")
 
 
+#: Old positional order of the tuning parameters, for the deprecation
+#: shim in :func:`search`.
+_SEARCH_TUNING = ("score", "depth", "beam", "cache", "jobs",
+                  "candidate_timeout")
+
+
 def search(nest: LoopNest, deps: DepSet,
            candidates: Optional[Sequence[Template]] = None,
-           score: Score = parallelism_score,
-           depth: int = 2, beam: int = 8,
-           cache: Optional[LegalityCache] = None,
-           jobs: int = 1,
-           candidate_timeout: Optional[float] = None) -> SearchResult:
+           *args, **kwargs) -> SearchResult:
+    """Beam search over candidate transformation sequences.
+
+    See :func:`_search` for the full contract.  The tuning parameters —
+    ``score``, ``depth``, ``beam``, ``cache``, ``jobs``,
+    ``candidate_timeout`` (and ``pool``) — are keyword-only; passing
+    them positionally still works for one release via this shim, which
+    maps them to their historical order and emits a
+    ``DeprecationWarning``.
+    """
+    if args:
+        if len(args) > len(_SEARCH_TUNING):
+            raise TypeError(
+                f"search() takes at most {3 + len(_SEARCH_TUNING)} "
+                f"positional arguments ({3 + len(args)} given)")
+        names = _SEARCH_TUNING[:len(args)]
+        warnings.warn(
+            "positional tuning arguments to search() are deprecated; "
+            "pass " + "/".join(names) + " by keyword",
+            DeprecationWarning, stacklevel=2)
+        for name, value in zip(names, args):
+            if name in kwargs:
+                raise TypeError(
+                    f"search() got multiple values for argument {name!r}")
+            kwargs[name] = value
+    return _search(nest, deps, candidates, **kwargs)
+
+
+def _search(nest: LoopNest, deps: DepSet,
+            candidates: Optional[Sequence[Template]] = None, *,
+            score: Score = parallelism_score,
+            depth: int = 2, beam: int = 8,
+            cache: Optional[LegalityCache] = None,
+            jobs: int = 1,
+            candidate_timeout: Optional[float] = None,
+            pool: Optional["object"] = None) -> SearchResult:
     """Beam search over sequences of up to *depth* menu steps.
 
     Every candidate sequence is legality-tested and scored against the
@@ -176,7 +214,12 @@ def search(nest: LoopNest, deps: DepSet,
     generates are each mapped and bounds-checked once.  Pass any object
     with a compatible ``legality(transformation, nest, deps)`` method to
     substitute a different policy (parallel mode additionally needs the
-    delta protocol and falls back to serial without it).  The cache's
+    delta protocol and falls back to serial without it).  A long-lived
+    caller can likewise pass *pool* — a
+    :class:`~repro.parallel.pool.ShardedPool` to reuse across calls;
+    it is rebound to this call's workload instead of forking a fresh
+    pool per request (the transformation service does exactly this).
+    The cache's
     hit/miss counters come back on :attr:`SearchResult.cache_stats`;
     under ``repro.obs`` the search additionally records spans
     (``search``, ``search.level``, ``search.candidate``, and
@@ -191,16 +234,21 @@ def search(nest: LoopNest, deps: DepSet,
     menu = list(candidates) if candidates is not None else default_candidates(n)
     if cache is None:
         cache = LegalityCache()
-    pool = None
-    if jobs and int(jobs) > 1:
-        from repro.parallel.pool import ShardedPool
-        pool = ShardedPool(nest, deps, score, int(jobs),
-                           candidate_timeout=candidate_timeout, menu=menu)
+    if pool is not None:
+        pool.rebind(nest, deps, score, menu=menu)
+        effective_jobs = pool.jobs
+    else:
+        effective_jobs = int(jobs) if jobs else 1
+        if effective_jobs > 1:
+            from repro.parallel.pool import ShardedPool
+            pool = ShardedPool(nest, deps, score, effective_jobs,
+                               candidate_timeout=candidate_timeout,
+                               menu=menu)
     identity = Transformation.identity(n)
     observing = _obs.enabled()
     timeouts = 0
     with _obs.span("search", nest_depth=n, depth=depth, beam=beam,
-                   menu=len(menu), jobs=int(jobs) if jobs else 1):
+                   menu=len(menu), jobs=effective_jobs):
         value, timed_out = call_with_timeout(
             lambda: score(identity, nest, deps), candidate_timeout)
         if timed_out:

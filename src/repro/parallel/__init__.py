@@ -22,21 +22,31 @@ from repro.parallel.merge import Outcome, merge_outcome
 from repro.parallel.pool import ShardedPool
 from repro.parallel.worker import (
     call_with_timeout,
-    candidate_from_wire,
-    candidate_to_wire,
-    step_from_wire,
+    candidate_from_spec,
+    candidate_to_spec,
+    step_from_spec,
     step_roundtrips,
-    step_to_wire,
+    step_to_spec,
 )
 
 __all__ = [
     "Outcome",
     "ShardedPool",
     "call_with_timeout",
-    "candidate_from_wire",
-    "candidate_to_wire",
+    "candidate_from_spec",
+    "candidate_to_spec",
     "merge_outcome",
-    "step_from_wire",
+    "step_from_spec",
     "step_roundtrips",
-    "step_to_wire",
+    "step_to_spec",
 ]
+
+
+def __getattr__(name: str):
+    """Deprecated ``*_wire`` aliases; :mod:`repro.parallel.worker` owns
+    the warning text and the mapping to the ``*_spec`` names."""
+    if name in ("step_to_wire", "step_from_wire",
+                "candidate_to_wire", "candidate_from_wire"):
+        from repro.parallel import worker
+        return getattr(worker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,6 +1,8 @@
 """The sharded process pool behind ``search(..., jobs=N)``.
 
-Lifecycle: one :class:`ShardedPool` per search call.  Each level's
+Lifecycle: one :class:`ShardedPool` per search call — or, for a
+long-lived caller such as the transformation service, one pool
+:meth:`~ShardedPool.rebind`-ed across many calls.  Each level's
 candidates are round-robin sharded over ``jobs`` workers forked fresh
 for that level (fork inherits the nest, dependence set, scoring closure
 and the current legality cache — nothing but results ever needs to be
@@ -67,10 +69,12 @@ class ShardedPool:
         self.stall_timeout = stall_timeout
         self.degraded = False
         self.degrade_reason: Optional[str] = None
+        self._crash_degraded = False
         self._ctx = None
         self.stats: Dict[str, object] = {
             "jobs": self.jobs,
             "levels": 0,
+            "rebinds": 0,
             "dispatched": 0,
             "parent_evals": 0,
             "timeouts": 0,
@@ -99,7 +103,9 @@ class ShardedPool:
                             f"survive the spec round-trip")
         return None
 
-    def _degrade(self, reason: str) -> None:
+    def _degrade(self, reason: str, sticky: bool = False) -> None:
+        if sticky:
+            self._crash_degraded = True
         if self.degraded:
             return
         self.degraded = True
@@ -108,6 +114,31 @@ class ShardedPool:
         self.stats["fallback_reason"] = reason
         if _obs.enabled():
             get_metrics().counter("search.parallel.fallbacks").inc()
+
+    def rebind(self, nest, deps, score,
+               menu: Optional[Sequence[Template]] = None) -> None:
+        """Point the pool at a new workload without rebuilding it.
+
+        A long-lived caller (the transformation service) keeps one pool
+        across many ``search()`` calls instead of constructing — and
+        availability-probing — a fresh one per request; cumulative
+        stats (`levels`, `dispatched`, `per_worker`, ...) keep
+        accumulating across rebinds.  Workload-shaped degradation (a
+        menu that does not round-trip, a cache without the delta
+        protocol) is re-evaluated against the new workload; degradation
+        earned by repeated worker crashes is machine-shaped and stays
+        sticky for the pool's lifetime.
+        """
+        self.nest = nest
+        self.deps = deps
+        self.score = score
+        self.stats["rebinds"] = int(self.stats["rebinds"]) + 1
+        if not self._crash_degraded:
+            self.degraded = False
+            self.degrade_reason = None
+            reason = self._availability(menu)
+            if reason is not None:
+                self._degrade(reason)
 
     # -- per-level evaluation ----------------------------------------------
 
@@ -124,7 +155,7 @@ class ShardedPool:
                 hasattr(cache, "merge_delta")):
             self._degrade("cache does not implement the delta protocol")
             return {}
-        tasks = [(idx, worker_mod.candidate_to_wire(c))
+        tasks = [(idx, worker_mod.candidate_to_spec(c))
                  for idx, c in enumerate(candidates)]
         workers = min(self.jobs, len(tasks))
         shards = [tasks[w::workers] for w in range(workers)]
@@ -140,7 +171,8 @@ class ShardedPool:
                                                   "requeue")
                 outcomes.update(retried)
                 if failed_again:
-                    self._degrade("worker failed twice on the same shard")
+                    self._degrade("worker failed twice on the same shard",
+                                  sticky=True)
             sp.tag(completed=len(outcomes))
         self.stats["dispatched"] = (int(self.stats["dispatched"]) +
                                     len(outcomes))

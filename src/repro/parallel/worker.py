@@ -3,11 +3,15 @@
 Wire forms
 ----------
 
-A template step travels as ``(n, spec, names)`` — its CLI step-language
+A template step travels as ``(n, spec, names)`` — its step-language
 spelling plus the two pieces ``to_spec()`` omits: the nest depth the
 step expects and the ``names`` tuple of a renaming Unimodular.  A
 candidate transformation travels as ``(input_depth, step_wires)``.
-Rebuilding goes through :func:`repro.cli.build_step` **without**
+The naming mirrors the templates' serialization protocol:
+``step_to_spec``/``step_from_spec`` and ``candidate_to_spec``/
+``candidate_from_spec`` (the old ``*_to_wire``/``*_from_wire``
+spellings remain as deprecated aliases for one release).  Rebuilding
+goes through :func:`repro.core.spec.step_from_spec` **without**
 peephole reduction, mirroring how the search composes candidates
 (``base.then(step, reduce=False)``); :func:`step_roundtrips` verifies
 that the rebuilt step has the same legality-cache content key as the
@@ -37,12 +41,13 @@ import pickle
 import signal
 import threading
 import traceback
+import warnings
 from typing import Callable, List, Optional, Tuple
 
+from repro.core import spec as spec_mod
 from repro.core.legality_cache import template_key
 from repro.core.sequence import Transformation
 from repro.core.template import Template
-from repro.core.templates.unimodular import Unimodular
 from repro.parallel import faults
 from repro.util.errors import ReproError
 
@@ -58,25 +63,15 @@ class WorkerError(ReproError):
 
 # -- step/candidate wire forms ---------------------------------------------
 
-def step_to_wire(step: Template) -> Tuple:
+def step_to_spec(step: Template) -> Tuple:
     """``(n, spec, names)`` — raises NotImplementedError for templates
     with no step-language spelling (those cannot be shipped)."""
     return (step.n, step.to_spec(), getattr(step, "names", None))
 
 
-def step_from_wire(wire: Tuple) -> Template:
-    # Lazy import: repro.cli imports the search module, which imports
-    # this module; deferring to call time keeps the import graph acyclic.
-    from repro.cli import _parse_call, build_step
-
+def step_from_spec(wire: Tuple) -> Template:
     n, spec, names = wire
-    name, args = _parse_call(spec)
-    step = build_step(name, args, n)
-    if names is not None and isinstance(step, Unimodular):
-        # to_spec() omits the renaming; restore it so the rebuilt step's
-        # cache content key matches the original's.
-        step = Unimodular(step.n, step.matrix, names=list(names))
-    return step
+    return spec_mod.step_from_spec(spec, n, names=names)
 
 
 def step_roundtrips(step: Template) -> bool:
@@ -84,20 +79,41 @@ def step_roundtrips(step: Template) -> bool:
     content key, i.e. shipping it to a worker is indistinguishable from
     evaluating in-process."""
     try:
-        rebuilt = step_from_wire(step_to_wire(step))
+        rebuilt = step_from_spec(step_to_spec(step))
     except Exception:
         return False
     return template_key(rebuilt) == template_key(step)
 
 
-def candidate_to_wire(candidate: Transformation) -> Tuple:
+def candidate_to_spec(candidate: Transformation) -> Tuple:
     return (candidate.input_depth,
-            tuple(step_to_wire(s) for s in candidate.steps))
+            tuple(step_to_spec(s) for s in candidate.steps))
 
 
-def candidate_from_wire(wire: Tuple) -> Transformation:
+def candidate_from_spec(wire: Tuple) -> Transformation:
     n, step_wires = wire
-    return Transformation([step_from_wire(w) for w in step_wires], n=n)
+    return Transformation([step_from_spec(w) for w in step_wires], n=n)
+
+
+_DEPRECATED_WIRE_NAMES = {
+    "step_to_wire": step_to_spec,
+    "step_from_wire": step_from_spec,
+    "candidate_to_wire": candidate_to_spec,
+    "candidate_from_wire": candidate_from_spec,
+}
+
+
+def __getattr__(name: str):
+    """Deprecated aliases for the pre-normalization wire-form names."""
+    fn = _DEPRECATED_WIRE_NAMES.get(name)
+    if fn is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.parallel.worker.{name} is deprecated; use "
+        f"{fn.__name__} (the to_spec/from_spec wire-form naming)",
+        DeprecationWarning, stacklevel=2)
+    return fn
 
 
 # -- per-candidate wall-clock budget ---------------------------------------
@@ -155,7 +171,7 @@ def exception_from_wire(wire: Tuple) -> BaseException:
 def evaluate_wire(wire: Tuple, kind: str, index: int, nest, deps, score,
                   cache, timeout: Optional[float]) -> Tuple:
     """Evaluate one candidate: ``(legal, value, timed_out, delta)``."""
-    candidate = candidate_from_wire(wire)
+    candidate = candidate_from_spec(wire)
     report, delta = cache.legality_with_delta(candidate, nest, deps)
     if not report.legal:
         return False, None, False, delta

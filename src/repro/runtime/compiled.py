@@ -425,6 +425,110 @@ def compile_loopnest(nest: LoopNest, **kwargs) -> CompiledNest:
     return CompiledNest(nest, **kwargs)
 
 
+def nest_fingerprint(nest: LoopNest) -> str:
+    """A stable content hash of a nest — its canonical ``pretty()`` text
+    digested to a short hex token.  Structurally equal nests produce the
+    same fingerprint, so it can key cross-request memo tables (the
+    transformation service's analysis and compilation caches) and name
+    nests in stats without holding the nest itself."""
+    import hashlib
+
+    return hashlib.sha256(nest.pretty().encode("utf-8")).hexdigest()[:16]
+
+
+class CompiledNestCache:
+    """A bounded LRU of :class:`CompiledNest` instances, keyed by nest
+    content and compilation options.
+
+    A search session compiles each *winner* once, but a long-lived
+    service sees the same nests (and the same transformed nests) arrive
+    over and over across requests; recompiling them per request throws
+    away exactly the codegen + ``exec``-compile work the engine already
+    paid for.  :meth:`get` returns a warm instance when an equal nest
+    was compiled with equal options before — :class:`LoopNest` equality
+    is structural, so re-parsed request text hits — and compiles + caches
+    otherwise.  Entries whose options include unhashable parts (user
+    function mappings, custom schedules) are compiled but not cached.
+
+    Not thread-safe; the service serializes access through its single
+    request-processing loop.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple, CompiledNest] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.uncacheable = 0
+
+    def _key(self, nest: LoopNest, symbols, trace_vars,
+             trace_addresses: bool, max_iterations: int) -> Tuple:
+        sym_key = (tuple(sorted(symbols.items()))
+                   if symbols is not None else ())
+        tv_key = tuple(trace_vars) if trace_vars is not None else None
+        return (nest, sym_key, tv_key, trace_addresses, max_iterations)
+
+    def get(self, nest: LoopNest,
+            symbols: Optional[Mapping[str, int]] = None,
+            funcs: Optional[Mapping[str, Callable[..., int]]] = None,
+            schedule: Optional[Schedule] = None,
+            trace_vars: Optional[Sequence[str]] = None,
+            trace_addresses: bool = False,
+            max_iterations: int = 2_000_000) -> CompiledNest:
+        """A compiled engine for *nest*, warm when possible."""
+        if funcs or schedule is not None:
+            # Callables/schedules compare by identity, which would make
+            # "equal" keys incidental; skip the cache rather than serve
+            # a stale closure.
+            self.uncacheable += 1
+            return CompiledNest(nest, symbols=symbols, funcs=funcs,
+                                schedule=schedule, trace_vars=trace_vars,
+                                trace_addresses=trace_addresses,
+                                max_iterations=max_iterations)
+        key = self._key(nest, symbols, trace_vars, trace_addresses,
+                        max_iterations)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries[key] = self._entries.pop(key)  # LRU touch
+            if _obs.enabled():
+                get_metrics().counter("compiled.nest_cache_hits").inc()
+            return cached
+        self.misses += 1
+        if _obs.enabled():
+            get_metrics().counter("compiled.nest_cache_misses").inc()
+        compiled = CompiledNest(nest, symbols=symbols,
+                                trace_vars=trace_vars,
+                                trace_addresses=trace_addresses,
+                                max_iterations=max_iterations)
+        self._entries[key] = compiled
+        while len(self._entries) > self.max_entries:
+            del self._entries[next(iter(self._entries))]
+            self.evictions += 1
+        return compiled
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "uncacheable": self.uncacheable,
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.evictions = self.uncacheable = 0
+
+
 def run_compiled(nest: LoopNest, arrays: Mapping[str, Array],
                  symbols: Optional[Mapping[str, int]] = None,
                  funcs: Optional[Mapping[str, Callable[..., int]]] = None,

@@ -1,0 +1,139 @@
+"""The service wire protocol: newline-delimited JSON requests.
+
+One request per line, one response line per request, in processing
+order (which may differ from arrival order only for requests rejected
+at admission — backpressure and shutting-down errors are written
+immediately).  Clients therefore match responses to requests by ``id``.
+
+Request::
+
+    {"id": <string|int>, "op": <operation>, "params": {...}}
+
+Success response::
+
+    {"id": ..., "ok": true, "result": {...}}
+
+Error response::
+
+    {"id": ..., "ok": false, "error": {"code": <code>, "message": ...}}
+
+Operations (the parameter schemas are documented op-by-op in
+``docs/API.md``): ``ping``, ``parse``, ``analyze``, ``legality``,
+``apply``, ``run``, ``search``, ``stats``, ``shutdown``.
+
+Error codes:
+
+``bad-request``
+    The line was not valid JSON, not an object, missing ``id``/``op``,
+    or named an unknown operation.
+``bad-input``
+    The operation's parameters were malformed — an unparsable nest, a
+    bad step spec, an unknown scorer (the CLI's exit-code-2 class).
+``illegal``
+    ``apply`` (without ``force``) refused an illegal sequence; the
+    message carries the legality report's reason.
+``timeout``
+    The request overran the server's per-request budget.
+``backpressure``
+    The admission queue was full; retry later.
+``shutting-down``
+    The server is draining; no new work is admitted.
+``internal``
+    An unexpected server-side failure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple, Union
+
+#: Bumped when the request/response shapes change incompatibly.
+PROTOCOL_VERSION = 1
+
+BAD_REQUEST = "bad-request"
+BAD_INPUT = "bad-input"
+ILLEGAL = "illegal"
+TIMEOUT = "timeout"
+BACKPRESSURE = "backpressure"
+SHUTTING_DOWN = "shutting-down"
+INTERNAL = "internal"
+
+ERROR_CODES = (BAD_REQUEST, BAD_INPUT, ILLEGAL, TIMEOUT, BACKPRESSURE,
+               SHUTTING_DOWN, INTERNAL)
+
+OPS = ("ping", "parse", "analyze", "legality", "apply", "run", "search",
+       "stats", "shutdown")
+
+RequestId = Union[str, int]
+
+
+class ProtocolError(Exception):
+    """A request the server rejects with a typed error response."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class ServiceError(ProtocolError):
+    """Client-side surfacing of an error response.
+
+    ``code`` is one of :data:`ERROR_CODES`, so callers can react to
+    e.g. backpressure (``exc.code == BACKPRESSURE``) without string
+    matching on messages.
+    """
+
+
+def encode(obj: Dict[str, Any]) -> str:
+    """One protocol line (newline included), deterministically keyed."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def decode_request(line: str) -> Tuple[Optional[RequestId], str,
+                                       Dict[str, Any]]:
+    """Parse one request line into ``(id, op, params)``.
+
+    Raises :class:`ProtocolError` (``bad-request``) on malformed input;
+    the ``id`` is recovered when possible so the error response can
+    still be correlated.
+    """
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(BAD_REQUEST, f"invalid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(BAD_REQUEST,
+                            "request must be a JSON object")
+    req_id = obj.get("id")
+    if req_id is None or not isinstance(req_id, (str, int)):
+        raise ProtocolError(BAD_REQUEST,
+                            "request needs a string or integer 'id'")
+    op = obj.get("op")
+    if not isinstance(op, str):
+        exc = ProtocolError(BAD_REQUEST, "request needs a string 'op'")
+        exc.request_id = req_id  # type: ignore[attr-defined]
+        raise exc
+    if op not in OPS:
+        exc = ProtocolError(
+            BAD_REQUEST, f"unknown op {op!r}; expected one of "
+            + ", ".join(OPS))
+        exc.request_id = req_id  # type: ignore[attr-defined]
+        raise exc
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        exc = ProtocolError(BAD_REQUEST, "'params' must be an object")
+        exc.request_id = req_id  # type: ignore[attr-defined]
+        raise exc
+    return req_id, op, params
+
+
+def ok_response(req_id: Optional[RequestId],
+                result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": req_id, "ok": True, "result": result}
+
+
+def error_response(req_id: Optional[RequestId], code: str,
+                   message: str) -> Dict[str, Any]:
+    return {"id": req_id, "ok": False,
+            "error": {"code": code, "message": message}}

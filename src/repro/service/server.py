@@ -1,0 +1,666 @@
+"""The long-lived transformation server.
+
+One :class:`TransformationService` owns the session's warm state
+(:class:`~repro.service.state.WarmState`) and — with ``jobs > 1`` — a
+single :class:`~repro.parallel.pool.ShardedPool` that is
+:meth:`~repro.parallel.pool.ShardedPool.rebind`-ed to each request's
+workload instead of forked fresh per request.
+
+Threading model
+---------------
+
+Transports (the stdio reader, TCP connection readers) run on daemon
+threads and only *admit* work: decode the line, run admission control,
+enqueue.  All request **processing** happens on the thread that calls
+:meth:`TransformationService.run` — the main thread under the CLI — so
+per-request budgets can reuse the ``SIGALRM``-based
+:func:`~repro.parallel.worker.call_with_timeout` and the forked pool
+keeps its fork-from-the-owner discipline.
+
+Admission control
+-----------------
+
+The request queue is bounded (``queue_max``).  A request arriving at a
+full queue is answered *immediately* with a typed ``backpressure``
+error — the server never blocks a transport on its own queue, and the
+client can tell "retry later" apart from a failure.  After drain starts
+(SIGTERM, SIGINT, stdin EOF, or a ``shutdown`` request) new requests
+are refused with ``shutting-down`` while everything already admitted is
+still processed and answered.
+
+Batching
+--------
+
+The processing loop drains up to ``batch_max`` queued requests per
+cycle.  Legality requests within a batch that target the same
+``(nest, level)`` are evaluated together through the shared pool
+(one fork per *batch group*, not per request); their content-keyed
+cache deltas merge back into the warm legality cache, so a later
+identical request is a pure cache hit.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.core.spec import parse_steps
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
+from repro.parallel.merge import merge_outcome
+from repro.parallel.worker import call_with_timeout
+from repro.service import protocol
+from repro.service.protocol import (
+    BACKPRESSURE,
+    BAD_INPUT,
+    BAD_REQUEST,
+    ILLEGAL,
+    INTERNAL,
+    PROTOCOL_VERSION,
+    SHUTTING_DOWN,
+    TIMEOUT,
+    ProtocolError,
+    error_response,
+    ok_response,
+)
+from repro.service.state import WarmState
+from repro.util.errors import ReproError
+
+_LEVELS = ("gcd", "banerjee", "fm")
+
+
+def _zero_score(transformation, nest, deps) -> float:
+    """Scoring stub for pooled legality batches: legality is the whole
+    question, so every legal candidate scores alike."""
+    return 0.0
+
+
+class _Pending:
+    """One admitted request waiting in the queue."""
+
+    __slots__ = ("req_id", "op", "params", "reply", "admitted")
+
+    def __init__(self, req_id, op, params, reply, admitted):
+        self.req_id = req_id
+        self.op = op
+        self.params = params
+        self.reply = reply
+        self.admitted = admitted
+
+
+class TransformationService:
+    """Warm-state request processor behind ``repro serve``."""
+
+    def __init__(self, *, jobs: int = 1, queue_max: int = 64,
+                 batch_max: int = 8,
+                 request_timeout: Optional[float] = None,
+                 cache_max_entries: Optional[int] = 4096,
+                 compiled_max_entries: int = 128):
+        if queue_max < 1:
+            raise ValueError(f"queue_max must be >= 1, got {queue_max}")
+        self.jobs = max(1, int(jobs))
+        self.queue_max = queue_max
+        self.batch_max = max(1, int(batch_max))
+        self.request_timeout = request_timeout
+        self.state = WarmState(legality_max_entries=cache_max_entries,
+                               compiled_max_entries=compiled_max_entries)
+        self.pool = None
+        if self.jobs > 1:
+            from repro.parallel.pool import ShardedPool
+            self.pool = ShardedPool(None, None, _zero_score, self.jobs)
+        self._cond = threading.Condition()
+        self._items: deque = deque()
+        self._draining = False
+        self.drain_reason: Optional[str] = None
+        self._started = time.monotonic()
+        self.counters: Dict[str, object] = {
+            "accepted": 0, "completed": 0, "errors": 0, "timeouts": 0,
+            "backpressure": 0, "rejected_shutdown": 0,
+            "batches": 0, "max_batch": 0, "batched_legality": 0,
+            "by_op": {},
+        }
+        self._dispatch: Dict[str, Callable] = {
+            "ping": self._op_ping,
+            "parse": self._op_parse,
+            "analyze": self._op_analyze,
+            "legality": self._op_legality,
+            "apply": self._op_apply,
+            "run": self._op_run,
+            "search": self._op_search,
+            "stats": self._op_stats,
+            "shutdown": self._op_shutdown,
+        }
+
+    # -- admission (transport threads) -------------------------------------
+
+    def ingest(self, line: str, reply: Callable[[dict], None]) -> None:
+        """Decode one request line and admit it; rejections (malformed,
+        backpressure, draining) are answered immediately on the
+        transport's thread."""
+        try:
+            req_id, op, params = protocol.decode_request(line)
+        except ProtocolError as exc:
+            reply(error_response(getattr(exc, "request_id", None),
+                                 exc.code, exc.message))
+            return
+        self.submit(req_id, op, params, reply)
+
+    def submit(self, req_id, op, params,
+               reply: Callable[[dict], None]) -> bool:
+        """Admission control; returns True when enqueued.  Rejections
+        reply immediately with ``shutting-down`` or ``backpressure``."""
+        rejection = None
+        with self._cond:
+            if self._draining:
+                self.counters["rejected_shutdown"] = (
+                    int(self.counters["rejected_shutdown"]) + 1)
+                rejection = error_response(
+                    req_id, SHUTTING_DOWN,
+                    f"server is draining ({self.drain_reason})")
+            elif len(self._items) >= self.queue_max:
+                self.counters["backpressure"] = (
+                    int(self.counters["backpressure"]) + 1)
+                rejection = error_response(
+                    req_id, BACKPRESSURE,
+                    f"request queue full ({self.queue_max}); retry later")
+            else:
+                self.counters["accepted"] = (
+                    int(self.counters["accepted"]) + 1)
+                self._items.append(_Pending(req_id, op, params, reply,
+                                            time.monotonic()))
+                depth = len(self._items)
+                self._cond.notify()
+        if rejection is not None:
+            if _obs.enabled():
+                get_metrics().counter(
+                    "service.rejected." + rejection["error"]["code"]).inc()
+            reply(rejection)
+            return False
+        if _obs.enabled():
+            get_metrics().gauge("service.queue_depth").set(depth)
+        return True
+
+    def request_drain(self, reason: str) -> None:
+        """Stop admitting; finish what is queued, then let :meth:`run`
+        return.  Safe to call from a signal handler (attribute writes
+        only; the processing loop polls)."""
+        if not self._draining:
+            self._draining = True
+            self.drain_reason = reason
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain.  Only possible from the main
+        thread; elsewhere (in-process test harnesses) this is a no-op."""
+        if threading.current_thread() is not threading.main_thread():
+            return
+        signal.signal(signal.SIGTERM,
+                      lambda s, f: self.request_drain("SIGTERM"))
+        signal.signal(signal.SIGINT,
+                      lambda s, f: self.request_drain("SIGINT"))
+
+    # -- the processing loop (owning thread) -------------------------------
+
+    def run(self) -> None:
+        """Process requests until drained: admitted work is always
+        answered, even after drain starts."""
+        self._started = time.monotonic()
+        while True:
+            batch: List[_Pending] = []
+            with self._cond:
+                if not self._items:
+                    if self._draining:
+                        break
+                    # Short poll so a signal-handler drain (attribute
+                    # write, no notify) is noticed promptly.
+                    self._cond.wait(0.1)
+                while self._items and len(batch) < self.batch_max:
+                    batch.append(self._items.popleft())
+                depth = len(self._items)
+            if not batch:
+                continue
+            if _obs.enabled():
+                metrics = get_metrics()
+                metrics.gauge("service.queue_depth").set(depth)
+                metrics.histogram("service.batch_size").observe(len(batch))
+            self.counters["batches"] = int(self.counters["batches"]) + 1
+            if len(batch) > int(self.counters["max_batch"]):
+                self.counters["max_batch"] = len(batch)
+            with _obs.span("service.batch", size=len(batch)):
+                prefetched = self._prefetch_legality(batch)
+                for pending in batch:
+                    pending.reply(self._handle(pending, prefetched))
+
+    def _handle(self, pending: _Pending, prefetched: Dict[int, object]):
+        op, params = pending.op, pending.params
+        start = time.monotonic()
+        code: Optional[str] = None
+        try:
+            with _obs.span("service.request", op=op):
+                handler = self._dispatch[op]
+                if op == "legality":
+                    fn = lambda: handler(params,  # noqa: E731
+                                         prefetched.get(id(pending)))
+                else:
+                    fn = lambda: handler(params)  # noqa: E731
+                budget = self._outer_budget(op, params)
+                value, timed_out = call_with_timeout(fn, budget)
+                if timed_out:
+                    raise ProtocolError(
+                        TIMEOUT,
+                        f"request overran the server budget ({budget}s)")
+            response = ok_response(pending.req_id, value)
+        except ProtocolError as exc:
+            code = exc.code
+            response = error_response(pending.req_id, exc.code, exc.message)
+        except ReproError as exc:
+            code = BAD_INPUT
+            response = error_response(pending.req_id, BAD_INPUT, str(exc))
+        except Exception as exc:  # noqa: BLE001 — the server must answer
+            code = INTERNAL
+            response = error_response(
+                pending.req_id, INTERNAL,
+                f"{type(exc).__name__}: {exc}")
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        if code is None:
+            self.counters["completed"] = int(self.counters["completed"]) + 1
+        else:
+            self.counters["errors"] = int(self.counters["errors"]) + 1
+            if code == TIMEOUT:
+                self.counters["timeouts"] = (
+                    int(self.counters["timeouts"]) + 1)
+        by_op: Dict[str, int] = self.counters["by_op"]  # type: ignore
+        by_op[op] = by_op.get(op, 0) + 1
+        if _obs.enabled():
+            metrics = get_metrics()
+            metrics.counter("service.requests").inc()
+            metrics.counter(f"service.requests.{op}").inc()
+            if code is not None:
+                metrics.counter(f"service.errors.{code}").inc()
+            metrics.histogram(f"service.latency_ms.{op}").observe(elapsed_ms)
+        return response
+
+    def _outer_budget(self, op: str, params: dict) -> Optional[float]:
+        """The per-request wall-clock budget, or None.
+
+        ``call_with_timeout`` is ``SIGALRM``-based and does not nest: a
+        search that installs its own per-candidate timers (explicit
+        ``candidate_timeout``, or pooled workers the parent must keep
+        draining) would clobber the outer timer, so those requests run
+        under their candidate budgets instead of the server budget.
+        """
+        if not self.request_timeout:
+            return None
+        if op == "search" and (params.get("candidate_timeout")
+                               or self.pool is not None):
+            return None
+        return self.request_timeout
+
+    # -- pooled legality batching ------------------------------------------
+
+    def _prefetch_legality(self, batch) -> Dict[int, object]:
+        """Evaluate same-nest legality requests of *batch* together
+        through the shared pool; returns ``id(pending) ->
+        LegalityReport`` for the subset the workers completed (the
+        per-request handler computes the rest — and takes warm-cache
+        hits for everything merged here)."""
+        if self.pool is None or self.pool.degraded:
+            return {}
+        groups: Dict[Tuple, List[Tuple[_Pending, object]]] = {}
+        for pending in batch:
+            if pending.op != "legality":
+                continue
+            try:
+                nest, level = self._nest_level(pending.params)
+                transformation = self._steps(pending.params, nest.depth)
+            except Exception:
+                continue  # the handler will surface the real error
+            groups.setdefault((nest, level), []).append(
+                (pending, transformation))
+        out: Dict[int, object] = {}
+        for (nest, level), members in groups.items():
+            if len(members) < 2:
+                continue
+            try:
+                deps = self.state.deps(nest, level)
+                self.pool.rebind(nest, deps, _zero_score)
+                outcomes = self.pool.evaluate_level(
+                    0, [t for _, t in members], self.state.legality_cache)
+            except Exception:
+                continue  # fall back to per-request serial evaluation
+            self.counters["batched_legality"] = (
+                int(self.counters["batched_legality"]) + len(outcomes))
+            if _obs.enabled():
+                get_metrics().counter(
+                    "service.batched_legality").inc(len(outcomes))
+            for idx, (pending, _t) in enumerate(members):
+                outcome = outcomes.get(idx)
+                if outcome is not None:
+                    out[id(pending)] = merge_outcome(
+                        self.state.legality_cache, nest, deps, outcome)
+        return out
+
+    # -- shared param plumbing ---------------------------------------------
+
+    def _nest_level(self, params: dict):
+        text = params.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError(BAD_INPUT,
+                                "params.text must be a non-empty string")
+        level = params.get("level", "fm")
+        if level not in _LEVELS:
+            raise ProtocolError(
+                BAD_INPUT,
+                f"params.level must be one of {', '.join(_LEVELS)}")
+        nest = self.state.nest(text, bool(params.get("sink", False)))
+        return nest, level
+
+    def _steps(self, params: dict, depth: int):
+        spec = params.get("steps")
+        if not isinstance(spec, str) or not spec.strip():
+            raise ProtocolError(BAD_INPUT,
+                                "params.steps must be a non-empty string")
+        return parse_steps(spec, depth)
+
+    # -- operations --------------------------------------------------------
+
+    def _op_ping(self, params: dict) -> dict:
+        return {"pong": True, "protocol": PROTOCOL_VERSION,
+                "version": __version__}
+
+    def _op_parse(self, params: dict) -> dict:
+        nest, _level = self._nest_level(params)
+        return {"depth": nest.depth,
+                "indices": list(nest.indices),
+                "headers": [lp.header() for lp in nest.loops],
+                "pretty": nest.pretty()}
+
+    def _op_analyze(self, params: dict) -> dict:
+        nest, level = self._nest_level(params)
+        deps = self.state.deps(nest, level)
+        return {"depth": nest.depth, "level": level,
+                "count": len(deps),
+                "deps": [str(v) for v in deps]}
+
+    def _op_legality(self, params: dict, prefetched=None) -> dict:
+        nest, level = self._nest_level(params)
+        transformation = self._steps(params, nest.depth)
+        deps = self.state.deps(nest, level)
+        report = prefetched
+        if report is None:
+            report = self.state.legality_cache.legality(
+                transformation, nest, deps)
+        doc = {"legal": report.legal,
+               "sequence": transformation.signature(),
+               "spec": transformation.to_spec(),
+               "deps": len(deps)}
+        if not report.legal:
+            doc["reason"] = report.reason
+        return doc
+
+    def _op_apply(self, params: dict) -> dict:
+        nest, level = self._nest_level(params)
+        transformation = self._steps(params, nest.depth)
+        emit = params.get("emit", "loop")
+        if emit not in ("loop", "c", "python", "pretty"):
+            raise ProtocolError(
+                BAD_INPUT,
+                "params.emit must be one of loop, c, python, pretty")
+        if params.get("force"):
+            out = transformation.apply(nest, check=False)
+            legal = None
+        else:
+            deps = self.state.deps(nest, level)
+            report = self.state.legality_cache.legality(
+                transformation, nest, deps)
+            if not report.legal:
+                raise ProtocolError(ILLEGAL, report.reason or "illegal")
+            out = transformation.apply(nest, deps)
+            legal = True
+        if emit == "c":
+            from repro.ir.emit import emit_c
+            code = emit_c(out)
+        elif emit == "python":
+            from repro.deps.analysis.references import inferred_array_names
+            from repro.ir.emit import emit_python
+            code = emit_python(out, sorted(inferred_array_names(out)))
+        elif emit == "pretty":
+            from repro.ir.pretty_temps import pretty_with_temps
+            code = pretty_with_temps(out)
+        else:
+            code = out.pretty()
+        return {"sequence": transformation.signature(),
+                "legal": legal, "emit": emit, "code": code}
+
+    def _op_run(self, params: dict) -> dict:
+        nest, level = self._nest_level(params)
+        if params.get("steps"):
+            transformation = self._steps(params, nest.depth)
+            if params.get("force"):
+                nest = transformation.apply(nest, check=False)
+            else:
+                deps = self.state.deps(nest, level)
+                report = self.state.legality_cache.legality(
+                    transformation, nest, deps)
+                if not report.legal:
+                    raise ProtocolError(ILLEGAL, report.reason or "illegal")
+                nest = transformation.apply(nest, deps)
+        symbols = params.get("symbols", {})
+        if (not isinstance(symbols, dict)
+                or not all(isinstance(k, str) and isinstance(v, int)
+                           and not isinstance(v, bool)
+                           for k, v in symbols.items())):
+            raise ProtocolError(
+                BAD_INPUT, "params.symbols must map names to integers")
+        before = self.state.compiled.hits
+        engine = self.state.compiled.get(nest, symbols=symbols)
+        result = engine.run({})
+        return {"iterations": result.body_count,
+                "depth": nest.depth,
+                "warm": self.state.compiled.hits > before}
+
+    def _op_search(self, params: dict) -> dict:
+        from repro.optimize.search import parallelism_score, search
+
+        nest, level = self._nest_level(params)
+        deps = self.state.deps(nest, level)
+        scorer = params.get("scorer", "parallelism")
+        if scorer != "parallelism":
+            raise ProtocolError(
+                BAD_INPUT,
+                f"unknown scorer {scorer!r} (the service supports "
+                f"'parallelism')")
+        depth = params.get("depth", 2)
+        beam = params.get("beam", 8)
+        if not isinstance(depth, int) or not isinstance(beam, int) \
+                or depth < 0 or beam < 1:
+            raise ProtocolError(
+                BAD_INPUT, "params.depth must be an int >= 0 and "
+                "params.beam an int >= 1")
+        candidate_timeout = params.get("candidate_timeout")
+        if candidate_timeout is not None and (
+                not isinstance(candidate_timeout, (int, float))
+                or candidate_timeout <= 0):
+            raise ProtocolError(
+                BAD_INPUT, "params.candidate_timeout must be a positive "
+                "number")
+        kwargs = dict(score=parallelism_score, depth=depth, beam=beam,
+                      cache=self.state.legality_cache,
+                      candidate_timeout=candidate_timeout)
+        if self.pool is not None:
+            self.pool.candidate_timeout = candidate_timeout
+            result = search(nest, deps, pool=self.pool, **kwargs)
+        else:
+            result = search(nest, deps, **kwargs)
+        winner = result.transformation
+        return {
+            "winner": winner.signature() if winner else None,
+            "spec": winner.to_spec() if winner is not None else None,
+            "score": (result.score
+                      if result.score != float("-inf") else None),
+            "explored": result.explored,
+            "legal": result.legal_count,
+            "timeouts": result.timeouts,
+            "cache_stats": result.cache_stats,
+            "parallel": result.parallel,
+        }
+
+    def _op_stats(self, params: dict) -> dict:
+        with self._cond:
+            depth = len(self._items)
+        doc = {
+            "protocol": PROTOCOL_VERSION,
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "jobs": self.jobs,
+            "draining": self._draining,
+            "queue": {
+                "depth": depth,
+                "max": self.queue_max,
+                "accepted": self.counters["accepted"],
+                "backpressure": self.counters["backpressure"],
+                "rejected_shutdown": self.counters["rejected_shutdown"],
+            },
+            "requests": {
+                "completed": self.counters["completed"],
+                "errors": self.counters["errors"],
+                "timeouts": self.counters["timeouts"],
+                "by_op": dict(self.counters["by_op"]),  # type: ignore
+            },
+            "batches": {
+                "count": self.counters["batches"],
+                "max_size": self.counters["max_batch"],
+                "batch_max": self.batch_max,
+                "batched_legality": self.counters["batched_legality"],
+            },
+            "caches": self.state.stats(),
+            "pool": self.pool.snapshot() if self.pool is not None else None,
+        }
+        return doc
+
+    def _op_shutdown(self, params: dict) -> dict:
+        self.request_drain("shutdown request")
+        return {"stopping": True, "reason": self.drain_reason}
+
+
+# -- transports -------------------------------------------------------------
+
+def serve_stdio(service: TransformationService,
+                in_stream=None, out_stream=None) -> None:
+    """Serve NDJSON over stdio; returns once drained (stdin EOF, a
+    signal, or a ``shutdown`` request)."""
+    raw_fd = None
+    if in_stream is None:
+        # Real stdin must be read at the fd level: a thread blocked in
+        # sys.stdin.readline() holds the stream's internal lock, and a
+        # worker forked by the pool deadlocks in multiprocessing's
+        # bootstrap when it tries to sys.stdin.close() under that
+        # still-held lock.  os.read() takes no Python-level lock.
+        try:
+            raw_fd = sys.stdin.fileno()
+        except (OSError, ValueError, AttributeError):
+            in_stream = sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    write_lock = threading.Lock()
+
+    def reply(obj: dict) -> None:
+        with write_lock:
+            try:
+                out_stream.write(protocol.encode(obj))
+                out_stream.flush()
+            except (OSError, ValueError):
+                pass  # reader went away; keep draining
+
+    def fd_lines():
+        buf = b""
+        while True:
+            try:
+                chunk = os.read(raw_fd, 65536)
+            except OSError:
+                break
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                yield line.decode("utf-8", errors="replace")
+        if buf:
+            yield buf.decode("utf-8", errors="replace")
+
+    def reader() -> None:
+        lines = fd_lines() if raw_fd is not None else in_stream
+        for line in lines:
+            if line.strip():
+                service.ingest(line, reply)
+        service.request_drain("stdin EOF")
+
+    threading.Thread(target=reader, name="service-stdin",
+                     daemon=True).start()
+    service.install_signal_handlers()
+    service.run()
+
+
+def serve_tcp(service: TransformationService, host: str = "127.0.0.1",
+              port: int = 0,
+              bound_callback: Optional[Callable[[str, int], None]] = None,
+              ) -> None:
+    """Serve NDJSON over TCP; ``port=0`` binds an ephemeral port,
+    reported through *bound_callback* (and a stderr line) before
+    accepting.  Returns once drained."""
+    listener = socket.create_server((host, port))
+    bound_host, bound_port = listener.getsockname()[:2]
+    if bound_callback is not None:
+        bound_callback(bound_host, bound_port)
+    print(f"repro serve: listening on {bound_host}:{bound_port}",
+          file=sys.stderr, flush=True)
+
+    def handle_connection(conn: socket.socket) -> None:
+        rfile = conn.makefile("r", encoding="utf-8", newline="\n")
+        wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+        write_lock = threading.Lock()
+
+        def reply(obj: dict) -> None:
+            with write_lock:
+                try:
+                    wfile.write(protocol.encode(obj))
+                    wfile.flush()
+                except (OSError, ValueError):
+                    pass  # client went away; keep draining
+
+        try:
+            for line in rfile:
+                if line.strip():
+                    service.ingest(line, reply)
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def acceptor() -> None:
+        while True:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return  # listener closed at drain
+            threading.Thread(target=handle_connection, args=(conn,),
+                             daemon=True).start()
+
+    threading.Thread(target=acceptor, name="service-accept",
+                     daemon=True).start()
+    service.install_signal_handlers()
+    try:
+        service.run()
+    finally:
+        try:
+            listener.close()
+        except OSError:
+            pass

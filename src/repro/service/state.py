@@ -1,0 +1,137 @@
+"""Warm per-session state shared across service requests.
+
+A one-shot CLI invocation pays the full pipeline every time: parse the
+nest, analyze its dependences, evaluate legality from scratch.  The
+service amortizes all three across the requests of a session:
+
+* a parse memo keyed by ``(text, sink)`` — request texts repeat
+  verbatim in replay-style workloads;
+* a dependence-analysis memo keyed by ``(nest, level)`` —
+  :class:`~repro.ir.loopnest.LoopNest` equality is structural, so two
+  differently-formatted texts of the same nest share one analysis;
+* the shared bounded :class:`~repro.core.legality_cache.LegalityCache`
+  every legality/search request funnels through;
+* a :class:`~repro.runtime.compiled.CompiledNestCache` so repeated
+  ``run`` requests over equal nests reuse the exec-compiled engine.
+
+All memos are bounded LRU (plain-dict insertion order; a hit reinserts,
+overflow evicts the oldest) so a long-lived server's memory stays
+proportional to its caps, not to its request history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.legality_cache import LegalityCache
+from repro.deps.analysis import analyze
+from repro.deps.vector import DepSet
+from repro.ir import parse_imperfect, parse_nest, sink
+from repro.ir.loopnest import LoopNest
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
+from repro.runtime.compiled import CompiledNestCache
+
+
+class WarmState:
+    """The caches a transformation service keeps warm between requests."""
+
+    def __init__(self, legality_max_entries: Optional[int] = 4096,
+                 compiled_max_entries: int = 128,
+                 memo_max_entries: int = 256):
+        if memo_max_entries < 1:
+            raise ValueError(
+                f"memo_max_entries must be >= 1, got {memo_max_entries}")
+        self.legality_cache = LegalityCache(max_entries=legality_max_entries)
+        self.compiled = CompiledNestCache(max_entries=compiled_max_entries)
+        self.memo_max_entries = memo_max_entries
+        self._parse_memo: Dict[Tuple[str, bool], LoopNest] = {}
+        self._analysis_memo: Dict[Tuple[LoopNest, str], DepSet] = {}
+        self.parse_hits = 0
+        self.parse_misses = 0
+        self.analysis_hits = 0
+        self.analysis_misses = 0
+
+    # -- bounded-LRU plumbing ----------------------------------------------
+
+    def _memo_get(self, memo: Dict, key):
+        value = memo.get(key)
+        if value is not None:
+            memo[key] = memo.pop(key)  # LRU touch
+        return value
+
+    def _memo_put(self, memo: Dict, key, value) -> None:
+        memo[key] = value
+        while len(memo) > self.memo_max_entries:
+            del memo[next(iter(memo))]
+
+    # -- the warm pipeline stages ------------------------------------------
+
+    def nest(self, text: str, sink_imperfect: bool = False) -> LoopNest:
+        """Parse *text* (optionally sinking an imperfect nest), memoized."""
+        key = (text, bool(sink_imperfect))
+        cached = self._memo_get(self._parse_memo, key)
+        if cached is not None:
+            self.parse_hits += 1
+            if _obs.enabled():
+                get_metrics().counter("service.cache.parse_hits").inc()
+            return cached
+        self.parse_misses += 1
+        if _obs.enabled():
+            get_metrics().counter("service.cache.parse_misses").inc()
+        nest = (sink(parse_imperfect(text)) if sink_imperfect
+                else parse_nest(text))
+        self._memo_put(self._parse_memo, key, nest)
+        return nest
+
+    def deps(self, nest: LoopNest, level: str = "fm") -> DepSet:
+        """Dependence set of *nest* at test-ladder tier *level*, memoized."""
+        key = (nest, level)
+        cached = self._memo_get(self._analysis_memo, key)
+        if cached is not None:
+            self.analysis_hits += 1
+            if _obs.enabled():
+                get_metrics().counter("service.cache.analysis_hits").inc()
+            return cached
+        self.analysis_misses += 1
+        if _obs.enabled():
+            get_metrics().counter("service.cache.analysis_misses").inc()
+        deps = analyze(nest, level=level)
+        self._memo_put(self._analysis_memo, key, deps)
+        return deps
+
+    # -- reporting ---------------------------------------------------------
+
+    def reuse_ratio(self) -> float:
+        """Fraction of pipeline-stage lookups served from warm state
+        (parse + analysis memos and the legality verdict cache)."""
+        leg = self.legality_cache.stats
+        hits = self.parse_hits + self.analysis_hits + leg["hits"]
+        total = (hits + self.parse_misses + self.analysis_misses
+                 + leg["misses"])
+        return hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "parse": {"hits": self.parse_hits,
+                      "misses": self.parse_misses,
+                      "entries": len(self._parse_memo)},
+            "analysis": {"hits": self.analysis_hits,
+                         "misses": self.analysis_misses,
+                         "entries": len(self._analysis_memo)},
+            "legality": dict(self.legality_cache.stats),
+            "compiled": dict(self.compiled.stats),
+            "reuse_ratio": round(self.reuse_ratio(), 6),
+        }
+        if _obs.enabled():
+            get_metrics().gauge("service.cache.reuse_ratio").set(
+                doc["reuse_ratio"])  # type: ignore[arg-type]
+        return doc
+
+    def clear(self) -> None:
+        self.legality_cache.clear()
+        self.compiled.clear()
+        self._parse_memo.clear()
+        self._analysis_memo.clear()
+        self.parse_hits = self.parse_misses = 0
+        self.analysis_hits = self.analysis_misses = 0

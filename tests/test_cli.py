@@ -198,3 +198,61 @@ class TestCommands:
         code = main(["show", str(bad)])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeClient:
+    """The service commands at the CLI surface (the lifecycle itself is
+    tested in test_service.py)."""
+
+    def test_help_lists_serve_and_client(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "serve" in out and "client" in out
+        assert "exit codes:" in out
+
+    def test_uniform_flags_accepted_everywhere(self, stencil_file,
+                                               tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        for cmd in (["show", stencil_file],
+                    ["analyze", stencil_file],
+                    ["legality", stencil_file, "--steps",
+                     "interchange(1,2)"]):
+            assert main(cmd + ["--jobs", "2", "--candidate-timeout", "5",
+                               "--trace-json", str(trace)]) in (0, 1)
+            capsys.readouterr()
+        assert trace.exists()
+
+    def test_client_replays_script_against_spawned_server(
+            self, tmp_path, capsys):
+        import json as json_mod
+        nest = ("do i = 2, n-1\n  do j = 2, n-1\n"
+                "    a(i, j) = a(i-1, j) + a(i, j-1)\n  enddo\nenddo\n")
+        script = tmp_path / "script.ndjson"
+        script.write_text(
+            json_mod.dumps({"op": "ping"}) + "\n"
+            + json_mod.dumps({"op": "legality",
+                              "params": {"text": nest,
+                                         "steps": "interchange(1,2)"}})
+            + "\n")
+        assert main(["client", str(script)]) == 0
+        lines = [json_mod.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        assert [r["ok"] for r in lines] == [True, True]
+        assert lines[1]["result"]["legal"] is True
+
+    def test_client_exit_1_on_failed_request(self, tmp_path, capsys):
+        import json as json_mod
+        script = tmp_path / "script.ndjson"
+        script.write_text(json_mod.dumps(
+            {"op": "analyze", "params": {"text": "not a nest"}}) + "\n")
+        assert main(["client", str(script)]) == 1
+        line = json_mod.loads(capsys.readouterr().out.splitlines()[0])
+        assert line["error"]["code"] == "bad-input"
+
+    def test_client_exit_2_on_malformed_script(self, tmp_path, capsys):
+        script = tmp_path / "script.ndjson"
+        script.write_text("not json\n")
+        assert main(["client", str(script)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,93 @@
+"""Deprecation shims: one release of grace, loudly.
+
+The PR that made search tuning keyword-only and renamed the
+``*_wire`` helpers to ``*_spec`` keeps the old spellings working
+behind ``DeprecationWarning``s; these tests pin both the warning and
+the unchanged behaviour.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import analyze, parse_nest, search
+from repro.optimize.search import parallelism_score
+
+STENCIL = """
+do i = 2, n-1
+  do j = 2, n-1
+    a(i, j) = a(i-1, j) + a(i, j-1)
+  enddo
+enddo
+"""
+
+
+@pytest.fixture
+def nest_deps():
+    nest = parse_nest(STENCIL)
+    return nest, analyze(nest)
+
+
+def test_positional_search_tuning_warns_and_matches_keyword(nest_deps):
+    nest, deps = nest_deps
+    with pytest.warns(DeprecationWarning,
+                      match="positional tuning arguments"):
+        old = search(nest, deps, None, parallelism_score, 1, 4)
+    new = search(nest, deps, score=parallelism_score, depth=1, beam=4)
+    assert old.score == new.score
+    assert old.explored == new.explored
+    assert old.legal_count == new.legal_count
+    assert (old.transformation.signature() ==
+            new.transformation.signature())
+
+
+def test_keyword_search_does_not_warn(nest_deps):
+    nest, deps = nest_deps
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        search(nest, deps, depth=1, beam=4)
+
+
+def test_positional_duplicate_keyword_is_a_type_error(nest_deps):
+    nest, deps = nest_deps
+    with pytest.warns(DeprecationWarning), pytest.raises(TypeError):
+        search(nest, deps, None, parallelism_score, depth=1, score=None)
+
+
+def test_too_many_positionals_is_a_type_error(nest_deps):
+    nest, deps = nest_deps
+    with pytest.raises(TypeError, match="positional arguments"):
+        search(nest, deps, None, parallelism_score, 1, 4, None, 1, None,
+               "extra")
+
+
+@pytest.mark.parametrize("old,new", [
+    ("step_to_wire", "step_to_spec"),
+    ("step_from_wire", "step_from_spec"),
+    ("candidate_to_wire", "candidate_to_spec"),
+    ("candidate_from_wire", "candidate_from_spec"),
+])
+def test_old_wire_names_warn_and_delegate(old, new):
+    import repro.parallel as parallel
+    from repro.parallel import worker
+
+    with pytest.warns(DeprecationWarning, match=new):
+        via_package = getattr(parallel, old)
+    with pytest.warns(DeprecationWarning, match=new):
+        via_module = getattr(worker, old)
+    assert via_package is getattr(worker, new)
+    assert via_module is getattr(worker, new)
+
+
+def test_old_wire_functions_still_roundtrip():
+    from repro.api import ReversePermute
+    from repro.parallel import worker
+
+    step = ReversePermute(2, [False, False], [2, 1])
+    with pytest.warns(DeprecationWarning):
+        wire = worker.step_to_wire(step)
+    with pytest.warns(DeprecationWarning):
+        back = worker.step_from_wire(wire)
+    assert back.signature() == step.signature()

@@ -34,11 +34,11 @@ from repro.optimize.search import (
 from repro.parallel import faults
 from repro.parallel.worker import (
     call_with_timeout,
-    candidate_from_wire,
-    candidate_to_wire,
-    step_from_wire,
+    candidate_from_spec,
+    candidate_to_spec,
+    step_from_spec,
     step_roundtrips,
-    step_to_wire,
+    step_to_spec,
 )
 from repro.util.errors import PreconditionViolation
 from repro.util.matrices import IntMatrix
@@ -314,13 +314,13 @@ def test_default_menu_steps_roundtrip():
     for n in (2, 3, 4):
         for step in default_candidates(n):
             assert step_roundtrips(step), step.signature()
-            rebuilt = step_from_wire(step_to_wire(step))
+            rebuilt = step_from_spec(step_to_spec(step))
             assert template_key(rebuilt) == template_key(step)
 
 
 def test_unimodular_names_survive_the_wire():
     step = Unimodular(2, IntMatrix([[1, 1], [0, 1]]), names=["u", "v"])
-    rebuilt = step_from_wire(step_to_wire(step))
+    rebuilt = step_from_spec(step_to_spec(step))
     assert rebuilt.names == step.names
     assert template_key(rebuilt) == template_key(step)
 
@@ -329,7 +329,7 @@ def test_candidate_wire_preserves_unreduced_shape(matmul_nest):
     base = Transformation.identity(3).then(interchange(3, 1, 2),
                                            reduce=False)
     candidate = base.then(interchange(3, 1, 2), reduce=False)
-    rebuilt = candidate_from_wire(candidate_to_wire(candidate))
+    rebuilt = candidate_from_spec(candidate_to_spec(candidate))
     assert len(rebuilt) == 2  # no peephole fusion on rebuild
     assert rebuilt.signature() == candidate.signature()
 
