@@ -4,7 +4,8 @@ PYTHON ?= python
 # export once here instead of per-recipe.
 export PYTHONPATH := src
 
-.PHONY: test bench bench-report bench-smoke bench-service examples corpus all
+.PHONY: test bench bench-report bench-smoke bench-service \
+	bench-resilience examples corpus all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -26,6 +27,12 @@ bench-smoke:
 # writes bench_service.json with the service metrics embedded.
 bench-service:
 	$(PYTHON) -m pytest benchmarks/bench_service.py -m smoke -s
+
+# What resilience costs: checkpoint-restore vs cold recovery, and the
+# retry layer's overhead at zero faults (< 5% enforced); writes
+# bench_resilience.json.
+bench-resilience:
+	$(PYTHON) -m pytest benchmarks/bench_resilience.py -s
 
 examples:
 	@for f in examples/*.py; do \

@@ -1,0 +1,292 @@
+"""Perf-11 — what resilience costs, and what checkpoint restore saves.
+
+Two questions a production operator asks before turning the knobs on:
+
+1. **Recovery latency** — after a crash, how much faster is a restart
+   that restores the :class:`~repro.service.state.WarmState` checkpoint
+   than a cold restart?  We measure the time to re-serve the session's
+   replay after each kind of restart; the checkpoint turns the parse /
+   dependence-analysis / legality work back into cache hits
+   (``restored_entries`` and ``reuse_ratio`` from the instrumented
+   ``repro.obs`` run are embedded in the JSON artifact as evidence).
+
+2. **Retry overhead at zero faults** — the idempotency keys, the dedup
+   window, the per-attempt bookkeeping: what do they cost when nothing
+   fails?  A TCP replay through :class:`RetryingClient` must stay
+   within 5% of the plain :class:`ServiceClient` on a
+   server-work-dominated workload.
+
+The smoke run writes ``bench_resilience.json``.
+"""
+
+import gc
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import get_metrics
+from repro.resilience.retry import RetryPolicy, RetryingClient
+from repro.service import ServiceClient, TransformationService
+from repro.service.server import serve_tcp
+from repro.service.state import WarmState
+
+STENCIL = """
+do i = 2, n-1
+  do j = 2, n-1
+    a(i, j) = a(i-1, j) + a(i, j-1)
+  enddo
+enddo
+"""
+
+MATMUL = """
+do i = 1, n
+  do j = 1, n
+    do k = 1, n
+      A(i, j) += B(i, k) * C(k, j)
+    enddo
+  enddo
+enddo
+"""
+
+RETRY_OVERHEAD_CEILING = 1.05
+
+STEP_SPECS = [
+    "interchange(1,2)", "reverse(1)", "reverse(2)", "block(1,2,16)",
+    "skew(2,1); interchange(1,2)", "interchange(1,2); reverse(2)",
+]
+
+
+def session_requests():
+    """A replay whose cost is dominated by real legality/analysis work
+    (so client-side bookkeeping overhead has to show up as a ratio of
+    something substantial)."""
+    requests, rid = [], 0
+    for text in (STENCIL, MATMUL):
+        for spec in STEP_SPECS:
+            rid += 1
+            requests.append({"id": rid, "op": "legality",
+                             "params": {"text": text, "steps": spec}})
+        rid += 1
+        requests.append({"id": rid, "op": "search",
+                         "params": {"text": text, "depth": 1, "beam": 4}})
+    return requests
+
+
+def _timed(fn, trials=3):
+    best, result = float("inf"), None
+    for _ in range(trials):
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return best, result
+
+
+def _drive(service, requests):
+    replies = []
+    for req in requests:
+        service.ingest(json.dumps(req), replies.append)
+    service.request_drain("bench")
+    service.run()
+    return replies
+
+
+@pytest.mark.smoke
+def test_smoke_checkpoint_restore_vs_cold_recovery(report, smoke_summary,
+                                                   tmp_path):
+    """CI guardrail: a checkpoint-restored restart re-serves the
+    session faster than a cold restart, because the warm entries come
+    back as cache hits instead of recomputation."""
+    requests = session_requests()
+    ckpt = str(tmp_path / "bench.ckpt")
+
+    # Session one: build warm state, checkpoint it ("the crash").
+    first = TransformationService(queue_max=len(requests),
+                                  checkpoint_path=ckpt,
+                                  checkpoint_every=1)
+    baseline = _drive(first, requests)
+    assert all(r["ok"] for r in baseline)
+
+    def recover_cold():
+        service = TransformationService(queue_max=len(requests))
+        return service, _drive(service, requests)
+
+    def recover_restored():
+        service = TransformationService(queue_max=len(requests),
+                                        checkpoint_path=ckpt)
+        return service, _drive(service, requests)
+
+    cold_s, (_, cold_replies) = _timed(recover_cold)
+    restored_s, (restored_service, restored_replies) = _timed(
+        recover_restored)
+
+    # Transparency first: recovery must answer identically, fast or not.
+    for base, cold, rest in zip(baseline, cold_replies, restored_replies):
+        if "winner" in base["result"]:
+            for key in ("winner", "spec", "score", "explored", "legal"):
+                assert (base["result"][key] == cold["result"][key]
+                        == rest["result"][key])
+        else:
+            assert base["result"] == cold["result"] == rest["result"]
+
+    # The obs evidence: an instrumented restored recovery.
+    obs.enable()
+    try:
+        observed = TransformationService(queue_max=len(requests),
+                                         checkpoint_path=ckpt)
+        _drive(observed, requests)
+        metrics = get_metrics().snapshot()
+    finally:
+        obs.disable()
+    stats = observed.state.stats()
+    assert observed.state.restored_entries > 0
+    assert stats["reuse_ratio"] > 0.5
+
+    speedup = cold_s / restored_s
+    doc = {
+        "benchmark": "post-crash recovery: checkpoint-restored restart "
+                     "vs cold restart re-serving the session replay",
+        "requests": len(requests),
+        "cold_recovery_seconds": round(cold_s, 6),
+        "restored_recovery_seconds": round(restored_s, 6),
+        "recovery_speedup": round(speedup, 2),
+        "restored_entries": observed.state.restored_entries,
+        "reuse_ratio": stats["reuse_ratio"],
+        "caches": stats,
+        "metrics": {name: value for name, value in sorted(metrics.items())
+                    if name.startswith(("service.", "legality.",
+                                        "chaos."))},
+    }
+    smoke_summary["resilience_recovery"] = {
+        k: doc[k] for k in ("benchmark", "requests",
+                            "cold_recovery_seconds",
+                            "restored_recovery_seconds",
+                            "recovery_speedup", "restored_entries",
+                            "reuse_ratio")}
+    with open("bench_resilience.json", "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    report("Perf-11 smoke: checkpoint restore vs cold recovery",
+           f"restored {restored_s:.3f}s vs cold {cold_s:.3f}s "
+           f"({speedup:.1f}x); {observed.state.restored_entries} entries "
+           f"restored, reuse ratio {stats['reuse_ratio']:.2f}")
+    # The floor is deliberately gentle (1.0 = never slower): the win
+    # scales with session size, and CI only needs the direction.
+    assert speedup >= 1.0, (
+        f"checkpoint-restored recovery slower than cold ({speedup:.2f}x)")
+
+
+@pytest.mark.smoke
+def test_smoke_retry_overhead_at_zero_faults(report, smoke_summary):
+    """CI guardrail: with no faults armed, the retry layer (idem keys,
+    dedup window, attempt bookkeeping) costs < 5% against the plain
+    client on the same TCP server."""
+    requests = session_requests()
+    service = TransformationService(queue_max=4 * len(requests))
+    bound = {}
+    server = threading.Thread(
+        target=serve_tcp, args=(service,),
+        kwargs={"port": 0,
+                "bound_callback":
+                    lambda h, p: bound.update(host=h, port=p)},
+        daemon=True)
+    server.start()
+    deadline = time.monotonic() + 10.0
+    while "port" not in bound and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert "port" in bound, "server failed to bind"
+
+    def replay_plain():
+        # close(shutdown=False): the shared server must outlive every
+        # timed trial.
+        client = ServiceClient.connect(bound["host"], bound["port"])
+        try:
+            return client.replay(requests)
+        finally:
+            client.close(shutdown=False)
+
+    def replay_retrying():
+        client = RetryingClient.tcp(bound["host"], bound["port"],
+                                    policy=RetryPolicy())
+        try:
+            return client.replay(requests)
+        finally:
+            client.close()
+
+    # Warm the server's caches once so both timed replays measure the
+    # same (steady-state) server work.
+    warm = replay_plain()
+    assert all(r["ok"] for r in warm)
+
+    plain_s, plain_replies = _timed(replay_plain)
+    retry_s, retry_replies = _timed(replay_retrying)
+
+    for plain, retried in zip(plain_replies, retry_replies):
+        assert plain["ok"] and retried["ok"]
+        if "winner" in plain["result"]:
+            for key in ("winner", "spec", "score", "explored", "legal"):
+                assert plain["result"][key] == retried["result"][key]
+        else:
+            assert plain["result"] == retried["result"]
+
+    stopper = ServiceClient.connect(bound["host"], bound["port"])
+    stopper.shutdown()
+    stopper.close(shutdown=False)
+    server.join(timeout=10)
+
+    overhead = retry_s / plain_s
+    doc = {
+        "benchmark": "TCP replay, RetryingClient vs ServiceClient, "
+                     "zero faults armed",
+        "requests": len(requests),
+        "plain_seconds": round(plain_s, 6),
+        "retrying_seconds": round(retry_s, 6),
+        "overhead_ratio": round(overhead, 4),
+        "ceiling": RETRY_OVERHEAD_CEILING,
+    }
+    smoke_summary["resilience_retry_overhead"] = doc
+    try:
+        existing = json.load(open("bench_resilience.json"))
+    except (OSError, ValueError):
+        existing = {}
+    existing["retry_overhead"] = doc
+    with open("bench_resilience.json", "w") as fh:
+        json.dump(existing, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    report("Perf-11 smoke: retry-layer overhead at zero faults",
+           f"retrying {retry_s:.3f}s vs plain {plain_s:.3f}s "
+           f"({(overhead - 1) * 100:+.1f}%; ceiling "
+           f"{(RETRY_OVERHEAD_CEILING - 1) * 100:.0f}%)")
+    # Small absolute epsilon so a sub-millisecond jitter on a fast
+    # machine cannot fail a ratio computed over tiny denominators.
+    assert retry_s <= plain_s * RETRY_OVERHEAD_CEILING + 0.05, (
+        f"retry layer costs {(overhead - 1) * 100:.1f}% at zero faults")
+
+
+def test_warmstate_checkpoint_latency_report(report, tmp_path):
+    """Report-only: what one checkpoint write and one restore cost."""
+    state = WarmState()
+    nest = state.nest(STENCIL)
+    deps = state.deps(nest)
+    from repro.core.spec import parse_steps
+    for spec in STEP_SPECS:
+        state.legality_cache.legality(
+            parse_steps(spec, nest.depth), nest, deps)
+    path = str(tmp_path / "warm.ckpt")
+    write_s, ok = _timed(lambda: state.checkpoint(path))
+    assert ok
+    restore_s, count = _timed(lambda: WarmState().restore(path))
+    assert count > 0
+    import os
+    report("Perf-11: checkpoint mechanics (informational)",
+           f"checkpoint {write_s * 1000:.2f} ms, restore "
+           f"{restore_s * 1000:.2f} ms, {count} entries, "
+           f"{os.path.getsize(path)} bytes on disk")

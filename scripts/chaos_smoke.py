@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""CI chaos smoke: SIGKILL a supervised server mid-replay.
+
+The contract under test is the whole resilience stack at once:
+
+* ``repro serve --tcp --supervise`` restarts the killed child with
+  backoff and warm checkpoint restore;
+* the child's answered-request dedup window plus the client's ``idem``
+  keys turn the retried resends into exactly-once execution;
+* therefore a replay that loses its server mid-flight must complete
+  with every request answered, identical to a fault-free baseline.
+
+Exit 0 on success.  The supervisor report lands at ``--report``
+(default ``chaos_report.json``) for the CI artifact upload.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.resilience.retry import RetryPolicy, RetryingClient  # noqa: E402
+
+STENCIL = """
+do i = 2, n-1
+  do j = 2, n-1
+    a(i, j) = a(i-1, j) + a(i, j-1)
+  enddo
+enddo
+"""
+
+REQUESTS = 60
+
+
+def request_script(n):
+    """n requests cycling the pipeline ops (same shape as the
+    differential suite in tests/test_resilience.py)."""
+    script = []
+    for i in range(n):
+        kind = i % 4
+        if kind == 0:
+            script.append({"id": i, "op": "parse",
+                           "params": {"text": STENCIL}})
+        elif kind == 1:
+            script.append({"id": i, "op": "analyze",
+                           "params": {"text": STENCIL}})
+        elif kind == 2:
+            script.append({"id": i, "op": "legality",
+                           "params": {"text": STENCIL,
+                                      "steps": "interchange(1,2)"}})
+        else:
+            script.append({"id": i, "op": "apply",
+                           "params": {"text": STENCIL,
+                                      "steps": "interchange(1,2)",
+                                      "emit": "c"}})
+    return script
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def find_child_pid(marker):
+    """The supervised *child* is the process whose argv carries the
+    heartbeat path but not --supervise (that one is the supervisor)."""
+    for pid in os.listdir("/proc"):
+        if not pid.isdigit():
+            continue
+        try:
+            with open(f"/proc/{pid}/cmdline", "rb") as fh:
+                argv = fh.read().decode("utf-8", "replace").split("\0")
+        except OSError:
+            continue
+        if marker in argv and "--supervise" not in argv:
+            return int(pid)
+    return None
+
+
+def start_server(tmpdir, tag, supervise):
+    port = free_port()
+    heartbeat = os.path.join(tmpdir, f"{tag}.hb")
+    argv = [sys.executable, "-m", "repro", "serve", "--tcp",
+            "--host", "127.0.0.1", "--port", str(port),
+            "--heartbeat-file", heartbeat, "--hang-timeout", "5"]
+    if supervise:
+        argv += ["--supervise", "--max-restarts", "5",
+                 "--report", os.path.join(tmpdir, f"{tag}.report.json")]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    proc = subprocess.Popen(argv, env=env)
+    return proc, port, heartbeat
+
+
+def replay(port, kill_marker=None, kill_at=REQUESTS // 3):
+    client = RetryingClient.tcp(
+        "127.0.0.1", port,
+        policy=RetryPolicy(attempts=10, backoff_max=3.0, budget=120.0),
+        attempt_timeout=20.0)
+    deadline = time.monotonic() + 30.0
+    while True:  # wait for the server to accept
+        try:
+            client.request("ping")
+            break
+        except Exception:
+            if time.monotonic() > deadline:
+                raise
+            client.close()
+            time.sleep(0.25)
+    replies = []
+    for i, req in enumerate(request_script(REQUESTS)):
+        if kill_marker is not None and i == kill_at:
+            pid = find_child_pid(kill_marker)
+            if pid is None:
+                raise SystemExit(
+                    "chaos-smoke: could not find supervised child")
+            os.kill(pid, signal.SIGKILL)
+            print(f"chaos-smoke: SIGKILLed supervised child pid {pid} "
+                  f"after {i} requests", flush=True)
+        replies.append(client.request_raw(
+            req["op"], req.get("params"), req_id=req["id"]))
+    client.request_raw("shutdown")
+    client.close()
+    return replies
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", default="chaos_report.json")
+    parser.add_argument("--tmpdir", default=None)
+    args = parser.parse_args()
+    tmpdir = args.tmpdir or os.path.join(
+        os.getcwd(), ".chaos-smoke")
+    os.makedirs(tmpdir, exist_ok=True)
+
+    print("chaos-smoke: fault-free baseline replay", flush=True)
+    base_proc, base_port, _ = start_server(tmpdir, "baseline",
+                                           supervise=False)
+    try:
+        baseline = replay(base_port)
+    finally:
+        base_proc.wait(timeout=30)
+    assert all(r["ok"] for r in baseline), "baseline replay failed"
+
+    print("chaos-smoke: supervised replay with mid-flight SIGKILL",
+          flush=True)
+    sup_proc, sup_port, heartbeat = start_server(tmpdir, "chaotic",
+                                                 supervise=True)
+    try:
+        chaotic = replay(sup_port, kill_marker=heartbeat)
+    finally:
+        sup_code = sup_proc.wait(timeout=60)
+
+    assert len(chaotic) == len(baseline)
+    for base, chaos in zip(baseline, chaotic):
+        assert chaos["ok"], f"request {base['id']} failed: {chaos}"
+        assert base == chaos, (
+            f"request {base['id']} diverged under chaos:\n"
+            f"  baseline: {base}\n  chaotic:  {chaos}")
+    assert sup_code == 0, f"supervisor exited {sup_code}"
+
+    report_src = os.path.join(tmpdir, "chaotic.report.json")
+    with open(report_src) as fh:
+        report = json.load(fh)
+    restarts = report.get("restart_count", 0)
+    assert restarts >= 1, "the kill never registered as a restart"
+    assert report.get("final") == "clean-exit", report.get("final")
+    with open(args.report, "w") as fh:
+        json.dump({"requests": REQUESTS, "restarts": restarts,
+                   "final": report["final"],
+                   "supervisor": report}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"chaos-smoke: OK — {REQUESTS} requests answered identically "
+          f"across {restarts} restart(s); report: {args.report}",
+          flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,12 +29,15 @@ Commands
     Run the long-lived transformation service: newline-delimited JSON
     requests over stdio or TCP against warm caches and a shared worker
     pool (see :mod:`repro.service` and the Service section of
-    ``docs/API.md``).
+    ``docs/API.md``).  ``--supervise`` (TCP only) adds a crash/hang
+    supervisor with warm-state restore; ``--chaos SPEC`` arms fault
+    injection (:mod:`repro.resilience`).
 
-``client SCRIPT [--connect HOST:PORT]``
+``client SCRIPT [--connect HOST:PORT] [--retries N]``
     Replay an NDJSON request script against a service — a spawned
     stdio server by default, or a running TCP server with
-    ``--connect``.
+    ``--connect``.  ``--retries N`` retries transport failures and
+    retryable errors with idempotency keys (exactly-once execution).
 
 Every command additionally accepts ``--profile`` (print the per-phase
 span table to stderr when done) and ``--trace-json PATH`` (export the
@@ -65,6 +68,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -284,6 +288,36 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _free_port(host: str) -> int:
+    """Reserve an ephemeral port number a supervised child can rebind
+    across restarts (port 0 would move on every restart)."""
+    import socket
+    with socket.socket() as s:
+        s.bind((host, 0))
+        return s.getsockname()[1]
+
+
+def _serve_child_argv(args, port: int, heartbeat: str,
+                      checkpoint: str) -> list:
+    """The argv of one supervised server incarnation: the user's serve
+    options minus ``--supervise`` plus the heartbeat/checkpoint plumbing
+    every restart must share."""
+    argv = [sys.executable, "-m", "repro", "serve", "--tcp",
+            "--host", args.host, "--port", str(port),
+            "--heartbeat-file", heartbeat,
+            "--checkpoint", checkpoint,
+            "--checkpoint-every", str(args.checkpoint_every),
+            "--queue-max", str(args.queue_max),
+            "--batch-max", str(args.batch_max),
+            "--cache-max-entries", str(args.cache_max_entries),
+            "--hang-timeout", str(args.hang_timeout)]
+    if args.request_timeout is not None:
+        argv += ["--request-timeout", str(args.request_timeout)]
+    if args.jobs and args.jobs > 1:
+        argv += ["--jobs", str(args.jobs)]
+    return argv
+
+
 def cmd_serve(args) -> int:
     """Run the long-lived transformation service until drained.
 
@@ -291,7 +325,54 @@ def cmd_serve(args) -> int:
     parse/analysis memos) and one shared worker pool across the whole
     session; see :mod:`repro.service`.  It exits cleanly on SIGTERM,
     SIGINT, stdin EOF (stdio mode) or a ``shutdown`` request.
+
+    ``--supervise`` (TCP only) runs the server as a supervised child:
+    crashes and hangs restart it with backoff, warm state survives via
+    the checkpoint file, and a crash loop trips a circuit breaker.
+    ``--chaos SPEC`` arms fault injection (in the supervised child via
+    the ``REPRO_CHAOS`` environment).
     """
+    from repro.resilience import chaos
+
+    if args.supervise:
+        if not args.tcp:
+            print("error: --supervise requires --tcp (clients reconnect "
+                  "across restarts; stdio pipes cannot)", file=sys.stderr)
+            return 2
+        from repro.resilience.supervisor import Supervisor
+
+        port = args.port or _free_port(args.host)
+        heartbeat = args.heartbeat_file or f".repro-serve-{port}.hb"
+        checkpoint = args.checkpoint or heartbeat + ".ckpt"
+        if args.chaos:
+            os.environ[chaos.ENV_SPEC] = args.chaos
+            os.environ[chaos.ENV_SEED] = str(args.chaos_seed)
+            # Firing counts must survive restarts, else every crash
+            # rule is a crash loop.
+            os.environ[chaos.ENV_STATE] = (args.chaos_state
+                                           or heartbeat + ".chaos")
+        supervisor = Supervisor(
+            _serve_child_argv(args, port, heartbeat, checkpoint),
+            heartbeat_file=heartbeat,
+            hang_timeout=args.hang_timeout,
+            max_restarts=args.max_restarts,
+            restart_window=args.restart_window,
+            report_path=args.report)
+        supervisor.install_signal_handlers()
+        print(f"repro serve: supervising on {args.host}:{port} "
+              f"(heartbeat {heartbeat}, checkpoint {checkpoint})",
+              file=sys.stderr, flush=True)
+        code = supervisor.run()
+        print(f"repro serve: supervision ended after "
+              f"{len(supervisor.restarts)} restart(s)", file=sys.stderr)
+        return code
+
+    if args.chaos:
+        chaos.arm(chaos.ChaosPlan.from_spec(
+            args.chaos, seed=args.chaos_seed,
+            state_path=args.chaos_state))
+    else:
+        chaos.arm_from_env()
     from repro.service import TransformationService, serve_stdio, serve_tcp
 
     service = TransformationService(
@@ -299,7 +380,11 @@ def cmd_serve(args) -> int:
         queue_max=args.queue_max,
         batch_max=args.batch_max,
         request_timeout=args.request_timeout,
-        cache_max_entries=args.cache_max_entries)
+        cache_max_entries=args.cache_max_entries,
+        heartbeat_file=args.heartbeat_file,
+        hang_grace=max(args.hang_timeout / 2.0, 0.2),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every)
     if args.tcp:
         serve_tcp(service, host=args.host, port=args.port)
     else:
@@ -335,20 +420,33 @@ def cmd_client(args) -> int:
             return 2
         requests.append(req)
 
+    serve_args = []
+    if args.jobs and args.jobs > 1:
+        serve_args += ["--jobs", str(args.jobs)]
     if args.connect:
         host, _, port = args.connect.rpartition(":")
         if not host or not port.isdigit():
             print(f"error: --connect expects HOST:PORT, got "
                   f"{args.connect!r}", file=sys.stderr)
             return 2
-        client = ServiceClient.connect(host, int(port))
         shutdown = args.shutdown
+        if args.retries:
+            from repro.resilience.retry import RetryPolicy, RetryingClient
+            client = RetryingClient.tcp(
+                host, int(port),
+                policy=RetryPolicy(attempts=args.retries + 1),
+                attempt_timeout=args.attempt_timeout)
+        else:
+            client = ServiceClient.connect(host, int(port))
     else:
-        serve_args = []
-        if args.jobs and args.jobs > 1:
-            serve_args += ["--jobs", str(args.jobs)]
-        client = ServiceClient.spawn(serve_args)
         shutdown = True
+        if args.retries:
+            from repro.resilience.retry import RetryPolicy, RetryingClient
+            client = RetryingClient.spawn(
+                serve_args, policy=RetryPolicy(attempts=args.retries + 1),
+                attempt_timeout=args.attempt_timeout)
+        else:
+            client = ServiceClient.spawn(serve_args)
     try:
         responses = client.replay(requests)
     finally:
@@ -483,6 +581,51 @@ def build_parser() -> argparse.ArgumentParser:
                        type=int, default=4096, metavar="N",
                        help="bound on the warm legality cache (LRU "
                             "eviction; default 4096)")
+    p_srv.add_argument("--supervise", action="store_true",
+                       help="with --tcp: run the server as a supervised "
+                            "child, restarting on crash or hang with "
+                            "backoff and warm-state restore")
+    p_srv.add_argument("--heartbeat-file", dest="heartbeat_file",
+                       metavar="PATH", default=None,
+                       help="liveness file the server touches while its "
+                            "loop is healthy (chosen automatically under "
+                            "--supervise)")
+    p_srv.add_argument("--hang-timeout", dest="hang_timeout", type=float,
+                       default=10.0, metavar="SECONDS",
+                       help="stale-heartbeat threshold before the "
+                            "supervisor kills a hung child (default 10)")
+    p_srv.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="warm-state checkpoint file: restored at "
+                            "startup, rewritten periodically (chosen "
+                            "automatically under --supervise)")
+    p_srv.add_argument("--checkpoint-every", dest="checkpoint_every",
+                       type=int, default=25, metavar="N",
+                       help="checkpoint after every N processed requests "
+                            "(default 25)")
+    p_srv.add_argument("--max-restarts", dest="max_restarts", type=int,
+                       default=5, metavar="N",
+                       help="circuit breaker: give up after N restarts "
+                            "inside the restart window (default 5)")
+    p_srv.add_argument("--restart-window", dest="restart_window",
+                       type=float, default=60.0, metavar="SECONDS",
+                       help="window for the restart circuit breaker "
+                            "(default 60)")
+    p_srv.add_argument("--report", metavar="PATH", default=None,
+                       help="write the supervisor's JSON restart report "
+                            "to PATH")
+    p_srv.add_argument("--chaos", metavar="SPEC", default=None,
+                       help="arm fault injection, e.g. "
+                            "'service.dispatch:crash:1,legality:error:2' "
+                            "(see repro.resilience.chaos)")
+    p_srv.add_argument("--chaos-seed", dest="chaos_seed", type=int,
+                       default=0, metavar="N",
+                       help="seed for probabilistic chaos rules "
+                            "(default 0)")
+    p_srv.add_argument("--chaos-state", dest="chaos_state",
+                       metavar="PATH", default=None,
+                       help="persist chaos firing counts across "
+                            "supervised restarts (chosen automatically "
+                            "under --supervise)")
     add_observe(p_srv)
     add_parallel(p_srv, jobs_help="size of the shared worker pool for "
                  "batched legality and parallel search (default 1)")
@@ -500,6 +643,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--shutdown", action="store_true",
                       help="with --connect: ask the server to drain and "
                            "stop after the replay")
+    p_cl.add_argument("--retries", type=int, default=0, metavar="N",
+                      help="retry each request up to N times on "
+                           "transport failures and retryable errors, "
+                           "with idempotency keys so nothing re-executes "
+                           "(default 0 = fail fast)")
+    p_cl.add_argument("--attempt-timeout", dest="attempt_timeout",
+                      type=float, default=None, metavar="SECONDS",
+                      help="with --retries: per-attempt response "
+                           "timeout; a hung server becomes a retried "
+                           "transport failure")
     add_observe(p_cl)
     add_parallel(p_cl, jobs_help="--jobs for the spawned server "
                  "(ignored with --connect)")

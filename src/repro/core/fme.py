@@ -36,11 +36,14 @@ from repro.expr.nodes import (
     vmax,
     vmin,
 )
+from repro.resilience import guards as _guards
 from repro.util.errors import CodegenError
 from repro.util.intmath import gcd_many
 from repro.util.matrices import IntMatrix
 
-#: Safety valve against FM's worst-case blowup.
+#: Historical default for the safety valve against FM's worst-case
+#: blowup; the live cap is ``guards.limits().max_fme_constraints``
+#: (same default, REPRO_MAX_FME_CONSTRAINTS-overridable).
 MAX_CONSTRAINTS = 2000
 
 
@@ -195,10 +198,12 @@ def _eliminate(constraints: Sequence[Constraint],
             if not combined.is_trivial():
                 kept.append(combined)
     kept = _dedupe_and_prune(kept)
-    if len(kept) > MAX_CONSTRAINTS:
+    cap = _guards.limits().max_fme_constraints
+    if len(kept) > cap:
         raise CodegenError(
             f"Fourier-Motzkin blowup: {len(kept)} constraints at level "
-            f"{level}; the transformed polyhedron is too complex")
+            f"{level} (limit {cap}, REPRO_MAX_FME_CONSTRAINTS); the "
+            f"transformed polyhedron is too complex")
     return kept
 
 

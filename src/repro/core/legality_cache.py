@@ -39,6 +39,7 @@ from repro.core.template import Template
 from repro.deps.vector import DepSet
 from repro.ir.loopnest import Loop, LoopNest
 from repro.obs import trace as _obs
+from repro.resilience import chaos as _chaos
 from repro.util.errors import CodegenError, PreconditionViolation
 
 
@@ -232,6 +233,7 @@ class LegalityCache:
     def legality(self, transformation: Transformation, nest: LoopNest,
                  deps: DepSet) -> LegalityReport:
         """Drop-in for ``transformation.legality(nest, deps)``."""
+        _chaos.inject("legality")
         self._maybe_flush()
         okey = (id(transformation), id(nest), id(deps))
         pinned = self._verdict_by_obj.get(okey)
@@ -464,6 +466,20 @@ class LegalityCache:
         return report
 
     # -- bookkeeping -------------------------------------------------------
+
+    def __getstate__(self):
+        """Checkpoint support (:meth:`repro.service.state.WarmState.
+        checkpoint`): the content-keyed tables are the warm state worth
+        persisting; the object-identity shortcut tables key by ``id()``,
+        which is meaningless in another process, and the delta log is
+        per-call scratch — all are rebuilt lazily from traffic."""
+        state = self.__dict__.copy()
+        state["_delta_log"] = None
+        state["_step_by_obj"] = {}
+        state["_nest_by_obj"] = {}
+        state["_deps_by_obj"] = {}
+        state["_verdict_by_obj"] = {}
+        return state
 
     @property
     def stats(self) -> Dict[str, int]:

@@ -420,4 +420,6 @@ def _conservative_cover(n: int) -> List[DepVector]:
 def analyze(nest: LoopNest, arrays: Optional[Iterable[str]] = None,
             level: str = "fm") -> DepSet:
     """Analyze *nest* and return its dependence-vector set."""
+    from repro.resilience import chaos
+    chaos.inject("deps.analysis")
     return DependenceAnalyzer(nest, arrays=arrays, level=level).analyze()

@@ -36,6 +36,7 @@ from repro.expr.nodes import (
     vmax,
     vmin,
 )
+from repro.resilience import guards as _guards
 from repro.util.errors import ParseError
 
 
@@ -92,6 +93,11 @@ class TokenStream:
     def __init__(self, tokens: List[Token]):
         self._tokens = tokens
         self._pos = 0
+        # Recursion-depth accounting shared by every recursive-descent
+        # rule that runs over this stream (expression nesting here, loop
+        # nesting in repro.ir.parser); guarded against
+        # repro.resilience.guards.limits().
+        self.depth = 0
 
     def peek(self) -> Token:
         return self._tokens[self._pos]
@@ -134,10 +140,27 @@ _BUILDERS = {
 }
 
 
+def _enter(stream: TokenStream) -> None:
+    """Depth guard for the recursive rules: a pathologically nested
+    input ("((((...))))", "----x") must fail as a typed ParseError with
+    a position, not as a RecursionError from an arbitrary frame."""
+    stream.depth += 1
+    if stream.depth > _guards.limits().max_expr_depth:
+        tok = stream.peek()
+        raise ParseError(
+            f"expression nesting exceeds {_guards.limits().max_expr_depth} "
+            f"levels (REPRO_MAX_EXPR_DEPTH)",
+            line=tok.line, column=tok.column)
+
+
 def parse_expression(stream: TokenStream) -> Expr:
     """Parse an expression from *stream* (stops at the first non-expression
     token, which the caller consumes)."""
-    return _parse_additive(stream)
+    _enter(stream)
+    try:
+        return _parse_additive(stream)
+    finally:
+        stream.depth -= 1
 
 
 def _parse_additive(stream: TokenStream) -> Expr:
@@ -165,11 +188,15 @@ def _parse_multiplicative(stream: TokenStream) -> Expr:
 
 
 def _parse_unary(stream: TokenStream) -> Expr:
-    if stream.accept("op", "-"):
-        return neg(_parse_unary(stream))
-    if stream.accept("op", "+"):
-        return _parse_unary(stream)
-    return _parse_atom(stream)
+    _enter(stream)
+    try:
+        if stream.accept("op", "-"):
+            return neg(_parse_unary(stream))
+        if stream.accept("op", "+"):
+            return _parse_unary(stream)
+        return _parse_atom(stream)
+    finally:
+        stream.depth -= 1
 
 
 def _parse_atom(stream: TokenStream) -> Expr:
@@ -199,6 +226,7 @@ def _parse_atom(stream: TokenStream) -> Expr:
 
 def parse_expr(text: str) -> Expr:
     """Parse a standalone expression string."""
+    _guards.check_source_size(text, "expression")
     stream = TokenStream(tokenize(text))
     stream.skip_newlines()
     result = parse_expression(stream)

@@ -33,6 +33,8 @@ from typing import List, Tuple
 
 from repro.expr.nodes import Expr, call
 from repro.expr.parser import Token, TokenStream, parse_expression, tokenize
+from repro.resilience import chaos as _chaos
+from repro.resilience import guards as _guards
 from repro.ir.loopnest import (
     Assign,
     ArrayRef,
@@ -88,11 +90,23 @@ def _parse_statement(stream: TokenStream) -> Statement:
     return InitStmt(name, parse_expression(stream))
 
 
+def _nest_guard(stream: TokenStream, kw: Token) -> None:
+    """Loop-nesting depth guard: reject hostile "do do do ..." input
+    with a typed error before Python's recursion limit is at risk."""
+    cap = _guards.limits().max_nest_depth
+    if stream.depth > cap:
+        raise ParseError(
+            f"loop nesting exceeds {cap} levels (REPRO_MAX_NEST_DEPTH)",
+            line=kw.line, column=kw.column)
+
+
 def _parse_loop(stream: TokenStream):
     kw = stream.expect("ident")
     if kw.text not in (DO, PARDO):
         raise ParseError(f"expected 'do' or 'pardo', found {kw.text!r}",
                          line=kw.line, column=kw.column)
+    stream.depth += 1
+    _nest_guard(stream, kw)
     index = stream.expect("ident").text
     stream.expect("op", "=")
     lower = parse_expression(stream)
@@ -131,11 +145,14 @@ def _parse_loop(stream: TokenStream):
             break
         stmts.append(_parse_statement(stream))
         stream.skip_newlines()
+    stream.depth -= 1
     return [Loop(index, lower, upper, step, kw.text)] + inner_loops, stmts
 
 
 def parse_nest(text: str) -> LoopNest:
     """Parse a perfect loop nest from *text* and validate it."""
+    _chaos.inject("ir.parse")
+    _guards.check_source_size(text, "loop nest source")
     stream = TokenStream(tokenize(text))
     stream.skip_newlines()
     loops, stmts = _parse_loop(stream)
@@ -168,6 +185,8 @@ def _parse_imperfect_loop(stream: TokenStream):
     if kw.text not in (DO, PARDO):
         raise ParseError(f"expected 'do' or 'pardo', found {kw.text!r}",
                          line=kw.line, column=kw.column)
+    stream.depth += 1
+    _nest_guard(stream, kw)
     index = stream.expect("ident").text
     stream.expect("op", "=")
     lower = parse_expression(stream)
@@ -211,6 +230,7 @@ def _parse_imperfect_loop(stream: TokenStream):
     if inner is not None and any(isinstance(s, InitStmt) for s in pre):
         raise ParseError("scalar assignments before an inner loop cannot "
                          "be sunk soundly; use an array element")
+    stream.depth -= 1
     return ImperfectNest(loop, pre, inner, post)
 
 
@@ -223,6 +243,8 @@ def parse_imperfect(text: str):
     loop; scalar assignments in those positions are rejected (sinking
     them under guards would not be modeled by the dependence analyzer).
     """
+    _chaos.inject("ir.parse")
+    _guards.check_source_size(text, "loop nest source")
     stream = TokenStream(tokenize(text))
     stream.skip_newlines()
     tree = _parse_imperfect_loop(stream)

@@ -1,79 +1,24 @@
-"""Test-only fault injection for parallel-search workers.
+"""Pool-worker fault injection — now part of the unified chaos layer.
 
-The robustness tests install a :class:`FaultPlan` in the parent before
-calling ``search(..., jobs=N)``; forked workers inherit it and consult
-the module before/while evaluating each candidate.  Only worker
-processes ever call the hook functions, so a plan perturbs workers
-without touching the parent's own (fallback) evaluations — which is
-exactly what lets the tests assert that results survive the faults.
-
-Faults address candidates by their level-local index (the position in
-the level's candidate list, which is also the worker protocol's task
-index) and can be limited to a worker generation: ``"primary"`` for the
-first dispatch of a level, ``"requeue"`` for the single retry worker.
+The implementation moved to :mod:`repro.resilience.chaos`, which adds
+point-addressed injection (``pool.worker`` among them) on top of the
+index-addressed :class:`FaultPlan` this module introduced; everything
+importable here before still is.  The hook functions consult module
+state in ``repro.resilience.chaos``, so installing through either
+spelling perturbs the same workers.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from typing import Iterable, Optional
+from repro.resilience.chaos import (  # noqa: F401  (re-exported)
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    clear,
+    current,
+    install,
+    maybe_crash,
+    maybe_hang,
+)
 
-#: Exit status used by injected crashes; chosen to be distinguishable
-#: from interpreter deaths in worker logs (the pool itself treats every
-#: silent death the same way).
-CRASH_EXIT_CODE = 87
-
-
-class FaultPlan:
-    """A deterministic script of worker misbehavior.
-
-    ``crash_indices`` — candidate indices whose evaluation dies via
-    ``os._exit`` (no cleanup, no "done" sentinel: a genuine crash as the
-    pool observes it).  ``hang_indices`` — candidate indices that sleep
-    ``hang_seconds`` inside the scored region, to trip per-candidate
-    timeouts or the pool's stall backstop.  ``kinds`` limits which
-    worker generations misbehave.
-    """
-
-    def __init__(self, crash_indices: Iterable[int] = (),
-                 hang_indices: Iterable[int] = (),
-                 hang_seconds: float = 30.0,
-                 kinds: Iterable[str] = ("primary",)):
-        self.crash_indices = frozenset(crash_indices)
-        self.hang_indices = frozenset(hang_indices)
-        self.hang_seconds = float(hang_seconds)
-        self.kinds = frozenset(kinds)
-
-
-_PLAN: Optional[FaultPlan] = None
-
-
-def install(plan: FaultPlan) -> None:
-    global _PLAN
-    _PLAN = plan
-
-
-def clear() -> None:
-    global _PLAN
-    _PLAN = None
-
-
-def current() -> Optional[FaultPlan]:
-    return _PLAN
-
-
-def maybe_crash(kind: str, index: int) -> None:
-    """Worker hook, called before each candidate evaluation."""
-    plan = _PLAN
-    if plan is not None and kind in plan.kinds and \
-            index in plan.crash_indices:
-        os._exit(CRASH_EXIT_CODE)
-
-
-def maybe_hang(kind: str, index: int) -> None:
-    """Worker hook, called inside the timed scoring region."""
-    plan = _PLAN
-    if plan is not None and kind in plan.kinds and \
-            index in plan.hang_indices:
-        time.sleep(plan.hang_seconds)
+__all__ = ["CRASH_EXIT_CODE", "FaultPlan", "clear", "current", "install",
+           "maybe_crash", "maybe_hang"]

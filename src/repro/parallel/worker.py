@@ -40,6 +40,7 @@ from __future__ import annotations
 import pickle
 import signal
 import threading
+import time
 import traceback
 import warnings
 from typing import Callable, List, Optional, Tuple
@@ -49,11 +50,21 @@ from repro.core.legality_cache import template_key
 from repro.core.sequence import Transformation
 from repro.core.template import Template
 from repro.parallel import faults
+from repro.resilience import chaos as _chaos
 from repro.util.errors import ReproError
 
 
 class ScoreTimeout(Exception):
-    """Internal: a candidate evaluation overran its wall-clock budget."""
+    """Internal: a candidate evaluation overran its wall-clock budget.
+
+    ``token`` identifies which :func:`call_with_timeout` frame armed the
+    timer that fired, so nested budgets attribute timeouts to the right
+    frame instead of the innermost one swallowing them all.
+    """
+
+    def __init__(self, token: object = None):
+        super().__init__("wall-clock budget exceeded")
+        self.token = token
 
 
 class WorkerError(ReproError):
@@ -127,23 +138,54 @@ def call_with_timeout(fn: Callable[[], object],
     main thread of a process (which both the search caller and worker
     processes normally are); elsewhere, or with no budget, the call
     simply runs to completion.
+
+    **Nesting.**  Budgets nest correctly: the call saves the previous
+    ``SIGALRM`` handler *and* the remaining time of any already-armed
+    itimer, arms ``min(seconds, remaining)``, and on exit re-arms the
+    outer timer with whatever of its budget is left (firing it promptly
+    when the inner call consumed it all).  A server request budget
+    around a per-candidate budget therefore cannot be cancelled by the
+    inner timer's cleanup — the regression that motivated this was an
+    inner ``setitimer(0)`` silently disarming the outer budget.  Each
+    frame tags its :class:`ScoreTimeout` with a unique token; a timeout
+    belonging to an outer frame is re-delivered under the restored
+    outer handler rather than swallowed here.
     """
     if not seconds or seconds <= 0 or \
             threading.current_thread() is not threading.main_thread():
         return fn(), False
 
-    def _alarm(signum, frame):
-        raise ScoreTimeout
+    token = object()
 
-    previous = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    def _alarm(signum, frame):
+        raise ScoreTimeout(token)
+
+    prev_handler = signal.getsignal(signal.SIGALRM)
+    outer_remaining, _interval = signal.getitimer(signal.ITIMER_REAL)
+    outer_deadline = (time.monotonic() + outer_remaining
+                      if outer_remaining > 0 else None)
+    budget = (seconds if outer_deadline is None
+              else min(seconds, outer_remaining))
+    signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, budget)
     try:
         return fn(), False
-    except ScoreTimeout:
+    except ScoreTimeout as exc:
+        if exc.token is not token:
+            raise  # an outer frame's timeout unwinding through us
+        # Our timer fired.  Either our own budget was the binding one
+        # (a genuine inner timeout), or the outer frame's remaining
+        # time was shorter and we armed that instead — in which case
+        # the finally below re-arms the outer timer with ~no time
+        # left, so the outer budget still fires, under its own
+        # handler, immediately after we return.
         return None, True
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        signal.signal(signal.SIGALRM, prev_handler)
+        if outer_deadline is not None:
+            signal.setitimer(signal.ITIMER_REAL,
+                             max(outer_deadline - time.monotonic(), 1e-6))
 
 
 # -- exception transport ----------------------------------------------------
@@ -198,6 +240,10 @@ def worker_main(worker_id: int, kind: str, shard: List[Tuple[int, Tuple]],
         for index, wire in shard:
             faults.maybe_crash(kind, index)
             try:
+                # error-kind chaos rides the exception transport back to
+                # the parent (like any worker-side raise); crash/hang
+                # kinds exercise the pool's requeue and stall paths.
+                _chaos.inject("pool.worker")
                 legal, value, timed_out, delta = evaluate_wire(
                     wire, kind, index, nest, deps, score, cache, timeout)
             except Exception as exc:

@@ -1,0 +1,242 @@
+"""Client-side retry with backoff, jitter and idempotency keys.
+
+:class:`RetryingClient` wraps the transport-level
+:class:`~repro.service.client.ServiceClient` with the policy a caller
+facing a crash-prone server needs:
+
+* every request carries an ``idem`` key (``client_id:seq``), so a retry
+  after a dropped connection or a lost reply is answered from the
+  server's dedup window instead of re-executed — at-least-once sending,
+  exactly-once execution;
+* transport failures (connection refused while a supervisor restarts
+  the server, EOF mid-response, a per-attempt read timeout) reconnect
+  and resend;
+* typed ``unavailable`` and ``backpressure`` errors — the two codes the
+  protocol marks retryable — back off exponentially with deterministic
+  jitter and try again; every other typed error is the server's final
+  word and raises immediately;
+* a per-request *retry budget* bounds the total time spent backing off,
+  so a dead server fails the call instead of retrying forever.
+"""
+
+from __future__ import annotations
+
+import random
+import select
+import socket
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.protocol import RETRYABLE_CODES, ServiceError
+
+
+class RetryPolicy:
+    """How hard to try: attempts, backoff shape, and the retry budget.
+
+    ``jitter`` is the fractional spread added on top of each backoff
+    delay (0.5 → up to +50%), drawn from a seeded RNG so replay runs
+    are reproducible.  ``budget`` caps the *cumulative* backoff sleep
+    per request in seconds (None = attempts alone bound the work).
+    """
+
+    __slots__ = ("attempts", "backoff_initial", "backoff_max",
+                 "backoff_factor", "jitter", "budget", "seed")
+
+    def __init__(self, attempts: int = 4, backoff_initial: float = 0.05,
+                 backoff_max: float = 2.0, backoff_factor: float = 2.0,
+                 jitter: float = 0.5, budget: Optional[float] = 30.0,
+                 seed: int = 0):
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self.attempts = int(attempts)
+        self.backoff_initial = float(backoff_initial)
+        self.backoff_max = float(backoff_max)
+        self.backoff_factor = float(backoff_factor)
+        self.jitter = float(jitter)
+        self.budget = budget
+        self.seed = int(seed)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number *attempt* (0-based)."""
+        base = min(self.backoff_initial * self.backoff_factor ** attempt,
+                   self.backoff_max)
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class RetryingClient:
+    """A :class:`ServiceClient` wrapper that reconnects and retries.
+
+    Construct with a *factory* returning a fresh connected
+    :class:`ServiceClient` (used initially and after every transport
+    failure), or use :meth:`tcp` / :meth:`spawn`.  ``attempt_timeout``
+    bounds each read so a hung server surfaces as a retryable
+    transport failure instead of blocking the caller forever.
+    """
+
+    def __init__(self, factory: Callable[[], ServiceClient],
+                 policy: Optional[RetryPolicy] = None,
+                 client_id: Optional[str] = None,
+                 attempt_timeout: Optional[float] = None):
+        self._factory = factory
+        self.policy = policy or RetryPolicy()
+        self.client_id = client_id or f"rc{id(self) & 0xffffff:x}"
+        self.attempt_timeout = attempt_timeout
+        self._rng = random.Random(self.policy.seed)
+        self._client: Optional[ServiceClient] = None
+        self._seq = 0
+        self.counters: Dict[str, int] = {
+            "requests": 0, "retries": 0, "reconnects": 0,
+            "transport_failures": 0, "retryable_errors": 0,
+        }
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def tcp(cls, host: str, port: int, **kwargs: Any) -> "RetryingClient":
+        """Retrying client for a (possibly supervised) TCP server; the
+        factory reconnects to the same address after every failure, so
+        a supervisor restart looks like one retried request."""
+        return cls(lambda: ServiceClient.connect(host, port), **kwargs)
+
+    @classmethod
+    def spawn(cls, serve_args: Sequence[str] = (),
+              **kwargs: Any) -> "RetryingClient":
+        """Retrying client over a spawned stdio server (respawned cold
+        after a transport failure)."""
+        return cls(lambda: ServiceClient.spawn(serve_args), **kwargs)
+
+    # -- connection management ---------------------------------------------
+
+    def _connected(self) -> ServiceClient:
+        if self._client is None:
+            self._client = self._factory()
+            self.counters["reconnects"] += 1
+            if _obs.enabled():
+                get_metrics().counter("client.reconnects").inc()
+        return self._client
+
+    def _drop_connection(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close(shutdown=False, timeout=1.0)
+            except Exception:
+                pass
+            self._client = None
+
+    def _recv(self, client: ServiceClient, req_id: Any) -> dict:
+        """One response read, bounded by ``attempt_timeout``.
+
+        Uses ``select`` on the transport fd (works for both the TCP
+        socket and the spawned server's pipe); a timeout raises
+        :class:`TimeoutError`, which the retry loop treats exactly like
+        a dropped connection.
+        """
+        if self.attempt_timeout is not None:
+            deadline = time.monotonic() + self.attempt_timeout
+            fd = client._rfile.fileno()
+            while req_id not in client._pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"no response within {self.attempt_timeout}s")
+                ready, _, _ = select.select([fd], [], [], remaining)
+                if ready:
+                    break
+        return client.recv(req_id)
+
+    # -- the retry loop ----------------------------------------------------
+
+    def request_raw(self, op: str,
+                    params: Optional[Dict[str, Any]] = None,
+                    req_id: Optional[Any] = None) -> dict:
+        """One logical request → one raw response object, retrying
+        transport failures and retryable typed errors under the policy.
+        The same ``idem`` key rides every resend, so the server never
+        executes the work twice."""
+        self._seq += 1
+        if req_id is None:
+            req_id = f"{self.client_id}-{self._seq}"
+        idem = f"{self.client_id}:{self._seq}"
+        self.counters["requests"] += 1
+        slept = 0.0
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.policy.attempts):
+            if attempt:
+                delay = self.policy.delay(attempt - 1, self._rng)
+                if self.policy.budget is not None and \
+                        slept + delay > self.policy.budget:
+                    break
+                time.sleep(delay)
+                slept += delay
+                self.counters["retries"] += 1
+                if _obs.enabled():
+                    get_metrics().counter("client.retries").inc()
+            try:
+                client = self._connected()
+                client.send(op, params, req_id=req_id, idem=idem)
+                response = self._recv(client, req_id)
+            except (OSError, ValueError, TimeoutError,
+                    socket.timeout) as exc:
+                self.counters["transport_failures"] += 1
+                self._drop_connection()
+                last_error = exc
+                continue
+            except ServiceError as exc:
+                # recv() raises INTERNAL on EOF mid-response: the
+                # server died with our request in flight.
+                self.counters["transport_failures"] += 1
+                self._drop_connection()
+                last_error = exc
+                continue
+            if not response.get("ok"):
+                code = (response.get("error") or {}).get("code")
+                if code in RETRYABLE_CODES:
+                    self.counters["retryable_errors"] += 1
+                    last_error = ServiceError(
+                        code, (response.get("error") or {}).get(
+                            "message", code))
+                    continue
+            return response
+        raise ServiceError(
+            protocol.UNAVAILABLE,
+            f"request {op!r} failed after {self.policy.attempts} "
+            f"attempts ({slept:.2f}s backing off): {last_error}")
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """One logical round-trip; returns ``result`` or raises
+        :class:`ServiceError` with the final typed code."""
+        response = self.request_raw(op, params)
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error") or {}
+        raise ServiceError(error.get("code", protocol.INTERNAL),
+                           error.get("message", "unknown error"))
+
+    def replay(self, requests: Iterable[dict]) -> List[dict]:
+        """Replay a request script (same shape as
+        :meth:`ServiceClient.replay`), one retried round-trip at a
+        time — sequential on purpose, so a mid-script server crash
+        resumes exactly where it stopped."""
+        return [self.request_raw(req["op"], req.get("params"),
+                                 req_id=req.get("id"))
+                for req in requests]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, shutdown: bool = False) -> None:
+        if self._client is not None:
+            try:
+                self._client.close(shutdown=shutdown)
+            except Exception:
+                pass
+            self._client = None
+
+    def __enter__(self) -> "RetryingClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

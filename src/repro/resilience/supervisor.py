@@ -1,0 +1,210 @@
+"""A process supervisor for the transformation service.
+
+``repro serve --supervise`` runs the real server as a child process and
+keeps it alive:
+
+* **crash detection** — the child exiting nonzero (including an
+  injected ``os._exit`` crash) is restarted;
+* **hang detection** — the child touches a heartbeat file from a
+  thread gated on its processing loop's liveness; a stale mtime beyond
+  ``hang_timeout`` means the loop is wedged, and the supervisor
+  SIGKILLs and restarts it;
+* **exponential backoff** between restarts, so a fast crash loop does
+  not busy-spin;
+* a **circuit breaker**: more than ``max_restarts`` restarts inside
+  ``restart_window`` seconds stops supervision with an error instead of
+  flapping forever;
+* **warm restore** — the child argv carries ``--checkpoint PATH``, so
+  every restarted child reloads the previous incarnation's parse /
+  analysis / legality state (``state.restored_entries`` and
+  ``reuse_ratio`` in ``stats`` quantify what survived).
+
+The supervisor itself stays tiny and allocation-free in steady state:
+it polls the child and the heartbeat mtime.  SIGTERM/SIGINT are
+forwarded to the child and supervision ends with its clean exit.  A
+JSON report (``report_path``) records every restart with its reason
+and backoff for post-mortems and the CI chaos job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
+from repro.util.errors import ReproError
+
+
+class CrashLoopError(ReproError):
+    """The circuit breaker tripped: too many restarts too quickly."""
+
+
+class Supervisor:
+    """Run ``child_argv`` as a subprocess; restart on crash or hang."""
+
+    def __init__(self, child_argv: Sequence[str], *,
+                 heartbeat_file: Optional[str] = None,
+                 hang_timeout: float = 10.0,
+                 backoff_initial: float = 0.25,
+                 backoff_max: float = 10.0,
+                 backoff_factor: float = 2.0,
+                 max_restarts: int = 5,
+                 restart_window: float = 60.0,
+                 report_path: Optional[str] = None,
+                 poll_interval: float = 0.1):
+        self.child_argv = list(child_argv)
+        self.heartbeat_file = heartbeat_file
+        self.hang_timeout = float(hang_timeout)
+        self.backoff_initial = float(backoff_initial)
+        self.backoff_max = float(backoff_max)
+        self.backoff_factor = float(backoff_factor)
+        self.max_restarts = int(max_restarts)
+        self.restart_window = float(restart_window)
+        self.report_path = report_path
+        self.poll_interval = float(poll_interval)
+        self.restarts: List[Dict[str, object]] = []
+        self._child: Optional[subprocess.Popen] = None
+        self._stopping = False
+        self._restart_times: List[float] = []
+
+    # -- signals -----------------------------------------------------------
+
+    def install_signal_handlers(self) -> None:
+        """Forward SIGTERM/SIGINT to the child and stop supervising
+        (the child drains gracefully; its clean exit ends the loop)."""
+        if threading.current_thread() is not threading.main_thread():
+            return
+
+        def forward(signum, frame):
+            self._stopping = True
+            child = self._child
+            if child is not None and child.poll() is None:
+                try:
+                    child.send_signal(signum)
+                except OSError:
+                    pass
+
+        signal.signal(signal.SIGTERM, forward)
+        signal.signal(signal.SIGINT, forward)
+
+    # -- the supervision loop ----------------------------------------------
+
+    def run(self) -> int:
+        """Supervise until the child exits cleanly (returns its code 0),
+        the operator stops us (child's exit code after drain), or the
+        circuit breaker trips (:class:`CrashLoopError`)."""
+        backoff = self.backoff_initial
+        while True:
+            started = time.monotonic()
+            self._child = self._spawn()
+            reason = self._watch(self._child, started)
+            code = self._child.returncode
+            if reason == "exit" and code == 0:
+                self._write_report(final="clean-exit")
+                return 0
+            if self._stopping:
+                self._write_report(final="stopped")
+                return code if code is not None else 0
+            # Crash or hang: decide whether to restart.
+            now = time.monotonic()
+            self._restart_times = [
+                t for t in self._restart_times
+                if now - t <= self.restart_window]
+            if len(self._restart_times) >= self.max_restarts:
+                self._write_report(final="crash-loop")
+                raise CrashLoopError(
+                    f"service restarted {len(self._restart_times)} times "
+                    f"in {self.restart_window:.0f}s; giving up "
+                    f"(last exit code {code}, reason {reason})")
+            self._restart_times.append(now)
+            uptime = now - started
+            self.restarts.append({
+                "reason": reason, "exit_code": code,
+                "uptime_s": round(uptime, 3),
+                "backoff_s": round(backoff, 3),
+            })
+            if _obs.enabled():
+                get_metrics().counter("supervisor.restarts").inc()
+                get_metrics().counter(f"supervisor.restarts.{reason}").inc()
+            print(f"repro supervise: child exited (code {code}, "
+                  f"reason {reason}, uptime {uptime:.1f}s); restarting "
+                  f"in {backoff:.2f}s", file=sys.stderr, flush=True)
+            self._write_report(final=None)
+            time.sleep(backoff)
+            # A child that survived the whole window earns a backoff
+            # reset; a fast crasher keeps escalating.
+            if uptime >= self.restart_window:
+                backoff = self.backoff_initial
+            else:
+                backoff = min(backoff * self.backoff_factor,
+                              self.backoff_max)
+
+    def _spawn(self) -> subprocess.Popen:
+        # Reset the heartbeat clock so a slow-starting child is not
+        # instantly declared hung from a previous incarnation's mtime.
+        if self.heartbeat_file:
+            try:
+                with open(self.heartbeat_file, "a"):
+                    pass
+                os.utime(self.heartbeat_file, None)
+            except OSError:
+                pass
+        return subprocess.Popen(self.child_argv)
+
+    def _watch(self, child: subprocess.Popen, started: float) -> str:
+        """Block until the child exits or hangs; returns the reason
+        (``"exit"`` or ``"hang"``, the latter after a SIGKILL)."""
+        while True:
+            if child.poll() is not None:
+                return "exit"
+            if self.heartbeat_file and not self._stopping:
+                stale = time.monotonic() - max(self._heartbeat_mtime(),
+                                               started)
+                if stale > self.hang_timeout:
+                    try:
+                        child.kill()
+                    except OSError:
+                        pass
+                    child.wait()
+                    return "hang"
+            time.sleep(self.poll_interval)
+
+    def _heartbeat_mtime(self) -> float:
+        """The heartbeat's age on the supervisor's monotonic clock
+        (conservatively 'just now' when the file is unreadable)."""
+        try:
+            age = time.time() - os.stat(self.heartbeat_file).st_mtime
+        except OSError:
+            return time.monotonic()
+        return time.monotonic() - max(age, 0.0)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "restarts": list(self.restarts),
+            "restart_count": len(self.restarts),
+            "hang_timeout": self.hang_timeout,
+            "max_restarts": self.max_restarts,
+            "restart_window": self.restart_window,
+        }
+
+    def _write_report(self, final: Optional[str]) -> None:
+        if not self.report_path:
+            return
+        doc = dict(self.snapshot(), final=final,
+                   child_argv=self.child_argv)
+        tmp = self.report_path + ".tmp"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+            os.replace(tmp, self.report_path)
+        except OSError:
+            pass

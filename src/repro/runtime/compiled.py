@@ -45,6 +45,8 @@ from repro.expr.nodes import (
 from repro.ir.loopnest import Assign, If, InitStmt, LoopNest, PARDO, Statement
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_metrics
+from repro.resilience import chaos as _chaos
+from repro.resilience import guards as _guards
 from repro.runtime.arrays import Array
 from repro.runtime.interpreter import ExecutionResult, Schedule
 from repro.util.errors import CodegenError, ReproError
@@ -319,9 +321,12 @@ class CompiledNest:
                  schedule: Optional[Schedule] = None,
                  trace_vars: Optional[Sequence[str]] = None,
                  trace_addresses: bool = False,
-                 max_iterations: int = 2_000_000):
+                 max_iterations: Optional[int] = None):
         from repro.deps.analysis.references import inferred_array_names
 
+        _chaos.inject("compiled.codegen")
+        if max_iterations is None:
+            max_iterations = _guards.limits().max_iterations
         self.nest = nest
         self.symbols = dict(symbols or {})
         self.funcs = dict(funcs or {})
@@ -465,7 +470,7 @@ class CompiledNestCache:
         self.uncacheable = 0
 
     def _key(self, nest: LoopNest, symbols, trace_vars,
-             trace_addresses: bool, max_iterations: int) -> Tuple:
+             trace_addresses: bool, max_iterations: Optional[int]) -> Tuple:
         sym_key = (tuple(sorted(symbols.items()))
                    if symbols is not None else ())
         tv_key = tuple(trace_vars) if trace_vars is not None else None
@@ -477,7 +482,7 @@ class CompiledNestCache:
             schedule: Optional[Schedule] = None,
             trace_vars: Optional[Sequence[str]] = None,
             trace_addresses: bool = False,
-            max_iterations: int = 2_000_000) -> CompiledNest:
+            max_iterations: Optional[int] = None) -> CompiledNest:
         """A compiled engine for *nest*, warm when possible."""
         if funcs or schedule is not None:
             # Callables/schedules compare by identity, which would make

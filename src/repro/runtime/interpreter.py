@@ -101,11 +101,14 @@ class Interpreter:
                  schedule: Optional[Schedule] = None,
                  trace_vars: Optional[Sequence[str]] = None,
                  trace_addresses: bool = False,
-                 max_iterations: int = 2_000_000):
+                 max_iterations: Optional[int] = None):
         """*trace_vars* names the variables whose values are recorded per
         body execution (defaults to the nest's own loop indices — pass
         the *original* nest's indices when executing a transformed nest,
         so traces are comparable)."""
+        if max_iterations is None:
+            from repro.resilience.guards import limits
+            max_iterations = limits().max_iterations
         self.nest = nest
         self.symbols = dict(symbols or {})
         self.funcs = dict(funcs or {})

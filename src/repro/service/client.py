@@ -72,13 +72,19 @@ class ServiceClient:
     # -- request plumbing --------------------------------------------------
 
     def send(self, op: str, params: Optional[Dict[str, Any]] = None,
-             req_id: Optional[Any] = None) -> Any:
-        """Write one request line (no wait); returns its id."""
+             req_id: Optional[Any] = None,
+             idem: Optional[str] = None) -> Any:
+        """Write one request line (no wait); returns its id.  *idem* is
+        an optional idempotency key (see :mod:`repro.resilience.retry`);
+        the server answers a replayed key from its dedup window."""
         if req_id is None:
             self._next_id += 1
             req_id = self._next_id
-        self._wfile.write(protocol.encode(
-            {"id": req_id, "op": op, "params": params or {}}))
+        message: Dict[str, Any] = {"id": req_id, "op": op,
+                                   "params": params or {}}
+        if idem is not None:
+            message["idem"] = idem
+        self._wfile.write(protocol.encode(message))
         self._wfile.flush()
         return req_id
 

@@ -38,8 +38,24 @@ Error codes:
     The admission queue was full; retry later.
 ``shutting-down``
     The server is draining; no new work is admitted.
+``unavailable``
+    A transient server-side fault (an injected chaos error, a worker
+    that died mid-request); safe to retry — the request had no durable
+    effect, and a retry carrying the same ``idem`` key is answered from
+    the dedup window if the original did complete.
 ``internal``
     An unexpected server-side failure.
+
+Requests may carry an optional ``idem`` string — an idempotency key.
+The server remembers the response to each keyed request in a bounded
+dedup window; a replay of the same key (a client retrying after a
+dropped connection or a lost reply) is answered from the window
+instead of re-executed, which is what makes at-least-once retries
+exactly-once.
+
+Frames are limited to :data:`MAX_FRAME_BYTES`
+(``REPRO_MAX_FRAME_BYTES``); oversized, non-UTF-8 or truncated frames
+get a typed ``bad-request`` and the connection stays alive.
 """
 
 from __future__ import annotations
@@ -48,6 +64,8 @@ import json
 from typing import Any, Dict, Optional, Tuple, Union
 
 #: Bumped when the request/response shapes change incompatibly.
+#: (`idem` and the `unavailable` code are backward-compatible
+#: additions, so version 1 still describes this wire format.)
 PROTOCOL_VERSION = 1
 
 BAD_REQUEST = "bad-request"
@@ -56,10 +74,21 @@ ILLEGAL = "illegal"
 TIMEOUT = "timeout"
 BACKPRESSURE = "backpressure"
 SHUTTING_DOWN = "shutting-down"
+UNAVAILABLE = "unavailable"
 INTERNAL = "internal"
 
 ERROR_CODES = (BAD_REQUEST, BAD_INPUT, ILLEGAL, TIMEOUT, BACKPRESSURE,
-               SHUTTING_DOWN, INTERNAL)
+               SHUTTING_DOWN, UNAVAILABLE, INTERNAL)
+
+#: Codes a client may retry without changing the request: the server
+#: refused or lost the work, it did not reject it.
+RETRYABLE_CODES = (BACKPRESSURE, UNAVAILABLE)
+
+
+def max_frame_bytes() -> int:
+    """The frame-size cap (one NDJSON line, newline excluded)."""
+    from repro.resilience.guards import limits
+    return limits().max_frame_bytes
 
 OPS = ("ping", "parse", "analyze", "legality", "apply", "run", "search",
        "stats", "shutdown")
@@ -91,9 +120,10 @@ def encode(obj: Dict[str, Any]) -> str:
 
 
 def decode_request(line: str) -> Tuple[Optional[RequestId], str,
-                                       Dict[str, Any]]:
-    """Parse one request line into ``(id, op, params)``.
+                                       Dict[str, Any], Optional[str]]:
+    """Parse one request line into ``(id, op, params, idem)``.
 
+    ``idem`` is the optional idempotency key (None when absent).
     Raises :class:`ProtocolError` (``bad-request``) on malformed input;
     the ``id`` is recovered when possible so the error response can
     still be correlated.
@@ -125,7 +155,13 @@ def decode_request(line: str) -> Tuple[Optional[RequestId], str,
         exc = ProtocolError(BAD_REQUEST, "'params' must be an object")
         exc.request_id = req_id  # type: ignore[attr-defined]
         raise exc
-    return req_id, op, params
+    idem = obj.get("idem")
+    if idem is not None and not isinstance(idem, str):
+        exc = ProtocolError(BAD_REQUEST,
+                            "'idem' must be a string when present")
+        exc.request_id = req_id  # type: ignore[attr-defined]
+        raise exc
+    return req_id, op, params, idem
 
 
 def ok_response(req_id: Optional[RequestId],

@@ -56,6 +56,8 @@ from repro.obs import trace as _obs
 from repro.obs.metrics import get_metrics
 from repro.parallel.merge import merge_outcome
 from repro.parallel.worker import call_with_timeout
+from repro.resilience import chaos as _chaos
+from repro.resilience import guards as _guards
 from repro.service import protocol
 from repro.service.protocol import (
     BACKPRESSURE,
@@ -66,6 +68,7 @@ from repro.service.protocol import (
     PROTOCOL_VERSION,
     SHUTTING_DOWN,
     TIMEOUT,
+    UNAVAILABLE,
     ProtocolError,
     error_response,
     ok_response,
@@ -85,32 +88,47 @@ def _zero_score(transformation, nest, deps) -> float:
 class _Pending:
     """One admitted request waiting in the queue."""
 
-    __slots__ = ("req_id", "op", "params", "reply", "admitted")
+    __slots__ = ("req_id", "op", "params", "reply", "admitted", "idem")
 
-    def __init__(self, req_id, op, params, reply, admitted):
+    def __init__(self, req_id, op, params, reply, admitted, idem=None):
         self.req_id = req_id
         self.op = op
         self.params = params
         self.reply = reply
         self.admitted = admitted
+        self.idem = idem
 
 
 class TransformationService:
     """Warm-state request processor behind ``repro serve``."""
 
+    #: Responses remembered per idempotency key; a replayed key is
+    #: answered from this window instead of re-executed.
+    IDEM_WINDOW = 512
+
     def __init__(self, *, jobs: int = 1, queue_max: int = 64,
                  batch_max: int = 8,
                  request_timeout: Optional[float] = None,
                  cache_max_entries: Optional[int] = 4096,
-                 compiled_max_entries: int = 128):
+                 compiled_max_entries: int = 128,
+                 heartbeat_file: Optional[str] = None,
+                 hang_grace: float = 5.0,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_every: int = 25):
         if queue_max < 1:
             raise ValueError(f"queue_max must be >= 1, got {queue_max}")
         self.jobs = max(1, int(jobs))
         self.queue_max = queue_max
         self.batch_max = max(1, int(batch_max))
         self.request_timeout = request_timeout
+        self.heartbeat_file = heartbeat_file
+        self.hang_grace = max(float(hang_grace), 0.2)
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = max(1, int(checkpoint_every))
         self.state = WarmState(legality_max_entries=cache_max_entries,
                                compiled_max_entries=compiled_max_entries)
+        if checkpoint_path and os.path.exists(checkpoint_path):
+            self.state.restore(checkpoint_path)
         self.pool = None
         if self.jobs > 1:
             from repro.parallel.pool import ShardedPool
@@ -120,10 +138,18 @@ class TransformationService:
         self._draining = False
         self.drain_reason: Optional[str] = None
         self._started = time.monotonic()
+        self._last_tick = time.monotonic()
+        self._since_checkpoint = 0
+        # Idempotency: completed responses keyed by idem (bounded LRU)
+        # plus replies attached to a still-in-flight key, so a replay
+        # racing its original neither re-executes nor goes unanswered.
+        self._idem_done: Dict[str, dict] = {}
+        self._idem_waiters: Dict[str, List[Tuple[object, Callable]]] = {}
         self.counters: Dict[str, object] = {
             "accepted": 0, "completed": 0, "errors": 0, "timeouts": 0,
             "backpressure": 0, "rejected_shutdown": 0,
             "batches": 0, "max_batch": 0, "batched_legality": 0,
+            "idem_replays": 0, "dropped_replies": 0,
             "by_op": {},
         }
         self._dispatch: Dict[str, Callable] = {
@@ -145,20 +171,54 @@ class TransformationService:
         backpressure, draining) are answered immediately on the
         transport's thread."""
         try:
-            req_id, op, params = protocol.decode_request(line)
+            req_id, op, params, idem = protocol.decode_request(line)
         except ProtocolError as exc:
             reply(error_response(getattr(exc, "request_id", None),
                                  exc.code, exc.message))
             return
-        self.submit(req_id, op, params, reply)
+        self.submit(req_id, op, params, reply, idem=idem)
+
+    def ingest_bytes(self, frame: bytes,
+                     reply: Callable[[dict], None]) -> None:
+        """Validate one raw frame (size cap, strict UTF-8) before
+        decoding; malformed frames get a typed ``bad-request`` and the
+        connection stays alive."""
+        cap = protocol.max_frame_bytes()
+        if len(frame) > cap:
+            reply(error_response(
+                None, BAD_REQUEST,
+                f"frame of {len(frame)} bytes exceeds the {cap}-byte "
+                f"limit (REPRO_MAX_FRAME_BYTES)"))
+            return
+        try:
+            line = frame.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            reply(error_response(None, BAD_REQUEST,
+                                 f"frame is not valid UTF-8: {exc}"))
+            return
+        if line.strip():
+            self.ingest(line, reply)
 
     def submit(self, req_id, op, params,
-               reply: Callable[[dict], None]) -> bool:
+               reply: Callable[[dict], None],
+               idem: Optional[str] = None) -> bool:
         """Admission control; returns True when enqueued.  Rejections
-        reply immediately with ``shutting-down`` or ``backpressure``."""
+        reply immediately with ``shutting-down`` or ``backpressure``;
+        a replayed idempotency key is answered from the dedup window
+        (or attached to the in-flight original) without re-executing."""
         rejection = None
+        replayed = None
         with self._cond:
-            if self._draining:
+            if idem is not None and idem in self._idem_done:
+                replayed = dict(self._idem_done[idem], id=req_id)
+                self.counters["idem_replays"] = (
+                    int(self.counters["idem_replays"]) + 1)
+            elif idem is not None and idem in self._idem_waiters:
+                self._idem_waiters[idem].append((req_id, reply))
+                self.counters["idem_replays"] = (
+                    int(self.counters["idem_replays"]) + 1)
+                return True
+            elif self._draining:
                 self.counters["rejected_shutdown"] = (
                     int(self.counters["rejected_shutdown"]) + 1)
                 rejection = error_response(
@@ -174,9 +234,16 @@ class TransformationService:
                 self.counters["accepted"] = (
                     int(self.counters["accepted"]) + 1)
                 self._items.append(_Pending(req_id, op, params, reply,
-                                            time.monotonic()))
+                                            time.monotonic(), idem=idem))
+                if idem is not None:
+                    self._idem_waiters[idem] = []
                 depth = len(self._items)
                 self._cond.notify()
+        if replayed is not None:
+            if _obs.enabled():
+                get_metrics().counter("service.idem_replays").inc()
+            reply(replayed)
+            return False
         if rejection is not None:
             if _obs.enabled():
                 get_metrics().counter(
@@ -211,7 +278,13 @@ class TransformationService:
         """Process requests until drained: admitted work is always
         answered, even after drain starts."""
         self._started = time.monotonic()
+        self._last_tick = time.monotonic()
+        if self.heartbeat_file:
+            threading.Thread(target=self._heartbeat_loop,
+                             name="service-heartbeat",
+                             daemon=True).start()
         while True:
+            self._last_tick = time.monotonic()
             batch: List[_Pending] = []
             with self._cond:
                 if not self._items:
@@ -235,7 +308,64 @@ class TransformationService:
             with _obs.span("service.batch", size=len(batch)):
                 prefetched = self._prefetch_legality(batch)
                 for pending in batch:
-                    pending.reply(self._handle(pending, prefetched))
+                    response = self._handle(pending, prefetched)
+                    # The response is recorded in the idem window BEFORE
+                    # the send-or-drop decision: a drop models a lost
+                    # reply, and the client's replay must find the
+                    # completed work waiting for it.
+                    waiters = self._finish_idem(pending, response)
+                    if _chaos.decide("service.dispatch", "drop"):
+                        self.counters["dropped_replies"] = (
+                            int(self.counters["dropped_replies"]) + 1)
+                        if _obs.enabled():
+                            get_metrics().counter(
+                                "service.dropped_replies").inc()
+                    else:
+                        pending.reply(response)
+                    for waiter_id, waiter_reply in waiters:
+                        waiter_reply(dict(response, id=waiter_id))
+            self._maybe_checkpoint(len(batch))
+        if self.checkpoint_path:
+            self.state.checkpoint(self.checkpoint_path)
+
+    def _finish_idem(self, pending: _Pending, response: dict):
+        """Record *response* under the request's idem key and detach any
+        replays that arrived while it was in flight."""
+        if pending.idem is None:
+            return []
+        with self._cond:
+            self._idem_done[pending.idem] = response
+            while len(self._idem_done) > self.IDEM_WINDOW:
+                del self._idem_done[next(iter(self._idem_done))]
+            return self._idem_waiters.pop(pending.idem, [])
+
+    def _maybe_checkpoint(self, completed: int) -> None:
+        if not self.checkpoint_path:
+            return
+        self._since_checkpoint += completed
+        if self._since_checkpoint >= self.checkpoint_every:
+            self._since_checkpoint = 0
+            self.state.checkpoint(self.checkpoint_path)
+
+    def _heartbeat_loop(self) -> None:
+        """Touch the heartbeat file while the processing loop is live.
+
+        The touch is gated on the run loop's last tick: if a request
+        hangs the owning thread, the mtime goes stale and the
+        supervisor's hang detector fires.  A daemon thread that touched
+        unconditionally would mask exactly the failures it exists to
+        expose.
+        """
+        interval = max(self.hang_grace / 4.0, 0.05)
+        while True:
+            if time.monotonic() - self._last_tick <= self.hang_grace:
+                try:
+                    with open(self.heartbeat_file, "a"):
+                        pass
+                    os.utime(self.heartbeat_file, None)
+                except OSError:
+                    pass
+            time.sleep(interval)
 
     def _handle(self, pending: _Pending, prefetched: Dict[int, object]):
         op, params = pending.op, pending.params
@@ -243,6 +373,11 @@ class TransformationService:
         code: Optional[str] = None
         try:
             with _obs.span("service.request", op=op):
+                # crash/hang kinds act here, on the owning thread: a
+                # crash kills the process (the supervisor's problem), a
+                # hang stalls the loop until the heartbeat goes stale.
+                _chaos.inject("service.dispatch")
+                _guards.check_rss()
                 handler = self._dispatch[op]
                 if op == "legality":
                     fn = lambda: handler(params,  # noqa: E731
@@ -256,12 +391,24 @@ class TransformationService:
                         TIMEOUT,
                         f"request overran the server budget ({budget}s)")
             response = ok_response(pending.req_id, value)
+        except _chaos.ChaosError as exc:
+            code = UNAVAILABLE
+            response = error_response(pending.req_id, UNAVAILABLE, str(exc))
         except ProtocolError as exc:
             code = exc.code
             response = error_response(pending.req_id, exc.code, exc.message)
         except ReproError as exc:
             code = BAD_INPUT
             response = error_response(pending.req_id, BAD_INPUT, str(exc))
+        except (RecursionError, MemoryError) as exc:
+            # The guards should have converted these upstream; if one
+            # still escapes, the client gets a typed error, never a
+            # raw blowup.
+            code = BAD_INPUT
+            response = error_response(
+                pending.req_id, BAD_INPUT,
+                f"request exhausted a resource limit "
+                f"({type(exc).__name__}: {exc})")
         except Exception as exc:  # noqa: BLE001 — the server must answer
             code = INTERNAL
             response = error_response(
@@ -289,16 +436,17 @@ class TransformationService:
     def _outer_budget(self, op: str, params: dict) -> Optional[float]:
         """The per-request wall-clock budget, or None.
 
-        ``call_with_timeout`` is ``SIGALRM``-based and does not nest: a
-        search that installs its own per-candidate timers (explicit
-        ``candidate_timeout``, or pooled workers the parent must keep
-        draining) would clobber the outer timer, so those requests run
-        under their candidate budgets instead of the server budget.
+        ``call_with_timeout`` budgets nest (each frame saves and
+        re-arms the enclosing itimer), so a search with an explicit
+        ``candidate_timeout`` now runs under the server budget too —
+        the inner per-candidate timers no longer clobber it.  Pooled
+        searches remain exempt: their timers live in worker processes,
+        but the parent must keep draining the result queue, and a
+        ``SIGALRM`` there would abandon workers mid-protocol.
         """
         if not self.request_timeout:
             return None
-        if op == "search" and (params.get("candidate_timeout")
-                               or self.pool is not None):
+        if op == "search" and self.pool is not None:
             return None
         return self.request_timeout
 
@@ -539,6 +687,13 @@ class TransformationService:
                 "batch_max": self.batch_max,
                 "batched_legality": self.counters["batched_legality"],
             },
+            "resilience": {
+                "idem_window": len(self._idem_done),
+                "idem_replays": self.counters["idem_replays"],
+                "dropped_replies": self.counters["dropped_replies"],
+                "chaos": _chaos.snapshot(),
+                "checkpoint_path": self.checkpoint_path,
+            },
             "caches": self.state.stats(),
             "pool": self.pool.snapshot() if self.pool is not None else None,
         }
@@ -550,6 +705,51 @@ class TransformationService:
 
 
 # -- transports -------------------------------------------------------------
+
+def pump_frames(read_chunk: Callable[[], bytes],
+                service: TransformationService,
+                reply: Callable[[dict], None]) -> None:
+    """Split a byte stream into newline frames and feed them to
+    :meth:`TransformationService.ingest_bytes`.
+
+    A frame that outgrows the size cap before its newline arrives gets
+    one typed ``bad-request`` and the stream *resyncs* at the next
+    newline — the connection survives an oversized (or runaway
+    unterminated) frame instead of buffering it without bound.
+    """
+    buf = b""
+    discarding = False
+    while True:
+        try:
+            chunk = read_chunk()
+        except OSError:
+            break
+        if not chunk:
+            break
+        buf += chunk
+        while True:
+            nl = buf.find(b"\n")
+            if nl < 0:
+                cap = protocol.max_frame_bytes()
+                if len(buf) > cap:
+                    if not discarding:
+                        reply(error_response(
+                            None, BAD_REQUEST,
+                            f"frame exceeds the {cap}-byte limit "
+                            f"(REPRO_MAX_FRAME_BYTES); discarding "
+                            f"until the next newline"))
+                        discarding = True
+                    buf = b""
+                break
+            frame, buf = buf[:nl], buf[nl + 1:]
+            if discarding:
+                discarding = False  # tail of the oversized frame
+                continue
+            if frame.strip():
+                service.ingest_bytes(frame, reply)
+    if buf.strip() and not discarding:
+        service.ingest_bytes(buf, reply)
+
 
 def serve_stdio(service: TransformationService,
                 in_stream=None, out_stream=None) -> None:
@@ -577,27 +777,15 @@ def serve_stdio(service: TransformationService,
             except (OSError, ValueError):
                 pass  # reader went away; keep draining
 
-    def fd_lines():
-        buf = b""
-        while True:
-            try:
-                chunk = os.read(raw_fd, 65536)
-            except OSError:
-                break
-            if not chunk:
-                break
-            buf += chunk
-            while b"\n" in buf:
-                line, buf = buf.split(b"\n", 1)
-                yield line.decode("utf-8", errors="replace")
-        if buf:
-            yield buf.decode("utf-8", errors="replace")
-
     def reader() -> None:
-        lines = fd_lines() if raw_fd is not None else in_stream
-        for line in lines:
-            if line.strip():
-                service.ingest(line, reply)
+        if raw_fd is not None:
+            # Real stdin is pumped at the byte level so frame-size and
+            # UTF-8 validation happen before JSON decoding.
+            pump_frames(lambda: os.read(raw_fd, 65536), service, reply)
+        else:
+            for line in in_stream:
+                if line.strip():
+                    service.ingest(line, reply)
         service.request_drain("stdin EOF")
 
     threading.Thread(target=reader, name="service-stdin",
@@ -621,7 +809,6 @@ def serve_tcp(service: TransformationService, host: str = "127.0.0.1",
           file=sys.stderr, flush=True)
 
     def handle_connection(conn: socket.socket) -> None:
-        rfile = conn.makefile("r", encoding="utf-8", newline="\n")
         wfile = conn.makefile("w", encoding="utf-8", newline="\n")
         write_lock = threading.Lock()
 
@@ -634,9 +821,9 @@ def serve_tcp(service: TransformationService, host: str = "127.0.0.1",
                     pass  # client went away; keep draining
 
         try:
-            for line in rfile:
-                if line.strip():
-                    service.ingest(line, reply)
+            # Byte-level pump: oversized / non-UTF-8 frames become
+            # typed errors instead of killing the connection.
+            pump_frames(lambda: conn.recv(65536), service, reply)
         except (OSError, ValueError):
             pass
         finally:

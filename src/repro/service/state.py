@@ -21,6 +21,8 @@ proportional to its caps, not to its request history.
 
 from __future__ import annotations
 
+import os
+import pickle
 from typing import Dict, Optional, Tuple
 
 from repro.core.legality_cache import LegalityCache
@@ -31,6 +33,12 @@ from repro.ir.loopnest import LoopNest
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_metrics
 from repro.runtime.compiled import CompiledNestCache
+
+#: Bumped when the checkpoint payload shape changes; a file with any
+#: other version is ignored (cold start) rather than misread.
+CHECKPOINT_VERSION = 1
+
+_CHECKPOINT_MAGIC = b"repro-warmstate"
 
 
 class WarmState:
@@ -51,6 +59,9 @@ class WarmState:
         self.parse_misses = 0
         self.analysis_hits = 0
         self.analysis_misses = 0
+        #: Entries brought back by the last :meth:`restore` (0 = cold).
+        self.restored_entries = 0
+        self.checkpoints_written = 0
 
     # -- bounded-LRU plumbing ----------------------------------------------
 
@@ -100,6 +111,77 @@ class WarmState:
         self._memo_put(self._analysis_memo, key, deps)
         return deps
 
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self, path: str) -> bool:
+        """Persist the warm state to *path* (versioned pickle, written
+        atomically via a temp file + rename so a crash mid-write leaves
+        the previous checkpoint intact).
+
+        Persisted: the parse and analysis memos and the legality
+        cache's content-keyed tables.  **Not** persisted: the compiled
+        cache (its variants are ``exec``-compiled closures, which do
+        not pickle) — a restored service re-compiles on first use but
+        never re-proves legality it already proved.
+
+        Returns True on success; a payload that fails to pickle (e.g.
+        an exotic template pinned in a cache key) is skipped without
+        raising — checkpointing is an optimization, never a crash.
+        """
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "parse_memo": self._parse_memo,
+            "analysis_memo": self._analysis_memo,
+            "legality": self.legality_cache,
+        }
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(_CHECKPOINT_MAGIC)
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            return False
+        self.checkpoints_written += 1
+        if _obs.enabled():
+            get_metrics().counter("service.checkpoints").inc()
+        return True
+
+    def restore(self, path: str) -> int:
+        """Load a checkpoint written by :meth:`checkpoint`; returns the
+        number of warm entries brought back (0 = cold start).
+
+        A missing, truncated, corrupt or version-mismatched file is a
+        silent cold start: the supervisor must be able to restart into
+        *some* service even when the checkpoint was torn by the crash
+        that triggered the restart.
+        """
+        try:
+            with open(path, "rb") as fh:
+                magic = fh.read(len(_CHECKPOINT_MAGIC))
+                if magic != _CHECKPOINT_MAGIC:
+                    return 0
+                payload = pickle.loads(fh.read())
+        except Exception:
+            return 0
+        if not isinstance(payload, dict) or \
+                payload.get("version") != CHECKPOINT_VERSION:
+            return 0
+        self._parse_memo = payload["parse_memo"]
+        self._analysis_memo = payload["analysis_memo"]
+        self.legality_cache = payload["legality"]
+        self.restored_entries = (len(self._parse_memo)
+                                 + len(self._analysis_memo)
+                                 + self.legality_cache.entry_count())
+        if _obs.enabled():
+            get_metrics().gauge("service.restored_entries").set(
+                self.restored_entries)
+        return self.restored_entries
+
     # -- reporting ---------------------------------------------------------
 
     def reuse_ratio(self) -> float:
@@ -122,6 +204,8 @@ class WarmState:
             "legality": dict(self.legality_cache.stats),
             "compiled": dict(self.compiled.stats),
             "reuse_ratio": round(self.reuse_ratio(), 6),
+            "restored_entries": self.restored_entries,
+            "checkpoints_written": self.checkpoints_written,
         }
         if _obs.enabled():
             get_metrics().gauge("service.cache.reuse_ratio").set(
