@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-report bench-smoke bench-service \
-	bench-resilience examples corpus all
+	bench-resilience bench-fleet examples corpus all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -33,6 +33,12 @@ bench-service:
 # bench_resilience.json.
 bench-resilience:
 	$(PYTHON) -m pytest benchmarks/bench_resilience.py -s
+
+# Fleet scaling guardrail (N=4 >= 2.5x over N=1 on the latency-bound
+# 1000-request replay) plus the chaos-kill failover differential;
+# writes bench_fleet.json with the fleet metrics embedded.
+bench-fleet:
+	$(PYTHON) -m pytest benchmarks/bench_fleet.py -s
 
 examples:
 	@for f in examples/*.py; do \

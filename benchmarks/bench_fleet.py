@@ -1,0 +1,233 @@
+"""Perf-12 — fleet throughput scaling and failover transparency.
+
+A 1000-request mixed replay against ``FleetRouter`` at N=4 versus the
+same script at N=1.  The host is a single core, so the scaling claim
+is deliberately *latency-bound*, not CPU-bound: every worker carries a
+5 ms modeled per-request service latency (a ``service.dispatch`` chaos
+hang rule — the knob PR 5 built for exactly this kind of drill), the
+regime a real tool fleet lives in (I/O, model calls, big nests).  At
+N=1 those latencies serialize; at N=4 the router's per-worker pump
+threads overlap them.  The asserted floor is a property of the
+routing architecture — content-hash affinity partitions the script so
+workers proceed independently — not of host parallelism.
+
+The second half is the failover differential: an N=2 replay with one
+worker SIGKILLed mid-stream (restarts disabled, so its hash range
+fails over to the survivor and in-flight requests replay under their
+idempotency keys) must answer field-identically to an unfaulted N=1
+run.  A fast wrong answer is not a speedup; a lost request is not
+failover.
+
+The smoke run writes ``bench_fleet.json`` with the router's
+observability metrics embedded (per-worker routing counters, failover
+and reassignment counts, workers-alive gauge).
+"""
+
+import json
+import shutil
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.fleet import FleetRouter
+from repro.obs.metrics import get_metrics
+from repro.resilience.retry import RetryPolicy
+
+STENCIL = """
+do i = 2, n-1
+  do j = 2, n-1
+    a(i, j) = a(i-1, j) + a(i, j-1)
+  enddo
+enddo
+"""
+
+MATMUL = """
+do i = 1, n
+  do j = 1, n
+    do k = 1, n
+      A(i, j) += B(i, k) * C(k, j)
+    enddo
+  enddo
+enddo
+"""
+
+REQUESTS = 1000
+VARIANTS = 200
+SPEEDUP_FLOOR = 2.5
+#: Modeled per-request service latency (seconds) armed in every
+#: worker; see the module docstring.
+SERVICE_LATENCY = 0.005
+LATENCY_MODEL = f"service.dispatch:hang:*:{SERVICE_LATENCY}"
+
+
+def fleet_script(n, variants=VARIANTS):
+    """An n-request session over *variants* distinct nests — the
+    corpus shape content-hash affinity shards.  Every op is a pure
+    function of its params, so replays of any fleet size and fault
+    history compare field-for-field."""
+    ops = [
+        lambda t: ("parse", {"text": t}),
+        lambda t: ("analyze", {"text": t}),
+        lambda t: ("legality", {"text": t, "steps": "interchange(1,2)"}),
+        lambda t: ("apply", {"text": t, "steps": "interchange(1,2)",
+                             "emit": "c"}),
+        lambda t: ("analyze", {"text": t}),
+    ]
+    requests = []
+    for k in range(n):
+        base = STENCIL if k % 2 else MATMUL
+        text = base + f"! corpus nest {k % variants}\n"
+        op, params = ops[k % len(ops)](text)
+        requests.append({"id": k, "op": op, "params": params})
+    return requests
+
+
+def _replay_timed(n_workers, script, directory, latency_model=True):
+    """Start a fleet, replay the script, return (seconds, responses,
+    stats).  Startup/teardown are excluded from the timing — the
+    claim is steady-state throughput, not spawn time."""
+    router = FleetRouter(
+        n_workers, directory=directory,
+        retry_policy=RetryPolicy(attempts=6, backoff_initial=0.1,
+                                 backoff_max=1.0, budget=60.0),
+        extra_args=(["--chaos", LATENCY_MODEL] if latency_model
+                    else None))
+    router.start()
+    try:
+        t0 = time.perf_counter()
+        responses = router.replay(script)
+        elapsed = time.perf_counter() - t0
+        stats = router.snapshot()
+    finally:
+        router.stop()
+    return elapsed, responses, stats
+
+
+def _answers_identical(baseline, candidate):
+    assert len(baseline) == len(candidate)
+    assert [r["id"] for r in candidate] == [r["id"] for r in baseline]
+    for base, cand in zip(baseline, candidate):
+        assert base == cand, f"response {base.get('id')} diverged"
+
+
+@pytest.mark.smoke
+def test_smoke_fleet_scaling_and_failover(report, smoke_summary):
+    """CI guardrail: N=4 must beat N=1 by >= 2.5x on the 1000-request
+    latency-bound replay, and a chaos-killed N=2 replay must answer
+    identically to an unfaulted N=1 run."""
+    script = fleet_script(REQUESTS)
+    workdir = tempfile.mkdtemp(prefix="bench-fleet-")
+    obs.enable()
+    try:
+        n1_s, n1_replies, _ = _replay_timed(
+            1, script, f"{workdir}/n1")
+        n4_s, n4_replies, n4_stats = _replay_timed(
+            4, script, f"{workdir}/n4")
+
+        # Transparency first: both fleets answer everything, and the
+        # answers agree (pure ops → full-field comparison).
+        assert all(r["ok"] for r in n1_replies)
+        _answers_identical(n1_replies, n4_replies)
+        assert n4_stats["counters"]["failovers"] == 0
+
+        # -- failover differential (no latency model, one kill) -----------
+        chaos_script = fleet_script(150)
+        base_s, base_replies, _ = _replay_timed(
+            1, chaos_script, f"{workdir}/chaos-base",
+            latency_model=False)
+
+        chaos_router = FleetRouter(
+            2, directory=f"{workdir}/chaos",
+            retry_policy=RetryPolicy(attempts=4, backoff_initial=0.05,
+                                     backoff_max=0.25, budget=10.0),
+            max_restarts=0)
+        chaos_router.start()
+        try:
+            killed = threading.Event()
+
+            def chaos_kill(done_index):
+                if done_index >= len(chaos_script) // 4 \
+                        and not killed.is_set():
+                    killed.set()
+                    chaos_router.workers[0].kill_child()
+
+            chaos_replies = chaos_router.replay(
+                chaos_script, progress=chaos_kill)
+            chaos_stats = chaos_router.snapshot()
+        finally:
+            chaos_router.stop()
+
+        assert killed.is_set()
+        assert chaos_stats["counters"]["failovers"] == 1
+        assert chaos_stats["alive"] == 1
+        _answers_identical(base_replies, chaos_replies)
+
+        metrics = get_metrics().snapshot()
+    finally:
+        obs.disable()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    speedup = n1_s / n4_s
+    doc = {
+        "benchmark": f"{REQUESTS}-request mixed replay over {VARIANTS} "
+                     f"nests, fleet N=4 vs N=1, {SERVICE_LATENCY * 1e3}"
+                     f" ms modeled per-request service latency",
+        "requests": REQUESTS,
+        "variants": VARIANTS,
+        "service_latency_s": SERVICE_LATENCY,
+        "n1_seconds": round(n1_s, 6),
+        "n4_seconds": round(n4_s, 6),
+        "n1_rps": round(REQUESTS / n1_s, 1),
+        "n4_rps": round(REQUESTS / n4_s, 1),
+        "speedup": round(speedup, 2),
+        "threshold": SPEEDUP_FLOOR,
+        "n4_routed": n4_stats["routed"],
+        "chaos": {
+            "requests": len(chaos_script),
+            "killed_worker": 0,
+            "failovers": chaos_stats["counters"]["failovers"],
+            "reassigned_slots":
+                chaos_stats["counters"]["reassigned_slots"],
+            "survivors": chaos_stats["ring"]["alive"],
+            "answers_identical": True,
+            "unfaulted_seconds": round(base_s, 6),
+        },
+        "metrics": {
+            section: {name: value for name, value in values.items()
+                      if name.startswith("fleet.")}
+            for section, values in metrics.items()},
+    }
+    smoke_summary["fleet"] = {k: doc[k] for k in
+                              ("benchmark", "requests", "n1_seconds",
+                               "n4_seconds", "speedup", "threshold")}
+    with open("bench_fleet.json", "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    report("Perf-12 smoke: fleet scaling + failover differential",
+           f"{speedup:.1f}x at N=4 over {REQUESTS} requests (floor "
+           f"{SPEEDUP_FLOOR}x); N=1 {n1_s:.2f}s vs N=4 {n4_s:.2f}s; "
+           f"chaos kill: {chaos_stats['counters']['reassigned_slots']} "
+           f"slots failed over, answers identical")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fleet N=4 only {speedup:.2f}x over N=1")
+
+
+def test_fleet_routing_balance_reports(report):
+    """Report-only: how evenly content-hash affinity spreads the
+    corpus (a property of sha256 on the nest texts, worth watching)."""
+    script = fleet_script(400)
+    # Ring-only accounting: no processes needed for the static picture.
+    from repro.fleet.ring import HashRing, route_key
+    ring = HashRing(4, slots=64)
+    counts = {i: 0 for i in range(4)}
+    for req in script:
+        key = route_key(req["op"], req["params"])
+        counts[ring.owner(key)] += 1
+    spread = max(counts.values()) / (sum(counts.values()) / len(counts))
+    report("Perf-12: routing balance (informational)",
+           f"{len(script)} requests over 4 workers: "
+           f"{sorted(counts.values())} (max/mean {spread:.2f})")
+    assert sum(counts.values()) == len(script)

@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""CI fleet smoke: SIGKILL one fleet worker mid-replay.
+
+The contract under test is the whole fleet stack through the CLI:
+
+* ``repro serve --tcp --fleet 2`` fronts two supervised workers behind
+  one port, routing by content-hash affinity;
+* a SIGKILLed worker child is the supervisor's problem — it restarts,
+  the router's retrying client rides it out under idempotency keys,
+  and the worker keeps its hash range;
+* therefore a replay that loses a worker mid-flight must complete with
+  every request answered, identical to a fault-free baseline, and the
+  front-end must still drain cleanly (exit 0) on ``shutdown``.
+
+Exit 0 on success.  The fleet's ``stats`` document lands at
+``--report`` (default ``fleet_report.json``) for the CI artifact
+upload.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.resilience.retry import RetryPolicy, RetryingClient  # noqa: E402
+
+STENCIL = """
+do i = 2, n-1
+  do j = 2, n-1
+    a(i, j) = a(i-1, j) + a(i, j-1)
+  enddo
+enddo
+"""
+
+REQUESTS = 50
+
+
+def request_script(n):
+    """n requests over several distinct nests (so both workers own
+    some of the corpus); every op is a pure function of its params."""
+    script = []
+    for i in range(n):
+        text = STENCIL + f"! corpus nest {i % 8}\n"
+        kind = i % 4
+        if kind == 0:
+            script.append({"id": i, "op": "parse",
+                           "params": {"text": text}})
+        elif kind == 1:
+            script.append({"id": i, "op": "analyze",
+                           "params": {"text": text}})
+        elif kind == 2:
+            script.append({"id": i, "op": "legality",
+                           "params": {"text": text,
+                                      "steps": "interchange(1,2)"}})
+        else:
+            script.append({"id": i, "op": "apply",
+                           "params": {"text": text,
+                                      "steps": "interchange(1,2)",
+                                      "emit": "c"}})
+    return script
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def find_worker_pid(fleet_dir, index=0):
+    """A fleet worker child is the process whose argv carries that
+    worker's heartbeat path (wN.hb inside the fleet directory)."""
+    marker = os.path.join(fleet_dir, f"w{index}.hb")
+    for pid in os.listdir("/proc"):
+        if not pid.isdigit():
+            continue
+        try:
+            with open(f"/proc/{pid}/cmdline", "rb") as fh:
+                argv = fh.read().decode("utf-8", "replace").split("\0")
+        except OSError:
+            continue
+        if marker in argv:
+            return int(pid)
+    return None
+
+
+def start_fleet(tmpdir, tag, n):
+    port = free_port()
+    fleet_dir = os.path.join(tmpdir, tag)
+    argv = [sys.executable, "-m", "repro", "serve", "--tcp",
+            "--host", "127.0.0.1", "--port", str(port),
+            "--fleet", str(n), "--fleet-dir", fleet_dir]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    proc = subprocess.Popen(argv, env=env)
+    return proc, port, fleet_dir
+
+
+def replay(port, kill_dir=None, kill_at=REQUESTS // 3):
+    client = RetryingClient.tcp(
+        "127.0.0.1", port,
+        policy=RetryPolicy(attempts=10, backoff_max=3.0, budget=120.0),
+        attempt_timeout=30.0)
+    deadline = time.monotonic() + 60.0
+    while True:  # wait for the front-end to accept
+        try:
+            client.request("ping")
+            break
+        except Exception:
+            if time.monotonic() > deadline:
+                raise
+            client.close()
+            time.sleep(0.25)
+    replies = []
+    for i, req in enumerate(request_script(REQUESTS)):
+        if kill_dir is not None and i == kill_at:
+            pid = find_worker_pid(kill_dir)
+            if pid is None:
+                raise SystemExit(
+                    "fleet-smoke: could not find worker 0's child")
+            os.kill(pid, signal.SIGKILL)
+            print(f"fleet-smoke: SIGKILLed fleet worker child pid "
+                  f"{pid} after {i} requests", flush=True)
+        replies.append(client.request_raw(
+            req["op"], req.get("params"), req_id=req["id"]))
+    stats = client.request("stats")
+    client.request_raw("shutdown")
+    client.close()
+    return replies, stats
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", default="fleet_report.json")
+    parser.add_argument("--tmpdir", default=None)
+    args = parser.parse_args()
+    tmpdir = args.tmpdir or os.path.join(os.getcwd(), ".fleet-smoke")
+    os.makedirs(tmpdir, exist_ok=True)
+
+    print("fleet-smoke: fault-free N=1 baseline replay", flush=True)
+    base_proc, base_port, _ = start_fleet(tmpdir, "baseline", 1)
+    try:
+        baseline, _ = replay(base_port)
+    finally:
+        base_code = base_proc.wait(timeout=60)
+    assert base_code == 0, f"baseline front-end exited {base_code}"
+    assert all(r["ok"] for r in baseline), "baseline replay failed"
+
+    print("fleet-smoke: N=2 replay with mid-flight worker SIGKILL",
+          flush=True)
+    proc, port, fleet_dir = start_fleet(tmpdir, "chaotic", 2)
+    try:
+        chaotic, stats = replay(port, kill_dir=fleet_dir)
+    finally:
+        code = proc.wait(timeout=120)
+
+    assert len(chaotic) == len(baseline)
+    for base, chaos in zip(baseline, chaotic):
+        assert chaos["ok"], f"request {base['id']} failed: {chaos}"
+        assert base == chaos, (
+            f"request {base['id']} diverged under chaos:\n"
+            f"  baseline: {base}\n  chaotic:  {chaos}")
+    assert code == 0, f"fleet front-end exited {code} (unclean drain)"
+
+    fleet = stats["fleet"]
+    assert fleet["size"] == 2, fleet
+    restarts = sum(w.get("restarts", 0) for w in stats["workers"])
+    assert restarts >= 1, "the kill never registered as a restart"
+    with open(args.report, "w") as fh:
+        json.dump({"requests": REQUESTS, "restarts": restarts,
+                   "front_end_exit": code, "stats": stats},
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"fleet-smoke: OK — {REQUESTS} requests answered identically "
+          f"across a worker kill ({restarts} restart(s), "
+          f"{fleet['counters']['failovers']} failover(s)); front-end "
+          f"drained cleanly; report: {args.report}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -330,9 +330,59 @@ def cmd_serve(args) -> int:
     crashes and hangs restart it with backoff, warm state survives via
     the checkpoint file, and a crash loop trips a circuit breaker.
     ``--chaos SPEC`` arms fault injection (in the supervised child via
-    the ``REPRO_CHAOS`` environment).
+    the ``REPRO_CHAOS`` environment).  ``--fleet N`` (TCP only) fronts
+    N supervised workers behind the one port, routing requests by
+    content-hash affinity and failing over dead workers' hash ranges
+    to the survivors; see :mod:`repro.fleet`.
     """
     from repro.resilience import chaos
+
+    if args.fleet:
+        if not args.tcp:
+            print("error: --fleet requires --tcp (N workers behind one "
+                  "socket)", file=sys.stderr)
+            return 2
+        if args.supervise:
+            print("error: --fleet supervises every worker already; "
+                  "drop --supervise", file=sys.stderr)
+            return 2
+        from repro.fleet import FleetError, FleetFrontEnd, FleetRouter
+        from repro.service import serve_tcp
+
+        port = args.port or _free_port(args.host)
+        directory = args.fleet_dir or f".repro-fleet-{port}"
+        worker_args = ["--queue-max", str(args.queue_max),
+                       "--batch-max", str(args.batch_max),
+                       "--cache-max-entries",
+                       str(args.cache_max_entries)]
+        if args.chaos:
+            worker_args += ["--chaos", args.chaos,
+                            "--chaos-seed", str(args.chaos_seed)]
+            if args.chaos_state:
+                worker_args += ["--chaos-state", args.chaos_state]
+        router = FleetRouter(
+            args.fleet, directory=directory,
+            jobs=args.jobs,
+            hang_timeout=args.hang_timeout,
+            max_restarts=args.max_restarts,
+            restart_window=args.restart_window,
+            checkpoint_every=args.checkpoint_every,
+            request_timeout=args.request_timeout,
+            extra_args=worker_args)
+        print(f"repro serve: starting fleet of {args.fleet} worker(s) "
+              f"in {directory}", file=sys.stderr, flush=True)
+        try:
+            router.start()
+        except FleetError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        frontend = FleetFrontEnd(router, queue_max=args.queue_max)
+        serve_tcp(frontend, host=args.host, port=port)
+        print(f"repro serve: fleet drained ({frontend.drain_reason}); "
+              f"{frontend.counters['answered']} answered, "
+              f"{router.counters['failovers']} failover(s)",
+              file=sys.stderr)
+        return 0
 
     if args.supervise:
         if not args.tcp:
@@ -585,6 +635,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --tcp: run the server as a supervised "
                             "child, restarting on crash or hang with "
                             "backoff and warm-state restore")
+    p_srv.add_argument("--fleet", type=int, default=0, metavar="N",
+                       help="with --tcp: front a fleet of N supervised "
+                            "workers behind this port, routing by "
+                            "content-hash affinity with failover")
+    p_srv.add_argument("--fleet-dir", dest="fleet_dir", metavar="PATH",
+                       default=None,
+                       help="directory for the fleet's heartbeat/"
+                            "checkpoint/report files (default "
+                            ".repro-fleet-PORT)")
     p_srv.add_argument("--heartbeat-file", dest="heartbeat_file",
                        metavar="PATH", default=None,
                        help="liveness file the server touches while its "

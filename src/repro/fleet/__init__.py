@@ -1,0 +1,36 @@
+"""Serving at fleet scale: N supervised workers, content-hash affinity.
+
+One ``TransformationService`` process was the ceiling; this package is
+the "millions of users" layer built from the parts PRs 3–5 left on the
+bench.  ``FleetRouter`` spawns and supervises N workers (one
+:class:`~repro.resilience.supervisor.Supervisor` each — heartbeat,
+crash-loop breaker, checkpoint/warm-restore) and routes every request
+by the content hash of its nest text, so each worker's warm
+parse/analysis/legality state shards the corpus.  Worker death moves
+only the dead worker's hash range to the survivors; in-flight requests
+replay under their idempotency keys (exactly-once execution); the
+supervised replacement warm-restores from its last checkpoint.
+
+Entry points: ``repro serve --fleet N --tcp`` (the
+:class:`~repro.fleet.frontend.FleetFrontEnd` behind one port),
+:class:`FleetClient` (in-process fleet or TCP dial-in), and
+``benchmarks/bench_fleet.py`` (throughput scaling + chaos-kill
+differential, ``bench_fleet.json``).
+"""
+
+from repro.fleet.client import FleetClient
+from repro.fleet.frontend import FleetFrontEnd
+from repro.fleet.ring import FleetError, HashRing, content_key, route_key
+from repro.fleet.router import FleetRouter
+from repro.fleet.worker import WorkerHandle
+
+__all__ = [
+    "FleetClient",
+    "FleetError",
+    "FleetFrontEnd",
+    "FleetRouter",
+    "HashRing",
+    "WorkerHandle",
+    "content_key",
+    "route_key",
+]

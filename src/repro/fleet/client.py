@@ -1,0 +1,86 @@
+"""A client for the fleet, in-process or over TCP.
+
+Two shapes, one API (mirroring :class:`ServiceClient`):
+
+* ``FleetClient.local(n, **worker_options)`` — spawn and own an
+  in-process :class:`~repro.fleet.router.FleetRouter`: the caller gets
+  content-affinity routing, supervised workers and failover without a
+  front-end port.  ``close()`` stops the fleet.
+* ``FleetClient.connect(host, port)`` — talk to a running ``repro
+  serve --fleet N --tcp`` front-end over the ordinary service protocol
+  (a retrying transport with idempotency keys; the front-end does the
+  routing).
+
+Either way: ``request(op, **params)`` returns ``result`` or raises
+:class:`~repro.service.protocol.ServiceError`; ``replay(requests)``
+runs a script and returns raw responses in script order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.fleet.router import FleetRouter
+from repro.resilience.retry import RetryPolicy, RetryingClient
+
+
+class FleetClient:
+    """Route requests into a fleet (owned locally or dialed remotely)."""
+
+    def __init__(self, router: Optional[FleetRouter] = None,
+                 transport: Optional[RetryingClient] = None):
+        if (router is None) == (transport is None):
+            raise ValueError(
+                "FleetClient needs exactly one of router / transport")
+        self._router = router
+        self._transport = transport
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def local(cls, n: int, **worker_options: Any) -> "FleetClient":
+        """Start an in-process fleet of *n* supervised workers."""
+        router = FleetRouter(n, **worker_options)
+        router.start()
+        return cls(router=router)
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                policy: Optional[RetryPolicy] = None,
+                attempt_timeout: Optional[float] = 30.0) -> "FleetClient":
+        """Dial a ``repro serve --fleet N --tcp`` front-end."""
+        return cls(transport=RetryingClient.tcp(
+            host, port, policy=policy, attempt_timeout=attempt_timeout))
+
+    # -- requests ----------------------------------------------------------
+
+    def request_raw(self, op: str,
+                    params: Optional[Dict[str, Any]] = None,
+                    req_id: Optional[Any] = None) -> dict:
+        if self._router is not None:
+            return self._router.request_raw(op, params, req_id=req_id)
+        return self._transport.request_raw(op, params, req_id=req_id)
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        if self._router is not None:
+            return self._router.request(op, **params)
+        return self._transport.request(op, **params)
+
+    def replay(self, requests: Iterable[dict]) -> List[dict]:
+        if self._router is not None:
+            return self._router.replay(requests)
+        return self._transport.replay(requests)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, shutdown: bool = True) -> None:
+        if self._router is not None:
+            self._router.stop()
+        else:
+            self._transport.close(shutdown=shutdown)
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

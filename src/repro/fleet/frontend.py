@@ -1,0 +1,198 @@
+"""The fleet's TCP face: one port, N workers behind it.
+
+``repro serve --fleet N --tcp`` binds a single listener and proxies
+every NDJSON request line to the
+:class:`~repro.fleet.router.FleetRouter`.  :class:`FleetFrontEnd`
+implements the same transport duck-type as
+:class:`~repro.service.server.TransformationService` (``ingest_bytes``
+/ ``install_signal_handlers`` / ``run``), so the existing
+:func:`~repro.service.server.serve_tcp` and
+:func:`~repro.service.server.pump_frames` machinery — byte-capped
+frames, UTF-8 validation, resync-at-newline, per-connection write
+locks — serves the fleet without a parallel implementation.
+
+Unlike the single service (whose processing loop is one thread by
+design — SIGALRM budgets, fork discipline), the front-end dispatches
+admitted requests from a small thread pool: requests routed to
+*different* workers proceed concurrently, which is exactly the fleet's
+throughput story.  Per-worker ordering is still serial (the router
+holds one lock per worker).
+
+Admission mirrors the service: a bounded queue, immediate typed
+``backpressure`` on overflow, ``shutting-down`` once draining starts
+(SIGTERM/SIGINT or a ``shutdown`` request), and everything admitted is
+answered before :meth:`run` returns and the workers are stopped.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, Optional
+
+from repro.fleet.ring import FleetError
+from repro.fleet.router import FleetRouter
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
+from repro.service import protocol
+from repro.service.protocol import (
+    BACKPRESSURE,
+    BAD_REQUEST,
+    INTERNAL,
+    SHUTTING_DOWN,
+    UNAVAILABLE,
+    ProtocolError,
+    error_response,
+    ok_response,
+)
+
+
+class FleetFrontEnd:
+    """Admit NDJSON requests and dispatch them through a fleet router."""
+
+    def __init__(self, router: FleetRouter, *, queue_max: int = 64,
+                 dispatchers: Optional[int] = None):
+        if queue_max < 1:
+            raise ValueError(f"queue_max must be >= 1, got {queue_max}")
+        self.router = router
+        self.queue_max = queue_max
+        self.dispatchers = dispatchers or max(2, 2 * len(router.workers))
+        self._cond = threading.Condition()
+        self._items: deque = deque()
+        self._inflight = 0
+        self._draining = False
+        self.drain_reason: Optional[str] = None
+        self.counters: Dict[str, int] = {
+            "accepted": 0, "answered": 0, "backpressure": 0,
+            "rejected_shutdown": 0,
+        }
+
+    # -- admission (transport threads) -------------------------------------
+
+    def ingest_bytes(self, frame: bytes,
+                     reply: Callable[[dict], None]) -> None:
+        cap = protocol.max_frame_bytes()
+        if len(frame) > cap:
+            reply(error_response(
+                None, BAD_REQUEST,
+                f"frame of {len(frame)} bytes exceeds the {cap}-byte "
+                f"limit (REPRO_MAX_FRAME_BYTES)"))
+            return
+        try:
+            line = frame.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            reply(error_response(None, BAD_REQUEST,
+                                 f"frame is not valid UTF-8: {exc}"))
+            return
+        if line.strip():
+            self.ingest(line, reply)
+
+    def ingest(self, line: str, reply: Callable[[dict], None]) -> None:
+        try:
+            req_id, op, params, idem = protocol.decode_request(line)
+        except ProtocolError as exc:
+            reply(error_response(getattr(exc, "request_id", None),
+                                 exc.code, exc.message))
+            return
+        if op == "shutdown":
+            # Answered at admission so the drain can refuse everything
+            # after it; the router's own shutdown path stops workers.
+            reply(ok_response(req_id, {"stopping": True,
+                                       "reason": "shutdown request",
+                                       "workers":
+                                       len(self.router.workers)}))
+            self.request_drain("shutdown request")
+            return
+        rejection = None
+        with self._cond:
+            if self._draining:
+                self.counters["rejected_shutdown"] += 1
+                rejection = error_response(
+                    req_id, SHUTTING_DOWN,
+                    f"fleet is draining ({self.drain_reason})")
+            elif len(self._items) >= self.queue_max:
+                self.counters["backpressure"] += 1
+                rejection = error_response(
+                    req_id, BACKPRESSURE,
+                    f"request queue full ({self.queue_max}); retry later")
+            else:
+                self.counters["accepted"] += 1
+                self._items.append((req_id, op, params, idem, reply))
+                depth = len(self._items)
+                self._cond.notify()
+        if rejection is not None:
+            if _obs.enabled():
+                get_metrics().counter(
+                    "fleet.rejected."
+                    + rejection["error"]["code"]).inc()
+            reply(rejection)
+            return
+        if _obs.enabled():
+            get_metrics().gauge("fleet.queue_depth").set(depth)
+
+    def request_drain(self, reason: str) -> None:
+        with self._cond:
+            if not self._draining:
+                self._draining = True
+                self.drain_reason = reason
+            self._cond.notify_all()
+
+    def install_signal_handlers(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return
+        signal.signal(signal.SIGTERM,
+                      lambda s, f: self.request_drain("SIGTERM"))
+        signal.signal(signal.SIGINT,
+                      lambda s, f: self.request_drain("SIGINT"))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._items and not self._draining:
+                    self._cond.wait(0.1)
+                if not self._items:
+                    return  # draining and empty
+                req_id, op, params, idem, reply = self._items.popleft()
+                self._inflight += 1
+            try:
+                response = self.router.request_raw(
+                    op, params, req_id=req_id, idem=idem)
+            except FleetError as exc:
+                response = error_response(req_id, UNAVAILABLE, str(exc))
+            except Exception as exc:  # noqa: BLE001 — must answer
+                response = error_response(
+                    req_id, INTERNAL, f"{type(exc).__name__}: {exc}")
+            reply(response)
+            with self._cond:
+                self.counters["answered"] += 1
+                self._inflight -= 1
+                self._cond.notify_all()
+
+    def run(self) -> None:
+        """Serve until drained: every admitted request is answered,
+        then the workers are stopped."""
+        threads = [threading.Thread(target=self._dispatch_loop,
+                                    name=f"fleet-dispatch-{i}",
+                                    daemon=True)
+                   for i in range(self.dispatchers)]
+        for t in threads:
+            t.start()
+        with self._cond:
+            while not (self._draining and not self._items
+                       and self._inflight == 0):
+                self._cond.wait(0.1)
+        for t in threads:
+            t.join(timeout=10.0)
+        self.router.stop()
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._cond:
+            doc = dict(self.counters, queue_depth=len(self._items),
+                       inflight=self._inflight, draining=self._draining)
+        doc["router"] = self.router.snapshot()
+        return doc

@@ -1,0 +1,140 @@
+"""Content-hash affinity: who owns which nest.
+
+Warm state is the whole performance story of the service (PR 4
+measured ~17x warm-vs-cold), and warm state is keyed by *content*: the
+parse memo by ``(text, sink)``, the analysis memo by the structural
+nest, the legality cache by dependence/step content.  Routing must
+therefore preserve content affinity — every request about the same
+nest text should land on the same worker, so that worker's caches
+shard the corpus instead of every worker slowly re-deriving all of it.
+
+:func:`content_key` hashes exactly the tuple ``WarmState``'s parse
+memo keys by, so "same cache entry" and "same worker" coincide by
+construction.  :class:`HashRing` maps the key space onto ``slots``
+fixed buckets assigned round-robin across workers; on worker death
+only the dead worker's slots move (reassigned round-robin across the
+survivors), so the survivors' warm state is untouched — the minimal
+reshuffle property that makes failover cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.util.errors import ReproError
+
+
+class FleetError(ReproError):
+    """The fleet cannot serve: no workers remain alive."""
+
+
+def content_key(text: str, sink: bool = False) -> int:
+    """A stable integer content key for a nest request.
+
+    Hashes the same ``(text, sink)`` tuple ``WarmState`` keys its parse
+    memo by — byte-for-byte identical texts (the replay-workload case)
+    share a key, anything else does not.  SHA-256 keeps the key stable
+    across processes and Python hash randomization.
+    """
+    digest = hashlib.sha256(
+        b"%d\x00%s" % (int(bool(sink)), text.encode("utf-8"))).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """``slots`` fixed hash buckets assigned across worker indices.
+
+    The slot count is the granularity of failover: with S slots and N
+    workers each worker owns ~S/N contiguous-in-assignment buckets,
+    and a death moves only those.  Assignment is deterministic (initial
+    round-robin, failover round-robin over survivors in index order),
+    so every router instance given the same event history routes
+    identically.
+    """
+
+    def __init__(self, workers: int, slots: int = 64):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if slots < workers:
+            raise ValueError(
+                f"slots ({slots}) must be >= workers ({workers})")
+        self.slots = slots
+        self.assignment: List[int] = [i % workers for i in range(slots)]
+        self.alive: List[bool] = [True] * workers
+        #: Total slots moved by :meth:`fail` calls (obs fodder).
+        self.reassigned = 0
+
+    # -- lookup ------------------------------------------------------------
+
+    def slot(self, key: int) -> int:
+        return key % self.slots
+
+    def owner(self, key: int) -> int:
+        """The worker index owning *key*'s slot."""
+        worker = self.assignment[self.slot(key)]
+        if not self.alive[worker]:  # pragma: no cover — fail() reassigns
+            raise FleetError(f"slot owner {worker} is dead")
+        return worker
+
+    def owners(self) -> List[int]:
+        """Alive worker indices, ascending."""
+        return [i for i, up in enumerate(self.alive) if up]
+
+    # -- failover ----------------------------------------------------------
+
+    def fail(self, worker: int) -> Dict[int, int]:
+        """Mark *worker* dead and move its slots to the survivors,
+        round-robin in index order; returns ``{slot: new_owner}`` for
+        the slots that moved.  Raises :class:`FleetError` when the last
+        worker dies — there is nowhere left to route."""
+        if not self.alive[worker]:
+            return {}
+        self.alive[worker] = False
+        survivors = self.owners()
+        if not survivors:
+            raise FleetError(
+                f"worker {worker} was the last alive; fleet exhausted")
+        moved: Dict[int, int] = {}
+        nxt = 0
+        for slot, owner in enumerate(self.assignment):
+            if owner == worker:
+                self.assignment[slot] = survivors[nxt % len(survivors)]
+                moved[slot] = self.assignment[slot]
+                nxt += 1
+        self.reassigned += len(moved)
+        return moved
+
+    # -- reporting ---------------------------------------------------------
+
+    def load(self) -> Dict[int, int]:
+        """Slots per alive worker (the static balance picture)."""
+        counts: Dict[int, int] = {i: 0 for i in self.owners()}
+        for owner in self.assignment:
+            counts[owner] += 1
+        return counts
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "slots": self.slots,
+            "alive": self.owners(),
+            "dead": [i for i, up in enumerate(self.alive) if not up],
+            "load": {str(k): v for k, v in sorted(self.load().items())},
+            "reassigned": self.reassigned,
+        }
+
+
+def route_key(op: str, params: Optional[dict]) -> Optional[int]:
+    """The routing key of a request, or None for keyless ops.
+
+    Every op that carries a nest (``params.text``) routes by its
+    content; control-plane ops (``ping``, ``stats``, ``shutdown``) and
+    malformed params are keyless — any worker answers them identically,
+    so the router spreads them round-robin.
+    """
+    if not params:
+        return None
+    text = params.get("text")
+    if not isinstance(text, str):
+        return None
+    return content_key(text, bool(params.get("sink", False)))

@@ -1,0 +1,314 @@
+"""The fleet router: N supervised workers behind one request API.
+
+``FleetRouter(n)`` spawns *n* :class:`~repro.fleet.worker.WorkerHandle`
+workers — each a supervised ``repro serve --tcp`` child with heartbeat,
+crash-loop breaker and checkpoint/warm-restore — and routes every
+request by the content hash of its nest text
+(:func:`~repro.fleet.ring.content_key`, the same ``(text, sink)``
+tuple ``WarmState`` keys its parse memo by).  Affinity is the point:
+each worker's parse/analysis/legality caches shard the corpus instead
+of all workers slowly re-deriving all of it.
+
+Failure model, in increasing severity:
+
+* **child crash/hang** — the worker's supervisor restarts it
+  (warm-restored from its checkpoint) and the worker's
+  :class:`~repro.resilience.retry.RetryingClient` reconnects and
+  resends with the router's idempotency key; the router never notices,
+  and affinity is preserved;
+* **worker death** (crash-loop breaker tripped, retry policy
+  exhausted) — the router marks the worker dead, moves its hash range
+  to the survivors (:meth:`~repro.fleet.ring.HashRing.fail` — only the
+  dead worker's slots move), and replays the in-flight request to the
+  new owner under the *same* idem key, so at-least-once re-routing
+  stays exactly-once execution;
+* **last worker death** — :class:`~repro.fleet.ring.FleetError`.
+
+Requests for different workers proceed concurrently (the router is
+thread-safe; :meth:`replay` pumps each worker from its own thread), so
+fleet throughput scales with worker count even though each individual
+worker processes serially.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.fleet.ring import FleetError, HashRing, route_key
+from repro.fleet.worker import WorkerHandle
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
+from repro.service import protocol
+from repro.service.protocol import (
+    SHUTTING_DOWN,
+    UNAVAILABLE,
+    ServiceError,
+    error_response,
+    ok_response,
+)
+
+
+class FleetRouter:
+    """Spawn, route across, and fail over a fleet of service workers."""
+
+    def __init__(self, n: int, *, directory: Optional[str] = None,
+                 slots: int = 64, router_id: Optional[str] = None,
+                 workers: Optional[List[Any]] = None,
+                 **worker_options: Any):
+        if workers is None and n < 1:
+            raise ValueError(f"fleet size must be >= 1, got {n}")
+        if workers is None:
+            if directory is None:
+                directory = tempfile.mkdtemp(prefix="repro-fleet-")
+            else:
+                os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.router_id = router_id or f"fleet-{id(self) & 0xffffff:x}"
+        # Injectable workers keep the failover/idem logic unit-testable
+        # without real processes.
+        self.workers: List[Any] = workers if workers is not None else [
+            WorkerHandle(i, directory, **worker_options)
+            for i in range(n)]
+        self.ring = HashRing(len(self.workers), slots=slots)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._rr = 0
+        self._draining = False
+        self.counters: Dict[str, int] = {
+            "requests": 0, "keyless": 0, "failovers": 0,
+            "reassigned_slots": 0,
+        }
+        self.routed: Dict[int, int] = {w.index: 0 for w in self.workers}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, timeout: float = 60.0) -> "FleetRouter":
+        """Start every worker and wait until all answer a ping."""
+        for worker in self.workers:
+            worker.start()
+        errors: List[BaseException] = []
+
+        def ready(worker) -> None:
+            try:
+                worker.wait_ready(timeout)
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=ready, args=(w,), daemon=True)
+                   for w in self.workers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            self.stop()
+            raise FleetError(
+                f"{len(errors)} worker(s) failed to start: {errors[0]}")
+        if _obs.enabled():
+            get_metrics().gauge("fleet.workers_alive").set(
+                len(self.ring.owners()))
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop every worker (supervisors interrupted, children
+        SIGTERMed to drain)."""
+        self._draining = True
+        threads = [threading.Thread(target=w.stop, args=(timeout,),
+                                    daemon=True) for w in self.workers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout)
+
+    def __enter__(self) -> "FleetRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- routing -----------------------------------------------------------
+
+    def _pick(self, key: Optional[int]) -> Any:
+        with self._lock:
+            if key is not None:
+                index = self.ring.owner(key)
+            else:
+                owners = self.ring.owners()
+                if not owners:
+                    raise FleetError("no workers alive")
+                index = owners[self._rr % len(owners)]
+                self._rr += 1
+                self.counters["keyless"] += 1
+            self.routed[index] = self.routed.get(index, 0) + 1
+        if _obs.enabled():
+            get_metrics().counter(f"fleet.routed.w{index}").inc()
+        return self.workers[index]
+
+    def _fail_worker(self, worker, exc: BaseException) -> None:
+        """Move a dead worker's hash range to the survivors (raises
+        :class:`FleetError` when it was the last one)."""
+        with self._lock:
+            if not self.ring.alive[worker.index]:
+                return  # another thread already failed it over
+            moved = self.ring.fail(worker.index)  # may raise FleetError
+            self.counters["failovers"] += 1
+            self.counters["reassigned_slots"] += len(moved)
+        worker.alive = False
+        if _obs.enabled():
+            metrics = get_metrics()
+            metrics.counter("fleet.failovers").inc()
+            metrics.counter("fleet.reassigned_slots").inc(len(moved))
+            metrics.gauge("fleet.workers_alive").set(
+                len(self.ring.owners()))
+        # Tear the carcass down off the request path (stop() joins the
+        # supervisor thread, which can take seconds).
+        threading.Thread(target=worker.stop, daemon=True).start()
+
+    def request_raw(self, op: str,
+                    params: Optional[Dict[str, Any]] = None,
+                    req_id: Optional[Any] = None,
+                    idem: Optional[str] = None) -> dict:
+        """One logical request → one raw response, routed by content
+        affinity, riding out supervised restarts, failing over to a
+        survivor (same idem key) when the owner dies for good."""
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            self.counters["requests"] += 1
+            draining = self._draining
+        if _obs.enabled():
+            get_metrics().counter("fleet.requests").inc()
+        if op == "shutdown":
+            return ok_response(req_id, self._begin_shutdown())
+        if draining:
+            return error_response(req_id, SHUTTING_DOWN,
+                                  "fleet is draining")
+        if op == "stats":
+            return ok_response(req_id, self.fleet_stats())
+        if idem is None:
+            idem = f"{self.router_id}:{seq}"
+        key = route_key(op, params)
+        with _obs.span("fleet.request", op=op):
+            while True:
+                worker = self._pick(key)
+                try:
+                    with worker.lock:
+                        return worker.client.request_raw(
+                            op, params, req_id=req_id, idem=idem)
+                except (ServiceError, OSError) as exc:
+                    # The worker's own retry policy is exhausted: that
+                    # worker is gone.  Reassign and replay.
+                    self._fail_worker(worker, exc)
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """One routed round-trip; returns ``result`` or raises
+        :class:`ServiceError` with the typed code."""
+        response = self.request_raw(op, params)
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error") or {}
+        raise ServiceError(error.get("code", protocol.INTERNAL),
+                           error.get("message", "unknown error"))
+
+    def replay(self, requests: Iterable[dict],
+               progress: Optional[Callable[[int], None]] = None,
+               ) -> List[dict]:
+        """Replay a request script, pumping each worker's share from
+        its own thread (affinity partitions the script; concurrency
+        across workers is where fleet throughput comes from).  Returns
+        responses in script order.  *progress* (if given) is called
+        with each completed script index, from pump threads."""
+        requests = list(requests)
+        results: List[Optional[dict]] = [None] * len(requests)
+        buckets: Dict[int, List[int]] = {}
+        for idx, req in enumerate(requests):
+            key = route_key(req.get("op", ""), req.get("params"))
+            with self._lock:
+                if key is not None:
+                    owner = self.ring.owner(key)
+                else:
+                    owners = self.ring.owners()
+                    owner = owners[self._rr % len(owners)]
+                    self._rr += 1
+            buckets.setdefault(owner, []).append(idx)
+
+        def pump(indices: List[int]) -> None:
+            for i in indices:
+                req = requests[i]
+                try:
+                    results[i] = self.request_raw(
+                        req["op"], req.get("params"),
+                        req_id=req.get("id"))
+                except FleetError as exc:
+                    results[i] = error_response(
+                        req.get("id"), UNAVAILABLE, str(exc))
+                if progress is not None:
+                    progress(i)
+
+        threads = [threading.Thread(target=pump, args=(indices,),
+                                    name=f"fleet-pump-{owner}")
+                   for owner, indices in buckets.items()]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return results  # type: ignore[return-value]
+
+    # -- control plane -----------------------------------------------------
+
+    def _begin_shutdown(self) -> Dict[str, Any]:
+        with self._lock:
+            already = self._draining
+            self._draining = True
+        if not already:
+            threading.Thread(target=self.stop, daemon=True).start()
+        return {"stopping": True, "reason": "shutdown request",
+                "workers": len(self.workers)}
+
+    def fleet_stats(self) -> Dict[str, Any]:
+        """The fleet-level ``stats`` document: router counters, ring
+        state, and each alive worker's own stats (fetched through its
+        client — a dead worker reports its local snapshot only)."""
+        workers = []
+        for worker in self.workers:
+            doc = worker.snapshot()
+            if worker.alive and self.ring.alive[worker.index]:
+                try:
+                    with worker.lock:
+                        doc["stats"] = worker.client.request("stats")
+                except (ServiceError, OSError) as exc:
+                    doc["stats_error"] = str(exc)
+            workers.append(doc)
+        if _obs.enabled():
+            metrics = get_metrics()
+            for doc in workers:
+                metrics.gauge(
+                    f"fleet.worker.{doc['index']}.restarts").set(
+                        doc["restarts"])
+        return {
+            "fleet": {
+                "router_id": self.router_id,
+                "size": len(self.workers),
+                "alive": len(self.ring.owners()),
+                "counters": dict(self.counters),
+                "routed": {str(k): v
+                           for k, v in sorted(self.routed.items())},
+                "ring": self.ring.snapshot(),
+            },
+            "workers": workers,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Local-only router state (no remote stats round-trips)."""
+        return {
+            "router_id": self.router_id,
+            "size": len(self.workers),
+            "alive": len(self.ring.owners()),
+            "counters": dict(self.counters),
+            "routed": {str(k): v for k, v in sorted(self.routed.items())},
+            "ring": self.ring.snapshot(),
+            "workers": [w.snapshot() for w in self.workers],
+        }

@@ -39,8 +39,10 @@ class RetryPolicy:
 
     ``jitter`` is the fractional spread added on top of each backoff
     delay (0.5 → up to +50%), drawn from a seeded RNG so replay runs
-    are reproducible.  ``budget`` caps the *cumulative* backoff sleep
-    per request in seconds (None = attempts alone bound the work).
+    are reproducible.  ``backoff_max`` caps the *actual* delay, jitter
+    included — the documented ceiling is the ceiling.  ``budget`` caps
+    the *cumulative* backoff sleep per request in seconds (None =
+    attempts alone bound the work).
     """
 
     __slots__ = ("attempts", "backoff_initial", "backoff_max",
@@ -61,10 +63,13 @@ class RetryPolicy:
         self.seed = int(seed)
 
     def delay(self, attempt: int, rng: random.Random) -> float:
-        """Backoff before retry number *attempt* (0-based)."""
-        base = min(self.backoff_initial * self.backoff_factor ** attempt,
+        """Backoff before retry number *attempt* (0-based), never above
+        ``backoff_max`` (the clamp is applied *after* jitter; clamping
+        first let the jittered delay overshoot the documented cap by up
+        to the jitter fraction)."""
+        base = self.backoff_initial * self.backoff_factor ** attempt
+        return min(base * (1.0 + self.jitter * rng.random()),
                    self.backoff_max)
-        return base * (1.0 + self.jitter * rng.random())
 
 
 class RetryingClient:
@@ -152,15 +157,19 @@ class RetryingClient:
 
     def request_raw(self, op: str,
                     params: Optional[Dict[str, Any]] = None,
-                    req_id: Optional[Any] = None) -> dict:
+                    req_id: Optional[Any] = None,
+                    idem: Optional[str] = None) -> dict:
         """One logical request → one raw response object, retrying
         transport failures and retryable typed errors under the policy.
         The same ``idem`` key rides every resend, so the server never
-        executes the work twice."""
+        executes the work twice.  Callers that replay a request across
+        *servers* (the fleet router failing over a worker) pass their
+        own stable *idem* so the key survives the re-route."""
         self._seq += 1
         if req_id is None:
             req_id = f"{self.client_id}-{self._seq}"
-        idem = f"{self.client_id}:{self._seq}"
+        if idem is None:
+            idem = f"{self.client_id}:{self._seq}"
         self.counters["requests"] += 1
         slept = 0.0
         last_error: Optional[BaseException] = None

@@ -6,9 +6,13 @@ keeps it alive:
 * **crash detection** — the child exiting nonzero (including an
   injected ``os._exit`` crash) is restarted;
 * **hang detection** — the child touches a heartbeat file from a
-  thread gated on its processing loop's liveness; a stale mtime beyond
-  ``hang_timeout`` means the loop is wedged, and the supervisor
-  SIGKILLs and restarts it;
+  thread gated on its processing loop's liveness; a heartbeat that
+  stops *changing* for ``hang_timeout`` means the loop is wedged, and
+  the supervisor SIGKILLs and restarts it.  Freshness is tracked
+  entirely on the supervisor's monotonic clock (the file's mtime is
+  only compared against its own previous value), so an NTP step or
+  wall-clock skew between the file clock and the supervisor can
+  neither mask a hang nor trigger a spurious kill;
 * **exponential backoff** between restarts, so a fast crash loop does
   not busy-spin;
 * a **circuit breaker**: more than ``max_restarts`` restarts inside
@@ -58,8 +62,10 @@ class Supervisor:
                  max_restarts: int = 5,
                  restart_window: float = 60.0,
                  report_path: Optional[str] = None,
-                 poll_interval: float = 0.1):
+                 poll_interval: float = 0.1,
+                 env: Optional[Dict[str, str]] = None):
         self.child_argv = list(child_argv)
+        self.env = dict(env) if env is not None else None
         self.heartbeat_file = heartbeat_file
         self.hang_timeout = float(hang_timeout)
         self.backoff_initial = float(backoff_initial)
@@ -71,8 +77,33 @@ class Supervisor:
         self.poll_interval = float(poll_interval)
         self.restarts: List[Dict[str, object]] = []
         self._child: Optional[subprocess.Popen] = None
-        self._stopping = False
+        self._stop = threading.Event()
         self._restart_times: List[float] = []
+
+    # -- stopping ----------------------------------------------------------
+
+    @property
+    def _stopping(self) -> bool:
+        return self._stop.is_set()
+
+    @_stopping.setter
+    def _stopping(self, value: bool) -> None:
+        if value:
+            self._stop.set()
+        else:
+            self._stop.clear()
+
+    def stop(self, signum: int = signal.SIGTERM) -> None:
+        """Stop supervising: interrupt any restart backoff in progress,
+        skip further respawns, and forward *signum* to a running child
+        so it drains gracefully.  Safe from any thread."""
+        self._stop.set()
+        child = self._child
+        if child is not None and child.poll() is None:
+            try:
+                child.send_signal(signum)
+            except OSError:
+                pass
 
     # -- signals -----------------------------------------------------------
 
@@ -83,13 +114,7 @@ class Supervisor:
             return
 
         def forward(signum, frame):
-            self._stopping = True
-            child = self._child
-            if child is not None and child.poll() is None:
-                try:
-                    child.send_signal(signum)
-                except OSError:
-                    pass
+            self.stop(signum)
 
         signal.signal(signal.SIGTERM, forward)
         signal.signal(signal.SIGINT, forward)
@@ -137,7 +162,13 @@ class Supervisor:
                   f"reason {reason}, uptime {uptime:.1f}s); restarting "
                   f"in {backoff:.2f}s", file=sys.stderr, flush=True)
             self._write_report(final=None)
-            time.sleep(backoff)
+            # Interruptible backoff: a SIGTERM (or stop()) during the
+            # sleep ends supervision immediately instead of waiting out
+            # up to backoff_max and respawning a child the signal would
+            # never reach.
+            if self._stop.wait(backoff) or self._stopping:
+                self._write_report(final="stopped")
+                return code if code is not None else 0
             # A child that survived the whole window earns a backoff
             # reset; a fast crasher keeps escalating.
             if uptime >= self.restart_window:
@@ -156,18 +187,34 @@ class Supervisor:
                 os.utime(self.heartbeat_file, None)
             except OSError:
                 pass
-        return subprocess.Popen(self.child_argv)
+        return subprocess.Popen(self.child_argv, env=self.env)
 
     def _watch(self, child: subprocess.Popen, started: float) -> str:
         """Block until the child exits or hangs; returns the reason
-        (``"exit"`` or ``"hang"``, the latter after a SIGKILL)."""
+        (``"exit"`` or ``"hang"``, the latter after a SIGKILL).
+
+        Heartbeat freshness lives in one clock domain: the supervisor
+        remembers the last mtime it *saw* and the monotonic instant it
+        changed, so staleness is a pure monotonic delta.  The absolute
+        mtime is never compared against ``time.time()`` — an NTP step
+        on either clock shifts every observed mtime equally and the
+        deltas are unaffected.
+        """
+        last_mtime = self._stat_mtime()
+        fresh_at = started  # monotonic instant of the last observed beat
         while True:
             if child.poll() is not None:
                 return "exit"
             if self.heartbeat_file and not self._stopping:
-                stale = time.monotonic() - max(self._heartbeat_mtime(),
-                                               started)
-                if stale > self.hang_timeout:
+                mtime = self._stat_mtime()
+                now = time.monotonic()
+                if mtime is None or mtime != last_mtime:
+                    # Changed = the child touched it; unreadable =
+                    # indeterminate, conservatively treated as fresh
+                    # (a vanished file must not look like a hang).
+                    last_mtime = mtime
+                    fresh_at = now
+                if now - fresh_at > self.hang_timeout:
                     try:
                         child.kill()
                     except OSError:
@@ -176,14 +223,15 @@ class Supervisor:
                     return "hang"
             time.sleep(self.poll_interval)
 
-    def _heartbeat_mtime(self) -> float:
-        """The heartbeat's age on the supervisor's monotonic clock
-        (conservatively 'just now' when the file is unreadable)."""
+    def _stat_mtime(self) -> Optional[float]:
+        """The heartbeat file's raw mtime (None when unreadable); only
+        ever compared against its own previous value."""
+        if not self.heartbeat_file:
+            return None
         try:
-            age = time.time() - os.stat(self.heartbeat_file).st_mtime
+            return os.stat(self.heartbeat_file).st_mtime
         except OSError:
-            return time.monotonic()
-        return time.monotonic() - max(age, 0.0)
+            return None
 
     # -- reporting ---------------------------------------------------------
 

@@ -15,6 +15,7 @@ import random
 import signal
 import subprocess
 import sys
+import threading
 import time
 from contextlib import contextmanager
 
@@ -508,6 +509,60 @@ def test_supervisor_backoff_escalates(tmp_path):
     assert backoffs == sorted(backoffs) and backoffs[0] < backoffs[-1]
 
 
+def test_supervisor_hang_detection_survives_clock_steps(tmp_path):
+    """Regression: heartbeat freshness must live in the monotonic
+    domain.  A healthy child whose heartbeat *mtimes* sit hours away
+    from the supervisor's wall clock (NTP step, frozen clock, museum
+    filesystem) is still fresh as long as the mtime keeps *changing* —
+    the old ``time.time() - mtime`` comparison killed it as hung."""
+    hb = str(tmp_path / "skewed.hb")
+    code = (
+        "import os, time\n"
+        f"hb = {hb!r}\n"
+        "base = time.time()\n"
+        "for k in range(16):\n"
+        "    with open(hb, 'w') as f:\n"
+        "        f.write(str(k))\n"
+        "    skew = -7200 if k < 8 else 7200\n"
+        "    os.utime(hb, (base + skew + k, base + skew + k))\n"
+        "    time.sleep(0.2)\n")
+    sup = Supervisor([sys.executable, "-c", code],
+                     heartbeat_file=hb, hang_timeout=1.0,
+                     backoff_initial=0.05, max_restarts=2,
+                     report_path=str(tmp_path / "report.json"))
+    assert sup.run() == 0
+    assert sup.restarts == []  # never mistaken for a hang
+    doc = json.loads((tmp_path / "report.json").read_text())
+    assert doc["final"] == "clean-exit"
+
+
+def test_supervisor_stop_interrupts_restart_backoff(tmp_path):
+    """Regression: ``stop()`` during the restart backoff must end
+    supervision immediately.  The old ``time.sleep(backoff)`` waited
+    out the full backoff and then respawned a child that the already-
+    delivered SIGTERM would never reach."""
+    sup = Supervisor([sys.executable, "-c", "import sys; sys.exit(1)"],
+                     backoff_initial=5.0, backoff_max=5.0,
+                     max_restarts=10,
+                     report_path=str(tmp_path / "report.json"))
+    codes = []
+    thread = threading.Thread(target=lambda: codes.append(sup.run()))
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not sup.restarts and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert sup.restarts, "child never crashed into backoff"
+    t0 = time.monotonic()
+    sup.stop()
+    thread.join(timeout=2.0)
+    assert not thread.is_alive(), "stop() did not interrupt the backoff"
+    assert time.monotonic() - t0 < 2.0  # not the 5s backoff
+    assert codes == [1]
+    doc = json.loads((tmp_path / "report.json").read_text())
+    assert doc["final"] == "stopped"
+    assert len(sup.restarts) == 1  # no respawn after stop()
+
+
 # ---------------------------------------------------------------------------
 # retry policy
 # ---------------------------------------------------------------------------
@@ -518,6 +573,24 @@ def test_retry_policy_backoff_shape():
     rng = random.Random(0)
     assert [policy.delay(k, rng) for k in range(4)] == [
         0.1, 0.2, 0.4, 0.5]
+
+
+def test_retry_backoff_max_caps_jitter_too():
+    """Regression: ``backoff_max`` is a hard ceiling.  The old order
+    clamped *before* adding jitter, so a saturated backoff could sleep
+    up to ``backoff_max * (1 + jitter)`` — past the operator's cap."""
+    policy = RetryPolicy(backoff_initial=2.0, backoff_factor=2.0,
+                         backoff_max=2.0, jitter=0.5)
+
+    class _MaxJitter:
+        def random(self):
+            return 1.0
+
+    assert policy.delay(0, _MaxJitter()) == 2.0
+    # un-saturated delays still jitter upward
+    small = RetryPolicy(backoff_initial=0.1, backoff_factor=2.0,
+                        backoff_max=10.0, jitter=0.5)
+    assert small.delay(0, _MaxJitter()) == pytest.approx(0.15)
 
 
 def test_retry_exhaustion_raises_unavailable():
