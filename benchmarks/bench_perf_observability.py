@@ -1,23 +1,55 @@
 """Perf-7 — the observability layer itself.
 
-Two guarantees, one per test: (1) with the tracer ON, one pass over the
-search/legality/execution pipeline yields a per-phase profile and a
+Three guarantees, one per test: (1) with the tracer ON, one pass over
+the search/legality/execution pipeline yields a per-phase profile and a
 metrics snapshot, which ``bench_smoke.json`` embeds so every later perf
 PR can cite real phase numbers; (2) with the tracer OFF (the default),
 the instrumentation leaves no state behind — the speedup-floor smoke
 tests in the sibling modules run tracer-off, so their thresholds double
-as the "instrumentation costs nothing when disabled" guard.
+as the "instrumentation costs nothing when disabled" guard; (3)
+*distributed* tracing — contexts on the wire, spans shipped back on
+every response, collector stitching — costs under
+:data:`OVERHEAD_CEILING_PCT` on a real N=2 fleet replay.
+
+The overhead replay mirrors ``bench_fleet``'s latency-bound regime: a
+modeled 5 ms per-request service latency, the steady state a real tool
+fleet lives in, so the guard measures tracing against realistic
+request latencies rather than against empty cache hits.
 """
+
+import os
+import shutil
+import tempfile
+import time
 
 import pytest
 
 from repro import obs
 from repro.cache.simulator import Layout, simulate_trace
 from repro.deps.analysis import analyze
+from repro.fleet import FleetRouter
 from repro.optimize.search import search
+from repro.resilience.retry import RetryPolicy
 from repro.runtime.compiled import run_compiled
 
 N = 12
+
+STENCIL = """
+do i = 2, n-1
+  do j = 2, n-1
+    a(i, j) = a(i-1, j) + a(i, j-1)
+  enddo
+enddo
+"""
+
+FLEET_REQUESTS = 200
+FLEET_VARIANTS = 32
+#: Hard ceiling on the cost of distributed tracing (span bookkeeping,
+#: wire contexts, shipped subtrees, collector stitching) relative to
+#: the same fleet replay with observability off.
+OVERHEAD_CEILING_PCT = 5.0
+#: Modeled per-request service latency, as in ``bench_fleet``.
+LATENCY_MODEL = "service.dispatch:hang:*:0.005"
 
 
 def _observed_pipeline(nest):
@@ -83,3 +115,89 @@ def test_smoke_disabled_leaves_no_state(report, matmul_nest):
     report("Perf-7 smoke: disabled observability",
            "no tracer, no metrics state; floors enforced by the "
            "compiled/legality smoke tests run tracer-off")
+
+
+def _fleet_script(n=FLEET_REQUESTS, variants=FLEET_VARIANTS):
+    """A mixed replay over *variants* distinct nests, every op a pure
+    function of its params (the same corpus shape as ``bench_fleet``)."""
+    ops = [
+        lambda t: ("parse", {"text": t}),
+        lambda t: ("analyze", {"text": t}),
+        lambda t: ("legality", {"text": t, "steps": "interchange(1,2)"}),
+    ]
+    requests = []
+    for k in range(n):
+        text = STENCIL + f"! corpus nest {k % variants}\n"
+        op, params = ops[k % len(ops)](text)
+        requests.append({"id": k, "op": op, "params": params})
+    return requests
+
+
+def _timed_fleet_replay(script, directory):
+    """Start an N=2 fleet under the current observability switch,
+    replay the script, return (seconds, responses).  Startup and
+    teardown are excluded — the claim is steady-state overhead."""
+    router = FleetRouter(
+        2, directory=directory,
+        retry_policy=RetryPolicy(attempts=6, backoff_initial=0.1,
+                                 backoff_max=1.0, budget=60.0),
+        extra_args=["--chaos", LATENCY_MODEL])
+    router.start()
+    try:
+        t0 = time.perf_counter()
+        responses = router.replay(script)
+        elapsed = time.perf_counter() - t0
+    finally:
+        router.stop()
+    return elapsed, responses
+
+
+@pytest.mark.smoke
+def test_smoke_distributed_tracing_overhead(report, smoke_summary):
+    """CI guardrail: tracing a whole N=2 fleet replay — contexts on
+    every request, spans shipped back on every response — must cost
+    under 5% against the identical untraced replay."""
+    assert not obs.enabled()
+    script = _fleet_script()
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-obs-")
+    try:
+        off_s, off_responses = _timed_fleet_replay(
+            script, os.path.join(tmpdir, "off"))
+
+        obs.enable()
+        try:
+            on_s, on_responses = _timed_fleet_replay(
+                script, os.path.join(tmpdir, "on"))
+        finally:
+            obs.disable()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    assert all(r["ok"] for r in off_responses)
+    assert all(r["ok"] for r in on_responses)
+    # The traced replay really traced: every response piggybacks its
+    # worker's shipped subtree (the front end would pop and collect
+    # these); the untraced replay's wire stays span-free.
+    shipped = sum(len(r.get("spans") or ()) for r in on_responses)
+    assert shipped >= len(script), (
+        f"traced replay shipped only {shipped} spans back")
+    assert not any("spans" in r for r in off_responses)
+
+    overhead_pct = (on_s - off_s) / off_s * 100.0
+    smoke_summary["observability_overhead"] = {
+        "benchmark": f"N=2 fleet replay, {len(script)} requests, "
+                     f"5 ms modeled service latency",
+        "tracing_off_s": round(off_s, 4),
+        "tracing_on_s": round(on_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "ceiling_pct": OVERHEAD_CEILING_PCT,
+        "spans_shipped": shipped,
+    }
+    report("Perf-7 smoke: distributed tracing overhead",
+           f"{len(script)} requests at N=2: off {off_s:.3f}s, "
+           f"on {on_s:.3f}s -> {overhead_pct:+.2f}% "
+           f"(ceiling {OVERHEAD_CEILING_PCT:.0f}%); "
+           f"{shipped} remote spans shipped back")
+    assert overhead_pct < OVERHEAD_CEILING_PCT, (
+        f"distributed tracing costs {overhead_pct:.2f}% on the fleet "
+        f"replay (ceiling {OVERHEAD_CEILING_PCT}%)")

@@ -38,10 +38,20 @@ Commands
     stdio server by default, or a running TCP server with
     ``--connect``.  ``--retries N`` retries transport failures and
     retryable errors with idempotency keys (exactly-once execution).
+    With ``--trace-json`` each request roots a distributed trace; the
+    exported file is the stitched cross-process span tree
+    (:mod:`repro.obs.distributed`).
+
+``stats --connect HOST:PORT [--watch]``
+    Fetch a running service's (or fleet's) ``telemetry`` snapshot and
+    print it as JSON — against a fleet this is the merged fleet-wide
+    document: per-worker counters summed, gauges tagged per worker,
+    latency histograms merged with p50/p95/p99 estimates.
 
 Every command additionally accepts ``--profile`` (print the per-phase
 span table to stderr when done) and ``--trace-json PATH`` (export the
-raw span stream as JSON lines) — both install the :mod:`repro.obs`
+span stream — stitched across processes when remote spans were
+collected — as JSON lines) — both install the :mod:`repro.obs`
 tracer for the duration of the command — plus ``--jobs N`` and
 ``--candidate-timeout S``, which tune parallel candidate evaluation
 where the command searches (``search``, ``profile``, ``serve``) and are
@@ -445,6 +455,36 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _traced_replay(client, requests) -> list:
+    """Replay with distributed tracing: each request roots its own
+    trace (``client.request`` span), sends the context on the wire, and
+    folds the spans shipped back on the response into the collector —
+    :func:`main` then exports the stitched cross-process tree."""
+    from repro.obs import distributed as dist
+    from repro.resilience.retry import RetryingClient
+
+    responses = []
+    for req in requests:
+        op = req["op"]
+        with dist.start_trace("client.request", op=op):
+            ctx = dist.current_context()
+            if isinstance(client, RetryingClient):
+                response = client.request_raw(
+                    op, req.get("params"), req_id=req.get("id"),
+                    trace=ctx)
+            else:
+                rid = client.send(op, req.get("params"),
+                                  req_id=req.get("id"), trace=ctx)
+                response = client.recv(rid)
+        if isinstance(response, dict):
+            spans = response.pop("spans", None)
+            dropped = response.pop("spans_dropped", 0)
+            if spans or dropped:
+                dist.get_collector().add(spans, dropped)
+        responses.append(response)
+    return responses
+
+
 def cmd_client(args) -> int:
     """Replay an NDJSON request script and print the raw responses.
 
@@ -498,12 +538,50 @@ def cmd_client(args) -> int:
         else:
             client = ServiceClient.spawn(serve_args)
     try:
-        responses = client.replay(requests)
+        if obs.enabled():
+            responses = _traced_replay(client, requests)
+        else:
+            responses = client.replay(requests)
     finally:
         client.close(shutdown=shutdown)
     for response in responses:
         print(json.dumps(response, sort_keys=True))
     return 0 if all(r.get("ok") for r in responses) else 1
+
+
+def cmd_stats(args) -> int:
+    """Fetch a live service's ``telemetry`` snapshot and print JSON.
+
+    Against a fleet front end the router answers with the merged
+    fleet-wide document (``router`` / ``workers`` / ``merged``
+    sections); against a single server, with that process's own
+    snapshot.  ``--watch`` polls until interrupted, reconnecting each
+    cycle so supervised restarts don't end the watch.
+    """
+    import time as time_mod
+
+    from repro.service import ServiceClient
+    from repro.service.protocol import ServiceError
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: --connect expects HOST:PORT, got "
+              f"{args.connect!r}", file=sys.stderr)
+        return 2
+    while True:
+        try:
+            client = ServiceClient.connect(host, int(port))
+            try:
+                doc = client.request("telemetry")
+            finally:
+                client.close(shutdown=False)
+        except (ServiceError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(doc, indent=2, sort_keys=True), flush=True)
+        if not args.watch:
+            return 0
+        time_mod.sleep(args.interval)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -716,6 +794,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel(p_cl, jobs_help="--jobs for the spawned server "
                  "(ignored with --connect)")
     p_cl.set_defaults(func=cmd_client)
+
+    p_st = sub.add_parser(
+        "stats",
+        help="fetch a running service's (or fleet's) telemetry "
+             "snapshot as JSON")
+    p_st.add_argument("--connect", metavar="HOST:PORT", required=True,
+                      help="address of the running server or fleet "
+                           "front end")
+    p_st.add_argument("--watch", action="store_true",
+                      help="poll repeatedly instead of one shot")
+    p_st.add_argument("--interval", type=float, default=2.0,
+                      metavar="SECONDS",
+                      help="polling interval for --watch (default 2)")
+    p_st.set_defaults(func=cmd_stats)
     return parser
 
 
@@ -735,7 +827,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         if tracer is not None:
             if trace_path is not None:
-                tracer.export_jsonl(trace_path)
+                from repro.obs import distributed as dist
+                if len(dist.get_collector()):
+                    # Remote spans were shipped back to this process:
+                    # export the stitched cross-process tree.
+                    dist.export_stitched(trace_path, tracer)
+                else:
+                    tracer.export_jsonl(trace_path)
             if profiling:
                 print(obs.profile_table(tracer), file=sys.stderr)
             obs.disable()

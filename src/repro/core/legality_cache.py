@@ -275,7 +275,8 @@ class LegalityCache:
         # stay span-free so the memoized fast path pays nothing.
         # (a) dependence vector test, mapped one memoized step at a time.
         with _obs.span("legality.map_deps", steps=len(steps)):
-            final = self._map_deps(steps, step_ids, deps, deps_id)
+            final = self._map_deps(steps, step_ids, deps, deps_id,
+                                   nest, nest_id)
         if final.can_be_lex_negative():
             bad = [str(v) for v in final if v.can_be_lex_negative()]
             return LegalityReport(
@@ -298,28 +299,44 @@ class LegalityCache:
         return LegalityReport(True, final_deps=final)
 
     def _map_deps(self, steps: Sequence[Template], step_ids: Tuple[int, ...],
-                  deps: DepSet, deps_id: int) -> DepSet:
+                  deps: DepSet, deps_id: int,
+                  nest: LoopNest, nest_id: int) -> DepSet:
         current, current_id = deps, deps_id
-        for step, sid in zip(steps, step_ids):
-            hit = self._map_cache.get((current_id, sid))
+        # Context-sensitive steps (Block, Interleave) need the loop
+        # headers they receive to widen anchored decompositions; fold
+        # them through the memoized per-prefix bounds cache, exactly as
+        # Transformation._dep_contexts folds them directly.
+        sensitive = any(s.dep_context_sensitive for s in steps)
+        loops: Optional[Tuple[Loop, ...]] = nest.loops if sensitive else None
+        for idx, (step, sid) in enumerate(zip(steps, step_ids)):
+            ctx = None
+            if loops is not None and step.dep_context_sensitive:
+                ctx = step.dep_context(loops)
+            mkey = ((current_id, sid) if ctx is None
+                    else (current_id, sid, ctx))
+            hit = self._map_cache.get(mkey)
             if hit is not None:
-                self._touch(self._map_cache, (current_id, sid))
+                self._touch(self._map_cache, mkey)
             else:
                 self.dep_map_evals += 1
-                mapped = step.map_dep_set(current)
+                mapped = step.map_dep_set(current, ctx)
                 key = depset_key(mapped)
                 mapped_id = self._deps_ids.get(key)
                 if mapped_id is None:
                     mapped_id = len(self._deps_ids)
                     self._deps_ids[key] = mapped_id
                 hit = (mapped, mapped_id)
-                self._map_cache[(current_id, sid)] = hit
+                self._map_cache[mkey] = hit
                 self._bound(self._map_cache)
                 if self._delta_log is not None:
                     self._delta_log.append(
                         ("map", depset_key(current), template_key(step),
-                         mapped))
+                         ctx, mapped))
             current, current_id = hit
+            if loops is not None and idx + 1 < len(steps):
+                state = self._bounds(steps[:idx + 1], step_ids[:idx + 1],
+                                     nest, nest_id)
+                loops = state[1] if state[0] == "ok" else None
         return current
 
     def _bounds(self, steps: Sequence[Template], step_ids: Tuple[int, ...],
@@ -427,11 +444,11 @@ class LegalityCache:
         for entry in delta:
             kind = entry[0]
             if kind == "map":
-                _, src_key, step_key, mapped = entry
+                _, src_key, step_key, ctx, mapped = entry
                 src_id = self._deps_ids.setdefault(src_key,
                                                    len(self._deps_ids))
                 sid = step_ids.setdefault(step_key, len(step_ids))
-                mkey = (src_id, sid)
+                mkey = (src_id, sid) if ctx is None else (src_id, sid, ctx)
                 if mkey not in self._map_cache:
                     self.dep_map_evals += 1
                     mapped_id = self._deps_ids.setdefault(

@@ -184,20 +184,56 @@ class Transformation:
 
     # -- dependence vectors ------------------------------------------------------
 
-    def map_dep_set(self, deps: DepSet) -> DepSet:
-        """``T(D)``: fold every step's Table 2 rule over the set."""
+    def map_dep_set(self, deps: DepSet,
+                    nest: Optional[LoopNest] = None) -> DepSet:
+        """``T(D)``: fold every step's Table 2 rule over the set.
+
+        When *nest* is given, each context-sensitive step (Block,
+        Interleave) receives its :meth:`~Template.dep_context` for the
+        loops it would see, so anchored decompositions widen soundly
+        (DESIGN.md, soundness tightening 4); without a nest the fold is
+        the paper's loop-independent — possibly under-approximate —
+        mapping.
+        """
         current = deps
-        for step in self.steps:
-            current = step.map_dep_set(current)
+        for step, ctx in zip(self.steps, self._dep_contexts(nest)):
+            current = step.map_dep_set(current, ctx)
         return current
 
-    def dep_set_trace(self, deps: DepSet) -> List[DepSet]:
+    def dep_set_trace(self, deps: DepSet,
+                      nest: Optional[LoopNest] = None) -> List[DepSet]:
         """The dependence set after each stage, ``[D_0, D_1, ..., D_k]``
         (used to regenerate the paper's Figure 7 table)."""
         trace = [deps]
-        for step in self.steps:
-            trace.append(step.map_dep_set(trace[-1]))
+        for step, ctx in zip(self.steps, self._dep_contexts(nest)):
+            trace.append(step.map_dep_set(trace[-1], ctx))
         return trace
+
+    def _dep_contexts(self, nest: Optional[LoopNest]) -> List:
+        """Per-step dependence-mapping contexts (input loops folded
+        through the sequence); all None when no nest is given or no step
+        is context-sensitive."""
+        if nest is None or not any(s.dep_context_sensitive
+                                   for s in self.steps):
+            return [None] * len(self.steps)
+        loops: Optional[Tuple[Loop, ...]] = nest.loops
+        taken = collect_taken(nest)
+        ctxs: List = []
+        for step in self.steps:
+            ctx = None
+            if loops is not None and step.dep_context_sensitive:
+                ctx = step.dep_context(loops)
+            ctxs.append(ctx)
+            if loops is not None:
+                try:
+                    step.check_preconditions(loops)
+                    loops, _ = step.map_loops(loops, taken)
+                except (PreconditionViolation, CodegenError):
+                    # The bounds half of legality will reject this
+                    # sequence; later steps fall back to the
+                    # context-free mapping.
+                    loops = None
+        return ctxs
 
     # -- the unified legality test (Section 2, item 3) -----------------------------
 
@@ -209,7 +245,7 @@ class Transformation:
                        f"expects {self._n}")
         # (a) dependence vector test: only the final set matters.
         with _obs.span("legality.map_deps", steps=len(self.steps)):
-            final = self.map_dep_set(deps)
+            final = self.map_dep_set(deps, nest=nest)
         if final.can_be_lex_negative():
             bad = [str(v) for v in final if v.can_be_lex_negative()]
             return LegalityReport(

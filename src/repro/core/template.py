@@ -79,12 +79,31 @@ class Template(abc.ABC):
 
     # -- dependence vectors (Table 2) -----------------------------------------
 
+    #: True for templates whose Table 2 rule is only exact when the
+    #: decomposition anchor (a range loop's lower bound) is invariant in
+    #: the other loop variables; legality passes them a
+    #: :meth:`dep_context` so the mapping can widen (see DESIGN.md,
+    #: soundness tightening 4).
+    dep_context_sensitive: bool = False
+
     @abc.abstractmethod
     def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
         """Apply this template's Table 2 rule to one dependence vector."""
 
-    def map_dep_set(self, deps: DepSet) -> DepSet:
-        """Apply the rule to a whole dependence set."""
+    def dep_context(self, loops: Sequence[Loop]):
+        """A hashable summary of whatever the Table 2 rule's exactness
+        depends on in the loop headers this step receives, or None when
+        the rule is exact unconditionally (the default)."""
+        return None
+
+    def map_dep_set(self, deps: DepSet, ctx=None) -> DepSet:
+        """Apply the rule to a whole dependence set.
+
+        *ctx* is this step's :meth:`dep_context` for the loops it
+        receives (None when unknown or not needed); context-sensitive
+        templates use it to widen entries whose rule would otherwise be
+        unsound.  The base implementation ignores it.
+        """
         if deps.is_empty():
             return deps
         if deps.depth != self.n:
@@ -147,3 +166,59 @@ def check_contiguous_range(name: str, n: int, i: int, j: int) -> None:
         raise ValueError(
             f"{name}: range i..j must satisfy 1 <= i <= j <= n, "
             f"got i={i}, j={j}, n={n}")
+
+
+def anchor_dep_context(tmpl, loops: Sequence[Loop]):
+    """Shared :meth:`Template.dep_context` for Block and Interleave.
+
+    Both decompose each range loop ``k`` against an *anchor* — the
+    residue class (Interleave) or tile origin (Block) is measured from
+    ``l_k`` on the lattice ``{l_k + m*s_k}``.  When ``l_k`` (or ``s_k``)
+    references another loop variable ``x_h``, source and target of a
+    dependence with a nonzero distance in ``x_h`` see *different*
+    anchors, and the loop-invariant Table 2 rule under-approximates the
+    mapped set (DESIGN.md, soundness tightening 4).
+
+    Returns ``((k, (h, ...)), ...)`` listing, per range loop with a
+    variant anchor, the 1-based loops its anchor references — or None
+    when every anchor is invariant (the common rectangular case).
+    """
+    from repro.expr.linear import BoundType
+
+    bm = tmpl._bounds_matrix(loops)
+    ctx = []
+    for k in range(tmpl.i, tmpl.j + 1):
+        refs = tuple(
+            h for h in range(1, tmpl.n + 1)
+            if h != k and not (bm.type_of("LB", k, h).leq(BoundType.INVAR)
+                               and bm.type_of("STEP", k, h).leq(
+                                   BoundType.INVAR)))
+        if refs:
+            ctx.append((k, refs))
+    return tuple(ctx) if ctx else None
+
+
+def map_anchored_dep_set(tmpl, deps: DepSet, ctx) -> DepSet:
+    """Shared context-aware :meth:`Template.map_dep_set` body for Block
+    and Interleave.
+
+    For each vector, range entries whose anchor references a loop with a
+    possibly-nonzero distance are widened to the unconstrained pair
+    ``{(*, *)}`` (the anchors may differ, so neither the offset/tile nor
+    the element relation is known); all other entries keep the exact
+    rule.
+    """
+    if deps.is_empty():
+        return deps
+    if deps.depth != tmpl.n:
+        raise ValueError(
+            f"{tmpl.signature()}: dependence vectors have "
+            f"{deps.depth} entries, expected {tmpl.n}")
+    refs_by_k = dict(ctx)
+    out: List[DepVector] = []
+    for vec in deps:
+        widen = frozenset(
+            k for k, hs in refs_by_k.items()
+            if not all(vec.entry(h).is_zero() for h in hs))
+        out.extend(tmpl.map_dep_vector(vec, widen=widen))
+    return DepSet(out)

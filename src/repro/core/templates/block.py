@@ -48,12 +48,13 @@ from repro.core.bounds_matrix import BoundsMatrix
 from repro.core.template import (
     Template,
     TransformedLoops,
+    anchor_dep_context,
     check_contiguous_range,
     fresh_name,
 )
-from repro.deps.entry import DepEntry
+from repro.deps.entry import D_ANY, DepEntry
 from repro.deps.rules import blockmap, blockmap_precise
-from repro.deps.vector import DepVector
+from repro.deps.vector import DepSet, DepVector
 from repro.expr.linear import BoundType, affine_form
 from repro.expr.nodes import (
     Const,
@@ -130,16 +131,89 @@ class Block(Template):
 
     # -- dependence vectors -----------------------------------------------------
 
-    def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
+    #: Tile origins are anchored at (the substituted) ``l_k``; when that
+    #: anchor varies with another loop the rule needs widening — see
+    #: ``anchor_dep_context`` and DESIGN.md soundness tightening 4.
+    dep_context_sensitive = True
+
+    def dep_context(self, loops: Sequence[Loop]):
+        return anchor_dep_context(self, loops)
+
+    def map_dep_set(self, deps, ctx=None):
+        if ctx is None:
+            return super().map_dep_set(deps)
+        if deps.is_empty():
+            return deps
+        if deps.depth != self.n:
+            raise ValueError(
+                f"{self.signature()}: dependence vectors have "
+                f"{deps.depth} entries, expected {self.n}")
+        refs_by_k = dict(ctx)
+        out: List[DepVector] = []
+        for vec in deps:
+            # Out-of-range anchor references compare original loop
+            # values: the anchor agrees only when the referenced
+            # distance is exactly zero, decided once per vector.  An
+            # in-range reference h was substituted by h's *tile
+            # endpoint* (Table 4), so the anchor agrees exactly when
+            # the combo's block entry for h is zero — decided per combo
+            # in _map_vec_refined.
+            widen = frozenset(
+                k for k, hs in refs_by_k.items()
+                if not all(vec.entry(h).is_zero()
+                           for h in hs if h < self.i or h > self.j))
+            in_refs = {k: tuple(h for h in hs if self.i <= h <= self.j)
+                       for k, hs in refs_by_k.items()}
+            out.extend(self._map_vec_refined(vec, widen, in_refs))
+        return DepSet(out)
+
+    def _pair_options(self, vec: DepVector,
+                      k: int) -> List[Tuple[DepEntry, DepEntry]]:
+        entry = vec.entry(k)
+        size = self._bsize_of(k)
+        if (self.precise and entry.is_distance and
+                isinstance(size, Const)):
+            return blockmap_precise(entry, size.value)
+        return blockmap(entry)
+
+    def _map_vec_refined(self, vec: DepVector, widen: frozenset,
+                         in_refs) -> List[DepVector]:
+        """Enumerate (block, element) combos left to right so loop k's
+        widening can consult the block entries already chosen for the
+        in-range loops its anchor references."""
+        rng = list(range(self.i, self.j + 1))
+        combos: List[List[Tuple[DepEntry, DepEntry]]] = [[]]
+        for pos, k in enumerate(rng):
+            nxt: List[List[Tuple[DepEntry, DepEntry]]] = []
+            for prefix in combos:
+                exact = k not in widen and all(
+                    h < k and prefix[h - self.i][0].is_zero()
+                    for h in in_refs.get(k, ()))
+                options = (self._pair_options(vec, k) if exact
+                           else [(D_ANY, D_ANY)])
+                for pair in options:
+                    nxt.append(prefix + [pair])
+            combos = nxt
+        out: List[DepVector] = []
+        for combo in combos:
+            blocks = [p[0] for p in combo]
+            elems = [p[1] for p in combo]
+            out.append(DepVector(
+                list(vec.entries[:self.i - 1]) + blocks + elems +
+                list(vec.entries[self.j:])))
+        return out
+
+    def map_dep_vector(self, vec: DepVector,
+                       widen: frozenset = frozenset()) -> List[DepVector]:
         pair_options: List[List[Tuple[DepEntry, DepEntry]]] = []
         for k in range(self.i, self.j + 1):
-            entry = vec.entry(k)
-            size = self._bsize_of(k)
-            if (self.precise and entry.is_distance and
-                    isinstance(size, Const)):
-                pair_options.append(blockmap_precise(entry, size.value))
+            if k in widen:
+                # The anchor of loop k differs between the dependence's
+                # source and target: both the tile and element relations
+                # are unknown.
+                pair_options.append([(D_ANY, D_ANY)])
             else:
-                pair_options.append(blockmap(entry))
+                pair_options.append(self._pair_options(vec, k))
         out: List[DepVector] = []
         for combo in _product(pair_options):
             blocks = [p[0] for p in combo]

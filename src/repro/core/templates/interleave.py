@@ -39,11 +39,13 @@ from typing import List, Sequence, Set, Tuple
 from repro.core.template import (
     Template,
     TransformedLoops,
+    anchor_dep_context,
     check_contiguous_range,
     fresh_name,
+    map_anchored_dep_set,
 )
 from repro.core.templates.block import SizeLike, _coerce_size, _product
-from repro.deps.entry import DepEntry
+from repro.deps.entry import D_ANY, DepEntry
 from repro.deps.rules import imap, imap_precise
 from repro.deps.vector import DepVector
 from repro.expr.linear import BoundType
@@ -89,12 +91,32 @@ class Interleave(Template):
 
     # -- dependence vectors ------------------------------------------------------
 
-    def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
+    #: Residue classes are anchored at ``l_k`` on the lattice
+    #: ``{l_k + m*s_k}``; when that anchor varies with another loop the
+    #: rule needs widening — see ``anchor_dep_context`` and DESIGN.md
+    #: soundness tightening 4.
+    dep_context_sensitive = True
+
+    def dep_context(self, loops: Sequence[Loop]):
+        return anchor_dep_context(self, loops)
+
+    def map_dep_set(self, deps, ctx=None):
+        if ctx is None:
+            return super().map_dep_set(deps)
+        return map_anchored_dep_set(self, deps, ctx)
+
+    def map_dep_vector(self, vec: DepVector,
+                       widen: frozenset = frozenset()) -> List[DepVector]:
         pair_options: List[List[Tuple[DepEntry, DepEntry]]] = []
         for k in range(self.i, self.j + 1):
             entry = vec.entry(k)
             size = self._isize_of(k)
-            if (self.precise and entry.is_distance and
+            if k in widen:
+                # The anchor of loop k differs between the dependence's
+                # source and target: both the residue-class and
+                # strided-loop relations are unknown.
+                pair_options.append([(D_ANY, D_ANY)])
+            elif (self.precise and entry.is_distance and
                     isinstance(size, Const)):
                 pair_options.append(imap_precise(entry, size.value))
             else:

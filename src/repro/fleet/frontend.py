@@ -28,11 +28,13 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Dict, Optional
 
 from repro.fleet.ring import FleetError
 from repro.fleet.router import FleetRouter
+from repro.obs import distributed as _dist
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_metrics
 from repro.service import protocol
@@ -90,7 +92,7 @@ class FleetFrontEnd:
 
     def ingest(self, line: str, reply: Callable[[dict], None]) -> None:
         try:
-            req_id, op, params, idem = protocol.decode_request(line)
+            req_id, op, params, idem, trace = protocol.decode_request(line)
         except ProtocolError as exc:
             reply(error_response(getattr(exc, "request_id", None),
                                  exc.code, exc.message))
@@ -118,7 +120,8 @@ class FleetFrontEnd:
                     f"request queue full ({self.queue_max}); retry later")
             else:
                 self.counters["accepted"] += 1
-                self._items.append((req_id, op, params, idem, reply))
+                self._items.append((req_id, op, params, idem, trace,
+                                    reply))
                 depth = len(self._items)
                 self._cond.notify()
         if rejection is not None:
@@ -155,21 +158,71 @@ class FleetFrontEnd:
                     self._cond.wait(0.1)
                 if not self._items:
                     return  # draining and empty
-                req_id, op, params, idem, reply = self._items.popleft()
+                (req_id, op, params, idem, trace_in,
+                 reply) = self._items.popleft()
                 self._inflight += 1
+            start = time.monotonic()
+            enabled = _obs.enabled()
+            # The admission span either adopts the client's trace
+            # context or roots a fresh trace — the front end is where a
+            # fleet request's stitched span tree begins.
+            if enabled:
+                cm = (_dist.adopt(trace_in, "fleet.admit", op=op)
+                      if trace_in else
+                      _dist.start_trace("fleet.admit", op=op))
+            else:
+                cm = _obs.span("fleet.admit", op=op)
+            root_sp = None
             try:
-                response = self.router.request_raw(
-                    op, params, req_id=req_id, idem=idem)
+                with cm as root_sp:
+                    response = self.router.request_raw(
+                        op, params, req_id=req_id, idem=idem)
             except FleetError as exc:
                 response = error_response(req_id, UNAVAILABLE, str(exc))
             except Exception as exc:  # noqa: BLE001 — must answer
                 response = error_response(
                     req_id, INTERNAL, f"{type(exc).__name__}: {exc}")
+            if enabled:
+                self._observe(op, response, trace_in, root_sp,
+                              (time.monotonic() - start) * 1000.0)
             reply(response)
             with self._cond:
                 self.counters["answered"] += 1
                 self._inflight -= 1
                 self._cond.notify_all()
+
+    def _observe(self, op: str, response: dict,
+                 trace_in: Optional[dict], root_sp: Any,
+                 elapsed_ms: float) -> None:
+        """Per-request telemetry: the op's SLO latency histogram, plus
+        span plumbing — downstream spans piggybacked on the response are
+        either shipped onward (the client sent a trace context) or
+        folded into this process's collector (the front end is the trace
+        root and will export the stitched tree itself)."""
+        metrics = get_metrics()
+        if op not in ("stats", "telemetry", "shutdown"):
+            # Control-plane ops are kept out of the request counter so
+            # it stays comparable to the workers' summed counts.
+            metrics.counter("fleet.frontend.requests").inc()
+        metrics.histogram(f"fleet.latency_ms.{op}").observe(elapsed_ms)
+        child_spans = response.pop("spans", None)
+        child_dropped = response.pop("spans_dropped", 0)
+        tracer = _obs.get_tracer()
+        if tracer is None or not isinstance(root_sp, _obs.Span):
+            if child_spans or child_dropped:
+                _dist.get_collector().add(child_spans, child_dropped)
+            return
+        if trace_in:
+            extra = _dist.get_collector().drain(trace_in["id"])
+            extra.extend(child_spans or ())
+            spans, dropped = _dist.ship(tracer, root_sp, trace_in,
+                                        extra=extra)
+            if spans:
+                response["spans"] = spans
+            if dropped or child_dropped:
+                response["spans_dropped"] = dropped + child_dropped
+        elif child_spans or child_dropped:
+            _dist.get_collector().add(child_spans, child_dropped)
 
     def run(self) -> None:
         """Serve until drained: every admitted request is answered,

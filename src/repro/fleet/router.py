@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.fleet.ring import FleetError, HashRing, route_key
 from repro.fleet.worker import WorkerHandle
+from repro.obs import distributed as _dist
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_metrics
 from repro.service import protocol
@@ -163,6 +164,8 @@ class FleetRouter:
             metrics.counter("fleet.reassigned_slots").inc(len(moved))
             metrics.gauge("fleet.workers_alive").set(
                 len(self.ring.owners()))
+            _obs.event("fleet.failover", worker=worker.index,
+                       moved_slots=len(moved), error=str(exc))
         # Tear the carcass down off the request path (stop() joins the
         # supervisor thread, which can take seconds).
         threading.Thread(target=worker.stop, daemon=True).start()
@@ -177,10 +180,7 @@ class FleetRouter:
         with self._lock:
             self._seq += 1
             seq = self._seq
-            self.counters["requests"] += 1
             draining = self._draining
-        if _obs.enabled():
-            get_metrics().counter("fleet.requests").inc()
         if op == "shutdown":
             return ok_response(req_id, self._begin_shutdown())
         if draining:
@@ -188,16 +188,31 @@ class FleetRouter:
                                   "fleet is draining")
         if op == "stats":
             return ok_response(req_id, self.fleet_stats())
+        if op == "telemetry":
+            return ok_response(req_id, self.fleet_telemetry())
+        # Counted after the control-plane intercepts so the routed
+        # request count matches what the workers actually executed
+        # (``repro stats`` checks exactly that sum).
+        with self._lock:
+            self.counters["requests"] += 1
+        if _obs.enabled():
+            get_metrics().counter("fleet.requests").inc()
         if idem is None:
             idem = f"{self.router_id}:{seq}"
         key = route_key(op, params)
         with _obs.span("fleet.request", op=op):
             while True:
                 worker = self._pick(key)
+                # The outgoing trace context is derived per attempt, so
+                # a failover's replay parents to the same routing span.
+                ctx = _dist.current_context()
+                kwargs: Dict[str, Any] = {"req_id": req_id, "idem": idem}
+                if ctx is not None:
+                    kwargs["trace"] = ctx
                 try:
                     with worker.lock:
                         return worker.client.request_raw(
-                            op, params, req_id=req_id, idem=idem)
+                            op, params, **kwargs)
                 except (ServiceError, OSError) as exc:
                     # The worker's own retry policy is exhausted: that
                     # worker is gone.  Reassign and replay.
@@ -299,6 +314,49 @@ class FleetRouter:
                 "ring": self.ring.snapshot(),
             },
             "workers": workers,
+        }
+
+    def fleet_telemetry(self) -> Dict[str, Any]:
+        """The fleet-wide ``telemetry`` document: each alive worker's
+        observability snapshot, the router's own (which, in the fleet
+        front end, shares this process's metrics registry), and a merged
+        section — counters summed across workers, gauges tagged per
+        worker, latency histograms bucket-merged with p50/p95/p99
+        re-estimated (see
+        :func:`repro.obs.distributed.merge_metric_snapshots`)."""
+        per_worker: List[Dict[str, Any]] = []
+        snapshots: List[Dict[str, Any]] = []
+        labels: List[str] = []
+        for worker in self.workers:
+            if not (worker.alive and self.ring.alive[worker.index]):
+                per_worker.append({"index": worker.index, "alive": False})
+                continue
+            try:
+                with worker.lock:
+                    snap = worker.client.request("telemetry")
+            except (ServiceError, OSError) as exc:
+                per_worker.append({"index": worker.index, "alive": True,
+                                   "error": str(exc)})
+                continue
+            per_worker.append({"index": worker.index, "alive": True,
+                               "telemetry": snap})
+            if isinstance(snap.get("metrics"), dict):
+                snapshots.append(snap["metrics"])
+                labels.append(f"w{worker.index}")
+        tracer = _obs.get_tracer()
+        return {
+            "router": {
+                "router_id": self.router_id,
+                "size": len(self.workers),
+                "alive": len(self.ring.owners()),
+                "counters": dict(self.counters),
+                "enabled": _obs.enabled(),
+                "metrics": get_metrics().snapshot(),
+                "tracer": tracer.stats() if tracer is not None else None,
+            },
+            "workers": per_worker,
+            "merged": _dist.merge_metric_snapshots(snapshots,
+                                                   labels=labels),
         }
 
     def snapshot(self) -> Dict[str, Any]:

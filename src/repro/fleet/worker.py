@@ -31,6 +31,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from repro.obs import trace as _obs
 from repro.resilience.retry import RetryPolicy, RetryingClient
 from repro.resilience.supervisor import CrashLoopError, Supervisor
 from repro.service.protocol import ServiceError
@@ -86,6 +87,14 @@ class WorkerHandle:
         if jobs > 1:
             argv += ["--jobs", str(jobs)]
         extra = list(extra_args or ())
+        if _obs.enabled() and "--trace-json" not in extra:
+            # Tracing in the parent turns the whole fleet on: each child
+            # enables its own tracer (``--trace-json`` does that in
+            # ``main()``), so incoming trace contexts are adopted and
+            # spans ship back for stitching.  With tracing off nothing
+            # is added and the children run uninstrumented.
+            extra += ["--trace-json",
+                      os.path.join(directory, f"w{index}.trace.jsonl")]
         if "--chaos" in extra and "--chaos-state" not in extra:
             # Firing counts are per-process state; sharing one file
             # across workers would make them steal each other's

@@ -59,13 +59,18 @@ __all__ = [
 
 
 def enable(ring_size: int = 65536) -> Tracer:
-    """Turn every instrumentation site on: install a fresh tracer and
-    clear the global metrics registry.  Returns the tracer."""
+    """Turn every instrumentation site on: install a fresh tracer,
+    clear the global metrics registry and the distributed span
+    collector.  Returns the tracer."""
+    from repro.obs import distributed as _distributed
+
     get_metrics().clear()
+    _distributed.get_collector().clear()
     return _trace.install(Tracer(ring_size=ring_size))
 
 
 def disable() -> Optional[Tracer]:
-    """Back to no-op mode.  The tracer (returned) and the metrics
-    registry keep their data, so reports can still be rendered."""
+    """Back to no-op mode.  The tracer (returned), the metrics registry
+    and the span collector keep their data, so reports — including a
+    stitched cross-process trace — can still be rendered."""
     return _trace.uninstall()

@@ -10,14 +10,26 @@ Histograms are log-bucketed base 2: an observation ``v > 0`` lands in
 the bucket whose key is the smallest power of two ``>= v``; zero and
 negative observations land in the ``"<=0"`` bucket.  Exact count, sum,
 min and max are kept alongside, so the buckets only ever add resolution.
+:meth:`Histogram.to_dict` adds p50/p95/p99 estimates interpolated within
+the winning bucket, and :func:`merge_histogram_dicts` merges snapshots
+from several processes bucket-wise (the fleet aggregator's primitive).
+
+Mutation is thread-safe: each instrument guards its updates with a lock
+(the service heartbeat, dispatcher pool, and worker pumps all increment
+concurrently), and the registry locks instrument creation and snapshots.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional, Union
+import threading
+from typing import Any, Dict, Iterable, Optional, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "get_metrics"]
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Metrics", "get_metrics",
+    "bucket_key", "bucket_bounds", "estimate_percentiles",
+    "merge_histogram_dicts",
+]
 
 Number = Union[int, float]
 
@@ -25,16 +37,18 @@ Number = Union[int, float]
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: Number = 1) -> None:
         if n < 0:
             raise ValueError(f"counter {self.name} cannot decrease by {n}")
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def __repr__(self):
         return f"Counter({self.name!r}, {self.value})"
@@ -50,6 +64,8 @@ class Gauge:
         self.value: Optional[Number] = None
 
     def set(self, v: Number) -> None:
+        # a single attribute store is atomic under the GIL; last write
+        # wins is exactly the gauge contract, so no lock is needed
         self.value = v
 
     def __repr__(self):
@@ -67,10 +83,86 @@ def bucket_key(v: Number) -> str:
     return str(int(upper)) if upper >= 1 else str(upper)
 
 
+def bucket_bounds(key: str) -> tuple:
+    """``(lower, upper)`` of the half-open value range a bucket covers.
+
+    ``"<=0"`` returns ``(None, 0.0)`` — its lower edge is unbounded;
+    callers substitute the histogram's exact minimum.
+    """
+    if key == "<=0":
+        return (None, 0.0)
+    upper = float(key)
+    return (upper / 2.0, upper)
+
+
+def estimate_percentiles(count: int, vmin: Optional[Number],
+                         vmax: Optional[Number], buckets: Dict[str, int],
+                         qs: Iterable[float] = (0.5, 0.95, 0.99),
+                         ) -> Dict[str, Optional[float]]:
+    """Percentile estimates from log2 buckets (nearest-rank, linearly
+    interpolated inside the winning bucket, clamped to exact min/max).
+
+    The error is bounded by the winning bucket's width — good enough for
+    SLO dashboards, and the best any fixed-bucket scheme can do after
+    the raw samples are gone.
+    """
+    out: Dict[str, Optional[float]] = {}
+    ordered = sorted(buckets.items(), key=lambda kv: bucket_bounds(kv[0])[1])
+    for q in qs:
+        label = "p" + format(q * 100, "g")
+        if count <= 0:
+            out[label] = None
+            continue
+        rank = max(1, math.ceil(q * count))
+        cum = 0
+        est: float = float(vmax) if vmax is not None else 0.0
+        for key, n in ordered:
+            if cum + n >= rank:
+                lo, hi = bucket_bounds(key)
+                if lo is None:
+                    lo = float(min(vmin, 0)) if vmin is not None else 0.0
+                est = lo + (hi - lo) * ((rank - cum) / n)
+                break
+            cum += n
+        if vmin is not None:
+            est = max(est, float(vmin))
+        if vmax is not None:
+            est = min(est, float(vmax))
+        out[label] = est
+    return out
+
+
+def merge_histogram_dicts(dicts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge :meth:`Histogram.to_dict` snapshots from several processes.
+
+    Counts and sums add, min/max combine, buckets merge key-wise (the
+    bucketing is identical everywhere, so merging loses nothing), and
+    the percentile estimates are recomputed over the merged buckets.
+    """
+    count = 0
+    total: Number = 0
+    vmin: Optional[Number] = None
+    vmax: Optional[Number] = None
+    buckets: Dict[str, int] = {}
+    for d in dicts:
+        count += d["count"]
+        total += d["sum"]
+        if d["min"] is not None and (vmin is None or d["min"] < vmin):
+            vmin = d["min"]
+        if d["max"] is not None and (vmax is None or d["max"] > vmax):
+            vmax = d["max"]
+        for key, n in d["buckets"].items():
+            buckets[key] = buckets.get(key, 0) + n
+    merged = {"count": count, "sum": total, "min": vmin, "max": vmax,
+              "buckets": buckets}
+    merged.update(estimate_percentiles(count, vmin, vmax, buckets))
+    return merged
+
+
 class Histogram:
     """Log-bucketed (base 2) distribution with exact count/sum/min/max."""
 
-    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -79,25 +171,31 @@ class Histogram:
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
         self.buckets: Dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def observe(self, v: Number) -> None:
-        self.count += 1
-        self.sum += v
-        if self.min is None or v < self.min:
-            self.min = v
-        if self.max is None or v > self.max:
-            self.max = v
-        key = bucket_key(v)
-        self.buckets[key] = self.buckets.get(key, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.sum += v
+            if self.min is None or v < self.min:
+                self.min = v
+            if self.max is None or v > self.max:
+                self.max = v
+            key = bucket_key(v)
+            self.buckets[key] = self.buckets.get(key, 0) + 1
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min,
-            "max": self.max,
-            "buckets": dict(self.buckets),
-        }
+        with self._lock:
+            d: Dict[str, Any] = {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "buckets": dict(self.buckets),
+            }
+        d.update(estimate_percentiles(d["count"], d["min"], d["max"],
+                                      d["buckets"]))
+        return d
 
     def __repr__(self):
         return f"Histogram({self.name!r}, count={self.count})"
@@ -115,6 +213,7 @@ class Metrics:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def _check_free(self, name: str, kind: str) -> None:
         for other_kind, table in (("counter", self._counters),
@@ -127,41 +226,53 @@ class Metrics:
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
         if c is None:
-            self._check_free(name, "counter")
-            c = self._counters[name] = Counter(name)
+            with self._lock:
+                c = self._counters.get(name)
+                if c is None:
+                    self._check_free(name, "counter")
+                    c = self._counters[name] = Counter(name)
         return c
 
     def gauge(self, name: str) -> Gauge:
         g = self._gauges.get(name)
         if g is None:
-            self._check_free(name, "gauge")
-            g = self._gauges[name] = Gauge(name)
+            with self._lock:
+                g = self._gauges.get(name)
+                if g is None:
+                    self._check_free(name, "gauge")
+                    g = self._gauges[name] = Gauge(name)
         return g
 
     def histogram(self, name: str) -> Histogram:
         h = self._histograms.get(name)
         if h is None:
-            self._check_free(name, "histogram")
-            h = self._histograms[name] = Histogram(name)
+            with self._lock:
+                h = self._histograms.get(name)
+                if h is None:
+                    self._check_free(name, "histogram")
+                    h = self._histograms[name] = Histogram(name)
         return h
 
     def snapshot(self) -> Dict[str, Any]:
         """Everything, as a plain JSON-serializable dict."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {n: c.value
-                         for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {n: h.to_dict()
-                           for n, h in sorted(self._histograms.items())},
+            "counters": {n: c.value for n, c in counters},
+            "gauges": {n: g.value for n, g in gauges},
+            "histograms": {n: h.to_dict() for n, h in histograms},
         }
 
     def is_empty(self) -> bool:
         return not (self._counters or self._gauges or self._histograms)
 
     def clear(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 _REGISTRY = Metrics()

@@ -16,20 +16,26 @@ hot path is one global read per call.  Install a tracer with
 :func:`repro.obs.enable` (or :func:`install` directly) to turn every
 site on at once.
 
-The tracer keeps its open-span stack as a plain list, matching the
-single-threaded execution model of the rest of the package.
+The tracer keeps one open-span stack *per thread* (``threading.local``):
+the core pipeline is single-threaded, but the service heartbeat thread,
+the fleet dispatcher pool, and the per-worker pumps all open spans
+concurrently, and each thread's spans must parent to that thread's own
+enclosing span.  Span-id allocation and the completion counter are
+guarded by a lock so concurrent closes never lose counts.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 from collections import deque
 from typing import Any, Deque, Dict, IO, List, Optional, Union
 
 __all__ = [
     "Span", "Tracer", "NULL_SPAN",
-    "span", "enabled", "get_tracer", "install", "uninstall",
+    "span", "event", "enabled", "get_tracer", "install", "uninstall",
 ]
 
 
@@ -123,6 +129,12 @@ class Tracer:
     *ring_size* bounds memory: once full, the oldest completed spans are
     dropped (counted in :attr:`dropped`).  Spans are buffered in
     completion order; ``start`` timestamps give open order.
+
+    Open-span stacks are per-thread: a span opened on the dispatcher
+    thread parents to the dispatcher's enclosing span, never to a span
+    another thread happens to have open.  *tag* is a short random hex
+    string identifying this tracer (hence this process) when spans are
+    shipped across process boundaries (:mod:`repro.obs.distributed`).
     """
 
     def __init__(self, ring_size: int = 65536):
@@ -130,32 +142,44 @@ class Tracer:
             raise ValueError("ring_size must be positive")
         self.ring_size = ring_size
         self.epoch = time.perf_counter()
+        self.tag = os.urandom(4).hex()
         self._buffer: Deque[Span] = deque(maxlen=ring_size)
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self.completed = 0
         self._next_id = 1
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- span lifecycle (called by Span) -----------------------------------
 
     def _open(self, sp: Span) -> None:
-        sp.span_id = self._next_id
-        self._next_id += 1
-        if self._stack:
-            sp.parent_id = self._stack[-1].span_id
-            sp.depth = self._stack[-1].depth + 1
+        with self._lock:
+            sp.span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        if stack:
+            sp.parent_id = stack[-1].span_id
+            sp.depth = stack[-1].depth + 1
         sp.start = time.perf_counter() - self.epoch
-        self._stack.append(sp)
+        stack.append(sp)
 
     def _close(self, sp: Span) -> None:
         # Tolerate exits out of order (an exception unwinding through
         # several spans closes them innermost-first, which is in order;
         # anything stranger just drops the stranded entries).
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack()
+        while stack:
+            top = stack.pop()
             if top is sp:
                 break
-        self.completed += 1
-        self._buffer.append(sp)
+        with self._lock:
+            self.completed += 1
+            self._buffer.append(sp)
 
     # -- public API --------------------------------------------------------
 
@@ -163,9 +187,28 @@ class Tracer:
         """Open a new span; use as ``with tracer.span("phase"): ...``."""
         return Span(self, name, tags)
 
+    def current(self) -> Optional[Span]:
+        """The innermost span open on the *calling* thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def open_spans(self) -> List[Span]:
+        """The calling thread's open spans, outermost first."""
+        return list(self._stack())
+
     @property
     def dropped(self) -> int:
         return self.completed - len(self._buffer)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot for telemetry: completions, drops, buffer."""
+        with self._lock:
+            return {
+                "tag": self.tag,
+                "completed": self.completed,
+                "buffered": len(self._buffer),
+                "dropped": self.completed - len(self._buffer),
+            }
 
     def spans(self) -> List[Span]:
         """Completed spans currently in the ring buffer."""
@@ -188,11 +231,12 @@ class Tracer:
         return len(records)
 
     def clear(self) -> None:
-        self._buffer.clear()
-        self._stack.clear()
-        self.completed = 0
-        self._next_id = 1
-        self.epoch = time.perf_counter()
+        with self._lock:
+            self._buffer.clear()
+            self._local = threading.local()
+            self.completed = 0
+            self._next_id = 1
+            self.epoch = time.perf_counter()
 
 
 # ---------------------------------------------------------------------------
@@ -231,3 +275,15 @@ def span(name: str, **tags: Any):
     if tracer is None:
         return NULL_SPAN
     return tracer.span(name, **tags)
+
+
+def event(name: str, **tags: Any) -> None:
+    """Record a zero-duration annotation span (a structured lifecycle
+    event: a supervisor restart, a chaos firing, a fleet failover).  It
+    parents to the calling thread's open span like any other span, so
+    events land inside the request tree they belong to."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    with tracer.span(name, **tags):
+        pass

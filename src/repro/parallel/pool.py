@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.sequence import Transformation
 from repro.core.template import Template
+from repro.obs import distributed as _dist
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_metrics
 from repro.parallel import worker as worker_mod
@@ -162,13 +163,17 @@ class ShardedPool:
         self.stats["levels"] = int(self.stats["levels"]) + 1
         with _obs.span("search.shard", level=level,
                        candidates=len(tasks), workers=workers) as sp:
-            outcomes, failed = self._run(shards, cache, "primary")
+            # Derived inside the span so forked children parent their
+            # shipped subtrees under this shard's span.
+            trace_ctx = _dist.current_context()
+            outcomes, failed = self._run(shards, cache, "primary",
+                                         trace_ctx)
             if failed and not self.degraded:
                 self.stats["requeues"] = int(self.stats["requeues"]) + 1
                 if _obs.enabled():
                     get_metrics().counter("search.parallel.requeues").inc()
                 retried, failed_again = self._run([failed], cache,
-                                                  "requeue")
+                                                  "requeue", trace_ctx)
                 outcomes.update(retried)
                 if failed_again:
                     self._degrade("worker failed twice on the same shard",
@@ -185,8 +190,9 @@ class ShardedPool:
         return outcomes
 
     def _run(self, shards: List[List[Tuple[int, Tuple]]], cache,
-             kind: str) -> Tuple[Dict[int, Outcome],
-                                 List[Tuple[int, Tuple]]]:
+             kind: str,
+             trace_ctx: Optional[dict] = None,
+             ) -> Tuple[Dict[int, Outcome], List[Tuple[int, Tuple]]]:
         """Run one worker generation; returns completed outcomes plus
         the ``(index, wire)`` tasks of workers that died owing results.
         Re-raises, in the parent, any exception a worker reported."""
@@ -199,7 +205,8 @@ class ShardedPool:
             proc = ctx.Process(
                 target=worker_mod.worker_main,
                 args=(wid, kind, shard, self.nest, self.deps, self.score,
-                      cache, self.candidate_timeout, out_queue),
+                      cache, self.candidate_timeout, out_queue,
+                      trace_ctx),
                 daemon=True)
             proc.start()
             procs.append(proc)
@@ -252,6 +259,12 @@ class ShardedPool:
                 if observing:
                     metrics.counter(
                         f"search.parallel.worker.{key}.candidates").inc()
+            elif tag == "spans":
+                # A tracing worker's completed subtree: collected here
+                # (keyed by trace id) so the enclosing request's ship()
+                # forwards it toward the trace root.
+                _, wid, records, dropped = message
+                _dist.get_collector().add(records, dropped)
             elif tag == "error":
                 _, wid, idx, payload = message
                 if error is None:

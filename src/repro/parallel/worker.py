@@ -33,6 +33,12 @@ Messages (all picklable tuples, tagged by their first element):
 
 ``("done", wid)``
     Shard finished; the worker exits after flushing the queue.
+
+``("spans", wid, records, dropped)``
+    Only when the parent passed a distributed-tracing context: the
+    worker's completed span subtree (``pool.worker`` + per-candidate
+    ``pool.candidate`` spans) in wire form, shipped for stitching into
+    the parent's trace (see :mod:`repro.obs.distributed`).
 """
 
 from __future__ import annotations
@@ -228,14 +234,29 @@ def evaluate_wire(wire: Tuple, kind: str, index: int, nest, deps, score,
 
 def worker_main(worker_id: int, kind: str, shard: List[Tuple[int, Tuple]],
                 nest, deps, score, cache, timeout: Optional[float],
-                out_queue) -> None:
+                out_queue, trace_ctx: Optional[dict] = None) -> None:
     """Entry point of a forked evaluation worker.
 
     *shard* is a list of ``(index, candidate_wire)`` pairs in serial
     candidate order; *cache* is the fork-inherited copy of the parent's
     legality cache (level-start state), so deltas contain exactly the
-    entries a serial evaluation would have added.
+    entries a serial evaluation would have added.  *trace_ctx* (only
+    passed when the parent is tracing) joins this worker's spans to the
+    parent's distributed trace: the fork-inherited tracer is replaced by
+    a fresh one — a fresh process tag, so span ids cannot collide with
+    the parent's — and the completed subtree ships back on the queue.
     """
+    root_sp = None
+    tracer = None
+    if trace_ctx is not None:
+        from repro.obs import distributed as _dist
+        from repro.obs import trace as _trace
+        if _trace.enabled():
+            tracer = _trace.install(_trace.Tracer())
+            root_cm = _dist.adopt(trace_ctx, "pool.worker",
+                                  wid=worker_id, kind=kind,
+                                  candidates=len(shard))
+            root_sp = root_cm.__enter__()
     try:
         for index, wire in shard:
             faults.maybe_crash(kind, index)
@@ -244,8 +265,15 @@ def worker_main(worker_id: int, kind: str, shard: List[Tuple[int, Tuple]],
                 # the parent (like any worker-side raise); crash/hang
                 # kinds exercise the pool's requeue and stall paths.
                 _chaos.inject("pool.worker")
-                legal, value, timed_out, delta = evaluate_wire(
-                    wire, kind, index, nest, deps, score, cache, timeout)
+                if tracer is not None:
+                    with tracer.span("pool.candidate", index=index):
+                        legal, value, timed_out, delta = evaluate_wire(
+                            wire, kind, index, nest, deps, score, cache,
+                            timeout)
+                else:
+                    legal, value, timed_out, delta = evaluate_wire(
+                        wire, kind, index, nest, deps, score, cache,
+                        timeout)
             except Exception as exc:
                 out_queue.put(
                     ("error", worker_id, index, exception_to_wire(exc)))
@@ -253,6 +281,11 @@ def worker_main(worker_id: int, kind: str, shard: List[Tuple[int, Tuple]],
             out_queue.put(
                 ("result", worker_id, index, legal, value, timed_out,
                  delta))
+        if root_sp is not None:
+            from repro.obs import distributed as _dist
+            root_cm.__exit__(None, None, None)
+            records, dropped = _dist.ship(tracer, root_sp, trace_ctx)
+            out_queue.put(("spans", worker_id, records, dropped))
         out_queue.put(("done", worker_id))
     finally:
         # Flush the feeder thread before the process exits, else the

@@ -231,6 +231,8 @@ class ChaosPlan:
             if _obs.enabled():
                 get_metrics().counter(
                     f"chaos.injected.{rule.point}.{rule.kind}").inc()
+                _obs.event("chaos.fired", point=rule.point,
+                           kind=rule.kind)
             return rule
         return None
 

@@ -158,7 +158,8 @@ class RetryingClient:
     def request_raw(self, op: str,
                     params: Optional[Dict[str, Any]] = None,
                     req_id: Optional[Any] = None,
-                    idem: Optional[str] = None) -> dict:
+                    idem: Optional[str] = None,
+                    trace: Optional[Dict[str, Any]] = None) -> dict:
         """One logical request → one raw response object, retrying
         transport failures and retryable typed errors under the policy.
         The same ``idem`` key rides every resend, so the server never
@@ -186,7 +187,11 @@ class RetryingClient:
                     get_metrics().counter("client.retries").inc()
             try:
                 client = self._connected()
-                client.send(op, params, req_id=req_id, idem=idem)
+                if trace is not None:
+                    client.send(op, params, req_id=req_id, idem=idem,
+                                trace=trace)
+                else:
+                    client.send(op, params, req_id=req_id, idem=idem)
                 response = self._recv(client, req_id)
             except (OSError, ValueError, TimeoutError,
                     socket.timeout) as exc:

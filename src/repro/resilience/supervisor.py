@@ -158,6 +158,8 @@ class Supervisor:
             if _obs.enabled():
                 get_metrics().counter("supervisor.restarts").inc()
                 get_metrics().counter(f"supervisor.restarts.{reason}").inc()
+                _obs.event("supervisor.restart", reason=reason,
+                           exit_code=code, uptime_s=round(uptime, 3))
             print(f"repro supervise: child exited (code {code}, "
                   f"reason {reason}, uptime {uptime:.1f}s); restarting "
                   f"in {backoff:.2f}s", file=sys.stderr, flush=True)

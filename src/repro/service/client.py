@@ -73,10 +73,13 @@ class ServiceClient:
 
     def send(self, op: str, params: Optional[Dict[str, Any]] = None,
              req_id: Optional[Any] = None,
-             idem: Optional[str] = None) -> Any:
+             idem: Optional[str] = None,
+             trace: Optional[Dict[str, Any]] = None) -> Any:
         """Write one request line (no wait); returns its id.  *idem* is
         an optional idempotency key (see :mod:`repro.resilience.retry`);
-        the server answers a replayed key from its dedup window."""
+        the server answers a replayed key from its dedup window.
+        *trace* is an optional distributed-tracing context (see
+        :mod:`repro.obs.distributed`) the server will adopt."""
         if req_id is None:
             self._next_id += 1
             req_id = self._next_id
@@ -84,6 +87,8 @@ class ServiceClient:
                                    "params": params or {}}
         if idem is not None:
             message["idem"] = idem
+        if trace is not None:
+            message["trace"] = trace
         self._wfile.write(protocol.encode(message))
         self._wfile.flush()
         return req_id

@@ -19,7 +19,17 @@ Error response::
 
 Operations (the parameter schemas are documented op-by-op in
 ``docs/API.md``): ``ping``, ``parse``, ``analyze``, ``legality``,
-``apply``, ``run``, ``search``, ``stats``, ``shutdown``.
+``apply``, ``run``, ``search``, ``stats``, ``telemetry``,
+``shutdown``.
+
+Requests may carry an optional ``trace`` object — a distributed-tracing
+context ``{"id": <trace id>, "parent": <qualified span id>}`` (see
+:mod:`repro.obs.distributed`).  A server with tracing enabled adopts
+the context and piggybacks its completed span subtree on the response
+as ``spans`` (bounded; overflow counted in ``spans_dropped``), so the
+originating process can stitch one span tree across every hop.  With
+tracing disabled both fields are absent and the wire format is
+unchanged.
 
 Error codes:
 
@@ -64,8 +74,9 @@ import json
 from typing import Any, Dict, Optional, Tuple, Union
 
 #: Bumped when the request/response shapes change incompatibly.
-#: (`idem` and the `unavailable` code are backward-compatible
-#: additions, so version 1 still describes this wire format.)
+#: (`idem`, the `unavailable` code, the `trace`/`spans` tracing fields
+#: and the `telemetry` op are backward-compatible additions, so
+#: version 1 still describes this wire format.)
 PROTOCOL_VERSION = 1
 
 BAD_REQUEST = "bad-request"
@@ -91,7 +102,7 @@ def max_frame_bytes() -> int:
     return limits().max_frame_bytes
 
 OPS = ("ping", "parse", "analyze", "legality", "apply", "run", "search",
-       "stats", "shutdown")
+       "stats", "telemetry", "shutdown")
 
 RequestId = Union[str, int]
 
@@ -120,13 +131,16 @@ def encode(obj: Dict[str, Any]) -> str:
 
 
 def decode_request(line: str) -> Tuple[Optional[RequestId], str,
-                                       Dict[str, Any], Optional[str]]:
-    """Parse one request line into ``(id, op, params, idem)``.
+                                       Dict[str, Any], Optional[str],
+                                       Optional[Dict[str, Any]]]:
+    """Parse one request line into ``(id, op, params, idem, trace)``.
 
-    ``idem`` is the optional idempotency key (None when absent).
-    Raises :class:`ProtocolError` (``bad-request``) on malformed input;
-    the ``id`` is recovered when possible so the error response can
-    still be correlated.
+    ``idem`` is the optional idempotency key (None when absent);
+    ``trace`` the optional distributed-tracing context ``{"id": ...,
+    "parent": ...}`` (see :mod:`repro.obs.distributed`).  Raises
+    :class:`ProtocolError` (``bad-request``) on malformed input; the
+    ``id`` is recovered when possible so the error response can still
+    be correlated.
     """
     try:
         obj = json.loads(line)
@@ -161,7 +175,15 @@ def decode_request(line: str) -> Tuple[Optional[RequestId], str,
                             "'idem' must be a string when present")
         exc.request_id = req_id  # type: ignore[attr-defined]
         raise exc
-    return req_id, op, params, idem
+    trace = obj.get("trace")
+    if trace is not None and not (isinstance(trace, dict)
+                                  and isinstance(trace.get("id"), str)):
+        exc = ProtocolError(
+            BAD_REQUEST, "'trace' must be an object with a string 'id' "
+            "when present")
+        exc.request_id = req_id  # type: ignore[attr-defined]
+        raise exc
+    return req_id, op, params, idem, trace
 
 
 def ok_response(req_id: Optional[RequestId],

@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
 from repro.core.spec import parse_steps
+from repro.obs import distributed as _dist
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_metrics
 from repro.parallel.merge import merge_outcome
@@ -88,15 +89,18 @@ def _zero_score(transformation, nest, deps) -> float:
 class _Pending:
     """One admitted request waiting in the queue."""
 
-    __slots__ = ("req_id", "op", "params", "reply", "admitted", "idem")
+    __slots__ = ("req_id", "op", "params", "reply", "admitted", "idem",
+                 "trace")
 
-    def __init__(self, req_id, op, params, reply, admitted, idem=None):
+    def __init__(self, req_id, op, params, reply, admitted, idem=None,
+                 trace=None):
         self.req_id = req_id
         self.op = op
         self.params = params
         self.reply = reply
         self.admitted = admitted
         self.idem = idem
+        self.trace = trace
 
 
 class TransformationService:
@@ -161,6 +165,7 @@ class TransformationService:
             "run": self._op_run,
             "search": self._op_search,
             "stats": self._op_stats,
+            "telemetry": self._op_telemetry,
             "shutdown": self._op_shutdown,
         }
 
@@ -171,12 +176,12 @@ class TransformationService:
         backpressure, draining) are answered immediately on the
         transport's thread."""
         try:
-            req_id, op, params, idem = protocol.decode_request(line)
+            req_id, op, params, idem, trace = protocol.decode_request(line)
         except ProtocolError as exc:
             reply(error_response(getattr(exc, "request_id", None),
                                  exc.code, exc.message))
             return
-        self.submit(req_id, op, params, reply, idem=idem)
+        self.submit(req_id, op, params, reply, idem=idem, trace=trace)
 
     def ingest_bytes(self, frame: bytes,
                      reply: Callable[[dict], None]) -> None:
@@ -201,7 +206,8 @@ class TransformationService:
 
     def submit(self, req_id, op, params,
                reply: Callable[[dict], None],
-               idem: Optional[str] = None) -> bool:
+               idem: Optional[str] = None,
+               trace: Optional[dict] = None) -> bool:
         """Admission control; returns True when enqueued.  Rejections
         reply immediately with ``shutting-down`` or ``backpressure``;
         a replayed idempotency key is answered from the dedup window
@@ -234,7 +240,8 @@ class TransformationService:
                 self.counters["accepted"] = (
                     int(self.counters["accepted"]) + 1)
                 self._items.append(_Pending(req_id, op, params, reply,
-                                            time.monotonic(), idem=idem))
+                                            time.monotonic(), idem=idem,
+                                            trace=trace))
                 if idem is not None:
                     self._idem_waiters[idem] = []
                 depth = len(self._items)
@@ -242,6 +249,7 @@ class TransformationService:
         if replayed is not None:
             if _obs.enabled():
                 get_metrics().counter("service.idem_replays").inc()
+                _obs.event("service.idem_replay", op=op)
             reply(replayed)
             return False
         if rejection is not None:
@@ -371,8 +379,17 @@ class TransformationService:
         op, params = pending.op, pending.params
         start = time.monotonic()
         code: Optional[str] = None
+        # A request carrying a trace context joins the caller's trace:
+        # the request span adopts the remote trace id, and the completed
+        # subtree is shipped back on the response for stitching.
+        trace_ctx = pending.trace if _obs.enabled() else None
+        root_sp = None
         try:
-            with _obs.span("service.request", op=op):
+            if trace_ctx is not None:
+                cm = _dist.adopt(trace_ctx, "service.request", op=op)
+            else:
+                cm = _obs.span("service.request", op=op)
+            with cm as root_sp:
                 # crash/hang kinds act here, on the owning thread: a
                 # crash kills the process (the supervisor's problem), a
                 # hang stalls the loop until the heartbeat goes stale.
@@ -414,6 +431,16 @@ class TransformationService:
             response = error_response(
                 pending.req_id, INTERNAL,
                 f"{type(exc).__name__}: {exc}")
+        if trace_ctx is not None and _obs.enabled():
+            tracer = _obs.get_tracer()
+            if tracer is not None and isinstance(root_sp, _obs.Span):
+                spans, dropped = _dist.ship(
+                    tracer, root_sp, trace_ctx,
+                    extra=_dist.get_collector().drain(trace_ctx["id"]))
+                if spans:
+                    response["spans"] = spans
+                if dropped:
+                    response["spans_dropped"] = dropped
         elapsed_ms = (time.monotonic() - start) * 1000.0
         if code is None:
             self.counters["completed"] = int(self.counters["completed"]) + 1
@@ -698,6 +725,19 @@ class TransformationService:
             "pool": self.pool.snapshot() if self.pool is not None else None,
         }
         return doc
+
+    def _op_telemetry(self, params: dict) -> dict:
+        """One process's observability snapshot: the metrics registry
+        plus tracer counters.  The fleet router merges N of these into
+        one fleet-wide document (see ``repro stats``)."""
+        tracer = _obs.get_tracer()
+        return {
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "enabled": _obs.enabled(),
+            "metrics": get_metrics().snapshot(),
+            "tracer": tracer.stats() if tracer is not None else None,
+        }
 
     def _op_shutdown(self, params: dict) -> dict:
         self.request_drain("shutdown request")

@@ -1,0 +1,169 @@
+"""Regression tests for soundness tightening 4 (DESIGN.md).
+
+Block and Interleave decompose each range loop against an anchor (its
+lower bound); when that anchor references a loop variable with a nonzero
+dependence distance, the loop-independent Table 2 rules under-approximate
+the mapped set and a later reorder can be accepted that reorders the true
+dependence.  Found by tests/test_property_roundtrip.py; the mapping now
+widens such entries to {(*, *)} when legality supplies the step's input
+loops.
+"""
+
+import random
+
+import pytest
+
+from repro.core.legality_cache import LegalityCache
+from repro.core.sequence import Transformation
+from repro.core.templates.block import Block
+from repro.core.templates.interleave import Interleave
+from repro.core.templates.unimodular import Unimodular
+from repro.deps.analysis import analyze
+from repro.ir.parser import parse_nest
+from repro.runtime import check_equivalence
+from tests.conftest import random_array_2d
+
+# do i = 1,6 / do j = i,6: j's lower bound is anchored at i, and the
+# dependence distance in i is 2 — the anchor differs between source and
+# target of every dependence.
+TRIANGULAR_SRC = """
+do i = 1, 6
+  do j = i, 6
+    a(i, j) = a(i-2, j) + 1
+  enddo
+enddo
+"""
+
+# The reorder that exposed the hole: brings the decomposed-loop pair in
+# front of i, so the widened entries decide legality.
+REORDER = Unimodular(3, [[0, 3, 1], [0, 1, 0], [1, 0, 0]])
+
+
+def _triangular():
+    nest = parse_nest(TRIANGULAR_SRC)
+    return nest, analyze(nest)
+
+
+def _random_arrays(seed=0):
+    rng = random.Random(seed)
+    return {"a": random_array_2d(rng, -2, 12, "a")}
+
+
+@pytest.mark.parametrize("decompose", [
+    Interleave(2, 2, 2, [2]),
+    Block(2, 2, 2, [2]),
+], ids=["interleave", "block"])
+def test_variant_anchor_reorder_is_illegal(decompose):
+    """The exact sequences the fuzzer found: decompose the anchored loop,
+    then reorder — must be rejected (pre-fix: accepted, wrong answers)."""
+    nest, deps = _triangular()
+    T = Transformation([decompose, REORDER])
+    report = T.legality(nest, deps)
+    assert not report.legal
+    # the rejection must come from the dependence half (the widened
+    # {(*, *)} entries admit a lex-negative tuple), not a precondition
+    assert "lexicographically" in report.reason
+
+
+@pytest.mark.parametrize("decompose", [
+    Interleave(2, 2, 2, [2]),
+    Block(2, 2, 2, [2]),
+    Block(2, 1, 2, [2, 2]),
+], ids=["interleave-j", "block-j", "block-both"])
+def test_variant_anchor_alone_stays_legal(decompose):
+    """Decomposing an anchored loop with no later reorder is still legal
+    (the dependence is carried before the range, or — for full-range
+    Block — the anchor references the tile endpoint, so combos with a
+    zero block entry keep the exact rule) and executes correctly: the
+    fix must not outlaw trapezoidal tiling of triangular nests."""
+    nest, deps = _triangular()
+    T = Transformation([decompose])
+    assert T.legality(nest, deps).legal
+    out = T.apply(nest, deps)
+    check_equivalence(nest, out, _random_arrays())
+
+
+def test_interleave_full_range_is_conservatively_rejected():
+    """Interleave's element loops keep original index *values*, so an
+    in-range anchor reference compares values, not tiles — there is no
+    per-combo refinement and the widened set admits a lex-negative
+    tuple.  This run happens to execute correctly (distance 2 is 0 mod
+    isize 2), but the mapping cannot see that; rejection is the sound
+    side of the approximation."""
+    nest, deps = _triangular()
+    T = Transformation([Interleave(2, 1, 2, [2, 2])])
+    report = T.legality(nest, deps)
+    assert not report.legal
+    assert "lexicographically" in report.reason
+
+
+def test_invariant_anchor_keeps_exact_mapping():
+    """Rectangular nests have invariant anchors: the context is None and
+    the mapped set is unchanged from the loop-independent rule."""
+    nest = parse_nest(
+        "do i = 1, 6\n  do j = 1, 6\n    a(i, j) = a(i-2, j) + 1\n"
+        "  enddo\nenddo\n")
+    deps = analyze(nest)
+    block = Block(2, 2, 2, [2])
+    assert block.dep_context(nest.loops) is None
+    T = Transformation([block])
+    with_nest = {tuple(str(e) for e in v.entries)
+                 for v in T.map_dep_set(deps, nest=nest)}
+    without = {tuple(str(e) for e in v.entries)
+               for v in T.map_dep_set(deps)}
+    assert with_nest == without
+
+
+def test_widening_only_hits_nonzero_anchor_distances():
+    """A dependence with distance 0 in the anchor-referenced loop keeps
+    the exact rule: blocking j (anchored at i) with a j-carried
+    dependence still maps to distance-0 block entries."""
+    nest = parse_nest(
+        "do i = 1, 6\n  do j = i, 6\n    a(i, j) = a(i, j-1) + 1\n"
+        "  enddo\nenddo\n")
+    deps = analyze(nest)
+    block = Block(2, 2, 2, [2])
+    ctx = block.dep_context(nest.loops)
+    assert ctx == ((2, (1,)),)  # j's anchor references i
+    mapped = block.map_dep_set(deps, ctx)
+    # exact rule: dep (0, 1) -> {(0, 0, 1), (0, 1, *)} — the leading i
+    # entry stays an exact 0, nothing widened to *
+    assert all(v.entry(1).is_zero() for v in mapped)
+
+
+def test_cache_matches_direct_legality_on_anchored_nests():
+    """LegalityCache must reach the same verdicts (it keys context-
+    sensitive mapping steps by (deps, step, context))."""
+    nest, deps = _triangular()
+    cache = LegalityCache()
+    for T in (Transformation([Interleave(2, 2, 2, [2]), REORDER]),
+              Transformation([Block(2, 2, 2, [2]), REORDER]),
+              Transformation([Block(2, 2, 2, [2])]),
+              Transformation([Block(2, 1, 2, [2, 2])])):
+        direct = T.legality(nest, deps)
+        cached = cache.legality(T, nest, deps)
+        assert direct.legal == cached.legal
+        assert direct.reason == cached.reason
+    # and a second query is a pure hit with the same verdict
+    hits = cache.hits
+    again = cache.legality(Transformation([Block(2, 2, 2, [2]), REORDER]),
+                           nest, deps)
+    assert cache.hits > hits and not again.legal
+
+
+def test_context_distinguishes_nests_in_cache():
+    """Two nests with identical dependence sets but different anchors
+    must not share mapped-set cache entries: the rectangular nest's
+    sequence stays legal while the triangular one is rejected."""
+    tri_nest, tri_deps = _triangular()
+    rect_nest = parse_nest(
+        "do i = 1, 6\n  do j = 1, 6\n    a(i, j) = a(i-2, j) + 1\n"
+        "  enddo\nenddo\n")
+    rect_deps = analyze(rect_nest)
+    assert ({tuple(str(e) for e in v.entries) for v in tri_deps}
+            == {tuple(str(e) for e in v.entries) for v in rect_deps})
+    T = Transformation([Block(2, 2, 2, [2]), REORDER])
+    cache = LegalityCache()
+    assert not cache.legality(T, tri_nest, tri_deps).legal
+    rect_report = cache.legality(T, rect_nest, rect_deps)
+    assert rect_report.legal == T.legality(rect_nest, rect_deps).legal
