@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-report bench-smoke bench-service \
-	bench-resilience bench-fleet examples corpus all
+	bench-resilience bench-fleet bench-vectorized examples corpus all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -39,6 +39,13 @@ bench-resilience:
 # writes bench_fleet.json with the fleet metrics embedded.
 bench-fleet:
 	$(PYTHON) -m pytest benchmarks/bench_fleet.py -s
+
+# Vectorized-engine guardrail (>= 50x over the interpreter on matmul
+# and the time-iterated stencil, bit-identical answers) plus the
+# reordering wall-clock sensitivity report; needs NumPy (skips
+# cleanly without it); writes bench_vectorized.json.
+bench-vectorized:
+	$(PYTHON) -m pytest benchmarks/bench_vectorized.py -s
 
 examples:
 	@for f in examples/*.py; do \

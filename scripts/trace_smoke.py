@@ -29,6 +29,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
@@ -146,7 +147,7 @@ def main():
                         default="client_trace.jsonl")
     parser.add_argument("--tmpdir", default=None)
     args = parser.parse_args()
-    tmpdir = args.tmpdir or os.path.join(os.getcwd(), ".trace-smoke")
+    tmpdir = args.tmpdir or tempfile.mkdtemp(prefix="trace-smoke-")
     os.makedirs(tmpdir, exist_ok=True)
 
     script = os.path.join(tmpdir, "script.ndjson")

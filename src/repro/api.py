@@ -13,10 +13,11 @@ It re-exports exactly the surface documented in ``docs/API.md`` (the
 ``repro.api`` section — ``tests/test_api_facade.py`` holds the two in
 lockstep): the pipeline stages (:func:`parse_nest`, :func:`analyze`,
 :class:`Transformation`, :func:`search`), the six transformation
-templates of the paper, and the two warm-state engines
-(:class:`LegalityCache`, :class:`CompiledNest`).  Anything else in the
-package tree is implementation detail that may move between releases;
-this module will not.
+templates of the paper, and the warm-state engines
+(:class:`LegalityCache`, :class:`CompiledNest`,
+:class:`VectorizedNest`).  Anything else in the package tree is
+implementation detail that may move between releases; this module will
+not.
 """
 
 from repro.core.legality_cache import LegalityCache
@@ -30,7 +31,9 @@ from repro.core.templates.unimodular import Unimodular
 from repro.deps.analysis import analyze
 from repro.ir import parse_nest
 from repro.optimize.search import search
+from repro.runtime import resolve_engine
 from repro.runtime.compiled import CompiledNest
+from repro.runtime.vectorized import VectorizedNest
 
 __all__ = [
     "Block",
@@ -42,7 +45,9 @@ __all__ = [
     "ReversePermute",
     "Transformation",
     "Unimodular",
+    "VectorizedNest",
     "analyze",
     "parse_nest",
+    "resolve_engine",
     "search",
 ]

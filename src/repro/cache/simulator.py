@@ -151,6 +151,11 @@ class Layout:
     def __init__(self, element_bytes: int = 8, order: str = "row"):
         if order not in ("row", "col"):
             raise ValueError("order must be 'row' or 'col'")
+        if not isinstance(element_bytes, int) or \
+                isinstance(element_bytes, bool) or element_bytes <= 0:
+            raise ValueError(
+                f"element_bytes must be a positive integer, "
+                f"got {element_bytes!r}")
         self.element_bytes = element_bytes
         self.order = order
         self._arrays: Dict[str, Tuple[int, Tuple[Tuple[int, int], ...]]] = {}

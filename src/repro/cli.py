@@ -18,6 +18,14 @@ Commands
     half of the legality test); ``--trace`` prints the Figure-7-style
     per-stage dependence/loop tables.
 
+``run FILE [--steps SPEC] [--engine interpreter|compiled|vectorized]``
+    Execute a nest (optionally transformed first) under the chosen
+    engine and print iterations + wall clock as JSON; the vectorized
+    engine additionally reports its lowering plan and fallback
+    reasons.  ``search`` takes the same ``--engine`` for its
+    ``--scorer time`` mode, ``profile`` for its run section, and
+    ``serve`` as the default engine of service ``run`` requests.
+
 ``profile FILE [--steps SPEC] [--search] [--size N]``
     Run the full pipeline — dependence analysis, beam search (and/or the
     given sequence), code generation, compiled execution, cache
@@ -100,6 +108,11 @@ from repro.ir import parse_nest
 from repro.ir.emit import emit_c, emit_python
 from repro.util.errors import ReproError
 
+#: Engine names accepted by ``--engine`` (mirrors
+#: ``repro.runtime.ENGINE_NAMES`` without importing the runtime package
+#: at CLI startup).
+ENGINE_CHOICES = ("interpreter", "compiled", "vectorized")
+
 
 # ---------------------------------------------------------------------------
 # commands
@@ -181,25 +194,84 @@ def cmd_transform(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    """Execute a nest (optionally transformed first) under the chosen
+    engine and print a JSON summary: iteration count, wall-clock, and —
+    for the vectorized engine — the lowering plan and fallback reasons.
+    """
+    import time as time_mod
+
+    from repro.runtime import resolve_engine
+
+    nest = _read_nest(args.file, args.sink)
+    sequence = None
+    if args.steps:
+        transformation = parse_steps(args.steps, nest.depth)
+        sequence = transformation.signature()
+        if args.force:
+            nest = transformation.apply(nest, check=False)
+        else:
+            deps = analyze(nest, level=args.level)
+            report = transformation.legality(nest, deps)
+            if not report.legal:
+                print(f"error: illegal sequence: {report.reason}",
+                      file=sys.stderr)
+                return 1
+            nest = transformation.apply(nest, deps)
+    symbols = {name: args.size for name in sorted(nest.invariants())}
+    engine_cls = resolve_engine(args.engine)
+    engine = engine_cls(nest, symbols=symbols)
+    start = time_mod.perf_counter()
+    result = engine.run({})
+    wall = time_mod.perf_counter() - start
+    doc = {
+        "input": {"file": args.file, "level": args.level,
+                  "size": args.size, "steps": args.steps},
+        "engine": args.engine,
+        "sequence": sequence,
+        "depth": nest.depth,
+        "iterations": result.body_count,
+        "wall_s": round(wall, 6),
+    }
+    if args.engine == "vectorized":
+        doc["vectorized"] = engine.describe()
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_search(args) -> int:
     """Beam-search a transformation sequence and print a JSON summary.
 
     ``--jobs N`` shards candidate evaluation across N forked worker
     processes; results are guaranteed identical to ``--jobs 1`` (the
     ``parallel`` block in the output records the worker accounting).
+    ``--scorer time`` replaces the static parallelism score with
+    measured wall clock under ``--engine``.
     """
-    from repro.optimize.search import search
+    from repro.optimize.search import (
+        make_time_score,
+        parallelism_score,
+        search,
+    )
 
     nest = _read_nest(args.file, args.sink)
     deps = analyze(nest, level=args.level)
-    result = search(nest, deps, depth=args.depth, beam=args.beam,
+    if args.scorer == "time":
+        symbols = {name: args.size for name in sorted(nest.invariants())}
+        score = make_time_score({}, symbols, engine=args.engine)
+    else:
+        score = parallelism_score
+    result = search(nest, deps, score=score,
+                    depth=args.depth, beam=args.beam,
                     jobs=args.jobs,
                     candidate_timeout=args.candidate_timeout)
     winner = result.transformation
     doc = {
         "input": {"file": args.file, "level": args.level,
                   "depth": args.depth, "beam": args.beam,
-                  "jobs": args.jobs},
+                  "jobs": args.jobs, "scorer": args.scorer,
+                  "engine": (args.engine if args.scorer == "time"
+                             else None)},
         "winner": winner.signature() if winner else None,
         "spec": winner.to_spec() if winner is not None else None,
         "score": result.score if result.score != float("-inf") else None,
@@ -254,13 +326,27 @@ def cmd_profile(args) -> int:
         chosen = winner or Transformation.identity(nest.depth)
     report = LegalityCache().legality(chosen, nest, deps)
 
-    doc_run = {"sequence": chosen.signature(), "legal": report.legal}
+    doc_run = {"sequence": chosen.signature(), "legal": report.legal,
+               "engine": args.engine}
     doc_cachesim = None
     try:
         out = chosen.apply(nest, deps) if report.legal else nest
         if not report.legal:
             doc_run["note"] = ("sequence illegal; profiled the original "
                                "nest instead")
+        # Wall clock under the selected engine (the address trace below
+        # always comes from the compiled engine — the vectorized one
+        # does not trace).
+        import time as time_mod
+
+        from repro.runtime import resolve_engine
+
+        timed_engine = resolve_engine(args.engine)(out, symbols=symbols)
+        start = time_mod.perf_counter()
+        timed_engine.run({})
+        doc_run["wall_s"] = round(time_mod.perf_counter() - start, 6)
+        if args.engine == "vectorized":
+            doc_run["vectorized"] = timed_engine.describe()
         result = run_compiled(out, {}, symbols=symbols,
                               trace_addresses=True)
         doc_run["iterations"] = result.body_count
@@ -320,6 +406,7 @@ def _serve_child_argv(args, port: int, heartbeat: str,
             "--queue-max", str(args.queue_max),
             "--batch-max", str(args.batch_max),
             "--cache-max-entries", str(args.cache_max_entries),
+            "--engine", args.engine,
             "--hang-timeout", str(args.hang_timeout)]
     if args.request_timeout is not None:
         argv += ["--request-timeout", str(args.request_timeout)]
@@ -364,7 +451,8 @@ def cmd_serve(args) -> int:
         worker_args = ["--queue-max", str(args.queue_max),
                        "--batch-max", str(args.batch_max),
                        "--cache-max-entries",
-                       str(args.cache_max_entries)]
+                       str(args.cache_max_entries),
+                       "--engine", args.engine]
         if args.chaos:
             worker_args += ["--chaos", args.chaos,
                             "--chaos-seed", str(args.chaos_seed)]
@@ -444,7 +532,8 @@ def cmd_serve(args) -> int:
         heartbeat_file=args.heartbeat_file,
         hang_grace=max(args.hang_timeout / 2.0, 0.2),
         checkpoint_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every)
+        checkpoint_every=args.checkpoint_every,
+        default_engine=args.engine)
     if args.tcp:
         serve_tcp(service, host=args.host, port=args.port)
     else:
@@ -652,6 +741,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print per-stage dependence/loop tables")
     p_tr.set_defaults(func=cmd_transform)
 
+    p_run = sub.add_parser(
+        "run", help="execute a nest under a chosen engine")
+    add_common(p_run)
+    p_run.add_argument("--steps", default=None,
+                       help="transform with this step sequence first")
+    p_run.add_argument("--force", action="store_true",
+                       help="skip the dependence-vector legality test")
+    p_run.add_argument("--size", type=int, default=12,
+                       help="value bound to every symbolic invariant "
+                            "(default 12)")
+    p_run.add_argument("--engine", choices=ENGINE_CHOICES,
+                       default="compiled",
+                       help="execution engine (default compiled; "
+                            "vectorized needs NumPy)")
+    p_run.set_defaults(func=cmd_run)
+
     p_se = sub.add_parser(
         "search", help="beam-search a transformation sequence")
     add_common(p_se)
@@ -659,6 +764,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="beam search depth (default 2)")
     p_se.add_argument("--beam", type=int, default=8,
                       help="beam width (default 8)")
+    p_se.add_argument("--scorer", choices=["parallelism", "time"],
+                      default="parallelism",
+                      help="candidate score: static parallelism "
+                           "(default) or measured wall clock")
+    p_se.add_argument("--engine", choices=ENGINE_CHOICES,
+                      default="vectorized",
+                      help="engine timed by --scorer time "
+                           "(default vectorized)")
+    p_se.add_argument("--size", type=int, default=12,
+                      help="value bound to every symbolic invariant "
+                           "for --scorer time (default 12)")
     p_se.set_defaults(func=cmd_search)
 
     p_prof = sub.add_parser(
@@ -677,6 +793,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--size", type=int, default=12,
                         help="value bound to every symbolic invariant "
                              "for the execution phases (default 12)")
+    p_prof.add_argument("--engine", choices=ENGINE_CHOICES,
+                        default="compiled",
+                        help="engine timed for the run section "
+                             "(default compiled; the address trace for "
+                             "the cache simulation always comes from "
+                             "the compiled engine)")
     p_prof.set_defaults(func=cmd_profile)
 
     p_srv = sub.add_parser(
@@ -705,6 +827,10 @@ def build_parser() -> argparse.ArgumentParser:
                        type=float, default=None, metavar="SECONDS",
                        help="per-request wall-clock budget; overruns get "
                             "a typed timeout error")
+    p_srv.add_argument("--engine", choices=ENGINE_CHOICES,
+                       default="compiled",
+                       help="default engine for run requests that do "
+                            "not name one (default compiled)")
     p_srv.add_argument("--cache-max-entries", dest="cache_max_entries",
                        type=int, default=4096, metavar="N",
                        help="bound on the warm legality cache (LRU "

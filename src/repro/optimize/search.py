@@ -112,6 +112,48 @@ def make_locality_score(arrays, symbols, layout: Layout,
     return score
 
 
+def make_time_score(arrays, symbols, engine: str = "vectorized",
+                    funcs=None, repeats: int = 1,
+                    max_iterations: int = 10_000_000) -> Score:
+    """A scoring function that *times* the transformed nest under the
+    named execution engine; higher is better (negated best-of-*repeats*
+    wall clock in seconds).
+
+    Unlike :func:`make_locality_score` this measures real time, so it
+    can see effects the cache simulator cannot — kernel launch counts
+    under the vectorized engine, thread-pool pardo chunking — at the
+    cost of being machine-dependent.  *engine* is any
+    :data:`repro.runtime.ENGINE_NAMES` entry; resolution failures
+    (unknown name, NumPy missing for ``"vectorized"``) raise
+    immediately rather than per candidate.
+    """
+    import time as _time
+
+    from repro.runtime import resolve_engine
+
+    engine_cls = resolve_engine(engine)
+    repeats = max(1, int(repeats))
+
+    def score(transformation: Transformation, nest: LoopNest,
+              deps: DepSet) -> float:
+        try:
+            out = transformation.apply(nest, deps)
+            runner = engine_cls(out, symbols=symbols, funcs=funcs,
+                                max_iterations=max_iterations)
+            best = float("inf")
+            for _ in range(repeats):
+                start = _time.perf_counter()
+                runner.run(arrays)
+                best = min(best, _time.perf_counter() - start)
+            return -best
+        except ReproError:
+            # Same contract as make_locality_score: domain rejections
+            # score -inf, programming errors propagate.
+            return float("-inf")
+
+    return score
+
+
 class SearchResult:
     __slots__ = ("transformation", "score", "explored", "legal_count",
                  "cache_stats", "timeouts", "parallel")

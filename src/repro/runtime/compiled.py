@@ -459,10 +459,13 @@ class CompiledNestCache:
     request-processing loop.
     """
 
-    def __init__(self, max_entries: int = 128):
+    def __init__(self, max_entries: int = 128,
+                 factory: Optional[Callable[..., "CompiledNest"]] = None):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        #: Engine constructor; subclasses (the vectorized cache) swap it.
+        self._factory = factory if factory is not None else CompiledNest
         self._entries: Dict[Tuple, CompiledNest] = {}
         self.hits = 0
         self.misses = 0
@@ -489,10 +492,10 @@ class CompiledNestCache:
             # "equal" keys incidental; skip the cache rather than serve
             # a stale closure.
             self.uncacheable += 1
-            return CompiledNest(nest, symbols=symbols, funcs=funcs,
-                                schedule=schedule, trace_vars=trace_vars,
-                                trace_addresses=trace_addresses,
-                                max_iterations=max_iterations)
+            return self._factory(nest, symbols=symbols, funcs=funcs,
+                                 schedule=schedule, trace_vars=trace_vars,
+                                 trace_addresses=trace_addresses,
+                                 max_iterations=max_iterations)
         key = self._key(nest, symbols, trace_vars, trace_addresses,
                         max_iterations)
         cached = self._entries.get(key)
@@ -505,10 +508,10 @@ class CompiledNestCache:
         self.misses += 1
         if _obs.enabled():
             get_metrics().counter("compiled.nest_cache_misses").inc()
-        compiled = CompiledNest(nest, symbols=symbols,
-                                trace_vars=trace_vars,
-                                trace_addresses=trace_addresses,
-                                max_iterations=max_iterations)
+        compiled = self._factory(nest, symbols=symbols,
+                                 trace_vars=trace_vars,
+                                 trace_addresses=trace_addresses,
+                                 max_iterations=max_iterations)
         self._entries[key] = compiled
         while len(self._entries) > self.max_entries:
             del self._entries[next(iter(self._entries))]

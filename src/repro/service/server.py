@@ -74,6 +74,7 @@ from repro.service.protocol import (
     error_response,
     ok_response,
 )
+from repro.runtime import ENGINE_NAMES
 from repro.service.state import WarmState
 from repro.util.errors import ReproError
 
@@ -118,9 +119,15 @@ class TransformationService:
                  heartbeat_file: Optional[str] = None,
                  hang_grace: float = 5.0,
                  checkpoint_path: Optional[str] = None,
-                 checkpoint_every: int = 25):
+                 checkpoint_every: int = 25,
+                 default_engine: str = "compiled"):
         if queue_max < 1:
             raise ValueError(f"queue_max must be >= 1, got {queue_max}")
+        if default_engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"default_engine must be one of {ENGINE_NAMES}, "
+                f"got {default_engine!r}")
+        self.default_engine = default_engine
         self.jobs = max(1, int(jobs))
         self.queue_max = queue_max
         self.batch_max = max(1, int(batch_max))
@@ -633,12 +640,37 @@ class TransformationService:
                            for k, v in symbols.items())):
             raise ProtocolError(
                 BAD_INPUT, "params.symbols must map names to integers")
-        before = self.state.compiled.hits
-        engine = self.state.compiled.get(nest, symbols=symbols)
-        result = engine.run({})
-        return {"iterations": result.body_count,
-                "depth": nest.depth,
-                "warm": self.state.compiled.hits > before}
+        engine_name = params.get("engine", self.default_engine)
+        if engine_name not in ENGINE_NAMES:
+            raise ProtocolError(
+                BAD_INPUT,
+                f"params.engine must be one of "
+                f"{', '.join(ENGINE_NAMES)}, got {engine_name!r}")
+        doc: dict = {"depth": nest.depth, "engine": engine_name}
+        if engine_name == "interpreter":
+            from repro.runtime.interpreter import Interpreter
+            result = Interpreter(nest, symbols=symbols).run({})
+            doc["warm"] = False
+        elif engine_name == "vectorized":
+            from repro.runtime.vectorized import numpy_available
+            if not numpy_available():
+                raise ProtocolError(
+                    BAD_REQUEST,
+                    "engine 'vectorized' needs NumPy, which this server "
+                    "does not have (use 'compiled' or 'interpreter')")
+            cache = self.state.vectorized()
+            before = cache.hits
+            engine = cache.get(nest, symbols=symbols)
+            result = engine.run({})
+            doc["warm"] = cache.hits > before
+            doc["vectorized"] = engine.describe()
+        else:
+            before = self.state.compiled.hits
+            engine = self.state.compiled.get(nest, symbols=symbols)
+            result = engine.run({})
+            doc["warm"] = self.state.compiled.hits > before
+        doc["iterations"] = result.body_count
+        return doc
 
     def _op_search(self, params: dict) -> dict:
         from repro.optimize.search import parallelism_score, search

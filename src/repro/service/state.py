@@ -12,7 +12,11 @@ service amortizes all three across the requests of a session:
 * the shared bounded :class:`~repro.core.legality_cache.LegalityCache`
   every legality/search request funnels through;
 * a :class:`~repro.runtime.compiled.CompiledNestCache` so repeated
-  ``run`` requests over equal nests reuse the exec-compiled engine.
+  ``run`` requests over equal nests reuse the exec-compiled engine;
+* a lazily created :class:`~repro.runtime.vectorized.VectorizedNestCache`
+  for ``run`` requests that select the NumPy engine (lazy because NumPy
+  is optional — a service without it never pays the import and answers
+  such requests with a typed error instead).
 
 All memos are bounded LRU (plain-dict insertion order; a hit reinserts,
 overflow evicts the oldest) so a long-lived server's memory stays
@@ -52,6 +56,8 @@ class WarmState:
                 f"memo_max_entries must be >= 1, got {memo_max_entries}")
         self.legality_cache = LegalityCache(max_entries=legality_max_entries)
         self.compiled = CompiledNestCache(max_entries=compiled_max_entries)
+        self.compiled_max_entries = compiled_max_entries
+        self._vectorized = None
         self.memo_max_entries = memo_max_entries
         self._parse_memo: Dict[Tuple[str, bool], LoopNest] = {}
         self._analysis_memo: Dict[Tuple[LoopNest, str], DepSet] = {}
@@ -110,6 +116,19 @@ class WarmState:
         deps = analyze(nest, level=level)
         self._memo_put(self._analysis_memo, key, deps)
         return deps
+
+    def vectorized(self):
+        """The vectorized-engine cache, created on first use.
+
+        Raises :class:`~repro.util.errors.ReproError` when NumPy is
+        absent — callers turn that into a typed ``bad-request`` rather
+        than an ImportError crash.
+        """
+        if self._vectorized is None:
+            from repro.runtime.vectorized import VectorizedNestCache
+            self._vectorized = VectorizedNestCache(
+                max_entries=self.compiled_max_entries)
+        return self._vectorized
 
     # -- checkpoint / restore ----------------------------------------------
 
@@ -171,9 +190,20 @@ class WarmState:
         if not isinstance(payload, dict) or \
                 payload.get("version") != CHECKPOINT_VERSION:
             return 0
-        self._parse_memo = payload["parse_memo"]
-        self._analysis_memo = payload["analysis_memo"]
-        self.legality_cache = payload["legality"]
+        # A right-version dict can still be malformed (a checkpoint
+        # torn across the version bump, or hand-edited): missing or
+        # wrong-typed entries are a cold start too, never a KeyError
+        # that kills the restarting worker.
+        parse_memo = payload.get("parse_memo")
+        analysis_memo = payload.get("analysis_memo")
+        legality = payload.get("legality")
+        if (not isinstance(parse_memo, dict)
+                or not isinstance(analysis_memo, dict)
+                or not isinstance(legality, LegalityCache)):
+            return 0
+        self._parse_memo = parse_memo
+        self._analysis_memo = analysis_memo
+        self.legality_cache = legality
         self.restored_entries = (len(self._parse_memo)
                                  + len(self._analysis_memo)
                                  + self.legality_cache.entry_count())
@@ -203,6 +233,8 @@ class WarmState:
                          "entries": len(self._analysis_memo)},
             "legality": dict(self.legality_cache.stats),
             "compiled": dict(self.compiled.stats),
+            "vectorized": (dict(self._vectorized.stats)
+                           if self._vectorized is not None else None),
             "reuse_ratio": round(self.reuse_ratio(), 6),
             "restored_entries": self.restored_entries,
             "checkpoints_written": self.checkpoints_written,
@@ -215,6 +247,8 @@ class WarmState:
     def clear(self) -> None:
         self.legality_cache.clear()
         self.compiled.clear()
+        if self._vectorized is not None:
+            self._vectorized.clear()
         self._parse_memo.clear()
         self._analysis_memo.clear()
         self.parse_hits = self.parse_misses = 0

@@ -148,6 +148,21 @@ class TestCacheConfigValidation:
             CacheConfig(**kwargs)
 
 
+class TestLayoutValidation:
+    """``Layout.element_bytes`` applies the same positive-int,
+    bool-rejecting rule as ``CacheConfig``'s geometry fields — a zero
+    or float element size would otherwise surface later as nonsense
+    addresses or a ZeroDivision in the simulator."""
+
+    @pytest.mark.parametrize("element_bytes", [0, -8, 8.0, "8", True])
+    def test_bad_element_bytes_rejected(self, element_bytes):
+        with pytest.raises(ValueError):
+            Layout(element_bytes=element_bytes)
+
+    def test_valid_element_bytes_accepted(self):
+        assert Layout(element_bytes=4).element_bytes == 4
+
+
 class TestLayoutBruteForce:
     EXTENTS = ((2, 5), (-1, 3), (0, 1))  # asymmetric, negative lower
 

@@ -462,6 +462,30 @@ def test_restore_missing_file_is_cold_start(tmp_path):
     assert WarmState().restore(str(tmp_path / "absent")) == 0
 
 
+def test_restore_right_version_missing_keys_is_cold_start(tmp_path):
+    """A valid-magic, valid-version payload missing a key must be a
+    silent cold start, not a KeyError that kills the restarting worker
+    (regression: the key reads sat outside the try block)."""
+    import pickle
+
+    from repro.service.state import _CHECKPOINT_MAGIC, CHECKPOINT_VERSION
+
+    path = str(tmp_path / "warm.ckpt")
+    for payload in (
+            {"version": CHECKPOINT_VERSION},  # every key missing
+            {"version": CHECKPOINT_VERSION, "parse_memo": {},
+             "analysis_memo": {}},  # legality missing
+            {"version": CHECKPOINT_VERSION, "parse_memo": "oops",
+             "analysis_memo": {}, "legality": None},  # wrong types
+    ):
+        with open(path, "wb") as fh:
+            fh.write(_CHECKPOINT_MAGIC)
+            fh.write(pickle.dumps(payload))
+        fresh = WarmState()
+        assert fresh.restore(path) == 0
+        assert fresh.nest(STENCIL).depth == 2  # still fully functional
+
+
 # ---------------------------------------------------------------------------
 # the supervisor
 # ---------------------------------------------------------------------------
