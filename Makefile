@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-report bench-smoke bench-service \
-	bench-resilience bench-fleet bench-vectorized examples corpus all
+	bench-resilience bench-fleet bench-vectorized \
+	bench-model-search examples corpus all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -46,6 +47,12 @@ bench-fleet:
 # cleanly without it); writes bench_vectorized.json.
 bench-vectorized:
 	$(PYTHON) -m pytest benchmarks/bench_vectorized.py -s
+
+# Model-guided search guardrail (Perf-15): same winner as brute beam
+# search with >= 10x fewer exact legality verdicts across the example
+# corpus, jobs=2 field-identical; writes bench_model_search.json.
+bench-model-search:
+	$(PYTHON) -m pytest benchmarks/bench_model_search.py -s
 
 examples:
 	@for f in examples/*.py; do \

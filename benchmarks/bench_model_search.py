@@ -1,0 +1,114 @@
+"""Perf-15 — model-guided search: same winner, >= 10x fewer exact
+legality verdicts.
+
+Brute beam search pays one exact verdict — dependence mapping plus the
+Fourier–Motzkin bounds fold — per candidate per level.  The guided
+configuration (``SearchConfig(prune=True, speculate=True)``) prunes
+algebraically-doomed candidates before any legality work and admits
+the rest on the cheap dep-only verdict, deferring exactness to the
+beam frontier.  This guardrail runs both configurations over every
+``examples/loops`` nest and enforces:
+
+* the guided winner scores the same or better on every nest (in
+  practice: identical winner, pinned exactly by
+  ``tests/test_model_search.py``);
+* ``jobs=2`` guided search is field-identical to serial guided search;
+* the corpus-wide exact-verdict ratio ``brute / guided`` is >= 10x.
+
+The numbers land in ``bench_model_search.json`` (uploaded by CI next
+to the other bench artifacts) with the observability snapshot of the
+guided runs embedded under ``metrics``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.deps.analysis import analyze
+from repro.ir import parse_nest
+from repro.optimize.search import SearchConfig, search
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples" / "loops").glob("*.loop"))
+
+RATIO_FLOOR = 10.0
+BRUTE = SearchConfig(depth=2, beam=8)
+GUIDED = SearchConfig(depth=2, beam=8, prune=True, speculate=True)
+GUIDED_J2 = SearchConfig(depth=2, beam=8, prune=True, speculate=True,
+                         jobs=2)
+
+
+def _fields(result):
+    return {
+        "winner": (result.transformation.signature()
+                   if result.transformation else None),
+        "score": result.score,
+        "explored": result.explored,
+        "legal": result.legal_count,
+        "pruned": result.pruned,
+        "speculated": result.speculated,
+        "evicted": result.evicted,
+        "exact_verdicts": result.exact_verdicts,
+        "cache_stats": result.cache_stats,
+    }
+
+
+@pytest.mark.smoke
+def test_smoke_model_guided_verdict_reduction(report, smoke_summary):
+    """CI guardrail: the guided search must reach the brute winner with
+    >= 10x fewer exact legality verdicts across the example corpus."""
+    tracer = obs.enable()
+    try:
+        cases = {}
+        brute_total = guided_total = 0
+        for path in EXAMPLES:
+            nest = parse_nest(path.read_text())
+            deps = analyze(nest)
+            brute = search(nest, deps, config=BRUTE)
+            guided = search(nest, deps, config=GUIDED)
+            parallel = search(nest, deps, config=GUIDED_J2)
+
+            # Same-or-better winner, and jobs=2 field-identical.
+            assert guided.score >= brute.score, path.stem
+            assert _fields(parallel) == _fields(guided), path.stem
+
+            brute_total += brute.exact_verdicts
+            guided_total += guided.exact_verdicts
+            cases[path.stem] = {
+                "brute": _fields(brute),
+                "guided": _fields(guided),
+            }
+        metrics = obs.profile_document(tracer)["metrics"]
+    finally:
+        obs.disable()
+
+    ratio = brute_total / max(guided_total, 1)
+    doc = {
+        "benchmark": "model-guided beam search, depth=2 beam=8, "
+                     "prune+speculate vs brute",
+        "cases": cases,
+        "brute_exact_verdicts": brute_total,
+        "guided_exact_verdicts": guided_total,
+        "verdict_ratio": round(ratio, 2),
+        "threshold": RATIO_FLOOR,
+        "metrics": metrics,
+    }
+    smoke_summary["model_search"] = {
+        "brute_exact_verdicts": brute_total,
+        "guided_exact_verdicts": guided_total,
+        "verdict_ratio": round(ratio, 2),
+        "threshold": RATIO_FLOOR,
+    }
+    with open("bench_model_search.json", "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    report("Perf-15 smoke: model-guided search",
+           f"{brute_total} brute vs {guided_total} guided exact "
+           f"verdicts across {len(EXAMPLES)} nests "
+           f"({ratio:.1f}x, floor {RATIO_FLOOR:.0f}x); winners "
+           f"identical, jobs=2 field-identical")
+    assert ratio >= RATIO_FLOOR, (
+        f"guided search paid {guided_total} exact verdicts vs "
+        f"{brute_total} brute — only {ratio:.1f}x")

@@ -25,7 +25,7 @@ import pytest
 
 from repro.deps import depset
 from repro.ir import parse_nest
-from repro.optimize.search import parallelism_score, search
+from repro.optimize.search import SearchConfig, parallelism_score, search
 
 MATMUL = """
 do i = 1, n
@@ -75,11 +75,11 @@ def test_smoke_parallel_search_speedup(report, smoke_summary):
     deps = depset((0, 0, "+"))
 
     serial_s, serial = _timed(
-        lambda: search(nest, deps, score=_latency_bound_score,
-                       depth=2, beam=6))
+        lambda: search(nest, deps, config=SearchConfig(
+            score=_latency_bound_score, depth=2, beam=6)))
     parallel_s, parallel = _timed(
-        lambda: search(nest, deps, score=_latency_bound_score,
-                       depth=2, beam=6, jobs=JOBS))
+        lambda: search(nest, deps, config=SearchConfig(
+            score=_latency_bound_score, depth=2, beam=6, jobs=JOBS)))
 
     # Determinism first: a fast wrong answer is not a speedup.
     assert parallel.transformation.signature() == \
@@ -124,9 +124,10 @@ def test_parallel_search_cpu_bound_scaling(report):
     nest = parse_nest(MATMUL)
     deps = depset((0, 0, "+"))
     serial_s, serial = _timed(
-        lambda: search(nest, deps, depth=3, beam=8))
+        lambda: search(nest, deps, config=SearchConfig(depth=3, beam=8)))
     parallel_s, parallel = _timed(
-        lambda: search(nest, deps, depth=3, beam=8, jobs=2))
+        lambda: search(nest, deps,
+                       config=SearchConfig(depth=3, beam=8, jobs=2)))
     assert parallel.score == serial.score
     assert parallel.cache_stats == serial.cache_stats
     report("Perf-9: CPU-bound parallel search (informational)",

@@ -7,13 +7,14 @@ service, the benchmarks and external callers alike::
 
     nest = parse_nest(SRC)
     deps = analyze(nest)
-    result = search(nest, deps, depth=2, beam=8)
+    result = search(nest, deps, config=SearchConfig(depth=2, beam=8))
 
 It re-exports exactly the surface documented in ``docs/API.md`` (the
 ``repro.api`` section — ``tests/test_api_facade.py`` holds the two in
 lockstep): the pipeline stages (:func:`parse_nest`, :func:`analyze`,
-:class:`Transformation`, :func:`search`), the six transformation
-templates of the paper, and the warm-state engines
+:class:`Transformation`, :func:`search` and its
+:class:`SearchConfig`), the six transformation templates of the paper,
+and the warm-state engines
 (:class:`LegalityCache`, :class:`CompiledNest`,
 :class:`VectorizedNest`).  Anything else in the package tree is
 implementation detail that may move between releases; this module will
@@ -30,7 +31,7 @@ from repro.core.templates.reverse_permute import ReversePermute
 from repro.core.templates.unimodular import Unimodular
 from repro.deps.analysis import analyze
 from repro.ir import parse_nest
-from repro.optimize.search import search
+from repro.optimize.search import SearchConfig, search
 from repro.runtime import resolve_engine
 from repro.runtime.compiled import CompiledNest
 from repro.runtime.vectorized import VectorizedNest
@@ -43,6 +44,7 @@ __all__ = [
     "LegalityCache",
     "Parallelize",
     "ReversePermute",
+    "SearchConfig",
     "Transformation",
     "Unimodular",
     "VectorizedNest",

@@ -113,6 +113,11 @@ from repro.util.errors import ReproError
 #: at CLI startup).
 ENGINE_CHOICES = ("interpreter", "compiled", "vectorized")
 
+#: Cost-model names accepted by ``--model`` (mirrors
+#: ``repro.optimize.model.MODEL_NAMES`` without importing the optimizer
+#: at CLI startup).
+MODEL_CHOICES = ("evidence", "static")
+
 
 # ---------------------------------------------------------------------------
 # commands
@@ -248,7 +253,9 @@ def cmd_search(args) -> int:
     ``--scorer time`` replaces the static parallelism score with
     measured wall clock under ``--engine``.
     """
+    from repro.optimize.model import resolve_model
     from repro.optimize.search import (
+        SearchConfig,
         make_time_score,
         parallelism_score,
         search,
@@ -261,15 +268,20 @@ def cmd_search(args) -> int:
         score = make_time_score({}, symbols, engine=args.engine)
     else:
         score = parallelism_score
-    result = search(nest, deps, score=score,
-                    depth=args.depth, beam=args.beam,
-                    jobs=args.jobs,
-                    candidate_timeout=args.candidate_timeout)
+    model = resolve_model(args.model) if args.model else None
+    config = SearchConfig(score=score, depth=args.depth, beam=args.beam,
+                          jobs=args.jobs,
+                          candidate_timeout=args.candidate_timeout,
+                          prune=args.prune, speculate=args.speculate,
+                          model=model)
+    result = search(nest, deps, config=config)
     winner = result.transformation
     doc = {
         "input": {"file": args.file, "level": args.level,
                   "depth": args.depth, "beam": args.beam,
                   "jobs": args.jobs, "scorer": args.scorer,
+                  "prune": args.prune, "speculate": args.speculate,
+                  "model": args.model,
                   "engine": (args.engine if args.scorer == "time"
                              else None)},
         "winner": winner.signature() if winner else None,
@@ -278,6 +290,11 @@ def cmd_search(args) -> int:
         "explored": result.explored,
         "legal": result.legal_count,
         "timeouts": result.timeouts,
+        "pruned": result.pruned,
+        "prune_reasons": result.prune_reasons,
+        "speculated": result.speculated,
+        "evicted": result.evicted,
+        "exact_verdicts": result.exact_verdicts,
         "cache_stats": result.cache_stats,
         "parallel": result.parallel,
     }
@@ -296,7 +313,8 @@ def cmd_profile(args) -> int:
     """
     from repro.cache.simulator import Layout, simulate_trace
     from repro.core.legality_cache import LegalityCache
-    from repro.optimize.search import search
+    from repro.optimize.model import resolve_model
+    from repro.optimize.search import SearchConfig, search
     from repro.runtime.compiled import run_compiled
 
     nest = _read_nest(args.file, args.sink)
@@ -306,9 +324,13 @@ def cmd_profile(args) -> int:
     doc_search = None
     winner = None
     if not args.no_search:
-        result = search(nest, deps, depth=args.depth, beam=args.beam,
-                        jobs=args.jobs,
-                        candidate_timeout=args.candidate_timeout)
+        model = resolve_model(args.model) if args.model else None
+        config = SearchConfig(depth=args.depth, beam=args.beam,
+                              jobs=args.jobs,
+                              candidate_timeout=args.candidate_timeout,
+                              prune=args.prune,
+                              speculate=args.speculate, model=model)
+        result = search(nest, deps, config=config)
         winner = result.transformation
         doc_search = {
             "winner": winner.signature() if winner else None,
@@ -316,6 +338,10 @@ def cmd_profile(args) -> int:
                       if result.score != float("-inf") else None),
             "explored": result.explored,
             "legal": result.legal_count,
+            "pruned": result.pruned,
+            "speculated": result.speculated,
+            "evicted": result.evicted,
+            "exact_verdicts": result.exact_verdicts,
             "cache_stats": result.cache_stats,
             "parallel": result.parallel,
         }
@@ -412,6 +438,12 @@ def _serve_child_argv(args, port: int, heartbeat: str,
         argv += ["--request-timeout", str(args.request_timeout)]
     if args.jobs and args.jobs > 1:
         argv += ["--jobs", str(args.jobs)]
+    if args.prune:
+        argv += ["--prune"]
+    if args.speculate:
+        argv += ["--speculate"]
+    if args.model:
+        argv += ["--model", args.model]
     return argv
 
 
@@ -453,6 +485,13 @@ def cmd_serve(args) -> int:
                        "--cache-max-entries",
                        str(args.cache_max_entries),
                        "--engine", args.engine]
+        # Fleet workers inherit the front end's model-guided defaults.
+        if args.prune:
+            worker_args += ["--prune"]
+        if args.speculate:
+            worker_args += ["--speculate"]
+        if args.model:
+            worker_args += ["--model", args.model]
         if args.chaos:
             worker_args += ["--chaos", args.chaos,
                             "--chaos-seed", str(args.chaos_seed)]
@@ -533,7 +572,10 @@ def cmd_serve(args) -> int:
         hang_grace=max(args.hang_timeout / 2.0, 0.2),
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
-        default_engine=args.engine)
+        default_engine=args.engine,
+        default_prune=args.prune,
+        default_speculate=args.speculate,
+        default_model=args.model)
     if args.tcp:
         serve_tcp(service, host=args.host, port=args.port)
     else:
@@ -701,6 +743,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall-clock budget per candidate scoring; "
                             "overrunning candidates score -inf")
 
+    def add_model_guided(p):
+        p.add_argument("--prune", action="store_true", default=False,
+                       help="discard candidate steps by algebraic "
+                            "pruning rules before legality runs")
+        p.add_argument("--no-prune", dest="prune", action="store_false",
+                       help="disable pruning (the default)")
+        p.add_argument("--speculate", action="store_true", default=False,
+                       help="admit model-favored candidates on the "
+                            "cheap dependence verdict alone, deferring "
+                            "exact legality to the beam frontier")
+        p.add_argument("--model", choices=MODEL_CHOICES, default=None,
+                       help="cost model for --speculate (default: a "
+                            "fresh static model per search)")
+
     def add_common(p):
         p.add_argument("file", help="loop nest file ('-' for stdin)")
         p.add_argument("--level", choices=["gcd", "banerjee", "fm"],
@@ -775,6 +831,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_se.add_argument("--size", type=int, default=12,
                       help="value bound to every symbolic invariant "
                            "for --scorer time (default 12)")
+    add_model_guided(p_se)
     p_se.set_defaults(func=cmd_search)
 
     p_prof = sub.add_parser(
@@ -799,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default compiled; the address trace for "
                              "the cache simulation always comes from "
                              "the compiled engine)")
+    add_model_guided(p_prof)
     p_prof.set_defaults(func=cmd_profile)
 
     p_srv = sub.add_parser(
@@ -892,6 +950,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_observe(p_srv)
     add_parallel(p_srv, jobs_help="size of the shared worker pool for "
                  "batched legality and parallel search (default 1)")
+    add_model_guided(p_srv)
     p_srv.set_defaults(func=cmd_serve)
 
     p_cl = sub.add_parser(

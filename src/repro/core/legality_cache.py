@@ -127,8 +127,14 @@ class LegalityCache:
         # (nest_id, deps_id, step ids) -> LegalityReport
         self._verdicts: Dict[Tuple[int, int, Tuple[int, ...]],
                              LegalityReport] = {}
+        # (nest_id, deps_id, step ids) -> dependence-half-only report
+        # (the speculative search tier; see dep_legality).
+        self._dep_verdicts: Dict[Tuple[int, int, Tuple[int, ...]],
+                                 LegalityReport] = {}
         self.hits = 0
         self.misses = 0
+        self.dep_hits = 0
+        self.dep_misses = 0
         self.dep_map_evals = 0
         self.bounds_step_evals = 0
 
@@ -207,7 +213,8 @@ class LegalityCache:
         for table in (self._step_ids, self._deps_ids, self._nest_ids,
                       self._step_by_obj, self._nest_by_obj,
                       self._deps_by_obj, self._verdict_by_obj,
-                      self._map_cache, self._bounds_cache, self._verdicts):
+                      self._map_cache, self._bounds_cache, self._verdicts,
+                      self._dep_verdicts):
             table.clear()
 
     def entry_count(self) -> int:
@@ -220,6 +227,7 @@ class LegalityCache:
         """Per-table entry counts, for service stats and debugging."""
         return {
             "verdicts": len(self._verdicts),
+            "dep_verdicts": len(self._dep_verdicts),
             "map_cache": len(self._map_cache),
             "bounds_cache": len(self._bounds_cache),
             "verdict_by_obj": len(self._verdict_by_obj),
@@ -391,6 +399,75 @@ class LegalityCache:
                 ("bounds", tuple(template_key(s) for s in steps[:idx + 1]),
                  state))
 
+    # -- speculative tier: the dependence half alone -----------------------
+    #
+    # The dependence half of the unified test never needs the *last*
+    # step's bounds fold: context-sensitive steps take their loop
+    # headers from the prefix before them.  So a dep-only verdict costs
+    # one memoized map_dep_set per novel step — the "cheap dep-mapping"
+    # the speculative search tier admits candidates on, deferring the
+    # FM/bounds half until a candidate reaches the beam frontier.
+
+    def dep_legality(self, transformation: Transformation, nest: LoopNest,
+                     deps: DepSet) -> LegalityReport:
+        """The dependence half of :meth:`legality` only.
+
+        ``legal=True`` here means *dep-legal*: the transformed
+        dependence set admits no lexicographically negative tuple.  The
+        bounds half has not run — a dep-legal sequence can still fail
+        its preconditions, so speculative callers must re-verify with
+        :meth:`legality` before trusting a winner.  A dep-illegal
+        verdict is final: the full test would reject with the same
+        reason.  Reports carry ``final_deps`` exactly as the full test
+        does.
+        """
+        self._maybe_flush()
+        if nest.depth != transformation.input_depth:
+            return LegalityReport(
+                False, f"nest has {nest.depth} loops, transformation "
+                       f"expects {transformation.input_depth}")
+        steps = transformation.steps
+        step_ids = tuple(self._intern_step(s) for s in steps)
+        deps_id = self._intern_deps(deps)
+        nest_id = self._intern_nest(nest)
+        vkey = (nest_id, deps_id, step_ids)
+        report = self._dep_verdicts.get(vkey)
+        if report is not None:
+            self.dep_hits += 1
+            self._touch(self._dep_verdicts, vkey)
+            return report
+        self.dep_misses += 1
+        with _obs.span("legality.map_deps", steps=len(steps)):
+            final = self._map_deps(steps, step_ids, deps, deps_id,
+                                   nest, nest_id)
+        if final.can_be_lex_negative():
+            bad = [str(v) for v in final if v.can_be_lex_negative()]
+            report = LegalityReport(
+                False,
+                "transformed dependence set admits a lexicographically "
+                f"negative tuple: {', '.join(bad)}",
+                final_deps=final)
+        else:
+            report = LegalityReport(True, final_deps=final)
+        self._dep_verdicts[vkey] = report
+        self._bound(self._dep_verdicts)
+        return report
+
+    def prefix_loops(self, transformation: Transformation,
+                     nest: LoopNest) -> Optional[Tuple[Loop, ...]]:
+        """Loop headers after folding *transformation*'s bounds mapping
+        over *nest*, memoized per prefix — or None when the fold fails
+        (every extension of the sequence is then bounds-illegal too).
+        The model-guided search uses this to hand pruning rules the
+        headers a candidate step would actually receive."""
+        steps = transformation.steps
+        if not steps:
+            return nest.loops
+        step_ids = tuple(self._intern_step(s) for s in steps)
+        nest_id = self._intern_nest(nest)
+        state = self._bounds(steps, step_ids, nest, nest_id)
+        return state[1] if state[0] == "ok" else None
+
     # -- parallel-search delta protocol ------------------------------------
     #
     # A forked worker evaluates candidates on its *copy* of this cache and
@@ -423,6 +500,27 @@ class LegalityCache:
             self._delta_log = previous
         log.append(
             ("verdict",
+             tuple(template_key(s) for s in transformation.steps), report))
+        return report, log
+
+    def dep_legality_with_delta(
+            self, transformation: Transformation, nest: LoopNest,
+            deps: DepSet) -> Tuple[LegalityReport, List[Tuple]]:
+        """Like :meth:`dep_legality`, with the same delta contract as
+        :meth:`legality_with_delta`; the trailing entry is
+        ``("dep_verdict", ...)`` so replay attributes it to the
+        dep-verdict table and counters."""
+        if nest.depth != transformation.input_depth:
+            return self.dep_legality(transformation, nest, deps), []
+        log: List[Tuple] = []
+        previous = self._delta_log
+        self._delta_log = log
+        try:
+            report = self.dep_legality(transformation, nest, deps)
+        finally:
+            self._delta_log = previous
+        log.append(
+            ("dep_verdict",
              tuple(template_key(s) for s in transformation.steps), report))
         return report, log
 
@@ -478,6 +576,20 @@ class LegalityCache:
                     self._verdicts[vkey] = worker_report
                     self._bound(self._verdicts)
                     report = worker_report
+            elif kind == "dep_verdict":
+                _, step_keys, worker_report = entry
+                sids = tuple(step_ids.setdefault(k, len(step_ids))
+                             for k in step_keys)
+                vkey = (nest_id, deps_id, sids)
+                cached = self._dep_verdicts.get(vkey)
+                if cached is not None:
+                    self.dep_hits += 1
+                    report = cached
+                else:
+                    self.dep_misses += 1
+                    self._dep_verdicts[vkey] = worker_report
+                    self._bound(self._dep_verdicts)
+                    report = worker_report
             else:
                 raise ValueError(f"unknown delta entry kind: {kind!r}")
         return report
@@ -507,6 +619,12 @@ class LegalityCache:
             "bounds_step_evals": self.bounds_step_evals,
             "verdicts": len(self._verdicts),
         }
+        # Dep-only keys appear only once the speculative tier has been
+        # used, so brute workloads keep the historical dict shape.
+        if self.dep_hits or self.dep_misses:
+            out["dep_hits"] = self.dep_hits
+            out["dep_misses"] = self.dep_misses
+            out["dep_verdicts"] = len(self._dep_verdicts)
         # The eviction keys appear only in bounded mode, so unbounded
         # callers (every search workload) see the historical dict shape.
         if self.max_entries is not None:
@@ -519,5 +637,6 @@ class LegalityCache:
     def clear(self) -> None:
         self._drop_tables()
         self.hits = self.misses = 0
+        self.dep_hits = self.dep_misses = 0
         self.dep_map_evals = self.bounds_step_evals = 0
         self.evictions = self.flushes = 0

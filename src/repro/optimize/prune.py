@@ -1,0 +1,126 @@
+"""Algebraic pruning rules for model-guided beam search.
+
+Brute beam search pays a full legality test for nearly every candidate
+it explores.  Most rejections are decidable far more cheaply from the
+*base* sequence's already-known state — its exact mapped dependence set
+and its folded loop headers — without running the candidate's own
+dependence mapping or Fortran-Murtagh bounds fold at all:
+
+* a ``Parallelize`` step is illegal exactly when some flagged loop can
+  carry a dependence of the base set (its ``parmap`` turns that entry
+  into ``*``, which admits a lex-negative tuple);
+* a ``ReversePermute`` step's mapped set is a per-entry shuffle of the
+  base set, so its lex-negative scan runs inline on the base entries;
+* a ``Block``/``Interleave`` step whose anchor dims can't match any
+  dependence-free dimension widens some entry to ``(*, *)`` behind a
+  zero-capable prefix — lex-negative algebraically;
+* any step whose bounds preconditions fail on the base's folded headers
+  (a type-lattice check, no FM elimination) is bounds-illegal.
+
+Every rule is *sound-only*: it discards a candidate only when the full
+test provably rejects it, never one brute search would admit — that is
+what keeps pruned search differentially identical to brute search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.templates.block import Block
+from repro.core.templates.interleave import Interleave
+from repro.core.templates.parallelize import Parallelize
+from repro.core.templates.reverse_permute import ReversePermute
+from repro.deps.rules import reverse
+from repro.deps.vector import DepSet
+from repro.ir.loopnest import Loop
+from repro.util.errors import PreconditionViolation
+
+#: Reason slugs prune_step can return, in rule order (documented so the
+#: ``SearchResult.prune_reasons`` histogram is self-describing).
+PRUNE_REASONS = ("parallel-carried", "permute-lex-negative",
+                 "anchor-widening", "precondition-type")
+
+
+def _parallel_carried(step: Parallelize, base_deps: DepSet) -> bool:
+    """True when some flagged loop can carry a dependence of *base_deps*.
+
+    ``parmap`` maps the carrying entry to ``*`` while every earlier
+    entry stays zero-capable (0 maps to 0; a zero-capable mixed entry
+    maps to ``*``), so the mapped vector admits a lex-negative tuple —
+    exactly the full test's rejection.  Because Parallelize has no
+    bounds preconditions, this rule plus the lex-negative scan *is* the
+    complete legality decision for the step.
+    """
+    for k, flagged in enumerate(step.parflag, start=1):
+        if flagged and any(v.could_be_carried_at(k) for v in base_deps):
+            return True
+    return False
+
+
+def _permute_lex_negative(step: ReversePermute, base_deps: DepSet) -> bool:
+    """Inline lex-negative scan of the permuted/reversed base entries
+    (the mapped set, without allocating it)."""
+    n = step.n
+    for vec in base_deps:
+        mapped = [None] * n
+        for k in range(n):
+            entry = vec[k]
+            mapped[step.perm[k] - 1] = reverse(entry) if step.rev[k] else entry
+        for i, e in enumerate(mapped):
+            if e.can_be_negative() and \
+                    all(prev.can_be_zero() for prev in mapped[:i]):
+                return True
+    return False
+
+
+def _anchor_widening(step, base_deps: DepSet,
+                     base_loops: Sequence[Loop]) -> bool:
+    """True when the anchored Block/Interleave decomposition provably
+    widens some dimension into a lex-negative position.
+
+    The widened dimension's pair becomes ``(*, *)``; when every base
+    entry before it is zero-capable, so is every mapped component
+    before the widened pair (a zero distance decomposes to ``(0, 0)``),
+    and the mapped set admits a lex-negative tuple.  Dimension-matching
+    in the Acharya–Bondhugula sense: the anchor dims must line up with
+    a dependence-free prefix, or the step is discarded algebraically.
+    """
+    ctx = step.dep_context(base_loops)
+    if ctx is None:
+        return False
+    for vec in base_deps:
+        for k, hs in ctx:
+            if all(vec.entry(h).is_zero() for h in hs):
+                continue  # anchor invariant for this vector: no widening
+            if all(vec.entry(h).can_be_zero() for h in range(1, k)):
+                return True
+    return False
+
+
+def prune_step(step, base_deps: Optional[DepSet],
+               base_loops: Optional[Tuple[Loop, ...]]) -> Optional[str]:
+    """Decide whether appending *step* to a base with exact mapped
+    dependence set *base_deps* and folded loop headers *base_loops* is
+    provably illegal without evaluating it.
+
+    Returns the reason slug (see :data:`PRUNE_REASONS`) or None when the
+    candidate must be evaluated.  *base_loops* is None when the base's
+    bounds fold failed or is unknown — the loop-header rules are skipped
+    then (soundness never depends on having them).
+    """
+    if base_deps is not None:
+        if isinstance(step, Parallelize):
+            if _parallel_carried(step, base_deps):
+                return "parallel-carried"
+        elif isinstance(step, ReversePermute):
+            if _permute_lex_negative(step, base_deps):
+                return "permute-lex-negative"
+        elif isinstance(step, (Block, Interleave)) and base_loops is not None:
+            if _anchor_widening(step, base_deps, base_loops):
+                return "anchor-widening"
+    if base_loops is not None:
+        try:
+            step.check_preconditions(base_loops)
+        except PreconditionViolation:
+            return "precondition-type"
+    return None

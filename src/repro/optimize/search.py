@@ -11,7 +11,7 @@ cache locality).
 
 from __future__ import annotations
 
-import itertools
+import dataclasses
 import math
 import warnings
 from contextlib import nullcontext
@@ -28,6 +28,7 @@ from repro.core.templates.parallelize import Parallelize
 from repro.core.templates.reverse_permute import ReversePermute
 from repro.deps.vector import DepSet
 from repro.ir.loopnest import LoopNest, PARDO
+from repro.optimize.prune import prune_step
 from repro.runtime.compiled import run_compiled
 from repro.util.errors import ReproError
 
@@ -156,13 +157,19 @@ def make_time_score(arrays, symbols, engine: str = "vectorized",
 
 class SearchResult:
     __slots__ = ("transformation", "score", "explored", "legal_count",
-                 "cache_stats", "timeouts", "parallel")
+                 "cache_stats", "timeouts", "parallel", "pruned",
+                 "prune_reasons", "speculated", "evicted", "exact_verdicts")
 
     def __init__(self, transformation: Optional[Transformation],
                  score: float, explored: int, legal_count: int,
                  cache_stats: Optional[Dict[str, int]] = None,
                  timeouts: int = 0,
-                 parallel: Optional[Dict[str, object]] = None):
+                 parallel: Optional[Dict[str, object]] = None,
+                 pruned: int = 0,
+                 prune_reasons: Optional[Dict[str, int]] = None,
+                 speculated: int = 0,
+                 evicted: int = 0,
+                 exact_verdicts: int = 0):
         self.transformation = transformation
         self.score = score
         self.explored = explored
@@ -178,59 +185,110 @@ class SearchResult:
         #: ``jobs > 1`` (worker/crash/requeue/fallback accounting);
         #: ``None`` for a serial search.
         self.parallel = parallel
+        #: Candidates discarded algebraically before any legality work
+        #: (they still count toward ``explored``), and the histogram of
+        #: :data:`repro.optimize.prune.PRUNE_REASONS` that caught them.
+        self.pruned = pruned
+        self.prune_reasons = dict(prune_reasons or {})
+        #: Candidates admitted to the beam on the dep-only verdict.
+        self.speculated = speculated
+        #: Misspeculations caught by exact re-verification at the beam
+        #: frontier and evicted.
+        self.evicted = evicted
+        #: Exact legality verdicts computed during this search (the
+        #: legality cache's ``misses`` delta) — the denominator of the
+        #: model-guided speedup claim.
+        self.exact_verdicts = exact_verdicts
 
     def __repr__(self):
         sig = self.transformation.signature() if self.transformation else None
         return (f"SearchResult({sig}, score={self.score}, "
                 f"explored={self.explored}, legal={self.legal_count}, "
+                f"pruned={self.pruned}, speculated={self.speculated}, "
+                f"evicted={self.evicted}, "
+                f"exact_verdicts={self.exact_verdicts}, "
                 f"cache_stats={self.cache_stats})")
 
 
-#: Old positional order of the tuning parameters, for the deprecation
-#: shim in :func:`search`.
-_SEARCH_TUNING = ("score", "depth", "beam", "cache", "jobs",
-                  "candidate_timeout")
+@dataclasses.dataclass(frozen=True)
+class SearchConfig:
+    """Tuning for :func:`search`, replacing its historical sprawl of
+    keyword arguments.
+
+    The first seven fields are the historical tuning surface unchanged;
+    the last three select the model-guided paths:
+
+    * ``prune`` — discard algebraically-illegal candidates before any
+      legality work (:mod:`repro.optimize.prune`);
+    * ``speculate`` — admit model-favored candidates to the beam on the
+      cheap dep-only verdict, deferring the exact FM/bounds check until
+      a candidate reaches the beam frontier;
+    * ``model`` — a :class:`repro.optimize.model.CostModel` gating
+      speculative admission (a default one is created when ``speculate``
+      is set and this is None).
+
+    Frozen so a config can be shared across calls and threads; build
+    variants with :func:`dataclasses.replace`.
+    """
+
+    score: Score = parallelism_score
+    depth: int = 2
+    beam: int = 8
+    cache: Optional[LegalityCache] = None
+    jobs: int = 1
+    candidate_timeout: Optional[float] = None
+    pool: Optional[object] = None
+    prune: bool = False
+    speculate: bool = False
+    model: Optional[object] = None
+
+
+_CONFIG_FIELDS = tuple(f.name for f in dataclasses.fields(SearchConfig))
+_DEFAULT_CONFIG = SearchConfig()
 
 
 def search(nest: LoopNest, deps: DepSet,
            candidates: Optional[Sequence[Template]] = None,
+           config: Optional[SearchConfig] = None,
            *args, **kwargs) -> SearchResult:
     """Beam search over candidate transformation sequences.
 
-    See :func:`_search` for the full contract.  The tuning parameters —
-    ``score``, ``depth``, ``beam``, ``cache``, ``jobs``,
-    ``candidate_timeout`` (and ``pool``) — are keyword-only; passing
-    them positionally still works for one release via this shim, which
-    maps them to their historical order and emits a
-    ``DeprecationWarning``.
+    See :func:`_search` for the full contract.  Tuning is a
+    :class:`SearchConfig` passed as ``config=``; the historical keyword
+    arguments (``score=..., depth=..., ...``) still work for one release
+    via a ``DeprecationWarning`` shim that folds them into a config.
+    Positional tuning arguments (removed) and mixing ``config=`` with
+    legacy keywords are errors.
     """
-    if args:
-        if len(args) > len(_SEARCH_TUNING):
+    if args or (config is not None and
+                not isinstance(config, SearchConfig)):
+        raise TypeError(
+            "search() positional tuning arguments were removed; pass "
+            "config=SearchConfig(...)")
+    if config is not None:
+        if kwargs:
             raise TypeError(
-                f"search() takes at most {3 + len(_SEARCH_TUNING)} "
-                f"positional arguments ({3 + len(args)} given)")
-        names = _SEARCH_TUNING[:len(args)]
+                "search() got both config= and legacy keyword arguments: "
+                + ", ".join(sorted(kwargs)))
+        return _search(nest, deps, candidates, config)
+    if kwargs:
+        unknown = sorted(set(kwargs) - set(_CONFIG_FIELDS))
+        if unknown:
+            raise TypeError(
+                "search() got unexpected keyword argument(s): "
+                + ", ".join(unknown))
         warnings.warn(
-            "positional tuning arguments to search() are deprecated; "
-            "pass " + "/".join(names) + " by keyword",
+            "passing search() tuning as keyword arguments is deprecated; "
+            "pass config=SearchConfig(...)",
             DeprecationWarning, stacklevel=2)
-        for name, value in zip(names, args):
-            if name in kwargs:
-                raise TypeError(
-                    f"search() got multiple values for argument {name!r}")
-            kwargs[name] = value
-    return _search(nest, deps, candidates, **kwargs)
+        return _search(nest, deps, candidates, SearchConfig(**kwargs))
+    return _search(nest, deps, candidates, _DEFAULT_CONFIG)
 
 
 def _search(nest: LoopNest, deps: DepSet,
-            candidates: Optional[Sequence[Template]] = None, *,
-            score: Score = parallelism_score,
-            depth: int = 2, beam: int = 8,
-            cache: Optional[LegalityCache] = None,
-            jobs: int = 1,
-            candidate_timeout: Optional[float] = None,
-            pool: Optional["object"] = None) -> SearchResult:
-    """Beam search over sequences of up to *depth* menu steps.
+            candidates: Optional[Sequence[Template]],
+            config: SearchConfig) -> SearchResult:
+    """Beam search over sequences of up to ``config.depth`` menu steps.
 
     Every candidate sequence is legality-tested and scored against the
     *unmodified* nest; ties keep the shorter sequence.  The identity
@@ -243,54 +301,102 @@ def _search(nest: LoopNest, deps: DepSet,
     With ``jobs > 1`` each level's candidate evaluations are sharded
     across forked worker processes (:mod:`repro.parallel`); the workers'
     legality-cache deltas are merged back in serial candidate order, so
-    the result — winner, score, ``explored``, ``legal_count`` and
-    ``cache_stats`` — is identical to ``jobs=1``.  Worker crashes
-    requeue the lost candidates once, then degrade to in-process
-    evaluation; the accounting lands on :attr:`SearchResult.parallel`.
+    the result — winner, score, ``explored``, ``legal_count``,
+    ``cache_stats`` and the pruning/speculation counters — is identical
+    to ``jobs=1`` (pruning and all cost-model decisions run parent-side,
+    before and after sharding).  Worker crashes requeue the lost
+    candidates once, then degrade to in-process evaluation; the
+    accounting lands on :attr:`SearchResult.parallel`.
     ``candidate_timeout`` bounds each candidate's scoring wall-clock in
     *both* modes: an overrunning candidate scores ``-inf`` and is
     counted on :attr:`SearchResult.timeouts`.
 
+    **Model-guided paths.**  With ``config.prune`` each surviving base's
+    exact mapped dependence set and folded loop headers feed
+    :func:`repro.optimize.prune.prune_step`, which discards provably
+    illegal extensions before any legality work; pruning is sound-only,
+    so the winner (and ``legal_count``) match brute search exactly.
+    With ``config.speculate`` candidates are admitted to the beam on the
+    cheap dep-only verdict when the cost model favors them; unfavored
+    candidates pay the exact verdict up-front, exactly as brute search
+    would.  The exact FM/bounds check is deferred until a candidate
+    reaches the beam frontier: expanding a base whose bounds fold fails
+    evicts it, and the final winner is re-verified with the exact test
+    in rank order — misspeculations are evicted
+    (:attr:`SearchResult.evicted`) until an exactly-legal winner
+    remains, so the returned winner is always exactly legal.  For
+    scoring functions that give every exactly-legal candidate a finite
+    score and illegal ones ``-inf`` (all the built-ins, by
+    construction), speculative fillers rank strictly below legal
+    candidates and only occupy otherwise-free beam slots, so the winner
+    and score are differentially identical to brute search.  Both paths
+    silently disable themselves when a substituted cache lacks the
+    dep-only tier (``dep_legality``/``prefix_loops``).
+
     Legality tests run through a :class:`LegalityCache` (a fresh one per
-    call unless *cache* is supplied), so the shared prefixes the beam
-    generates are each mapped and bounds-checked once.  Pass any object
-    with a compatible ``legality(transformation, nest, deps)`` method to
-    substitute a different policy (parallel mode additionally needs the
-    delta protocol and falls back to serial without it).  A long-lived
-    caller can likewise pass *pool* — a
-    :class:`~repro.parallel.pool.ShardedPool` to reuse across calls;
-    it is rebound to this call's workload instead of forking a fresh
-    pool per request (the transformation service does exactly this).
-    The cache's
-    hit/miss counters come back on :attr:`SearchResult.cache_stats`;
-    under ``repro.obs`` the search additionally records spans
-    (``search``, ``search.level``, ``search.candidate``, and
-    ``search.shard``/``search.merge`` when parallel) and metrics
-    (explored/legal counters, beam gauges, a score histogram,
-    legality-cache gauges, parallel timeout/crash/requeue/fallback
-    counters).
+    call unless ``config.cache`` is supplied), so the shared prefixes
+    the beam generates are each mapped and bounds-checked once; before
+    each level's expansion the surviving beam's prefixes are re-seeded
+    into the cache, so shared prefixes hit even under a bounded cache's
+    eviction.  Pass any object with a compatible
+    ``legality(transformation, nest, deps)`` method to substitute a
+    different policy (parallel mode additionally needs the delta
+    protocol and falls back to serial without it).  A long-lived caller
+    can likewise pass ``config.pool`` — a
+    :class:`~repro.parallel.pool.ShardedPool` to reuse across calls; it
+    is rebound to this call's workload instead of forking a fresh pool
+    per request (the transformation service does exactly this).  The
+    cache's hit/miss counters come back on
+    :attr:`SearchResult.cache_stats`; under ``repro.obs`` the search
+    additionally records spans (``search``, ``search.level``,
+    ``search.candidate``, and ``search.shard``/``search.merge`` when
+    parallel) and metrics (explored/legal/pruned/speculated/evicted
+    counters, beam gauges, a score histogram, legality-cache gauges,
+    parallel timeout/crash/requeue/fallback counters).
     """
     from repro.parallel.worker import call_with_timeout
 
+    score = config.score
+    depth, beam = config.depth, config.beam
+    cache = config.cache
+    candidate_timeout = config.candidate_timeout
+    pool = config.pool
     n = nest.depth
     menu = list(candidates) if candidates is not None else default_candidates(n)
     if cache is None:
         cache = LegalityCache()
+    prune = bool(config.prune)
+    speculate = bool(config.speculate)
+    if (prune or speculate) and not (hasattr(cache, "dep_legality")
+                                     and hasattr(cache, "prefix_loops")):
+        prune = speculate = False
+    model = config.model
+    if speculate and model is None:
+        from repro.optimize.model import CostModel
+        model = CostModel()
     if pool is not None:
-        pool.rebind(nest, deps, score, menu=menu)
+        pool.rebind(nest, deps, score, menu=menu, speculate=speculate)
         effective_jobs = pool.jobs
     else:
-        effective_jobs = int(jobs) if jobs else 1
+        effective_jobs = int(config.jobs) if config.jobs else 1
         if effective_jobs > 1:
             from repro.parallel.pool import ShardedPool
             pool = ShardedPool(nest, deps, score, effective_jobs,
                                candidate_timeout=candidate_timeout,
-                               menu=menu)
+                               menu=menu, speculate=speculate)
     identity = Transformation.identity(n)
     observing = _obs.enabled()
     timeouts = 0
+    pruned = 0
+    prune_reasons: Dict[str, int] = {}
+    speculated = 0
+    evicted = 0
+    start_stats = getattr(cache, "stats", None)
+    start_misses = (start_stats.get("misses", 0)
+                    if isinstance(start_stats, dict) else 0)
     with _obs.span("search", nest_depth=n, depth=depth, beam=beam,
-                   menu=len(menu), jobs=effective_jobs):
+                   menu=len(menu), jobs=effective_jobs,
+                   prune=prune, speculate=speculate):
         value, timed_out = call_with_timeout(
             lambda: score(identity, nest, deps), candidate_timeout)
         if timed_out:
@@ -300,6 +406,13 @@ def _search(nest: LoopNest, deps: DepSet,
         best_score, best = frontier[0]
         explored = 1
         legal_count = 1
+        # Every admitted candidate ranked exactly as the brute update
+        # rule would (score desc, shorter first, earlier first), for the
+        # speculative winner re-verification pass.
+        admitted: List[Tuple[float, int, int, Transformation]] = [
+            (seed, 0, 0, identity)]
+        admit_order = 1
+        evicted_ids: set = set()
         if observing:
             metrics = get_metrics()
             score_hist = metrics.histogram("search.score")
@@ -309,14 +422,43 @@ def _search(nest: LoopNest, deps: DepSet,
             nxt: List[Tuple[float, Transformation]] = []
             with _obs.span("search.level", level=_level,
                            frontier=len(frontier)):
+                # Expand the surviving beam.  Each base with steps is
+                # re-seeded into the shared cache first (so the shared
+                # prefixes of this level's candidates hit even after
+                # bounded-cache eviction); in guided modes its exact
+                # mapped dependence set and folded loop headers feed the
+                # pruning rules, and in speculative mode a base whose
+                # bounds fold fails has reached the frontier as a
+                # misspeculation: it is evicted here, since every
+                # extension of a bounds-illegal prefix is illegal too.
                 level_candidates: List[Transformation] = []
                 for _, base in frontier:
+                    base_deps = deps
+                    base_loops = nest.loops
+                    if base.steps:
+                        report = (cache.dep_legality(base, nest, deps)
+                                  if speculate
+                                  else cache.legality(base, nest, deps))
+                        if prune or speculate:
+                            base_deps = getattr(report, "final_deps", None)
+                            base_loops = cache.prefix_loops(base, nest)
+                            if speculate and base_loops is None:
+                                evicted += 1
+                                evicted_ids.add(id(base))
+                                continue
                     for step in menu:
                         if step.n != base.output_depth:
                             continue
+                        explored += 1
+                        if prune:
+                            reason = prune_step(step, base_deps, base_loops)
+                            if reason is not None:
+                                pruned += 1
+                                prune_reasons[reason] = \
+                                    prune_reasons.get(reason, 0) + 1
+                                continue
                         level_candidates.append(
                             base.then(step, reduce=False))
-                explored += len(level_candidates)
                 outcomes = (pool.evaluate_level(_level, level_candidates,
                                                 cache)
                             if pool is not None else {})
@@ -334,12 +476,14 @@ def _search(nest: LoopNest, deps: DepSet,
                                 pool.stats["parent_evals"] = (
                                     int(pool.stats["parent_evals"]) + 1)
                             with _obs.span("search.candidate") as sp:
-                                report = cache.legality(candidate, nest,
-                                                        deps)
+                                report = (cache.dep_legality(candidate,
+                                                             nest, deps)
+                                          if speculate
+                                          else cache.legality(candidate,
+                                                              nest, deps))
                                 if not report.legal:
                                     sp.tag(legal=False)
                                     continue
-                                legal_count += 1
                                 value, timed_out = call_with_timeout(
                                     lambda: score(candidate, nest, deps),
                                     candidate_timeout)
@@ -353,17 +497,36 @@ def _search(nest: LoopNest, deps: DepSet,
                                                        outcome.delta)
                             if report is None or not report.legal:
                                 continue
-                            legal_count += 1
                             if outcome.timed_out:
                                 timeouts += 1
                                 s = float("-inf")
                             else:
                                 s = coerce_score(outcome.value)
+                        if speculate:
+                            # Parent-side admission control, in serial
+                            # candidate order in both modes: favored
+                            # candidates ride the dep-only verdict;
+                            # unfavored ones pay the exact verdict now,
+                            # exactly as brute search would.
+                            step = candidate.steps[-1]
+                            if model.favored(step, candidate, report):
+                                speculated += 1
+                            else:
+                                exact = cache.legality(candidate, nest,
+                                                       deps)
+                                model.observe(step, exact.legal)
+                                if not exact.legal:
+                                    continue
+                        legal_count += 1
                         if observing and s != float("-inf"):
                             score_hist.observe(s)
                         nxt.append((s, candidate))
-                        if s > best_score or (s == best_score and
-                                              len(candidate) < len(best)):
+                        if speculate:
+                            admitted.append((s, len(candidate),
+                                             admit_order, candidate))
+                            admit_order += 1
+                        elif s > best_score or (s == best_score and
+                                                len(candidate) < len(best)):
                             best_score, best = s, candidate
             nxt.sort(key=lambda p: -p[0])
             frontier = nxt[:beam]
@@ -371,13 +534,44 @@ def _search(nest: LoopNest, deps: DepSet,
                 metrics.gauge("search.beam_width").set(len(frontier))
             if not frontier:
                 break
+        if speculate:
+            # The winner must be exactly legal: walk the admitted
+            # candidates in brute rank order, paying one exact verdict
+            # per rank until one survives.  The identity (rank ties
+            # broken toward shorter-then-earlier put it ahead of any
+            # equal-scoring candidate) is always legal, so this
+            # terminates.  Candidates already evicted at the frontier
+            # are skipped without re-counting.
+            admitted.sort(key=lambda t: (-t[0], t[1], t[2]))
+            for s, _length, _order, candidate in admitted:
+                if id(candidate) in evicted_ids:
+                    continue
+                if not candidate.steps:
+                    best_score, best = s, candidate
+                    break
+                with _obs.span("search.verify") as sp:
+                    exact = cache.legality(candidate, nest, deps)
+                    sp.tag(legal=exact.legal)
+                model.observe(candidate.steps[-1], exact.legal)
+                if exact.legal:
+                    best_score, best = s, candidate
+                    break
+                evicted += 1
         stats = getattr(cache, "stats", None)
+        exact_verdicts = (stats.get("misses", 0) - start_misses
+                          if isinstance(stats, dict) else 0)
         if observing:
             metrics.counter("search.calls").inc()
             metrics.counter("search.explored").inc(explored)
             metrics.counter("search.legal").inc(legal_count)
             if timeouts:
                 metrics.counter("search.timeouts").inc(timeouts)
+            if pruned:
+                metrics.counter("search.pruned").inc(pruned)
+            if speculated:
+                metrics.counter("search.speculated").inc(speculated)
+            if evicted:
+                metrics.counter("search.evicted").inc(evicted)
             if stats is not None:
                 for key in ("hits", "misses", "dep_map_evals",
                             "bounds_step_evals"):
@@ -385,4 +579,7 @@ def _search(nest: LoopNest, deps: DepSet,
     return SearchResult(best, best_score, explored, legal_count,
                         cache_stats=dict(stats) if stats is not None else None,
                         timeouts=timeouts,
-                        parallel=pool.snapshot() if pool is not None else None)
+                        parallel=pool.snapshot() if pool is not None else None,
+                        pruned=pruned, prune_reasons=prune_reasons,
+                        speculated=speculated, evicted=evicted,
+                        exact_verdicts=exact_verdicts)

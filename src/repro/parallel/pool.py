@@ -57,12 +57,16 @@ class ShardedPool:
     def __init__(self, nest, deps, score, jobs: int,
                  candidate_timeout: Optional[float] = None,
                  stall_timeout: Optional[float] = None,
-                 menu: Optional[Sequence[Template]] = None):
+                 menu: Optional[Sequence[Template]] = None,
+                 speculate: bool = False):
         self.nest = nest
         self.deps = deps
         self.score = score
         self.jobs = max(1, int(jobs))
         self.candidate_timeout = candidate_timeout
+        #: Workers run the dep-only legality tier when set (see
+        #: ``evaluate_wire``); rebind() updates it per search call.
+        self.speculate = bool(speculate)
         if stall_timeout is None and candidate_timeout:
             # With a per-candidate budget, prolonged silence means a
             # worker is stuck somewhere the budget cannot reach.
@@ -117,7 +121,8 @@ class ShardedPool:
             get_metrics().counter("search.parallel.fallbacks").inc()
 
     def rebind(self, nest, deps, score,
-               menu: Optional[Sequence[Template]] = None) -> None:
+               menu: Optional[Sequence[Template]] = None,
+               speculate: bool = False) -> None:
         """Point the pool at a new workload without rebuilding it.
 
         A long-lived caller (the transformation service) keeps one pool
@@ -133,6 +138,7 @@ class ShardedPool:
         self.nest = nest
         self.deps = deps
         self.score = score
+        self.speculate = bool(speculate)
         self.stats["rebinds"] = int(self.stats["rebinds"]) + 1
         if not self._crash_degraded:
             self.degraded = False
@@ -155,6 +161,10 @@ class ShardedPool:
         if not (hasattr(cache, "legality_with_delta") and
                 hasattr(cache, "merge_delta")):
             self._degrade("cache does not implement the delta protocol")
+            return {}
+        if self.speculate and not hasattr(cache, "dep_legality_with_delta"):
+            self._degrade(
+                "cache does not implement the speculative delta protocol")
             return {}
         tasks = [(idx, worker_mod.candidate_to_spec(c))
                  for idx, c in enumerate(candidates)]
@@ -206,7 +216,7 @@ class ShardedPool:
                 target=worker_mod.worker_main,
                 args=(wid, kind, shard, self.nest, self.deps, self.score,
                       cache, self.candidate_timeout, out_queue,
-                      trace_ctx),
+                      trace_ctx, self.speculate),
                 daemon=True)
             proc.start()
             procs.append(proc)

@@ -217,10 +217,19 @@ def exception_from_wire(wire: Tuple) -> BaseException:
 # -- the worker loop --------------------------------------------------------
 
 def evaluate_wire(wire: Tuple, kind: str, index: int, nest, deps, score,
-                  cache, timeout: Optional[float]) -> Tuple:
-    """Evaluate one candidate: ``(legal, value, timed_out, delta)``."""
+                  cache, timeout: Optional[float],
+                  speculate: bool = False) -> Tuple:
+    """Evaluate one candidate: ``(legal, value, timed_out, delta)``.
+
+    With *speculate* the legality tier is the dep-only verdict
+    (``dep_legality_with_delta``): ``legal`` then means *dep-legal*, and
+    the parent's admission control decides whether to pay the exact
+    verdict (see :func:`repro.optimize.search.search`)."""
     candidate = candidate_from_spec(wire)
-    report, delta = cache.legality_with_delta(candidate, nest, deps)
+    if speculate:
+        report, delta = cache.dep_legality_with_delta(candidate, nest, deps)
+    else:
+        report, delta = cache.legality_with_delta(candidate, nest, deps)
     if not report.legal:
         return False, None, False, delta
 
@@ -234,7 +243,8 @@ def evaluate_wire(wire: Tuple, kind: str, index: int, nest, deps, score,
 
 def worker_main(worker_id: int, kind: str, shard: List[Tuple[int, Tuple]],
                 nest, deps, score, cache, timeout: Optional[float],
-                out_queue, trace_ctx: Optional[dict] = None) -> None:
+                out_queue, trace_ctx: Optional[dict] = None,
+                speculate: bool = False) -> None:
     """Entry point of a forked evaluation worker.
 
     *shard* is a list of ``(index, candidate_wire)`` pairs in serial
@@ -269,11 +279,11 @@ def worker_main(worker_id: int, kind: str, shard: List[Tuple[int, Tuple]],
                     with tracer.span("pool.candidate", index=index):
                         legal, value, timed_out, delta = evaluate_wire(
                             wire, kind, index, nest, deps, score, cache,
-                            timeout)
+                            timeout, speculate)
                 else:
                     legal, value, timed_out, delta = evaluate_wire(
                         wire, kind, index, nest, deps, score, cache,
-                        timeout)
+                        timeout, speculate)
             except Exception as exc:
                 out_queue.put(
                     ("error", worker_id, index, exception_to_wire(exc)))

@@ -74,6 +74,7 @@ from repro.service.protocol import (
     error_response,
     ok_response,
 )
+from repro.optimize.model import MODEL_NAMES
 from repro.runtime import ENGINE_NAMES
 from repro.service.state import WarmState
 from repro.util.errors import ReproError
@@ -120,14 +121,24 @@ class TransformationService:
                  hang_grace: float = 5.0,
                  checkpoint_path: Optional[str] = None,
                  checkpoint_every: int = 25,
-                 default_engine: str = "compiled"):
+                 default_engine: str = "compiled",
+                 default_prune: bool = False,
+                 default_speculate: bool = False,
+                 default_model: Optional[str] = None):
         if queue_max < 1:
             raise ValueError(f"queue_max must be >= 1, got {queue_max}")
         if default_engine not in ENGINE_NAMES:
             raise ValueError(
                 f"default_engine must be one of {ENGINE_NAMES}, "
                 f"got {default_engine!r}")
+        if default_model is not None and default_model not in MODEL_NAMES:
+            raise ValueError(
+                f"default_model must be one of {MODEL_NAMES} or None, "
+                f"got {default_model!r}")
         self.default_engine = default_engine
+        self.default_prune = bool(default_prune)
+        self.default_speculate = bool(default_speculate)
+        self.default_model = default_model
         self.jobs = max(1, int(jobs))
         self.queue_max = queue_max
         self.batch_max = max(1, int(batch_max))
@@ -673,7 +684,8 @@ class TransformationService:
         return doc
 
     def _op_search(self, params: dict) -> dict:
-        from repro.optimize.search import parallelism_score, search
+        from repro.optimize.search import (SearchConfig, parallelism_score,
+                                           search)
 
         nest, level = self._nest_level(params)
         deps = self.state.deps(nest, level)
@@ -697,14 +709,28 @@ class TransformationService:
             raise ProtocolError(
                 BAD_INPUT, "params.candidate_timeout must be a positive "
                 "number")
-        kwargs = dict(score=parallelism_score, depth=depth, beam=beam,
-                      cache=self.state.legality_cache,
-                      candidate_timeout=candidate_timeout)
+        prune = params.get("prune", self.default_prune)
+        speculate = params.get("speculate", self.default_speculate)
+        if not isinstance(prune, bool) or not isinstance(speculate, bool):
+            raise ProtocolError(
+                BAD_INPUT,
+                "params.prune and params.speculate must be booleans")
+        model_name = params.get("model", self.default_model)
+        if model_name is not None and model_name not in MODEL_NAMES:
+            raise ProtocolError(
+                BAD_INPUT,
+                f"params.model must be one of "
+                f"{', '.join(MODEL_NAMES)}, got {model_name!r}")
+        model = (self.state.cost_model(model_name)
+                 if model_name is not None else None)
         if self.pool is not None:
             self.pool.candidate_timeout = candidate_timeout
-            result = search(nest, deps, pool=self.pool, **kwargs)
-        else:
-            result = search(nest, deps, **kwargs)
+        config = SearchConfig(score=parallelism_score, depth=depth,
+                              beam=beam, cache=self.state.legality_cache,
+                              candidate_timeout=candidate_timeout,
+                              pool=self.pool, prune=prune,
+                              speculate=speculate, model=model)
+        result = search(nest, deps, config=config)
         winner = result.transformation
         return {
             "winner": winner.signature() if winner else None,
@@ -716,6 +742,10 @@ class TransformationService:
             "timeouts": result.timeouts,
             "cache_stats": result.cache_stats,
             "parallel": result.parallel,
+            "pruned": result.pruned,
+            "speculated": result.speculated,
+            "evicted": result.evicted,
+            "exact_verdicts": result.exact_verdicts,
         }
 
     def _op_stats(self, params: dict) -> dict:

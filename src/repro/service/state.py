@@ -65,6 +65,10 @@ class WarmState:
         self.parse_misses = 0
         self.analysis_hits = 0
         self.analysis_misses = 0
+        #: Per-name cost models for model-guided search requests: the
+        #: same model object serves every request naming it, so its
+        #: observed legality outcomes accumulate across the session.
+        self._models: Dict[str, object] = {}
         #: Entries brought back by the last :meth:`restore` (0 = cold).
         self.restored_entries = 0
         self.checkpoints_written = 0
@@ -117,6 +121,20 @@ class WarmState:
         self._memo_put(self._analysis_memo, key, deps)
         return deps
 
+    def cost_model(self, name: str):
+        """The session's cost model for *name* (see
+        :data:`repro.optimize.model.MODEL_NAMES`), created on first use
+        and kept warm so its observed legality outcomes accumulate
+        across requests.  An ``evidence`` model samples the obs
+        counters and legality-cache stats at creation time.
+        """
+        model = self._models.get(name)
+        if model is None:
+            from repro.optimize.model import resolve_model
+            model = resolve_model(name, cache=self.legality_cache)
+            self._models[name] = model
+        return model
+
     def vectorized(self):
         """The vectorized-engine cache, created on first use.
 
@@ -152,6 +170,10 @@ class WarmState:
             "parse_memo": self._parse_memo,
             "analysis_memo": self._analysis_memo,
             "legality": self.legality_cache,
+            # Additive key (older checkpoints simply lack it): the warm
+            # cost models, so a restarted service keeps its calibrated
+            # per-template legality rates.
+            "models": self._models,
         }
         try:
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -204,6 +226,9 @@ class WarmState:
         self._parse_memo = parse_memo
         self._analysis_memo = analysis_memo
         self.legality_cache = legality
+        models = payload.get("models")
+        if isinstance(models, dict):
+            self._models = models
         self.restored_entries = (len(self._parse_memo)
                                  + len(self._analysis_memo)
                                  + self.legality_cache.entry_count())
@@ -238,6 +263,8 @@ class WarmState:
             "reuse_ratio": round(self.reuse_ratio(), 6),
             "restored_entries": self.restored_entries,
             "checkpoints_written": self.checkpoints_written,
+            "models": {name: model.snapshot()
+                       for name, model in sorted(self._models.items())},
         }
         if _obs.enabled():
             get_metrics().gauge("service.cache.reuse_ratio").set(
@@ -251,5 +278,6 @@ class WarmState:
             self._vectorized.clear()
         self._parse_memo.clear()
         self._analysis_memo.clear()
+        self._models.clear()
         self.parse_hits = self.parse_misses = 0
         self.analysis_hits = self.analysis_misses = 0

@@ -1,9 +1,11 @@
 """Deprecation shims: one release of grace, loudly.
 
-The PR that made search tuning keyword-only and renamed the
-``*_wire`` helpers to ``*_spec`` keeps the old spellings working
-behind ``DeprecationWarning``s; these tests pin both the warning and
-the unchanged behaviour.
+The PR that moved search tuning behind ``SearchConfig`` keeps the
+historical keyword arguments working behind a ``DeprecationWarning``
+(the positional-tuning shim of the release before is now fully
+retired); the ``*_wire`` -> ``*_spec`` renames likewise keep their old
+spellings for one release.  These tests pin both the warnings and the
+unchanged behaviour.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ import warnings
 
 import pytest
 
-from repro.api import analyze, parse_nest, search
+from repro.api import SearchConfig, analyze, parse_nest, search
 from repro.optimize.search import parallelism_score
 
 STENCIL = """
@@ -30,12 +32,13 @@ def nest_deps():
     return nest, analyze(nest)
 
 
-def test_positional_search_tuning_warns_and_matches_keyword(nest_deps):
+def test_keyword_search_warns_and_matches_config(nest_deps):
     nest, deps = nest_deps
-    with pytest.warns(DeprecationWarning,
-                      match="positional tuning arguments"):
-        old = search(nest, deps, None, parallelism_score, 1, 4)
-    new = search(nest, deps, score=parallelism_score, depth=1, beam=4)
+    with pytest.warns(DeprecationWarning, match="SearchConfig"):
+        old = search(nest, deps, score=parallelism_score, depth=1, beam=4)
+    new = search(nest, deps,
+                 config=SearchConfig(score=parallelism_score, depth=1,
+                                     beam=4))
     assert old.score == new.score
     assert old.explored == new.explored
     assert old.legal_count == new.legal_count
@@ -43,24 +46,30 @@ def test_positional_search_tuning_warns_and_matches_keyword(nest_deps):
             new.transformation.signature())
 
 
-def test_keyword_search_does_not_warn(nest_deps):
+def test_config_search_does_not_warn(nest_deps):
     nest, deps = nest_deps
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
-        search(nest, deps, depth=1, beam=4)
+        search(nest, deps, config=SearchConfig(depth=1, beam=4))
+        search(nest, deps)  # all-defaults call is clean too
 
 
-def test_positional_duplicate_keyword_is_a_type_error(nest_deps):
+def test_positional_tuning_is_now_a_type_error(nest_deps):
     nest, deps = nest_deps
-    with pytest.warns(DeprecationWarning), pytest.raises(TypeError):
-        search(nest, deps, None, parallelism_score, depth=1, score=None)
+    with pytest.raises(TypeError, match="SearchConfig"):
+        search(nest, deps, None, parallelism_score, 1, 4)
 
 
-def test_too_many_positionals_is_a_type_error(nest_deps):
+def test_config_plus_legacy_keywords_is_a_type_error(nest_deps):
     nest, deps = nest_deps
-    with pytest.raises(TypeError, match="positional arguments"):
-        search(nest, deps, None, parallelism_score, 1, 4, None, 1, None,
-               "extra")
+    with pytest.raises(TypeError, match="both config="):
+        search(nest, deps, config=SearchConfig(depth=1), beam=4)
+
+
+def test_unknown_keyword_is_a_type_error(nest_deps):
+    nest, deps = nest_deps
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        search(nest, deps, depht=1)
 
 
 @pytest.mark.parametrize("old,new", [
