@@ -6,7 +6,7 @@ export PYTHONPATH := src
 
 .PHONY: test bench bench-report bench-smoke bench-service \
 	bench-resilience bench-fleet bench-vectorized \
-	bench-model-search examples corpus all
+	bench-model-search fuzz-smoke examples corpus all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -53,6 +53,17 @@ bench-vectorized:
 # corpus, jobs=2 field-identical; writes bench_model_search.json.
 bench-model-search:
 	$(PYTHON) -m pytest benchmarks/bench_model_search.py -s
+
+# Generative differential fuzzer smoke: ~500 seeded cases over the
+# core+search oracle matrix (interpreter/compiled/vectorized engines,
+# brute vs prune+speculate, jobs=1 vs jobs=2), banking any shrunk
+# failure into the regression corpus, then a full corpus-bank replay.
+# Writes a machine-readable report to bench_fuzz.json.
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --cases 500 --seed 0 \
+		--matrix core,search --corpus tests/corpus/fuzz \
+		--json bench_fuzz.json --quiet
+	$(PYTHON) -m repro fuzz --replay --corpus tests/corpus/fuzz --quiet
 
 examples:
 	@for f in examples/*.py; do \

@@ -56,6 +56,14 @@ Commands
     document: per-worker counters summed, gauges tagged per worker,
     latency histograms merged with p50/p95/p99 estimates.
 
+``fuzz --cases N --seed S [--matrix core,search,service,fleet,chaos]``
+    Run the generative differential fuzzer (:mod:`repro.fuzz`): seeded
+    random nests and transformation sequences cross-checked across
+    engines, search strategies, job counts, the service, the fleet and
+    chaos injection.  Failures auto-shrink to minimal repros;
+    ``--corpus DIR`` banks them as regression artifacts, ``--replay``
+    re-runs the existing bank instead of generating.
+
 Every command additionally accepts ``--profile`` (print the per-phase
 span table to stderr when done) and ``--trace-json PATH`` (export the
 span stream — stitched across processes when remote spans were
@@ -715,6 +723,62 @@ def cmd_stats(args) -> int:
         time_mod.sleep(args.interval)
 
 
+def cmd_fuzz(args) -> int:
+    """Run the generative differential fuzzer, or replay the corpus.
+
+    Prints one JSON report document to stdout (and, with ``--json``,
+    to a file — what ``make fuzz-smoke`` publishes as the CI
+    artifact).  Exit code 0 means zero divergences/crashes/hangs; 1
+    means the run surfaced at least one failure (each shrunk, and
+    banked when ``--corpus`` is given).
+    """
+    from repro.fuzz import run_fuzz
+    from repro.fuzz.corpus import list_artifacts, replay_artifact
+    from repro.fuzz.harness import MATRIX_DIMS
+
+    if args.replay:
+        artifacts = list_artifacts(args.corpus)
+        failures = []
+        for path in artifacts:
+            outcome = replay_artifact(path)
+            if outcome.failed:
+                failures.append({"artifact": str(path),
+                                 "status": outcome.status,
+                                 "oracle": outcome.oracle,
+                                 "detail": outcome.detail})
+        doc = {"replayed": len(artifacts),
+               "failures": failures}
+        text = json.dumps(doc, indent=2, sort_keys=True)
+        print(text, flush=True)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+        return 1 if failures else 0
+
+    matrix = [d.strip() for d in args.matrix.split(",") if d.strip()]
+    for dim in matrix:
+        if dim not in MATRIX_DIMS:
+            print(f"error: unknown matrix dimension {dim!r} (choose "
+                  f"from {', '.join(MATRIX_DIMS)})", file=sys.stderr)
+            return 2
+
+    def progress(report):
+        print(f"fuzz: {report.summary()}", file=sys.stderr, flush=True)
+
+    report = run_fuzz(args.cases, args.seed, matrix=matrix,
+                      start=args.start, shrink=not args.no_shrink,
+                      corpus=args.corpus,
+                      time_limit=args.time_limit,
+                      progress=progress if not args.quiet else None)
+    text = json.dumps(report.to_json(), indent=2, sort_keys=True)
+    print(text, flush=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(f"fuzz: {report.summary()}", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -993,6 +1057,43 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="polling interval for --watch (default 2)")
     p_st.set_defaults(func=cmd_stats)
+
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="run the generative differential fuzzer (or replay the "
+             "regression corpus)")
+    p_fz.add_argument("--cases", type=int, default=500, metavar="N",
+                      help="number of generated cases (default 500)")
+    p_fz.add_argument("--seed", type=int, default=0, metavar="S",
+                      help="generator seed; the whole run is a pure "
+                           "function of (seed, case ids)")
+    p_fz.add_argument("--start", type=int, default=0, metavar="K",
+                      help="first case id (resume or shard a long run)")
+    p_fz.add_argument("--matrix", default="core,search",
+                      metavar="DIMS",
+                      help="comma-separated oracle dimensions: core "
+                           "(always on), search, service, fleet, chaos "
+                           "(default core,search)")
+    p_fz.add_argument("--corpus", metavar="DIR", default=None,
+                      help="bank shrunk failure artifacts in DIR (also "
+                           "the bank --replay reads; default for "
+                           "--replay: tests/corpus/fuzz or "
+                           "$REPRO_FUZZ_CORPUS)")
+    p_fz.add_argument("--replay", action="store_true",
+                      help="replay every artifact in the corpus bank "
+                           "instead of generating cases")
+    p_fz.add_argument("--no-shrink", dest="no_shrink",
+                      action="store_true",
+                      help="report failures raw, without auto-shrinking")
+    p_fz.add_argument("--time-limit", dest="time_limit", type=float,
+                      default=10.0, metavar="SECONDS",
+                      help="per-oracle hang budget (default 10)")
+    p_fz.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the JSON report to PATH")
+    p_fz.add_argument("--quiet", action="store_true",
+                      help="suppress periodic progress lines on stderr")
+    add_observe(p_fz)
+    p_fz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -41,9 +41,12 @@ from typing import List, Sequence, Set
 from repro.core.template import (
     Template,
     TransformedLoops,
+    anchor_dep_context,
     check_contiguous_range,
     fresh_name,
+    map_anchored_dep_set,
 )
+from repro.deps.entry import D_ANY
 from repro.deps.rules import mergedirs
 from repro.deps.vector import DepVector
 from repro.expr.linear import BoundType
@@ -101,8 +104,28 @@ class Coalesce(Template):
 
     # -- dependence vectors ---------------------------------------------------
 
-    def map_dep_vector(self, vec: DepVector) -> List[DepVector]:
-        merged = mergedirs([vec[k] for k in range(self.i - 1, self.j)])
+    #: The linearization digit of range loop *k* is measured from its
+    #: lower bound, ``(x_k - l_k) / s_k``.  When ``l_k`` (or ``s_k``)
+    #: references a loop variable the dependence crosses — e.g. a loop
+    #: skewed by an outer index before coalescing — source and target
+    #: see *different* anchors, the digit distance is not ``d_k``, and
+    #: the plain ``mergedirs`` fold is unsound; see
+    #: ``anchor_dep_context`` and DESIGN.md soundness tightening 4.
+    dep_context_sensitive = True
+
+    def dep_context(self, loops: Sequence[Loop]):
+        return anchor_dep_context(self, loops)
+
+    def map_dep_set(self, deps, ctx=None):
+        if ctx is None:
+            return super().map_dep_set(deps)
+        return map_anchored_dep_set(self, deps, ctx)
+
+    def map_dep_vector(self, vec: DepVector,
+                       widen: frozenset = frozenset()) -> List[DepVector]:
+        merged = mergedirs([
+            D_ANY if k + 1 in widen else vec[k]
+            for k in range(self.i - 1, self.j)])
         out = (list(vec.entries[:self.i - 1]) + [merged] +
                list(vec.entries[self.j:]))
         return [DepVector(out)]

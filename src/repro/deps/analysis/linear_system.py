@@ -13,14 +13,23 @@ integer infeasible; the integer-only refutations come from the GCD test
 in :mod:`repro.deps.analysis.tests`).  The same machinery computes exact
 variable bounds, which the driver uses to refine direction entries to
 distances.
+
+Representation matters here: constraints are normalized to coprime
+*integer* coefficients on construction (any positive rational scaling
+preserves a ``>= 0`` constraint), which keeps the hot elimination loop
+in machine-int arithmetic — no :class:`~fractions.Fraction` division —
+and makes scalar multiples of the same hyperplane collapse in the
+dedup pass.  Variables are eliminated cheapest-first (fewest
+positive×negative row combinations), which defers — and usually
+avoids — the quadratic constraint blowup a fixed order runs into on
+mod/div-heavy subscripts.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
-
-INF = Fraction(10**30)  # sentinel; compared only against real bounds
+from math import gcd
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Safety valve against FM blowup; beyond this we give up and report
 #: "feasible" (conservative for dependence testing).
@@ -28,14 +37,47 @@ MAX_CONSTRAINTS = 4000
 
 
 class LinConstraint:
-    """``sum(coeffs[v] * v) + const >= 0`` (or ``== 0`` for equalities)."""
+    """``sum(coeffs[v] * v) + const >= 0`` (or ``== 0`` for equalities).
+
+    Stored in canonical form: coefficients and constant are coprime
+    integers (the input may be ints or Fractions; construction scales
+    by the positive LCM of denominators and divides by the GCD).
+    """
 
     __slots__ = ("coeffs", "const", "equality")
 
-    def __init__(self, coeffs: Dict[str, Fraction], const: Fraction,
+    def __init__(self, coeffs: Dict[str, object], const: object,
                  equality: bool = False):
-        self.coeffs = {v: Fraction(c) for v, c in coeffs.items() if c != 0}
-        self.const = Fraction(const)
+        ints: Dict[str, object] = {}
+        scale = 1
+        for v, c in coeffs.items():
+            if c == 0:
+                continue
+            if not isinstance(c, int):
+                c = Fraction(c)
+                den = c.denominator
+                if den != 1:
+                    scale = scale * den // gcd(scale, den)
+            ints[v] = c
+        if not isinstance(const, int):
+            const = Fraction(const)
+            den = const.denominator
+            if den != 1:
+                scale = scale * den // gcd(scale, den)
+        if scale != 1:
+            ints = {v: int(c * scale) for v, c in ints.items()}
+            const = int(const * scale)
+        else:
+            ints = {v: int(c) for v, c in ints.items()}
+            const = int(const)
+        g = abs(const)
+        for x in ints.values():
+            g = gcd(g, x if x >= 0 else -x)
+        if g > 1:
+            ints = {v: x // g for v, x in ints.items()}
+            const //= g
+        self.coeffs: Dict[str, int] = ints
+        self.const: int = const
         self.equality = equality
 
     def key(self):
@@ -83,7 +125,7 @@ class LinearSystem:
                     seen.append(v)
         return seen
 
-    # -- solving ---------------------------------------------------------------
+    # -- solving -----------------------------------------------------------
 
     def _as_inequalities(self) -> List[LinConstraint]:
         out = []
@@ -100,16 +142,17 @@ class LinearSystem:
         """Rational feasibility via Fourier–Motzkin; conservative ``True``
         when the elimination grows past :data:`MAX_CONSTRAINTS`."""
         ineqs = _dedupe(self._as_inequalities())
-        order = self.variables()
-        for v in order:
-            ineqs = _eliminate(ineqs, v)
+        while True:
+            live = {v for c in ineqs for v in c.coeffs}
+            if not live:
+                return True
+            ineqs = _eliminate(ineqs, _cheapest_var(ineqs, live))
             if ineqs is None:
                 return True  # gave up: assume feasible
             for c in ineqs:
                 if not c.coeffs and c.const < 0:
                     return False
             ineqs = [c for c in ineqs if c.coeffs]
-        return True
 
     def bounds_of(self, name: str) -> Tuple[Optional[Fraction],
                                             Optional[Fraction]]:
@@ -120,10 +163,11 @@ class LinearSystem:
         should check :meth:`is_feasible` first when it matters.
         """
         ineqs = _dedupe(self._as_inequalities())
-        for v in self.variables():
-            if v == name:
-                continue
-            ineqs = _eliminate(ineqs, v)
+        while True:
+            live = {v for c in ineqs for v in c.coeffs} - {name}
+            if not live:
+                break
+            ineqs = _eliminate(ineqs, _cheapest_var(ineqs, live))
             if ineqs is None:
                 return None, None
             for c in ineqs:
@@ -133,10 +177,10 @@ class LinearSystem:
         lo: Optional[Fraction] = None
         hi: Optional[Fraction] = None
         for c in ineqs:
-            a = c.coeffs.get(name, Fraction(0))
+            a = c.coeffs.get(name, 0)
             if a == 0:
                 continue
-            bound = -c.const / a
+            bound = Fraction(-c.const, a)
             if a > 0:  # name >= bound
                 lo = bound if lo is None else max(lo, bound)
             else:      # name <= bound
@@ -155,12 +199,41 @@ def _dedupe(ineqs: List[LinConstraint]) -> List[LinConstraint]:
     return out
 
 
+def _cheapest_var(ineqs: Sequence[LinConstraint],
+                  candidates: Set[str]) -> str:
+    """The candidate whose elimination creates the fewest combined rows
+    (Fourier–Motzkin's classic min ``|pos|*|neg|`` heuristic); ties
+    break alphabetically so elimination order — and therefore the
+    give-up behavior near :data:`MAX_CONSTRAINTS` — is deterministic."""
+    counts: Dict[str, List[int]] = {}
+    for c in ineqs:
+        for v, a in c.coeffs.items():
+            if v not in candidates:
+                continue
+            pn = counts.setdefault(v, [0, 0])
+            pn[0 if a > 0 else 1] += 1
+    best = None
+    best_cost = None
+    for v in sorted(candidates):
+        pos, neg = counts.get(v, (0, 0))
+        cost = pos * neg - (pos + neg)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = v, cost
+    return best
+
+
 def _eliminate(ineqs: List[LinConstraint],
                name: str) -> Optional[List[LinConstraint]]:
-    """One FM step; None signals a blowup give-up."""
+    """One FM step; None signals a blowup give-up.
+
+    Combination is by integer cross-multiplication — ``aq*p + ap*q``
+    instead of ``p/ap + q/aq`` — so no rational arithmetic happens
+    here; the constructor renormalizes each combined row to coprime
+    integers.
+    """
     kept, pos, neg = [], [], []
     for c in ineqs:
-        a = c.coeffs.get(name, Fraction(0))
+        a = c.coeffs.get(name, 0)
         if a == 0:
             kept.append(c)
         elif a > 0:
@@ -173,14 +246,12 @@ def _eliminate(ineqs: List[LinConstraint],
         ap = p.coeffs[name]
         for q in neg:
             aq = -q.coeffs[name]
-            coeffs: Dict[str, Fraction] = {}
+            coeffs: Dict[str, int] = {}
             for v, c in p.coeffs.items():
                 if v != name:
-                    coeffs[v] = coeffs.get(v, Fraction(0)) + c / ap
+                    coeffs[v] = aq * c
             for v, c in q.coeffs.items():
                 if v != name:
-                    coeffs[v] = coeffs.get(v, Fraction(0)) + c / aq
-            const = p.const / ap + q.const / aq
-            combined = LinConstraint(coeffs, const)
-            kept.append(combined)
+                    coeffs[v] = coeffs.get(v, 0) + ap * c
+            kept.append(LinConstraint(coeffs, aq * p.const + ap * q.const))
     return _dedupe(kept)

@@ -140,6 +140,32 @@ _BUILDERS = {
 }
 
 
+def _build(builder, tok: Token, *args) -> Expr:
+    """Invoke a smart constructor at the parse boundary, converting its
+    domain errors into positioned :class:`ParseError`\\ s.
+
+    The constructors are a programmatic API and keep their natural
+    exceptions (``floordiv(i, 0)`` raises ``ZeroDivisionError``), but
+    the *parser* promises "ParseError or success, nothing else" — a
+    source text like ``1/0``, ``mod(i)`` or ``min()`` is bad input, not
+    a caller bug, so constant-fold division by zero
+    (``ZeroDivisionError``), wrong builder arity (``TypeError``) and
+    empty ``min``/``max`` (``ValueError``) all surface as typed parse
+    errors carrying the offending position.
+    """
+    try:
+        return builder(*args)
+    except ZeroDivisionError as exc:
+        raise ParseError(f"division by constant zero: {exc}",
+                         line=tok.line, column=tok.column) from None
+    except TypeError as exc:
+        raise ParseError(f"bad arguments for {tok.text!r}: {exc}",
+                         line=tok.line, column=tok.column) from None
+    except ValueError as exc:
+        raise ParseError(f"bad arguments for {tok.text!r}: {exc}",
+                         line=tok.line, column=tok.column) from None
+
+
 def _enter(stream: TokenStream) -> None:
     """Depth guard for the recursive rules: a pathologically nested
     input ("((((...))))", "----x") must fail as a typed ParseError with
@@ -177,12 +203,13 @@ def _parse_additive(stream: TokenStream) -> Expr:
 def _parse_multiplicative(stream: TokenStream) -> Expr:
     result = _parse_unary(stream)
     while True:
+        tok = stream.peek()
         if stream.accept("op", "*"):
             result = mul(result, _parse_unary(stream))
         elif stream.accept("op", "/"):
-            result = floordiv(result, _parse_unary(stream))
+            result = _build(floordiv, tok, result, _parse_unary(stream))
         elif stream.accept("op", "%"):
-            result = mod(result, _parse_unary(stream))
+            result = _build(mod, tok, result, _parse_unary(stream))
         else:
             return result
 
@@ -213,7 +240,7 @@ def _parse_atom(stream: TokenStream) -> Expr:
             stream.expect("op", ")")
             builder = _BUILDERS.get(tok.text)
             if builder is not None:
-                return builder(*args)
+                return _build(builder, tok, *args)
             return call(tok.text, *args)
         return var(tok.text)
     if stream.accept("op", "("):

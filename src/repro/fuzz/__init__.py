@@ -1,0 +1,52 @@
+"""Generative differential fuzzing: the trust layer for the stack.
+
+The framework rests on one contract — any legality-accepted
+transformation sequence preserves the semantics of the nest it is
+applied to — and every layer above (compiled/vectorized engines,
+model-guided search, the parallel pool, the service and the fleet)
+claims to be differentially identical to the layer below.  This package
+attacks those claims adversarially at scale:
+
+* :mod:`repro.fuzz.gen` — a seeded, reproducible random loop-nest
+  generator (parametric/triangular/min-max/mod-div bounds, guarded
+  statements, accumulations) plus a random transformation-sequence
+  generator over the step mini-language;
+* :mod:`repro.fuzz.oracles` — the differential oracles: semantics
+  preservation under the interpreter, interpreter vs compiled vs
+  vectorized engines, brute vs ``prune+speculate`` search, ``jobs=1``
+  vs ``jobs=N``, in-process vs service vs N=2 fleet;
+* :mod:`repro.fuzz.harness` — the case runner: every divergence,
+  non-typed exception or hang is a failure, with obs spans/counters
+  (``fuzz.cases``, ``fuzz.divergence.<oracle>``, ...);
+* :mod:`repro.fuzz.shrink` — a deterministic greedy auto-shrinker
+  (step/statement/loop deletion, constant minimization) that re-runs
+  the failing oracle at every candidate reduction and emits a minimal
+  repro artifact;
+* :mod:`repro.fuzz.corpus` — the persisted regression bank
+  (``tests/corpus/fuzz/``) replayed by tier-1;
+* :mod:`repro.fuzz.chaos_matrix` — the chaos dimension: a sample of
+  cases re-run under :mod:`repro.resilience.chaos` fault specs with a
+  supervised, retrying service, asserting exactly-once answers
+  identical to the unfaulted run.
+
+Entry point: ``python -m repro fuzz --cases N --seed S [--matrix ...]``.
+"""
+
+from repro.fuzz.gen import CaseGen, FuzzCase
+from repro.fuzz.harness import FuzzReport, run_fuzz
+from repro.fuzz.oracles import CaseOutcome, ORACLE_NAMES, evaluate_case
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.corpus import (
+    corpus_dir,
+    list_artifacts,
+    load_artifact,
+    replay_artifact,
+    write_artifact,
+)
+
+__all__ = [
+    "CaseGen", "FuzzCase", "FuzzReport", "run_fuzz",
+    "CaseOutcome", "ORACLE_NAMES", "evaluate_case", "shrink_case",
+    "corpus_dir", "list_artifacts", "load_artifact", "replay_artifact",
+    "write_artifact",
+]

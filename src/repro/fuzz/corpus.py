@@ -1,0 +1,116 @@
+"""The persisted fuzz regression bank (``tests/corpus/fuzz/``).
+
+Every bug the fuzzer ever surfaced lives on as a minimal artifact —
+one JSON file holding the shrunk case, the oracle that caught it and
+the pre-fix failure detail.  Tier-1 replays the whole bank on every
+run (``tests/test_fuzz_corpus.py``), so a fixed bug stays fixed: the
+replay asserts the banked case now passes the very oracle it used to
+break.
+
+Artifacts are byte-deterministic (sorted keys, fixed indentation,
+content-hashed file names), which gives deduplication for free — the
+same shrunk failure always lands in the same file — and lets the
+shrinker's determinism be asserted byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.fuzz.gen import FuzzCase
+from repro.fuzz.oracles import CaseOutcome, evaluate_case
+
+#: Environment override for the bank location.
+CORPUS_ENV = "REPRO_FUZZ_CORPUS"
+
+#: Default bank location, relative to the working directory (the repo
+#: checkout layout; tests and CI pass an absolute path instead).
+DEFAULT_CORPUS = os.path.join("tests", "corpus", "fuzz")
+
+
+def corpus_dir(path: Optional[Union[str, Path]] = None) -> Path:
+    """The corpus directory: explicit *path*, else ``$REPRO_FUZZ_CORPUS``,
+    else ``tests/corpus/fuzz`` under the working directory."""
+    if path is not None:
+        return Path(path)
+    return Path(os.environ.get(CORPUS_ENV, DEFAULT_CORPUS))
+
+
+def artifact_name(outcome: CaseOutcome) -> str:
+    """Deterministic content-hashed file name for *outcome*."""
+    digest = hashlib.sha256(
+        f"{outcome.case.key()}|{outcome.oracle}|{outcome.status}"
+        .encode("utf-8")).hexdigest()
+    return f"{outcome.oracle or 'case'}-{digest[:12]}.json"
+
+
+def render_artifact(outcome: CaseOutcome,
+                    chaos_spec: Optional[str] = None) -> str:
+    """The exact bytes an artifact file holds (newline-terminated).
+
+    ``chaos_spec`` is recorded for chaos-oracle artifacts so the replay
+    re-arms the exact fault plan that originally broke the case.
+    """
+    doc = {
+        "case": outcome.case.to_json(),
+        "oracle": outcome.oracle,
+        "status": outcome.status,
+        "detail": outcome.detail,
+    }
+    if chaos_spec is not None:
+        doc["chaos_spec"] = chaos_spec
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_artifact(outcome: CaseOutcome,
+                   path: Optional[Union[str, Path]] = None,
+                   chaos_spec: Optional[str] = None) -> str:
+    """Persist *outcome* into the bank; returns the file path.
+
+    Idempotent: the content-hashed name means re-banking the same
+    shrunk failure rewrites the same bytes to the same file.
+    """
+    directory = corpus_dir(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / artifact_name(outcome)
+    target.write_text(render_artifact(outcome, chaos_spec=chaos_spec),
+                      encoding="utf-8")
+    return str(target)
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, object]:
+    """Parse one artifact file back into its document."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "case" not in doc:
+        raise ValueError(f"{path}: not a fuzz artifact (no 'case' field)")
+    return doc
+
+
+def list_artifacts(path: Optional[Union[str, Path]] = None) -> List[Path]:
+    """All artifact files in the bank, sorted for stable replay order."""
+    directory = corpus_dir(path)
+    if not directory.is_dir():
+        return []
+    return sorted(p for p in directory.iterdir()
+                  if p.suffix == ".json" and p.is_file())
+
+
+def replay_artifact(path: Union[str, Path], service=None,
+                    fleet=None) -> CaseOutcome:
+    """Re-run a banked case through the oracle that originally caught
+    it.  A healthy bank replays with no failures — every entry records
+    a bug that has since been fixed, so ``outcome.failed`` here means a
+    regression."""
+    doc = load_artifact(path)
+    case = FuzzCase.from_json(doc["case"])
+    oracle = doc.get("oracle") or "engines"
+    if oracle == "chaos":
+        from repro.fuzz.chaos_matrix import DEFAULT_CHAOS_SPEC, chaos_check
+        spec = str(doc.get("chaos_spec") or DEFAULT_CHAOS_SPEC)
+        return chaos_check(case, chaos_spec=spec)
+    return evaluate_case(case, oracles=(str(oracle),), service=service,
+                         fleet=fleet)

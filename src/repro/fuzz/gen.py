@@ -1,0 +1,306 @@
+"""Seeded random loop-nest and transformation-sequence generation.
+
+Every case is a pure function of ``(seed, case_id)``: the generator
+builds a :class:`~repro.ir.loopnest.LoopNest` programmatically, renders
+it through ``LoopNest.pretty()`` (so the text round-trips through the
+real parser, which is itself one of the oracles) and draws a
+transformation-sequence spec in the step mini-language of
+:mod:`repro.core.spec`.  The shapes are chosen to cover what the paper's
+legality machinery actually has to reason about:
+
+* bounds — constant, parametric (``n``), triangular (outer-index),
+  ``min``/``max`` guards, ``div`` of an invariant, negative steps;
+* subscripts — affine combinations of indices, constant offsets,
+  ``mod``/``div`` subscripts, rank 1-2;
+* statements — plain and accumulating (``+=``) assignments, ``if``
+  guards over affine conditions, multiple statements per body;
+* sequences — 0-3 steps over interchange / permute / reverse / skew /
+  parallelize / block / stripmine / coalesce / interleave / wavefront,
+  arity-tracked through depth changes.
+
+Small index spaces (symbols 3-6, constant extents <= 6) keep a full
+differential check cheap while still exercising boundary iterations.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.spec import build_step
+from repro.expr.nodes import (
+    Expr,
+    add,
+    call,
+    const,
+    floordiv,
+    mod,
+    mul,
+    var,
+    vmax,
+    vmin,
+)
+from repro.ir.loopnest import (
+    ArrayRef,
+    Assign,
+    If,
+    Loop,
+    LoopNest,
+    Statement,
+)
+
+#: Loop index names, outermost first.
+INDEX_NAMES = ("i", "j", "k", "l")
+
+#: Array names the generator draws targets and reads from.
+ARRAY_NAMES = ("a", "b", "c")
+
+#: Maximum nest depth a transformation sequence may reach (Block and
+#: Interleave grow the nest; unbounded growth makes cases explode).
+MAX_SEQ_DEPTH = 6
+
+
+class FuzzCase:
+    """One generated case: nest source, sequence spec, symbol values.
+
+    The nest *text* (not the object) is the canonical form — it feeds
+    the same parser every other entry point uses, and it is what the
+    shrinker minimizes and the corpus persists.
+    """
+
+    __slots__ = ("seed", "case_id", "text", "steps", "symbols")
+
+    def __init__(self, seed: int, case_id: int, text: str,
+                 steps: Optional[str], symbols: Dict[str, int]):
+        self.seed = seed
+        self.case_id = case_id
+        self.text = text
+        self.steps = steps or None
+        self.symbols = dict(symbols)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"seed": self.seed, "case_id": self.case_id,
+                "text": self.text, "steps": self.steps,
+                "symbols": dict(sorted(self.symbols.items()))}
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "FuzzCase":
+        return cls(int(doc.get("seed", 0)), int(doc.get("case_id", 0)),
+                   str(doc["text"]), doc.get("steps") or None,
+                   {str(k): int(v)
+                    for k, v in (doc.get("symbols") or {}).items()})
+
+    def key(self) -> str:
+        """A stable content key (for dedup across shrunk artifacts)."""
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    def __repr__(self):
+        head = self.text.splitlines()[0] if self.text else ""
+        return (f"FuzzCase(seed={self.seed}, id={self.case_id}, "
+                f"{head!r}..., steps={self.steps!r})")
+
+
+class CaseGen:
+    """Deterministic case factory: ``CaseGen(seed).case(i)`` is stable
+    across processes and platforms (``random.Random`` is seeded per
+    case, never shared)."""
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+
+    def case(self, case_id: int) -> FuzzCase:
+        rng = random.Random((self.seed * 1_000_003) ^ case_id)
+        symbols = {"n": rng.randint(3, 6)}
+        if rng.random() < 0.3:
+            symbols["m"] = rng.randint(2, 5)
+        nest = self._gen_nest(rng, symbols)
+        steps = self._gen_steps(rng, nest.depth)
+        return FuzzCase(self.seed, case_id, nest.pretty(), steps, symbols)
+
+    def cases(self, count: int, start: int = 0):
+        for case_id in range(start, start + count):
+            yield self.case(case_id)
+
+    # -- nests ---------------------------------------------------------
+
+    def _gen_nest(self, rng: random.Random,
+                  symbols: Dict[str, int]) -> LoopNest:
+        depth = rng.choices((1, 2, 3), weights=(2, 5, 3))[0]
+        loops: List[Loop] = []
+        for level in range(depth):
+            loops.append(self._gen_loop(rng, level, loops, symbols))
+        ranks = {name: rng.randint(1, min(2, depth))
+                 for name in ARRAY_NAMES}
+        body: List[Statement] = []
+        for _ in range(rng.choices((1, 2, 3), weights=(5, 3, 1))[0]):
+            body.append(self._gen_statement(rng, loops, ranks, symbols))
+        return LoopNest(loops, body)
+
+    def _gen_loop(self, rng: random.Random, level: int,
+                  outer: List[Loop], symbols: Dict[str, int]) -> Loop:
+        index = INDEX_NAMES[level]
+        n = var("n")
+        kind = rng.choices(
+            ("const", "param", "tri_lo", "tri_hi", "minmax", "div"),
+            weights=(3, 4, 2 if outer else 0, 2 if outer else 0,
+                     1 if outer else 0, 1))[0]
+        if kind == "const":
+            lo_v = rng.randint(-2, 2)
+            lower, upper = const(lo_v), const(lo_v + rng.randint(1, 5))
+        elif kind == "param":
+            lower, upper = const(rng.randint(0, 1)), n
+            if rng.random() < 0.3:
+                upper = add(n, const(-1))
+        elif kind == "tri_lo":
+            anchor = var(rng.choice(outer).index)
+            lower = (anchor if rng.random() < 0.7
+                     else add(anchor, const(rng.randint(-1, 1))))
+            upper = n if rng.random() < 0.8 else add(n, const(1))
+        elif kind == "tri_hi":
+            anchor = var(rng.choice(outer).index)
+            lower = const(rng.randint(0, 1))
+            upper = (anchor if rng.random() < 0.7
+                     else add(anchor, const(rng.randint(-1, 1))))
+        elif kind == "minmax":
+            anchor = var(rng.choice(outer).index)
+            if rng.random() < 0.5:
+                lower = const(1)
+                upper = vmin(n, add(anchor, const(rng.randint(1, 2))))
+            else:
+                lower = vmax(const(1), add(anchor, const(-rng.randint(1, 2))))
+                upper = n
+        else:  # div
+            lower = const(rng.randint(0, 1))
+            upper = add(floordiv(n, const(2)), const(rng.randint(1, 2)))
+        step: Expr = const(1)
+        roll = rng.random()
+        if roll < 0.10 and kind in ("const", "param"):
+            lower, upper, step = upper, lower, const(-1)
+        elif roll < 0.22:
+            step = const(2)
+        return Loop(index, lower, upper, step)
+
+    # -- statements ----------------------------------------------------
+
+    def _gen_statement(self, rng: random.Random, loops: List[Loop],
+                       ranks: Dict[str, int],
+                       symbols: Dict[str, int]) -> Statement:
+        target_name = rng.choice(ARRAY_NAMES)
+        rank = ranks[target_name]
+        subscripts = [self._gen_subscript(rng, loops)
+                      for _ in range(rank)]
+        rhs = self._gen_rhs(rng, loops, ranks)
+        stmt: Statement = Assign(ArrayRef(target_name, subscripts), rhs,
+                                 accumulate=rng.random() < 0.25)
+        if rng.random() < 0.2:
+            left = var(rng.choice(loops).index)
+            right = (const(rng.randint(0, 3)) if rng.random() < 0.5 or
+                     len(loops) == 1 else var(rng.choice(loops).index))
+            op = rng.choice(("le", "ge", "lt", "gt", "eq"))
+            stmt = If(call(op, left, right), stmt)
+        return stmt
+
+    def _gen_subscript(self, rng: random.Random,
+                       loops: List[Loop]) -> Expr:
+        kind = rng.choices(("affine", "mod", "div"),
+                           weights=(7, 1, 1))[0]
+        idx = var(rng.choice(loops).index)
+        if kind == "mod":
+            return mod(add(idx, const(rng.randint(0, 2))),
+                       const(rng.randint(2, 4)))
+        if kind == "div":
+            other = var(rng.choice(loops).index)
+            return floordiv(add(idx, other), const(2))
+        terms: List[Expr] = [idx]
+        if len(loops) > 1 and rng.random() < 0.35:
+            other = rng.choice(loops).index
+            if other != idx.name:
+                coeff = rng.choice((1, 1, -1, 2))
+                terms.append(mul(const(coeff), var(other)))
+        offset = rng.choices((0, 0, 0, 1, -1, 2), weights=(6, 6, 6, 3, 3, 1))[0]
+        if offset:
+            terms.append(const(offset))
+        return add(*terms)
+
+    def _gen_rhs(self, rng: random.Random, loops: List[Loop],
+                 ranks: Dict[str, int]) -> Expr:
+        terms: List[Expr] = []
+        for _ in range(rng.randint(1, 3)):
+            roll = rng.random()
+            if roll < 0.55:
+                name = rng.choice(ARRAY_NAMES)
+                subs = [self._gen_subscript(rng, loops)
+                        for _ in range(ranks[name])]
+                terms.append(call(name, *subs))
+            elif roll < 0.8:
+                terms.append(var(rng.choice(loops).index))
+            else:
+                terms.append(const(rng.randint(-3, 5)))
+        expr = add(*terms)
+        if rng.random() < 0.15:
+            expr = mul(const(rng.choice((2, 3, -1))), expr)
+        return expr
+
+    # -- transformation sequences --------------------------------------
+
+    def _gen_steps(self, rng: random.Random, depth: int) -> Optional[str]:
+        length = rng.choices((0, 1, 2, 3), weights=(2, 4, 3, 1))[0]
+        if length == 0:
+            return None
+        parts: List[str] = []
+        n = depth
+        for _ in range(length):
+            spec = self._gen_step(rng, n)
+            if spec is None:
+                break
+            parts.append(spec)
+            # Track the depth the next step will see.
+            step = build_step(*_name_args(spec), n)
+            n = step.output_depth
+        return "; ".join(parts) if parts else None
+
+    def _gen_step(self, rng: random.Random, n: int) -> Optional[str]:
+        menu = ["reverse", "parallelize", "stripmine"]
+        if n >= 2:
+            menu += ["interchange", "permute", "skew", "coalesce",
+                     "wavefront"]
+        if n >= 2 and n + 2 <= MAX_SEQ_DEPTH:
+            menu += ["block", "interleave"]
+        if n + 1 > MAX_SEQ_DEPTH:
+            menu = [m for m in menu if m != "stripmine"]
+        if not menu:
+            return None
+        name = rng.choice(menu)
+        if name == "interchange":
+            a, b = rng.sample(range(1, n + 1), 2)
+            return f"interchange({a},{b})"
+        if name == "permute":
+            order = list(range(1, n + 1))
+            rng.shuffle(order)
+            return "permute(" + ",".join(map(str, order)) + ")"
+        if name == "reverse":
+            return f"reverse({rng.randint(1, n)})"
+        if name == "skew":
+            t, s = rng.sample(range(1, n + 1), 2)
+            return f"skew({t},{s},{rng.randint(1, 2)})"
+        if name == "parallelize":
+            return f"parallelize({rng.randint(1, n)})"
+        if name == "stripmine":
+            return f"stripmine({rng.randint(1, n)},{rng.choice((2, 3, 4))})"
+        if name == "coalesce":
+            i = rng.randint(1, n - 1)
+            return f"coalesce({i},{i + 1})"
+        if name == "wavefront":
+            return "wavefront()"
+        # block / interleave over a 2-loop window
+        i = rng.randint(1, n - 1)
+        j = i + 1
+        size = rng.choice((2, 3, 4))
+        suffix = ",'precise'" if rng.random() < 0.25 else ""
+        return f"{name}({i},{j},{size}{suffix})"
+
+
+def _name_args(spec: str) -> Tuple[str, list]:
+    from repro.core.spec import parse_call
+    return parse_call(spec)

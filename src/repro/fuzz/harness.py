@@ -1,0 +1,214 @@
+"""The fuzz driver: generate, cross-check, count, shrink, persist.
+
+:func:`run_fuzz` is the engine behind ``python -m repro fuzz``.  It
+walks a seeded case stream through the oracle matrix, aggregates
+outcomes into a :class:`FuzzReport`, and for every failure runs the
+auto-shrinker and (optionally) banks the minimal artifact in the
+regression corpus.
+
+The matrix is additive — ``core`` (pipeline + semantics + engines on
+every case) is always on; ``search``, ``service``, ``fleet`` and
+``chaos`` sample a deterministic subset of cases, because their oracles
+cost 10-100x a core check and the contracts they test are
+case-shape-independent enough that sampling keeps full coverage over a
+long run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.fuzz.gen import CaseGen, FuzzCase
+from repro.fuzz.oracles import (
+    DEFAULT_TIME_LIMIT,
+    CaseOutcome,
+    evaluate_case,
+)
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_metrics
+
+#: Matrix dimensions ``--matrix`` accepts.
+MATRIX_DIMS = ("core", "search", "service", "fleet", "chaos")
+
+#: Every Nth eligible case runs the expensive dimensions.
+SEARCH_SAMPLE = 7
+SERVICE_SAMPLE = 19
+FLEET_SAMPLE = 37
+CHAOS_SAMPLE = 23
+
+
+class FuzzReport:
+    """Aggregated outcomes of one fuzz run."""
+
+    def __init__(self, seed: int, matrix: Sequence[str]):
+        self.seed = seed
+        self.matrix = tuple(matrix)
+        self.cases = 0
+        self.by_status: Dict[str, int] = {
+            "ok": 0, "rejected": 0, "divergence": 0, "crash": 0, "hang": 0}
+        self.by_oracle: Dict[str, int] = {}
+        self.failures: List[CaseOutcome] = []
+        self.shrunk: List[FuzzCase] = []
+        self.artifacts: List[str] = []
+        self.elapsed = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return any(self.by_status[s] for s in ("divergence", "crash", "hang"))
+
+    def record(self, outcome: CaseOutcome) -> None:
+        self.cases += 1
+        self.by_status[outcome.status] += 1
+        if outcome.failed:
+            self.failures.append(outcome)
+            key = outcome.oracle or "unknown"
+            self.by_oracle[key] = self.by_oracle.get(key, 0) + 1
+
+    def to_json(self) -> Dict[str, object]:
+        snap = get_metrics().snapshot()
+        fuzz_metrics = {
+            kind: {name: value for name, value in values.items()
+                   if name.startswith("fuzz.")}
+            for kind, values in snap.items()
+        }
+        return {
+            "seed": self.seed,
+            "matrix": list(self.matrix),
+            "cases": self.cases,
+            "by_status": dict(self.by_status),
+            "divergences_by_oracle": dict(sorted(self.by_oracle.items())),
+            "failures": [f.to_json() for f in self.failures[:50]],
+            "artifacts": list(self.artifacts),
+            "elapsed_seconds": round(self.elapsed, 3),
+            "cases_per_second": (round(self.cases / self.elapsed, 2)
+                                 if self.elapsed > 0 else None),
+            "metrics": fuzz_metrics,
+        }
+
+    def summary(self) -> str:
+        s = self.by_status
+        line = (f"{self.cases} cases: {s['ok']} ok, "
+                f"{s['rejected']} rejected, {s['divergence']} divergences, "
+                f"{s['crash']} crashes, {s['hang']} hangs "
+                f"[{self.elapsed:.1f}s]")
+        if self.by_oracle:
+            per = ", ".join(f"{k}={v}"
+                            for k, v in sorted(self.by_oracle.items()))
+            line += f"\n  failures by oracle: {per}"
+        return line
+
+
+def _oracles_for(case_id: int, matrix: Sequence[str]) -> List[str]:
+    """The oracle list for one case under the active matrix (sampling
+    is keyed on the case id, so a run is reproducible per seed)."""
+    names = ["pipeline", "semantics", "engines"]
+    if "search" in matrix and case_id % SEARCH_SAMPLE == 0:
+        names += ["search", "jobs"]
+    if "service" in matrix and case_id % SERVICE_SAMPLE == 0:
+        names.append("service")
+    if "fleet" in matrix and case_id % FLEET_SAMPLE == 0:
+        names.append("fleet")
+    return names
+
+
+def run_fuzz(cases: int,
+             seed: int,
+             matrix: Sequence[str] = ("core",),
+             start: int = 0,
+             shrink: bool = True,
+             corpus: Optional[str] = None,
+             time_limit: float = DEFAULT_TIME_LIMIT,
+             progress: Optional[Callable[[FuzzReport], None]] = None,
+             progress_every: int = 200) -> FuzzReport:
+    """Run *cases* seeded cases through the oracle *matrix*.
+
+    ``corpus`` names a directory to bank shrunk failure artifacts in
+    (``None`` disables persistence; shrinking still runs so the report
+    carries minimal repros).  Returns the aggregated
+    :class:`FuzzReport`; the caller decides what exit code that merits.
+    """
+    for dim in matrix:
+        if dim not in MATRIX_DIMS:
+            raise ValueError(f"unknown matrix dimension {dim!r} "
+                             f"(choose from {', '.join(MATRIX_DIMS)})")
+    report = FuzzReport(seed, matrix)
+    gen = CaseGen(seed)
+    metrics = get_metrics()
+    service = fleet = None
+    began = time.monotonic()
+    try:
+        if "service" in matrix:
+            from repro.service.client import ServiceClient
+            service = ServiceClient.spawn()
+        if "fleet" in matrix:
+            from repro.fleet.client import FleetClient
+            fleet = FleetClient.local(2)
+        with _obs.span("fuzz.run", seed=seed, cases=cases,
+                       matrix=",".join(matrix)):
+            for case in gen.cases(cases, start=start):
+                oracles = _oracles_for(case.case_id, matrix)
+                with _obs.span("fuzz.case", case_id=case.case_id,
+                               oracles=len(oracles)):
+                    outcome = evaluate_case(case, oracles=oracles,
+                                            service=service, fleet=fleet,
+                                            time_limit=time_limit)
+                if ("chaos" in matrix and outcome.status == "ok"
+                        and case.case_id % CHAOS_SAMPLE == 0):
+                    from repro.fuzz.chaos_matrix import chaos_check
+                    outcome = chaos_check(case, time_limit=time_limit)
+                metrics.counter("fuzz.cases").inc()
+                metrics.counter(f"fuzz.status.{outcome.status}").inc()
+                if outcome.failed:
+                    metrics.counter(
+                        f"fuzz.divergence.{outcome.oracle}").inc()
+                    _obs.event("fuzz.failure", case_id=case.case_id,
+                               oracle=outcome.oracle or "",
+                               status=outcome.status)
+                    outcome = _shrink_and_bank(outcome, report, shrink,
+                                               corpus, service, fleet,
+                                               time_limit)
+                report.record(outcome)
+                if progress and report.cases % progress_every == 0:
+                    report.elapsed = time.monotonic() - began
+                    progress(report)
+    finally:
+        if service is not None:
+            service.close()
+        if fleet is not None:
+            fleet.close()
+    report.elapsed = time.monotonic() - began
+    return report
+
+
+def _shrink_and_bank(outcome: CaseOutcome, report: FuzzReport,
+                     shrink: bool, corpus: Optional[str],
+                     service, fleet, time_limit: float) -> CaseOutcome:
+    """Shrink a failing case and persist the minimal artifact; the
+    returned outcome carries the *shrunk* case so the report and corpus
+    agree on the repro."""
+    if outcome.oracle == "chaos":
+        # Chaos failures are banked unshrunk: every shrink probe would
+        # cost two full supervised subprocess replays, and the fault
+        # spec matters more than the nest shape.  Record the spec so
+        # the replay re-arms exactly what broke.
+        if corpus is not None:
+            from repro.fuzz.chaos_matrix import DEFAULT_CHAOS_SPEC
+            from repro.fuzz.corpus import write_artifact
+            report.artifacts.append(
+                write_artifact(outcome, corpus,
+                               chaos_spec=DEFAULT_CHAOS_SPEC))
+        return outcome
+    if not shrink:
+        if corpus is not None:
+            from repro.fuzz.corpus import write_artifact
+            report.artifacts.append(write_artifact(outcome, corpus))
+        return outcome
+    from repro.fuzz.shrink import shrink_case
+    small = shrink_case(outcome, service=service, fleet=fleet,
+                        time_limit=time_limit)
+    report.shrunk.append(small.case)
+    if corpus is not None:
+        from repro.fuzz.corpus import write_artifact
+        report.artifacts.append(write_artifact(small, corpus))
+    return small

@@ -1,0 +1,436 @@
+"""The differential oracles: every cross-layer claim, checked per case.
+
+An oracle takes one :class:`~repro.fuzz.gen.FuzzCase` and either passes
+or produces a :class:`CaseOutcome` explaining how the stack broke its
+own contract.  The outcome taxonomy is strict:
+
+``ok``
+    every selected oracle passed;
+``rejected``
+    a layer refused the input with a *typed* :class:`ReproError`
+    (illegal sequence, resource guard, unsupported shape) — allowed,
+    because refusing is part of every contract;
+``divergence``
+    two layers that promise identical answers disagreed;
+``crash``
+    an untyped exception escaped (the bug class satellite #1 closed for
+    the parsers, enforced here for the whole stack);
+``hang``
+    a case exceeded its per-oracle wall-clock budget.
+
+Oracles are pure functions of the case (plus an optional shared
+service/fleet), so the shrinker can re-run exactly the one that failed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.spec import parse_steps
+from repro.deps.analysis import analyze
+from repro.fuzz.gen import ARRAY_NAMES, FuzzCase
+from repro.ir.parser import parse_nest
+from repro.optimize.search import SearchConfig, search
+from repro.parallel.worker import call_with_timeout
+from repro.runtime import (
+    Array,
+    numpy_available,
+    run_compiled,
+    run_nest,
+    run_vectorized,
+)
+from repro.runtime.oracle import (
+    OracleFailure,
+    check_equivalence,
+    same_iteration_multiset,
+)
+from repro.util.errors import ReproError
+
+#: Oracle names in cheap-to-expensive order.  ``pipeline`` through
+#: ``engines`` run on every case; ``search``/``jobs`` need the search
+#: space and are sampled; ``service``/``fleet`` need a live server and
+#: are sampled harder; ``chaos`` lives in
+#: :mod:`repro.fuzz.chaos_matrix`.
+ORACLE_NAMES = ("pipeline", "semantics", "engines", "search", "jobs",
+                "service", "fleet", "chaos")
+
+#: Per-oracle wall-clock budget (seconds).  Generated index spaces are
+#: tiny; anything that takes this long is a hang, not a slow case.
+DEFAULT_TIME_LIMIT = 10.0
+
+
+class CaseOutcome:
+    """The verdict for one case under one oracle selection."""
+
+    __slots__ = ("case", "status", "oracle", "detail")
+
+    def __init__(self, case: FuzzCase, status: str,
+                 oracle: Optional[str] = None, detail: str = ""):
+        self.case = case
+        self.status = status          # ok | rejected | divergence | crash | hang
+        self.oracle = oracle
+        self.detail = detail
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("divergence", "crash", "hang")
+
+    def to_json(self) -> Dict[str, object]:
+        return {"case": self.case.to_json(), "status": self.status,
+                "oracle": self.oracle, "detail": self.detail}
+
+    def __repr__(self):
+        return (f"CaseOutcome({self.status}, oracle={self.oracle!r}, "
+                f"case_id={self.case.case_id}, {self.detail[:60]!r})")
+
+
+def make_arrays(case: FuzzCase) -> Dict[str, Array]:
+    """Deterministic nonzero input arrays for *case*.
+
+    Every array gets both rank-1 and rank-2 entries over a window wide
+    enough to cover skewed/offset subscripts; reads outside the window
+    fall back to the default 0, which all engines share.
+    """
+    rng = random.Random((case.seed * 2_000_003) ^ (case.case_id * 7 + 1))
+    span = range(-4, 12)
+    arrays: Dict[str, Array] = {}
+    for name in ARRAY_NAMES:
+        data: Dict[Tuple[int, ...], int] = {}
+        for v in span:
+            data[(v,)] = rng.randint(-9, 9)
+        for v1 in span:
+            for v2 in span:
+                data[(v1, v2)] = rng.randint(-9, 9)
+        arrays[name] = Array(0, name, data)
+    return arrays
+
+
+class _Prepared:
+    """Parsed pipeline state shared by the oracles for one case."""
+
+    __slots__ = ("nest", "deps", "transformation", "report", "transformed",
+                 "arrays")
+
+    def __init__(self, nest, deps, transformation, report, transformed,
+                 arrays):
+        self.nest = nest
+        self.deps = deps
+        self.transformation = transformation
+        self.report = report
+        self.transformed = transformed
+        self.arrays = arrays
+
+
+# ---------------------------------------------------------------------------
+# individual oracles — each raises OracleFailure on divergence, any
+# ReproError to reject, anything else is a crash (classified by the
+# caller).
+
+
+def _oracle_pipeline(case: FuzzCase) -> _Prepared:
+    """Parse, round-trip, analyze, build the sequence, test legality.
+
+    Also the constructor for the shared state: every other oracle uses
+    its result.
+    """
+    nest = parse_nest(case.text)
+    canon = nest.pretty()
+    again = parse_nest(canon).pretty()
+    if again != canon:
+        raise OracleFailure(
+            "pretty() is not a parse fixpoint:\n--- first\n"
+            f"{canon}\n--- second\n{again}")
+    deps = analyze(nest)
+    transformation = report = transformed = None
+    if case.steps:
+        transformation = parse_steps(case.steps, nest.depth)
+        report = transformation.legality(nest, deps)
+        if report.legal:
+            transformed = transformation.apply(nest, deps)
+    return _Prepared(nest, deps, transformation, report, transformed,
+                     make_arrays(case))
+
+
+def _oracle_semantics(case: FuzzCase, prep: _Prepared) -> None:
+    """A legality-accepted sequence preserves semantics (the paper's
+    core claim): equal arrays under four pardo schedules and the same
+    iteration multiset."""
+    if prep.transformed is None:
+        return
+    check_equivalence(prep.nest, prep.transformed, prep.arrays,
+                      symbols=case.symbols)
+    same_iteration_multiset(prep.nest, prep.transformed, prep.arrays,
+                            symbols=case.symbols)
+
+
+def _run_engine(engine: str, nest, arrays, symbols):
+    """(kind, payload): ("ok", (arrays, body_count)) or a typed
+    rejection ("err", exception-type-name)."""
+    runner = {"interpreter": run_nest, "compiled": run_compiled,
+              "vectorized": run_vectorized}[engine]
+    try:
+        result = runner(nest, arrays, symbols=symbols)
+    except ReproError as exc:
+        return ("err", type(exc).__name__)
+    return ("ok", (result.arrays, result.body_count))
+
+
+def _oracle_engines(case: FuzzCase, prep: _Prepared) -> None:
+    """Interpreter, compiled and vectorized engines are interchangeable:
+    same final arrays, same body count, or the same typed rejection."""
+    engines = ["interpreter", "compiled"]
+    if numpy_available():
+        engines.append("vectorized")
+    nests = [("original", prep.nest)]
+    if prep.transformed is not None:
+        nests.append(("transformed", prep.transformed))
+    for label, nest in nests:
+        base_kind, base = _run_engine("interpreter", nest, prep.arrays,
+                                      case.symbols)
+        for engine in engines[1:]:
+            kind, payload = _run_engine(engine, nest, prep.arrays,
+                                        case.symbols)
+            if kind != base_kind:
+                raise OracleFailure(
+                    f"{label} nest: interpreter {base_kind} "
+                    f"({base if base_kind == 'err' else 'ran'}) but "
+                    f"{engine} {kind} "
+                    f"({payload if kind == 'err' else 'ran'})")
+            if kind == "err":
+                if payload != base:
+                    raise OracleFailure(
+                        f"{label} nest: interpreter rejected with {base} "
+                        f"but {engine} with {payload}")
+                continue
+            base_arrays, base_count = base
+            got_arrays, got_count = payload
+            if got_count != base_count:
+                raise OracleFailure(
+                    f"{label} nest: body_count {base_count} (interpreter) "
+                    f"vs {got_count} ({engine})")
+            for name in sorted(set(base_arrays) | set(got_arrays)):
+                a = base_arrays.get(name, Array(0, name))
+                b = got_arrays.get(name, Array(0, name))
+                if a != b:
+                    raise OracleFailure(
+                        f"{label} nest: array {name!r} differs between "
+                        f"interpreter and {engine} (max abs diff "
+                        f"{a.max_abs_difference(b)})")
+
+
+def _search_pair(prep: _Prepared, jobs: int = 1):
+    brute = search(prep.nest, prep.deps,
+                   config=SearchConfig(depth=2, beam=4))
+    guided = search(prep.nest, prep.deps,
+                    config=SearchConfig(depth=2, beam=4, prune=True,
+                                        speculate=True, jobs=jobs))
+    return brute, guided
+
+
+def _sig(result) -> Optional[str]:
+    return (result.transformation.signature()
+            if result.transformation is not None else None)
+
+
+def _oracle_search(case: FuzzCase, prep: _Prepared) -> None:
+    """``prune+speculate`` is an optimization, not a different search:
+    same winner, same score, same explored count, never more exact
+    legality verdicts than brute."""
+    brute, guided = _search_pair(prep)
+    if _sig(guided) != _sig(brute):
+        raise OracleFailure(
+            f"search winner diverged: brute {_sig(brute)} vs "
+            f"prune+speculate {_sig(guided)}")
+    if guided.score != brute.score:
+        raise OracleFailure(
+            f"search score diverged: brute {brute.score} vs "
+            f"prune+speculate {guided.score}")
+    if guided.explored != brute.explored:
+        raise OracleFailure(
+            f"search explored diverged: brute {brute.explored} vs "
+            f"prune+speculate {guided.explored}")
+    if guided.exact_verdicts > brute.exact_verdicts:
+        raise OracleFailure(
+            f"prune+speculate needed {guided.exact_verdicts} exact "
+            f"verdicts, brute only {brute.exact_verdicts}")
+
+
+def _oracle_jobs(case: FuzzCase, prep: _Prepared) -> None:
+    """``jobs=2`` must be field-identical to ``jobs=1`` — parallel
+    dispatch is an implementation detail, not an answer change."""
+    serial = search(prep.nest, prep.deps,
+                    config=SearchConfig(depth=2, beam=4, prune=True,
+                                        speculate=True, jobs=1))
+    parallel = search(prep.nest, prep.deps,
+                      config=SearchConfig(depth=2, beam=4, prune=True,
+                                          speculate=True, jobs=2))
+    for field in ("score", "explored", "legal_count", "timeouts", "pruned",
+                  "prune_reasons", "speculated", "evicted",
+                  "exact_verdicts"):
+        a, b = getattr(serial, field), getattr(parallel, field)
+        if a != b:
+            raise OracleFailure(
+                f"jobs=1 vs jobs=2 diverged on {field}: {a!r} vs {b!r}")
+    if _sig(serial) != _sig(parallel):
+        raise OracleFailure(
+            f"jobs=1 winner {_sig(serial)} vs jobs=2 {_sig(parallel)}")
+
+
+def _remote_answers(client, case: FuzzCase,
+                    prep: _Prepared) -> Dict[str, object]:
+    """The comparable answer set from one service/fleet client."""
+    from repro.service.client import ServiceError
+
+    answers: Dict[str, object] = {}
+    try:
+        parsed = client.request("parse", text=case.text)
+        answers["pretty"] = parsed["pretty"]
+        analyzed = client.request("analyze", text=case.text)
+        answers["dep_count"] = analyzed["count"]
+        if case.steps:
+            legality = client.request("legality", text=case.text,
+                                      steps=case.steps)
+            answers["legal"] = legality["legal"]
+    except ServiceError as exc:
+        # The in-process pipeline accepted this case (or we would have
+        # rejected before reaching this oracle) — a server refusal here
+        # is a strictness divergence, not a rejection.
+        raise OracleFailure(
+            f"server refused a locally-accepted case: "
+            f"{exc.code}: {exc}") from None
+    if case.steps:
+        try:
+            run = client.request("run", text=case.text, steps=case.steps,
+                                 symbols=case.symbols, engine="compiled")
+            answers["iterations"] = run["iterations"]
+        except ServiceError as exc:
+            answers["iterations"] = f"error:{exc.code}"
+    else:
+        try:
+            run = client.request("run", text=case.text,
+                                 symbols=case.symbols, engine="compiled")
+            answers["iterations"] = run["iterations"]
+        except ServiceError as exc:
+            answers["iterations"] = f"error:{exc.code}"
+    return answers
+
+
+def _local_answers(case: FuzzCase, prep: _Prepared) -> Dict[str, object]:
+    """What the in-process pipeline says the service must answer."""
+    answers: Dict[str, object] = {"pretty": prep.nest.pretty(),
+                                  "dep_count": len(prep.deps)}
+    if case.steps:
+        answers["legal"] = bool(prep.report and prep.report.legal)
+        if prep.transformed is not None:
+            result = run_compiled(prep.transformed, {},
+                                  symbols=case.symbols)
+            answers["iterations"] = result.body_count
+        else:
+            answers["iterations"] = "error:illegal"
+    else:
+        result = run_compiled(prep.nest, {}, symbols=case.symbols)
+        answers["iterations"] = result.body_count
+    return answers
+
+
+def _compare_answers(kind: str, local: Mapping[str, object],
+                     remote: Mapping[str, object]) -> None:
+    for key in sorted(set(local) | set(remote)):
+        if local.get(key) != remote.get(key):
+            raise OracleFailure(
+                f"{kind} answer diverged on {key!r}: in-process "
+                f"{local.get(key)!r} vs {kind} {remote.get(key)!r}")
+
+
+def _oracle_service(case: FuzzCase, prep: _Prepared, client) -> None:
+    """The service is a transport, not a reinterpretation: parse,
+    analyze, legality and run answers match the in-process pipeline."""
+    _compare_answers("service", _local_answers(case, prep),
+                     _remote_answers(client, case, prep))
+
+
+def _oracle_fleet(case: FuzzCase, prep: _Prepared, fleet) -> None:
+    """An N=2 fleet answers exactly like a single in-process pipeline
+    (routing and supervision must be invisible)."""
+    _compare_answers("fleet", _local_answers(case, prep),
+                     _remote_answers(fleet, case, prep))
+
+
+# ---------------------------------------------------------------------------
+# the per-case driver
+
+
+def evaluate_case(case: FuzzCase,
+                  oracles: Optional[Sequence[str]] = None,
+                  service=None,
+                  fleet=None,
+                  time_limit: float = DEFAULT_TIME_LIMIT) -> CaseOutcome:
+    """Run *case* through the selected *oracles* (cheap trio by default).
+
+    Returns the first failure, a rejection, or ``ok``.  ``service`` and
+    ``fleet`` clients are only used when their oracle is selected; the
+    caller owns their lifecycle (one client serves the whole run).
+    """
+    if oracles is None:
+        oracles = ("pipeline", "semantics", "engines")
+    prep: Optional[_Prepared] = None
+    for name in oracles:
+        if name == "chaos":
+            continue  # driven by repro.fuzz.chaos_matrix, not here
+        if prep is None:
+            try:
+                prep, timed_out = call_with_timeout(
+                    lambda: _oracle_pipeline(case), time_limit)
+            except OracleFailure as exc:
+                return CaseOutcome(case, "divergence", "pipeline", str(exc))
+            except ReproError as exc:
+                return CaseOutcome(case, "rejected", "pipeline",
+                                   f"{type(exc).__name__}: {exc}")
+            except Exception as exc:  # noqa: BLE001
+                return CaseOutcome(
+                    case, "crash", "pipeline",
+                    f"untyped {type(exc).__name__}: {exc}")
+            if timed_out:
+                return CaseOutcome(case, "hang", "pipeline",
+                                   f"no answer in {time_limit}s")
+        if name == "pipeline":
+            continue
+        try:
+            fn = _ORACLE_FNS[name]
+            args: Tuple = (case, prep)
+            if name == "service":
+                if service is None:
+                    continue
+                args = (case, prep, service)
+            elif name == "fleet":
+                if fleet is None:
+                    continue
+                args = (case, prep, fleet)
+            elif name in ("search", "jobs") and prep.nest.depth < 2:
+                continue
+            _, timed_out = call_with_timeout(lambda: fn(*args), time_limit)
+            if timed_out:
+                return CaseOutcome(case, "hang", name,
+                                   f"no answer in {time_limit}s")
+        except OracleFailure as exc:
+            return CaseOutcome(case, "divergence", name, str(exc))
+        except ReproError as exc:
+            return CaseOutcome(case, "rejected", name,
+                               f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 — the whole point
+            return CaseOutcome(
+                case, "crash", name,
+                f"untyped {type(exc).__name__}: {exc}")
+    return CaseOutcome(case, "ok")
+
+
+_ORACLE_FNS: Dict[str, Callable] = {
+    "pipeline": _oracle_pipeline,
+    "semantics": _oracle_semantics,
+    "engines": _oracle_engines,
+    "search": _oracle_search,
+    "jobs": _oracle_jobs,
+    "service": _oracle_service,
+    "fleet": _oracle_fleet,
+}

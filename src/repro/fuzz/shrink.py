@@ -1,0 +1,360 @@
+"""Greedy deterministic auto-shrinking of failing fuzz cases.
+
+Given a failing :class:`~repro.fuzz.oracles.CaseOutcome`, the shrinker
+searches for the smallest case that *still fails the same oracle with
+the same status*, by repeatedly trying reductions in a fixed order and
+keeping the first that reproduces:
+
+1. drop the transformation sequence, or individual steps from it;
+2. drop body statements (a repro with one statement beats two);
+3. unwrap ``if`` guards;
+4. drop loops (substituting the index by its lower bound everywhere);
+5. replace non-constant bounds by small constants, right-hand sides by
+   ``0``, and subscripts by the bare loop index;
+6. halve constants toward zero and shrink symbol values toward 3.
+
+Every accepted reduction restarts the pass (greedy fixpoint); the
+procedure is a pure function of the input outcome, so the same seed
+and the same failure always shrink to the byte-identical artifact —
+what the corpus's determinism test asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.expr.nodes import (
+    Add,
+    Call,
+    CeilDiv,
+    Const,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    add,
+    call,
+    ceildiv,
+    const,
+    floordiv,
+    mod,
+    mul,
+    substitute,
+    var,
+    vmax,
+    vmin,
+)
+from repro.fuzz.gen import FuzzCase
+from repro.fuzz.oracles import (
+    DEFAULT_TIME_LIMIT,
+    CaseOutcome,
+    evaluate_case,
+)
+from repro.ir.loopnest import ArrayRef, Assign, If, Loop, LoopNest, Statement
+from repro.ir.parser import parse_nest
+from repro.obs.metrics import get_metrics
+from repro.util.errors import ReproError
+
+#: Hard cap on accepted reductions — a backstop, not a tuning knob
+#: (typical failures shrink in well under 50 steps).
+MAX_SHRINK_STEPS = 400
+
+
+def shrink_case(outcome: CaseOutcome, service=None, fleet=None,
+                time_limit: float = DEFAULT_TIME_LIMIT) -> CaseOutcome:
+    """Minimal outcome reproducing *outcome*'s failure (greedy fixpoint).
+
+    Returns a new outcome whose case is no larger than the input's and
+    whose (status, oracle) match; if nothing reduces, the original
+    outcome comes back unchanged.
+    """
+    if not outcome.failed or outcome.oracle is None:
+        return outcome
+    oracle = outcome.oracle
+    status = outcome.status
+    metrics = get_metrics()
+
+    def still_fails(case: FuzzCase) -> Optional[CaseOutcome]:
+        got = evaluate_case(case, oracles=(oracle,), service=service,
+                            fleet=fleet, time_limit=time_limit)
+        if got.status == status and got.oracle == oracle:
+            return got
+        return None
+
+    best = outcome
+    steps_taken = 0
+    while steps_taken < MAX_SHRINK_STEPS:
+        for candidate in _reductions(best.case):
+            got = still_fails(candidate)
+            if got is not None:
+                best = got
+                steps_taken += 1
+                metrics.counter("fuzz.shrink_steps").inc()
+                break
+        else:
+            break  # no reduction reproduces: fixpoint
+    return best
+
+
+# ---------------------------------------------------------------------------
+# candidate enumeration — strictly ordered, no randomness
+
+
+def _reductions(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Candidate reductions of *case*, biggest wins first."""
+    yield from _step_reductions(case)
+    try:
+        nest = parse_nest(case.text)
+    except ReproError:
+        nest = None
+    if nest is not None:
+        yield from _nest_reductions(case, nest)
+    yield from _symbol_reductions(case)
+
+
+def _with(case: FuzzCase, text: Optional[str] = None,
+          steps: Optional[str] = "<keep>",
+          symbols: Optional[dict] = None) -> FuzzCase:
+    return FuzzCase(
+        case.seed, case.case_id,
+        case.text if text is None else text,
+        case.steps if steps == "<keep>" else steps,
+        case.symbols if symbols is None else symbols)
+
+
+def _step_reductions(case: FuzzCase) -> Iterator[FuzzCase]:
+    if not case.steps:
+        return
+    yield _with(case, steps=None)
+    parts = [p.strip() for p in case.steps.split(";") if p.strip()]
+    if len(parts) > 1:
+        for i in range(len(parts)):
+            rest = parts[:i] + parts[i + 1:]
+            yield _with(case, steps="; ".join(rest))
+
+
+def _nest_reductions(case: FuzzCase,
+                     nest: LoopNest) -> Iterator[FuzzCase]:
+    # drop whole body statements
+    if len(nest.body) > 1:
+        for i in range(len(nest.body)):
+            body = nest.body[:i] + nest.body[i + 1:]
+            yield from _rebuilt(case, nest.loops, body)
+    # unwrap guards
+    for i, stmt in enumerate(nest.body):
+        if isinstance(stmt, If):
+            body = _replace(nest.body, i, stmt.then)
+            yield from _rebuilt(case, nest.loops, body)
+    # drop loops, substituting the index by its lower bound
+    if len(nest.loops) > 1:
+        for i, loop in enumerate(nest.loops):
+            mapping = {loop.index: loop.lower}
+            loops = [Loop(lp.index,
+                          substitute(lp.lower, mapping),
+                          substitute(lp.upper, mapping),
+                          substitute(lp.step, mapping), lp.kind)
+                     for j, lp in enumerate(nest.loops) if j != i]
+            body = [_subst_stmt(s, mapping) for s in nest.body]
+            yield from _rebuilt(case, loops, body)
+    # simplify bounds to small constants
+    for i, loop in enumerate(nest.loops):
+        for lower, upper in ((const(0), const(2)), (const(0), const(3))):
+            if (loop.lower, loop.upper) == (lower, upper):
+                continue
+            loops = _replace(nest.loops, i,
+                             Loop(loop.index, lower, upper, const(1),
+                                  loop.kind))
+            yield from _rebuilt(case, loops, list(nest.body))
+    # zero out right-hand sides, simplify subscripts
+    for i, stmt in enumerate(nest.body):
+        target = _target_of(stmt)
+        if target is None:
+            continue
+        inner = _assign_of(stmt)
+        if inner.expr != const(0):
+            yield from _rebuilt(
+                case, nest.loops,
+                _replace(nest.body, i,
+                         _rewrap(stmt, Assign(target, const(0),
+                                              inner.accumulate))))
+        for k, sub in enumerate(target.subscripts):
+            for idx in _loop_vars(nest):
+                if sub != idx:
+                    subs = _replace(target.subscripts, k, idx)
+                    new = Assign(ArrayRef(target.name, subs), inner.expr,
+                                 inner.accumulate)
+                    yield from _rebuilt(case, nest.loops,
+                                        _replace(nest.body, i,
+                                                 _rewrap(stmt, new)))
+                    break
+    # halve constants everywhere
+    for shrunk in _const_shrinks(nest):
+        yield from _rebuilt(case, shrunk.loops, list(shrunk.body))
+
+
+def _symbol_reductions(case: FuzzCase) -> Iterator[FuzzCase]:
+    for name in sorted(case.symbols):
+        value = case.symbols[name]
+        for smaller in (3, value // 2, value - 1):
+            if 1 <= smaller < value:
+                symbols = dict(case.symbols)
+                symbols[name] = smaller
+                yield _with(case, symbols=symbols)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _rebuilt(case: FuzzCase, loops, body) -> Iterator[FuzzCase]:
+    """Yield *case* with the nest rebuilt from loops/body — silently
+    skipping rebuilds the IR itself rejects (those cannot be repros)."""
+    if not body:
+        return
+    try:
+        text = LoopNest(list(loops), list(body)).pretty()
+    except (ReproError, ValueError, TypeError):
+        return
+    if text != case.text:
+        yield _with(case, text=text)
+
+
+def _replace(seq, i, value) -> list:
+    out = list(seq)
+    out[i] = value
+    return out
+
+
+def _target_of(stmt: Statement) -> Optional[ArrayRef]:
+    inner = _assign_of(stmt)
+    return inner.target if inner is not None else None
+
+
+def _assign_of(stmt: Statement) -> Optional[Assign]:
+    while isinstance(stmt, If):
+        stmt = stmt.then
+    return stmt if isinstance(stmt, Assign) else None
+
+
+def _rewrap(stmt: Statement, new_inner: Statement) -> Statement:
+    """*stmt* with its innermost Assign replaced, guards preserved."""
+    if isinstance(stmt, If):
+        return If(stmt.cond, _rewrap(stmt.then, new_inner))
+    return new_inner
+
+
+def _loop_vars(nest: LoopNest) -> List[Expr]:
+    return [var(lp.index) for lp in nest.loops]
+
+
+def _subst_stmt(stmt: Statement, mapping) -> Statement:
+    if isinstance(stmt, If):
+        return If(substitute(stmt.cond, mapping),
+                  _subst_stmt(stmt.then, mapping))
+    if isinstance(stmt, Assign):
+        target = ArrayRef(stmt.target.name,
+                          [substitute(s, mapping)
+                           for s in stmt.target.subscripts])
+        return Assign(target, substitute(stmt.expr, mapping),
+                      stmt.accumulate)
+    return stmt
+
+
+def _const_shrinks(nest: LoopNest) -> Iterator[LoopNest]:
+    """Nests with exactly one constant halved toward zero."""
+    consts = sorted({c for c in _all_consts(nest) if abs(c) > 1},
+                    key=lambda c: (-abs(c), c))
+    for target in consts:
+        smaller = target // 2 if target > 0 else -((-target) // 2)
+
+        def fn(value: int, _t=target, _s=smaller) -> int:
+            return _s if value == _t else value
+
+        try:
+            loops = [Loop(lp.index, _map_consts(lp.lower, fn),
+                          _map_consts(lp.upper, fn),
+                          _map_consts(lp.step, fn), lp.kind)
+                     for lp in nest.loops]
+            body = [_map_stmt_consts(s, fn) for s in nest.body]
+            yield LoopNest(loops, body)
+        except (ReproError, ValueError, TypeError, ZeroDivisionError):
+            continue
+
+
+def _all_consts(nest: LoopNest) -> Iterator[int]:
+    for lp in nest.loops:
+        for e in (lp.lower, lp.upper, lp.step):
+            yield from _expr_consts(e)
+    for stmt in nest.body:
+        yield from _stmt_consts(stmt)
+
+
+def _stmt_consts(stmt: Statement) -> Iterator[int]:
+    if isinstance(stmt, If):
+        yield from _expr_consts(stmt.cond)
+        yield from _stmt_consts(stmt.then)
+    elif isinstance(stmt, Assign):
+        for s in stmt.target.subscripts:
+            yield from _expr_consts(s)
+        yield from _expr_consts(stmt.expr)
+
+
+def _expr_consts(e: Expr) -> Iterator[int]:
+    if isinstance(e, Const):
+        yield e.value
+    elif isinstance(e, Add):
+        for t in e.terms:
+            yield from _expr_consts(t)
+    elif isinstance(e, Mul):
+        for f in e.factors:
+            yield from _expr_consts(f)
+    elif isinstance(e, (FloorDiv, CeilDiv, Mod)):
+        yield from _expr_consts(e.num)
+        yield from _expr_consts(e.den)
+    elif isinstance(e, (Min, Max)):
+        for a in e.args:
+            yield from _expr_consts(a)
+    elif isinstance(e, Call):
+        for a in e.args:
+            yield from _expr_consts(a)
+
+
+def _map_stmt_consts(stmt: Statement, fn) -> Statement:
+    if isinstance(stmt, If):
+        return If(_map_consts(stmt.cond, fn),
+                  _map_stmt_consts(stmt.then, fn))
+    if isinstance(stmt, Assign):
+        target = ArrayRef(stmt.target.name,
+                          [_map_consts(s, fn)
+                           for s in stmt.target.subscripts])
+        return Assign(target, _map_consts(stmt.expr, fn), stmt.accumulate)
+    return stmt
+
+
+def _map_consts(e: Expr, fn) -> Expr:
+    """Rebuild *e* with every constant passed through *fn*,
+    renormalizing via the smart constructors."""
+    if isinstance(e, Const):
+        return const(fn(e.value))
+    if isinstance(e, Var):
+        return e
+    if isinstance(e, Add):
+        return add(*[_map_consts(t, fn) for t in e.terms])
+    if isinstance(e, Mul):
+        return mul(*[_map_consts(f, fn) for f in e.factors])
+    if isinstance(e, FloorDiv):
+        return floordiv(_map_consts(e.num, fn), _map_consts(e.den, fn))
+    if isinstance(e, CeilDiv):
+        return ceildiv(_map_consts(e.num, fn), _map_consts(e.den, fn))
+    if isinstance(e, Mod):
+        return mod(_map_consts(e.num, fn), _map_consts(e.den, fn))
+    if isinstance(e, Min):
+        return vmin(*[_map_consts(a, fn) for a in e.args])
+    if isinstance(e, Max):
+        return vmax(*[_map_consts(a, fn) for a in e.args])
+    if isinstance(e, Call):
+        return call(e.func, *[_map_consts(a, fn) for a in e.args])
+    return e

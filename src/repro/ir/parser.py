@@ -47,10 +47,21 @@ from repro.ir.loopnest import (
     Statement,
     validate_nest,
 )
-from repro.util.errors import ParseError
+from repro.util.errors import ParseError, ReproError
 
 _RELOPS = {"<=": "le", ">=": "ge", "==": "eq", "=": "eq",
            "<": "lt", ">": "gt"}
+
+
+def _make_loop(index: str, lower: Expr, upper: Expr, step: Expr,
+               kind: str, kw: Token) -> Loop:
+    """Construct a :class:`Loop` at the parse boundary: IR-level domain
+    rejections (zero constant step) become positioned parse errors
+    instead of leaking ``ValueError`` to parser callers."""
+    try:
+        return Loop(index, lower, upper, step, kind)
+    except ValueError as exc:
+        raise ParseError(str(exc), line=kw.line, column=kw.column) from None
 
 
 def _parse_condition(stream: TokenStream) -> Expr:
@@ -146,7 +157,8 @@ def _parse_loop(stream: TokenStream):
         stmts.append(_parse_statement(stream))
         stream.skip_newlines()
     stream.depth -= 1
-    return [Loop(index, lower, upper, step, kw.text)] + inner_loops, stmts
+    return [_make_loop(index, lower, upper, step, kw.text, kw)] \
+        + inner_loops, stmts
 
 
 def parse_nest(text: str) -> LoopNest:
@@ -172,8 +184,16 @@ def parse_nest(text: str) -> LoopNest:
                 f"scalar assignment {stmt} must precede the loop body")
         else:
             body.append(stmt)
-    nest = LoopNest(loops, body, inits)
-    validate_nest(nest)
+    try:
+        nest = LoopNest(loops, body, inits)
+        validate_nest(nest)
+    except ParseError:
+        raise
+    except (ValueError, ReproError) as exc:
+        # Structural rejections (duplicate loop index names, a bound
+        # referencing an inner index) are bad *input* here, not API
+        # misuse: the parser's contract is "ParseError or success".
+        raise ParseError(str(exc)) from None
     return nest
 
 
@@ -226,7 +246,7 @@ def _parse_imperfect_loop(stream: TokenStream):
                 line=tok.line, column=tok.column)
         (post if inner is not None else pre).append(stmt)
         stream.skip_newlines()
-    loop = Loop(index, lower, upper, step, kw.text)
+    loop = _make_loop(index, lower, upper, step, kw.text, kw)
     if inner is not None and any(isinstance(s, InitStmt) for s in pre):
         raise ParseError("scalar assignments before an inner loop cannot "
                          "be sunk soundly; use an array element")

@@ -356,10 +356,21 @@ class TransformationService:
 
     def _finish_idem(self, pending: _Pending, response: dict):
         """Record *response* under the request's idem key and detach any
-        replays that arrived while it was in flight."""
+        replays that arrived while it was in flight.
+
+        Responses carrying a retryable error code are answered but NOT
+        recorded: those codes mean the work was refused or lost, not
+        completed, and remembering them would replay the transient
+        error to every retry of the same key — turning a one-shot
+        fault into a permanent failure for that client.
+        """
         if pending.idem is None:
             return []
+        error = response.get("error") if not response.get("ok") else None
+        retryable = (error or {}).get("code") in protocol.RETRYABLE_CODES
         with self._cond:
+            if retryable:
+                return self._idem_waiters.pop(pending.idem, [])
             self._idem_done[pending.idem] = response
             while len(self._idem_done) > self.IDEM_WINDOW:
                 del self._idem_done[next(iter(self._idem_done))]

@@ -1,0 +1,48 @@
+"""Replay the persisted fuzz regression bank (``tests/corpus/fuzz``).
+
+Every artifact in the bank is a minimal repro of a bug the fuzzer once
+surfaced, banked *before* the fix with the oracle that caught it.  A
+healthy tree replays the whole bank green; any failure here is a
+regression of a previously-fixed bug.
+
+Chaos-oracle artifacts re-arm the recorded fault spec against a live
+supervised server, so this file doubles as the exactly-once regression
+gate (e.g. the idempotency-window bug that replayed retryable errors).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import list_artifacts, load_artifact, replay_artifact
+
+BANK = Path(__file__).resolve().parent / "corpus" / "fuzz"
+
+ARTIFACTS = list_artifacts(BANK)
+
+
+def test_bank_exists_and_is_nonempty():
+    assert BANK.is_dir(), "the fuzz corpus bank is missing"
+    assert ARTIFACTS, "the fuzz corpus bank is empty"
+
+
+@pytest.mark.parametrize(
+    "artifact", ARTIFACTS,
+    ids=[p.name for p in ARTIFACTS])
+def test_banked_bug_stays_fixed(artifact):
+    outcome = replay_artifact(artifact)
+    assert not outcome.failed, (
+        f"{artifact.name} regressed: {outcome.status} under oracle "
+        f"{outcome.oracle!r}\n{outcome.detail}")
+
+
+def test_artifacts_are_byte_canonical():
+    """Re-rendering every artifact from its own document reproduces the
+    file bytes — the determinism the content-hash dedup relies on."""
+    import json
+
+    for path in ARTIFACTS:
+        doc = load_artifact(path)
+        rendered = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        assert path.read_text(encoding="utf-8") == rendered, path.name

@@ -1,0 +1,307 @@
+"""Tier-1 tests for the generative differential fuzzer.
+
+Covers the four layers of the fuzz stack on their own terms:
+
+* the generator — seeded determinism, parse/pretty round-trips, JSON
+  round-trips of :class:`FuzzCase`;
+* the oracles — the outcome taxonomy (``ok``/``rejected`` for healthy
+  cases, ``crash`` for untyped escapes, ``divergence`` for broken
+  contracts) classified through a monkeypatched oracle table;
+* the shrinker — convergence to a still-failing smaller case and
+  byte-identical artifacts across independent shrink runs (the
+  determinism contract the corpus dedup relies on);
+* the corpus + CLI — idempotent banking, replay wiring, and the
+  ``repro fuzz`` exit-code contract.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.spec import parse_steps
+from repro.fuzz import oracles as fuzz_oracles
+from repro.fuzz.corpus import (
+    artifact_name,
+    list_artifacts,
+    load_artifact,
+    render_artifact,
+    replay_artifact,
+    write_artifact,
+)
+from repro.fuzz.gen import CaseGen, FuzzCase, MAX_SEQ_DEPTH
+from repro.fuzz.harness import MATRIX_DIMS, FuzzReport, run_fuzz
+from repro.fuzz.oracles import CaseOutcome, evaluate_case, make_arrays
+from repro.fuzz.shrink import shrink_case
+from repro.ir.parser import parse_nest
+from repro.runtime.oracle import OracleFailure
+
+SEED = 5
+
+
+# ---------------------------------------------------------------------------
+# generator
+
+
+def test_case_generation_is_deterministic():
+    a, b = CaseGen(SEED), CaseGen(SEED)
+    for i in range(50):
+        ca, cb = a.case(i), b.case(i)
+        assert ca.text == cb.text
+        assert ca.steps == cb.steps
+        assert ca.symbols == cb.symbols
+
+
+def test_case_stream_matches_indexed_access():
+    gen = CaseGen(SEED)
+    streamed = list(gen.cases(30, start=10))
+    for offset, case in enumerate(streamed):
+        direct = gen.case(10 + offset)
+        assert case.case_id == 10 + offset
+        assert case.text == direct.text
+        assert case.steps == direct.steps
+
+
+def test_seeds_actually_vary_the_stream():
+    texts_a = [CaseGen(1).case(i).text for i in range(20)]
+    texts_b = [CaseGen(2).case(i).text for i in range(20)]
+    assert texts_a != texts_b
+
+
+def test_generated_cases_round_trip_and_steps_parse():
+    gen = CaseGen(SEED)
+    with_steps = 0
+    for i in range(80):
+        case = gen.case(i)
+        nest = parse_nest(case.text)
+        assert nest.pretty() == case.text
+        if case.steps:
+            with_steps += 1
+            seq = parse_steps(case.steps, nest.depth)
+            assert seq.output_depth <= MAX_SEQ_DEPTH
+    assert with_steps > 20  # the step generator is not a no-op
+
+
+def test_fuzz_case_json_round_trip():
+    case = CaseGen(SEED).case(7)
+    again = FuzzCase.from_json(case.to_json())
+    assert again.seed == case.seed
+    assert again.case_id == case.case_id
+    assert again.text == case.text
+    assert again.steps == case.steps
+    assert again.symbols == case.symbols
+    assert again.key() == case.key()
+
+
+def test_make_arrays_is_deterministic_and_nonzero():
+    case = CaseGen(SEED).case(3)
+    first, second = make_arrays(case), make_arrays(case)
+    assert sorted(first) == sorted(second)
+    for name in first:
+        assert first[name] == second[name]
+        assert any(v != 0 for v in first[name].data.values())
+
+
+# ---------------------------------------------------------------------------
+# oracle taxonomy
+
+
+def test_healthy_cases_are_ok_or_rejected():
+    gen = CaseGen(SEED)
+    statuses = set()
+    for i in range(30):
+        outcome = evaluate_case(gen.case(i))
+        assert not outcome.failed, outcome
+        statuses.add(outcome.status)
+    assert "ok" in statuses
+
+
+def test_unparseable_text_is_a_typed_rejection():
+    case = FuzzCase(seed=0, case_id=0, text="do i = 0, n\n  a(i) = @\nenddo",
+                    steps="", symbols={"n": 3})
+    outcome = evaluate_case(case)
+    assert outcome.status == "rejected"
+    assert outcome.oracle == "pipeline"
+    assert "ParseError" in outcome.detail
+
+
+def test_untyped_exception_is_a_crash(monkeypatch):
+    def boom(case, prep):
+        raise RuntimeError("wires crossed")
+
+    monkeypatch.setitem(fuzz_oracles._ORACLE_FNS, "engines", boom)
+    outcome = evaluate_case(CaseGen(SEED).case(0))
+    assert outcome.status == "crash"
+    assert outcome.oracle == "engines"
+    assert "RuntimeError" in outcome.detail
+
+
+def test_oracle_failure_is_a_divergence(monkeypatch):
+    def disagree(case, prep):
+        raise OracleFailure("engines disagree about everything")
+
+    monkeypatch.setitem(fuzz_oracles._ORACLE_FNS, "engines", disagree)
+    outcome = evaluate_case(CaseGen(SEED).case(0))
+    assert outcome.status == "divergence"
+    assert outcome.oracle == "engines"
+    assert outcome.failed
+
+
+# ---------------------------------------------------------------------------
+# shrinker determinism (the corpus dedup contract)
+
+
+def _arm_fake_bug(monkeypatch):
+    """A deterministic fake bug: the engines oracle rejects every nest
+    of depth >= 2, so the shrinker has real room to shrink (loops to
+    drop, statements to delete, constants to minimize)."""
+
+    def fake(case, prep):
+        if prep.nest.depth >= 2:
+            raise OracleFailure("fake divergence on depth >= 2")
+
+    monkeypatch.setitem(fuzz_oracles._ORACLE_FNS, "engines", fake)
+
+
+def _first_failing_case():
+    gen = CaseGen(SEED)
+    for i in range(60):
+        case = gen.case(i)
+        try:
+            if parse_nest(case.text).depth >= 2:
+                return case
+        except Exception:  # noqa: BLE001 — generator cases all parse
+            continue
+    raise AssertionError("no depth-2 case in the first 60")
+
+
+def test_shrinker_converges_and_preserves_the_failure(monkeypatch):
+    _arm_fake_bug(monkeypatch)
+    case = _first_failing_case()
+    outcome = evaluate_case(case)
+    assert outcome.status == "divergence"
+    small = shrink_case(outcome)
+    assert small.status == "divergence"
+    assert small.oracle == "engines"
+    assert len(small.case.text) <= len(case.text)
+    assert parse_nest(small.case.text).depth >= 2  # still failing
+
+
+def test_shrinker_is_byte_deterministic(monkeypatch):
+    _arm_fake_bug(monkeypatch)
+    case = _first_failing_case()
+    first = shrink_case(evaluate_case(case))
+    second = shrink_case(evaluate_case(case))
+    assert render_artifact(first) == render_artifact(second)
+    assert artifact_name(first) == artifact_name(second)
+
+
+def test_write_artifact_is_idempotent(tmp_path, monkeypatch):
+    _arm_fake_bug(monkeypatch)
+    small = shrink_case(evaluate_case(_first_failing_case()))
+    path_a = write_artifact(small, tmp_path)
+    bytes_a = open(path_a, encoding="utf-8").read()
+    path_b = write_artifact(small, tmp_path)
+    assert path_a == path_b
+    assert open(path_b, encoding="utf-8").read() == bytes_a
+    assert len(list_artifacts(tmp_path)) == 1
+    doc = load_artifact(path_a)
+    assert doc["oracle"] == "engines"
+    assert doc["status"] == "divergence"
+
+
+def test_replay_artifact_round_trip(tmp_path, monkeypatch):
+    _arm_fake_bug(monkeypatch)
+    small = shrink_case(evaluate_case(_first_failing_case()))
+    path = write_artifact(small, tmp_path)
+    # With the fake bug still armed the banked case must still fail...
+    assert replay_artifact(path).failed
+    # ...and once "fixed" (patch reverted) the same artifact replays
+    # green — exactly the corpus regression contract.
+    monkeypatch.setitem(fuzz_oracles._ORACLE_FNS, "engines",
+                        fuzz_oracles._oracle_engines)
+    replayed = replay_artifact(path)
+    assert not replayed.failed
+
+
+# ---------------------------------------------------------------------------
+# harness + report
+
+
+def test_run_fuzz_smoke_is_green():
+    report = run_fuzz(cases=15, seed=3, matrix=("core",), shrink=False)
+    assert report.cases == 15
+    assert not report.failed
+    doc = report.to_json()
+    assert doc["cases"] == 15
+    assert set(doc["by_status"]) == {"ok", "rejected", "divergence",
+                                     "crash", "hang"}
+    assert "cases:" in report.summary() or "cases" in report.summary()
+
+
+def test_run_fuzz_banks_failures(tmp_path, monkeypatch):
+    _arm_fake_bug(monkeypatch)
+    report = run_fuzz(cases=12, seed=SEED, matrix=("core",),
+                      corpus=str(tmp_path))
+    assert report.failed
+    assert report.by_status["divergence"] > 0
+    assert report.artifacts
+    assert list_artifacts(tmp_path)
+    assert len(report.shrunk) == report.by_status["divergence"]
+
+
+def test_run_fuzz_rejects_unknown_matrix():
+    with pytest.raises(ValueError):
+        run_fuzz(cases=1, seed=0, matrix=("core", "voodoo"))
+    assert set(MATRIX_DIMS) == {"core", "search", "service", "fleet",
+                                "chaos"}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_cli_fuzz_green_run(tmp_path, capsys):
+    out_json = tmp_path / "fuzz.json"
+    rc = main(["fuzz", "--cases", "10", "--seed", "3", "--matrix", "core",
+               "--no-shrink", "--json", str(out_json), "--quiet"])
+    assert rc == 0
+    doc = json.loads(out_json.read_text())
+    assert doc["cases"] == 10
+    assert doc["by_status"]["crash"] == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed["cases"] == 10
+
+
+def test_cli_fuzz_bad_matrix_is_usage_error(capsys):
+    rc = main(["fuzz", "--cases", "1", "--matrix", "nope", "--quiet"])
+    assert rc == 2
+    capsys.readouterr()
+
+
+def test_cli_fuzz_failure_exit_code(tmp_path, monkeypatch, capsys):
+    _arm_fake_bug(monkeypatch)
+    rc = main(["fuzz", "--cases", "8", "--seed", str(SEED),
+               "--matrix", "core", "--corpus", str(tmp_path), "--quiet"])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["by_status"]["divergence"] > 0
+    assert list_artifacts(tmp_path)
+
+
+def test_cli_fuzz_replay_mode(tmp_path, monkeypatch, capsys):
+    _arm_fake_bug(monkeypatch)
+    small = shrink_case(evaluate_case(_first_failing_case()))
+    write_artifact(small, tmp_path)
+    # Still-broken bank: replay must fail loudly.
+    rc = main(["fuzz", "--replay", "--corpus", str(tmp_path), "--quiet"])
+    assert rc == 1
+    capsys.readouterr()
+    # Fixed bank: replay goes green.
+    monkeypatch.setitem(fuzz_oracles._ORACLE_FNS, "engines",
+                        fuzz_oracles._oracle_engines)
+    rc = main(["fuzz", "--replay", "--corpus", str(tmp_path), "--quiet"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["replayed"] == 1
+    assert doc["failures"] == []

@@ -421,6 +421,43 @@ def test_dropped_reply_recovered_by_idem_retry():
     assert service.counters["completed"] == 1  # executed once, not twice
 
 
+def test_retryable_error_not_cached_in_idem_window():
+    """kind=error: the fault surfaces once as ``unavailable``.  That
+    response must NOT enter the dedup window — the work was refused,
+    not done — so the retry (same idem) re-executes and succeeds
+    instead of being served the stale transient error forever."""
+    with armed("ir.parse:error:1"):
+        service = TransformationService()
+        replies = []
+        answered = threading.Event()
+
+        def reply(r):
+            replies.append(r)
+            answered.set()
+
+        thread = threading.Thread(target=service.run, daemon=True)
+        thread.start()
+        try:
+            service.ingest(json.dumps(
+                {"id": 1, "op": "parse", "idem": "x",
+                 "params": {"text": STENCIL}}), reply)
+            assert answered.wait(10)
+            assert not replies[0]["ok"]
+            assert replies[0]["error"]["code"] == protocol.UNAVAILABLE
+            answered.clear()
+            service.ingest(json.dumps(
+                {"id": 2, "op": "parse", "idem": "x",
+                 "params": {"text": STENCIL}}), reply)
+            assert answered.wait(10)
+        finally:
+            service.request_drain("test done")
+            thread.join(10)
+    assert replies[1]["id"] == 2 and replies[1]["ok"]
+    # the retry was a fresh execution, not a window replay
+    assert service.counters["idem_replays"] == 0
+    assert service.counters["completed"] == 1
+
+
 # ---------------------------------------------------------------------------
 # warm-state checkpoint / restore
 # ---------------------------------------------------------------------------

@@ -181,7 +181,9 @@ def test_shutdown_op_drains_after_answering_admitted_work():
 
 
 def test_request_timeout_is_typed():
-    service = TransformationService(request_timeout=0.005)
+    # The budget must be one no depth-3 search can meet, warm or cold:
+    # 5ms stopped being safely slow once dependence analysis got fast.
+    service = TransformationService(request_timeout=0.0002)
     replies = by_id(drive(service, [
         {"id": 1, "op": "search",
          "params": {"text": STENCIL, "depth": 3, "beam": 8}},
